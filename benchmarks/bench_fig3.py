@@ -1,0 +1,18 @@
+"""Benchmark + reproduction of Fig. 3 (BPL/FPL/TPL over 10 time points)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig3
+
+
+def test_fig3_leakage_series(benchmark, show):
+    result = benchmark(fig3.run)
+    show(fig3.format_table(result))
+    # Reproduction claims: the annotated moderate-BPL series and the
+    # strong/none extremes.
+    assert np.round(result.bpl["moderate"], 2) == pytest.approx(
+        fig3.PAPER_MODERATE_BPL
+    )
+    assert result.bpl["strong"] == pytest.approx(0.1 * np.arange(1, 11))
+    assert result.tpl["none"] == pytest.approx(np.full(10, 0.1))

@@ -1,0 +1,18 @@
+"""Benchmark + reproduction of Fig. 4 (max BPL over time, Theorem-5
+suprema)."""
+
+import pytest
+
+from repro.experiments import fig4
+
+
+def test_fig4_supremum_panels(benchmark, show):
+    result = benchmark(fig4.run, horizon=100)
+    show(fig4.format_table(result))
+    suprema = [case.supremum for case in result.cases]
+    # (a), (b): no supremum; (c), (d): closed-form values.
+    assert suprema[0] is None and suprema[1] is None
+    assert suprema[2] == pytest.approx(1.1922, abs=1e-4)
+    assert suprema[3] == pytest.approx(0.7923, abs=1e-4)
+    # Step-by-step recursion agrees with the closed form (Example 4).
+    assert result.cases[3].bpl[-1] == pytest.approx(suprema[3], abs=1e-6)

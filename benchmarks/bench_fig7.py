@@ -1,0 +1,19 @@
+"""Benchmark + reproduction of Fig. 7 (budget allocation profiles)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig7
+
+
+def test_fig7_allocation(benchmark, show):
+    result = benchmark(fig7.run, alpha=1.0, horizon=30)
+    show(fig7.format_table(result))
+    # Algorithm 3 achieves exactly 1-DP_T at every time point...
+    assert result.profile3.tpl == pytest.approx(np.full(30, 1.0), rel=1e-6)
+    # ...while Algorithm 2 stays strictly below and ramps up.
+    assert result.profile2.max_tpl < 1.0
+    assert result.profile2.tpl[0] < result.profile2.tpl[9]
+    # Algorithm 3 boosts the first and last budgets (the paper's plot).
+    eps3 = result.allocation3.epsilons(30)
+    assert eps3[0] > eps3[1] and eps3[-1] > eps3[-2]

@@ -1,0 +1,34 @@
+"""Benchmark + reproduction of Fig. 8 (data utility of 2-DP_T releases)."""
+
+import pytest
+
+from repro.experiments import fig8
+
+
+def test_fig8a_noise_vs_horizon(benchmark, show):
+    result = benchmark(
+        fig8.run_vs_horizon, alpha=2.0, horizons=(5, 10, 50), n=50, s=0.001
+    )
+    show(fig8.format_table(result))
+    # Algorithm 3 beats Algorithm 2 at every finite horizon; the gap is
+    # largest at T = 5 (the paper's panel a).
+    gaps = [n2 - n3 for n2, n3 in zip(result.noise2, result.noise3)]
+    assert all(g > 0 for g in gaps)
+    assert gaps[0] >= gaps[-1]
+    # Algorithm 2's noise is horizon-independent (same eps regardless of T).
+    assert result.noise2[0] == pytest.approx(result.noise2[-1])
+
+
+def test_fig8b_noise_vs_correlation(benchmark, show):
+    result = benchmark(
+        fig8.run_vs_correlation,
+        alpha=2.0,
+        s_values=(0.01, 0.1, 1.0),
+        n=50,
+        horizon=10,
+    )
+    show(fig8.format_table(result))
+    # Utility decays sharply under strong correlations (small s)...
+    assert result.noise3[0] > 2 * result.noise3[-1]
+    # ...and approaches the independent-data reference as s grows.
+    assert result.noise3[-1] < 3 * result.reference

@@ -1,0 +1,20 @@
+"""Benchmark + reproduction of Table II (guarantees at three levels)."""
+
+import pytest
+
+from repro.experiments import table2
+
+
+def test_table2_guarantees(benchmark, show):
+    result = benchmark(table2.run, epsilon=0.1, horizon=10, w=3)
+    show(table2.format_table(result))
+    event, w_event, user = result.rows
+    # Independent column: eps / w eps / T eps (Theorem 3).
+    assert event.independent == pytest.approx(0.1)
+    assert w_event.independent == pytest.approx(0.3)
+    assert user.independent == pytest.approx(1.0)
+    # Correlated column: event-level degrades, user-level does not
+    # (Corollary 1), w-event sits in between.
+    assert event.correlated > event.independent
+    assert user.degradation == pytest.approx(1.0)
+    assert event.correlated <= w_event.correlated <= user.correlated + 1e-12

@@ -1,0 +1,24 @@
+"""Benchmark-harness configuration.
+
+Every ``bench_*``/``test_*`` function in this directory regenerates one of
+the paper's tables or figures (see DESIGN.md's per-experiment index) and
+prints the paper-style series, so running::
+
+    pytest benchmarks/ --benchmark-only -s
+
+produces both the timing table and the reproduced numbers.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print a reproduction table so it is visible with -s / in captured
+    output on failure."""
+
+    def _show(text: str) -> None:
+        print()
+        print(text)
+
+    return _show

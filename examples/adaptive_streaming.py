@@ -1,0 +1,59 @@
+"""Adaptive streaming with a hard leakage budget.
+
+A realistic deployment does not know the horizon and wants to spend as
+much budget as the alpha-DP_T promise allows *right now*.  This example
+drives the online accountant in a greedy loop: at each step it probes a
+menu of budgets and spends the largest one that keeps worst-case TPL
+under alpha; when nothing fits, it skips the release (publishes nothing).
+
+It also demonstrates the accountant's guard rail: configured with an
+``alpha`` bound it rejects (and rolls back) any release that would break
+the promise.
+
+Run:  python examples/adaptive_streaming.py
+"""
+
+import numpy as np
+
+from repro import (
+    InvalidPrivacyParameterError,
+    TemporalPrivacyAccountant,
+    two_state_matrix,
+)
+
+MENU = (0.4, 0.2, 0.1, 0.05, 0.02)  # budgets we are willing to spend
+
+
+def main() -> None:
+    correlation = two_state_matrix(0.85, 0.05)
+    alpha = 1.0
+    accountant = TemporalPrivacyAccountant(
+        (correlation, correlation), alpha=alpha
+    )
+
+    spent, skipped = [], 0
+    for t in range(1, 26):
+        for epsilon in MENU:
+            try:
+                tpl = accountant.add_release(epsilon)
+            except InvalidPrivacyParameterError:
+                continue  # too expensive -- try a smaller budget
+            spent.append(epsilon)
+            print(f"t={t:>2}  released eps={epsilon:<5} worst TPL={tpl:.4f}")
+            break
+        else:
+            skipped += 1
+            print(f"t={t:>2}  skipped (any release would exceed alpha)")
+
+    print(
+        f"\nreleased {len(spent)} of 25 time points, skipped {skipped}; "
+        f"total budget spent = {sum(spent):.2f}"
+    )
+    print(
+        f"final worst-case TPL = {accountant.max_tpl():.4f} <= alpha = {alpha}"
+    )
+    assert accountant.max_tpl() <= alpha + 1e-9
+
+
+if __name__ == "__main__":
+    main()

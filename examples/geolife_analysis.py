@@ -1,0 +1,77 @@
+"""Geolife-style pipeline: GPS traces -> grid -> estimated correlations ->
+leakage audit.
+
+This mirrors how the paper's framework would be applied to the public
+Geolife archive (simulated here, see DESIGN.md):
+
+1. generate commuting-style GPS traces around Beijing;
+2. discretise them on a 5x5 grid (25 locations);
+3. estimate the backward/forward correlations by MLE, as an adversary
+   with historical data would;
+4. audit a planned release schedule against those correlations, decide a
+   safe per-time budget from the leakage supremum, and check it.
+
+Run:  python examples/geolife_analysis.py
+"""
+
+import numpy as np
+
+from repro import (
+    epsilon_for_supremum,
+    has_finite_supremum,
+    leakage_supremum,
+    temporal_privacy_leakage,
+)
+from repro.data import Grid, geolife_like_dataset
+
+
+def main() -> None:
+    grid = Grid(rows=5, cols=5)
+    dataset, backward, forward = geolife_like_dataset(
+        n_users=30, length=300, grid=grid, seed=1
+    )
+    print(f"discretised dataset: {dataset}")
+    print(
+        f"estimated P_F diagonal mass (self-transitions): "
+        f"{np.mean(np.diag(forward.array)):.3f}"
+    )
+
+    # --- audit a naive plan ---------------------------------------------
+    epsilon = 0.2
+    horizon = 50
+    profile = temporal_privacy_leakage(
+        backward, forward, np.full(horizon, epsilon)
+    )
+    print(
+        f"\nnaive plan (eps = {epsilon} x {horizon} releases): "
+        f"worst TPL = {profile.max_tpl:.3f}"
+    )
+
+    # --- where is it heading? -------------------------------------------
+    if has_finite_supremum(backward, epsilon):
+        sup_b = leakage_supremum(backward, epsilon)
+        print(f"backward leakage supremum at eps={epsilon}: {sup_b:.3f}")
+    else:
+        print(f"backward leakage is unbounded at eps={epsilon}!")
+
+    # --- choose a budget from a target leakage ---------------------------
+    target_alpha = 1.0
+    safe_eps = min(
+        epsilon_for_supremum(backward, target_alpha),
+        epsilon_for_supremum(forward, target_alpha),
+    )
+    print(
+        f"\nbudget whose per-direction supremum is {target_alpha}: "
+        f"eps = {safe_eps:.4f}"
+    )
+    checked = temporal_privacy_leakage(
+        backward, forward, np.full(horizon, safe_eps)
+    )
+    print(
+        f"audited worst TPL under that budget: {checked.max_tpl:.4f} "
+        f"(<= {2 * target_alpha - safe_eps:.4f} = alpha_B + alpha_F - eps)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Location-aggregate release on a road network (the Fig. 1 scenario).
+
+A city publishes per-location crowd counts every few minutes.  Mobility
+is constrained by the road network, which any adversary can read off a
+map -- exactly the auxiliary knowledge of the paper's Example 1.  This
+example:
+
+1. builds the paper's 5-location road network and simulates a population
+   moving on it;
+2. publishes naive Lap(1/eps) histograms and *accounts* the temporal
+   privacy leakage online;
+3. converts the release to a bounded alpha-DP_T one with the
+   one-call converter and verifies the guarantee end to end.
+
+Run:  python examples/location_release.py
+"""
+
+import numpy as np
+
+from repro.core import TemporalPrivacyAccountant
+from repro.data import HistogramQuery, example1_network, generate_population
+from repro.mechanisms import ContinuousReleaseEngine, make_dpt_engine
+from repro.analysis import records_mae
+
+
+def main() -> None:
+    network = example1_network()
+    # The raw network has *deterministic* transitions (loc4 -> loc5),
+    # which make the leakage unbounded (Theorem 5's strongest case) --
+    # exactly Example 1's point.  Real adversaries hold an *estimated*,
+    # slightly uncertain model, so we smooth the mobility matrix a bit;
+    # the correlations stay strong but bounded budgets become possible.
+    from repro.markov import MarkovChain, laplacian_smoothing
+
+    raw_chain = network.chain(stay_probability=0.2)
+    chain = MarkovChain(laplacian_smoothing(raw_chain.forward, s=0.02))
+    print(f"road network: {network}")
+    print("mobility matrix (forward correlation P_F, smoothed s=0.02):")
+    print(np.round(chain.forward.array, 3))
+
+    # A population of 200 users moving on the network for 12 time steps.
+    dataset = generate_population(
+        chain, n_users=200, horizon=12, seed=42,
+        state_labels=network.locations,
+    )
+    print(f"\npopulation: {dataset}")
+
+    correlations = (chain.backward(), chain.forward)
+    epsilon = 0.5
+
+    # --- naive release with online accounting ---------------------------
+    accountant = TemporalPrivacyAccountant(correlations)
+    engine = ContinuousReleaseEngine(
+        query=HistogramQuery(dataset.n_states),
+        budgets=epsilon,
+        accountant=accountant,
+        seed=7,
+    )
+    records = engine.run(dataset)
+    print(f"\nnaive release at eps = {epsilon} per time point:")
+    for record in records[:3]:
+        print(
+            f"  t={record.t}: true={record.true_answer.astype(int)} "
+            f"noisy={np.round(record.noisy_answer, 1)} "
+            f"TPL-so-far={record.tpl:.3f}"
+        )
+    print("  ...")
+    profile = accountant.profile()
+    print(
+        f"  worst-case TPL after {dataset.horizon} releases: "
+        f"{profile.max_tpl:.3f} (promised {epsilon})"
+    )
+    print(f"  naive MAE: {records_mae(records):.3f}")
+
+    # --- bounded release: one-call DP -> DP_T conversion ----------------
+    alpha = 1.0
+    dpt_engine = make_dpt_engine(
+        query=HistogramQuery(dataset.n_states),
+        correlations=correlations,
+        alpha=alpha,
+        method="quantified",
+        seed=7,
+    )
+    dpt_records = dpt_engine.run(dataset)
+    dpt_profile = dpt_engine.accountant.profile()
+    print(f"\nbounded release at alpha = {alpha}-DP_T (Algorithm 3):")
+    print(
+        "  budgets:",
+        np.round([r.epsilon for r in dpt_records], 4),
+    )
+    print(f"  worst-case TPL: {dpt_profile.max_tpl:.6f} <= {alpha}")
+    print(f"  bounded MAE: {records_mae(dpt_records):.3f}")
+    assert dpt_profile.satisfies(alpha)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quickstart: quantify temporal privacy leakage, then bound it.
+
+This walks the paper's core story end to end:
+
+1. A server publishes 0.1-DP statistics for 10 time points.
+2. An adversary knows a moderate temporal correlation -- the leakage
+   quietly grows well past 0.1 (this is the paper's Fig. 3).
+3. Theorem 5 tells us where it would end up for an infinite stream.
+4. Algorithm 3 re-allocates budgets so the leakage is capped at a chosen
+   alpha, exactly.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    allocate_quantified,
+    leakage_supremum,
+    temporal_privacy_leakage,
+    two_state_matrix,
+)
+
+
+def main() -> None:
+    # The adversary's knowledge: a 2-state Markov correlation where state
+    # 0 tends to persist and state 1 never leaves (Fig. 3's "moderate").
+    correlation = two_state_matrix(0.8, 0.0)
+
+    # --- 1. Naive release: the same epsilon at every time point. -------
+    epsilon = 0.1
+    horizon = 10
+    profile = temporal_privacy_leakage(
+        correlation, correlation, np.full(horizon, epsilon)
+    )
+    print(f"naive release of {epsilon}-DP outputs, T = {horizon}:")
+    print("  BPL:", np.round(profile.bpl, 2))
+    print("  FPL:", np.round(profile.fpl, 2))
+    print("  TPL:", np.round(profile.tpl, 2))
+    print(
+        f"  -> the promised leakage was {epsilon}, the actual worst-case "
+        f"leakage is {profile.max_tpl:.2f} "
+        f"({profile.max_tpl / epsilon:.1f}x worse)"
+    )
+
+    # --- 2. Where does it end? Theorem 5's supremum. --------------------
+    supremum = leakage_supremum(correlation, epsilon)
+    print(
+        f"\nfor an infinite stream the backward leakage converges to "
+        f"{supremum:.4f}"
+    )
+
+    # --- 3. Fix it: Algorithm 3 allocates budgets for exact alpha-DP_T. -
+    alpha = 0.2  # twice the naive promise, but now it actually holds
+    allocation = allocate_quantified((correlation, correlation), alpha)
+    fixed = allocation.profile(horizon, correlation, correlation)
+    print(f"\nAlgorithm 3 allocation for {alpha}-DP_T:")
+    print("  budgets:", np.round(allocation.epsilons(horizon), 4))
+    print("  TPL:    ", np.round(fixed.tpl, 4))
+    assert fixed.satisfies(alpha)
+    print(f"  -> every time point leaks exactly alpha = {alpha}")
+
+
+if __name__ == "__main__":
+    main()

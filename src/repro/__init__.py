@@ -1,0 +1,145 @@
+"""repro -- a reproduction of *Quantifying Differential Privacy under
+Temporal Correlations* (Cao, Yoshikawa, Xiao, Xiong; ICDE 2017).
+
+The library quantifies the privacy leakage of differentially private
+continuous data release against adversaries who know temporal correlations
+(Markov models) over each user's data, and converts traditional DP
+mechanisms into ones bounded under that stronger adversary (alpha-DP_T).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import temporal_privacy_leakage, two_state_matrix
+>>> P = two_state_matrix(0.8, 0.0)          # moderate correlation
+>>> profile = temporal_privacy_leakage(P, P, np.full(10, 0.1))
+>>> profile.max_tpl > 0.1                   # leakage exceeds the budget
+True
+
+Packages
+--------
+``repro.core``
+    The paper's contribution: leakage quantification (Algorithm 1),
+    suprema (Theorem 5), budget allocation (Algorithms 2/3), composition
+    (Theorem 2) and the online accountant.
+``repro.markov``
+    Transition matrices, chains, correlation generators and estimators.
+``repro.lp``
+    Generic LFP solvers (scipy/HiGHS, own simplex, Dinkelbach, brute
+    force) -- the baselines of the paper's Fig. 5.
+``repro.mechanisms``
+    Laplace mechanism and the continuous release engine of Fig. 1.
+``repro.data``
+    Synthetic populations, road networks, Geolife-like traces, queries.
+``repro.analysis``
+    Empirical leakage estimation and utility metrics.
+``repro.experiments``
+    One module per paper table/figure; used by the benchmark harness.
+"""
+
+from .exceptions import (
+    AllocationError,
+    InvalidPrivacyParameterError,
+    InvalidTransitionMatrixError,
+    ReproError,
+    SolverError,
+    UnboundedLeakageError,
+)
+from .core import (
+    AlphaDPT,
+    Adversary,
+    AdversaryKnowledge,
+    AdversaryT,
+    BudgetAllocation,
+    EpsilonDP,
+    LeakageProfile,
+    LfpProblem,
+    PairSolution,
+    PrivacyLevel,
+    Table2Row,
+    TemporalLossFunction,
+    TemporalPrivacyAccountant,
+    allocate_quantified,
+    allocate_upper_bound,
+    backward_privacy_leakage,
+    epsilon_for_supremum,
+    forward_privacy_leakage,
+    has_finite_supremum,
+    leakage_supremum,
+    max_log_ratio,
+    sequence_tpl,
+    solve_lfp_algorithm1,
+    solve_pair,
+    supremum_closed_form,
+    table2_guarantees,
+    temporal_privacy_leakage,
+    user_level_leakage,
+    w_event_leakage,
+)
+from .markov import (
+    MarkovChain,
+    TransitionMatrix,
+    as_transition_matrix,
+    identity_matrix,
+    laplacian_smoothing,
+    mle_transition_matrix,
+    random_stochastic_matrix,
+    smoothed_strongest_matrix,
+    strongest_matrix,
+    two_state_matrix,
+    uniform_matrix,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "InvalidTransitionMatrixError",
+    "InvalidPrivacyParameterError",
+    "UnboundedLeakageError",
+    "SolverError",
+    "AllocationError",
+    # core
+    "LfpProblem",
+    "PairSolution",
+    "max_log_ratio",
+    "solve_lfp_algorithm1",
+    "solve_pair",
+    "TemporalLossFunction",
+    "LeakageProfile",
+    "backward_privacy_leakage",
+    "forward_privacy_leakage",
+    "temporal_privacy_leakage",
+    "epsilon_for_supremum",
+    "has_finite_supremum",
+    "leakage_supremum",
+    "supremum_closed_form",
+    "BudgetAllocation",
+    "allocate_quantified",
+    "allocate_upper_bound",
+    "TemporalPrivacyAccountant",
+    "Adversary",
+    "AdversaryKnowledge",
+    "AdversaryT",
+    "Table2Row",
+    "sequence_tpl",
+    "table2_guarantees",
+    "user_level_leakage",
+    "w_event_leakage",
+    "AlphaDPT",
+    "EpsilonDP",
+    "PrivacyLevel",
+    # markov
+    "TransitionMatrix",
+    "as_transition_matrix",
+    "MarkovChain",
+    "identity_matrix",
+    "uniform_matrix",
+    "strongest_matrix",
+    "smoothed_strongest_matrix",
+    "laplacian_smoothing",
+    "random_stochastic_matrix",
+    "two_state_matrix",
+    "mle_transition_matrix",
+]

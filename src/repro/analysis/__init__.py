@@ -1,0 +1,34 @@
+"""Analysis utilities: empirical leakage validation, utility metrics and
+parameter-sweep helpers used by the experiment modules."""
+
+from .utility import (
+    allocation_expected_noise,
+    expected_laplace_noise,
+    mean_absolute_error,
+    records_mae,
+    root_mean_squared_error,
+)
+from .empirical import (
+    per_release_traditional_leakage,
+    empirical_bpl_estimate,
+    observed_bpl,
+    sequence_log_likelihoods,
+)
+from .sweeps import SweepSeries, bpl_over_time, time_call
+from .ascii_plot import ascii_chart
+
+__all__ = [
+    "mean_absolute_error",
+    "root_mean_squared_error",
+    "expected_laplace_noise",
+    "allocation_expected_noise",
+    "records_mae",
+    "empirical_bpl_estimate",
+    "observed_bpl",
+    "per_release_traditional_leakage",
+    "sequence_log_likelihoods",
+    "SweepSeries",
+    "bpl_over_time",
+    "time_call",
+    "ascii_chart",
+]

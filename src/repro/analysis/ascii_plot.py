@@ -1,0 +1,91 @@
+"""Terminal line charts for the experiment runner.
+
+The paper's results are figures; without a plotting stack the runner
+renders them as compact ASCII charts so the *shape* claims (growth,
+plateaus, crossovers) are visible directly in the terminal / CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 14,
+    title: Optional[str] = None,
+    y_label: str = "",
+) -> str:
+    """Render one or more equal-length series as an ASCII line chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping from label to y-values (plotted against their index).
+    width, height:
+        Plot-area size in characters.
+    title, y_label:
+        Optional decorations.
+
+    Returns the chart as a multi-line string; series are distinguished by
+    markers listed in the legend.
+    """
+    if not series:
+        raise ValueError("at least one series is required")
+    arrays = {label: np.asarray(y, dtype=float) for label, y in series.items()}
+    lengths = {a.shape[0] for a in arrays.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must have equal length")
+    n_points = lengths.pop()
+    if n_points < 2:
+        raise ValueError("need at least two points per series")
+    if len(arrays) > len(_MARKERS):
+        raise ValueError(f"at most {len(_MARKERS)} series supported")
+
+    y_min = min(float(a.min()) for a in arrays.values())
+    y_max = max(float(a.max()) for a in arrays.values())
+    if np.isclose(y_min, y_max):
+        y_max = y_min + 1.0  # flat series: give the axis some height
+
+    grid = [[" "] * width for _ in range(height)]
+    for (label, values), marker in zip(arrays.items(), _MARKERS):
+        xs = np.linspace(0, width - 1, n_points).round().astype(int)
+        scaled = (values - y_min) / (y_max - y_min)
+        rows = ((1.0 - scaled) * (height - 1)).round().astype(int)
+        for x, row in zip(xs, rows):
+            grid[row][x] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.3g}"
+    bottom_label = f"{y_min:.3g}"
+    margin = max(len(top_label), len(bottom_label), len(y_label)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(margin)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(margin)
+        elif i == height // 2 and y_label:
+            prefix = y_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    lines.append(
+        " " * margin
+        + f" t=1{'':{max(0, width - 12)}}t={n_points}"
+    )
+    legend = "   ".join(
+        f"{marker} {label}"
+        for (label, _), marker in zip(arrays.items(), _MARKERS)
+    )
+    lines.append(" " * margin + " " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,179 @@
+"""Empirical validation of the analytic leakage bounds.
+
+The paper derives BPL/FPL analytically; this module checks those bounds
+*from the outputs themselves* on small domains, closing the loop between
+theory and mechanism:
+
+Given the victim's Markov model, the other users' (known) data ``D_K``
+and a sequence of noisy histograms ``r^1..r^t``, an adversary's evidence
+about the victim's current value is the likelihood ratio::
+
+    log  Pr(r^1, ..., r^t | l^t = v,  D_K)
+         ------------------------------------
+         Pr(r^1, ..., r^t | l^t = v', D_K)
+
+:func:`observed_bpl` computes the exact likelihood (marginalising the
+victim's past path with a forward DP over the chain, in log-space) and
+maximises the ratio over value pairs; :func:`empirical_bpl_estimate`
+Monte-Carlo-maximises it over sampled output sequences.  Theory says the
+result never exceeds the analytic ``BPL_t`` -- asserted by the
+integration tests.
+
+Calibration note: the released histogram here is perturbed with
+``Lap(sensitivity / epsilon)`` per cell, and moving the victim between
+two locations changes the histogram by L1 distance 2.  The *traditional*
+per-release leakage of that mechanism is therefore
+
+    ``PL0 = 2 * epsilon / sensitivity``
+
+and the analytic BPL to compare against must be computed with that
+``PL0`` as the per-time budget (see
+:func:`per_release_traditional_leakage`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+from scipy.special import logsumexp
+
+from ..markov.chain import MarkovChain
+from ..mechanisms.base import as_rng
+from ..mechanisms.laplace import laplace_log_density
+
+__all__ = [
+    "sequence_log_likelihoods",
+    "observed_bpl",
+    "empirical_bpl_estimate",
+    "per_release_traditional_leakage",
+]
+
+
+def per_release_traditional_leakage(
+    epsilon: float, sensitivity: float = 1.0
+) -> float:
+    """``PL0`` of one noisy-histogram release under VALUE neighbours.
+
+    The victim's move shifts one unit of count between two cells (L1
+    distance 2); with per-cell noise ``Lap(sensitivity / epsilon)`` the
+    worst-case log-likelihood ratio of one release is ``2 * epsilon /
+    sensitivity``.
+    """
+    if epsilon <= 0 or sensitivity <= 0:
+        raise ValueError("epsilon and sensitivity must be > 0")
+    return 2.0 * epsilon / sensitivity
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def _per_step_log_weights(
+    outputs: np.ndarray,
+    other_counts: np.ndarray,
+    scale: float,
+) -> np.ndarray:
+    """``w[t, s] = log Pr(r^t | victim at state s at time t, D_K)``.
+
+    The true histogram when the victim sits at ``s`` is the other users'
+    counts plus one at ``s``; the output likelihood is the product of
+    independent Laplace densities per cell.
+    """
+    t_len, n = other_counts.shape
+    if outputs.shape != (t_len, n):
+        raise ValueError("outputs and other_counts must share shape (T, n)")
+    residual = outputs - other_counts
+    base = laplace_log_density(residual, scale).sum(axis=1)
+    # Adding the victim at state s changes exactly cell s by +1, so the
+    # per-state correction swaps one cell's density term.
+    correction = laplace_log_density(residual - 1.0, scale) - laplace_log_density(
+        residual, scale
+    )
+    return base[:, None] + correction
+
+
+def sequence_log_likelihoods(
+    chain: MarkovChain,
+    outputs: np.ndarray,
+    other_counts: np.ndarray,
+    epsilon: float,
+    sensitivity: float = 1.0,
+) -> np.ndarray:
+    """``log Pr(r^1..r^T, l^T = s | D_K)`` for every final state ``s``.
+
+    Forward dynamic program over the victim's hidden path: the victim's
+    prior is the Markov chain, the emission at each step is the Laplace
+    likelihood of the observed histogram.
+    """
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be > 0, got {epsilon}")
+    outputs = np.asarray(outputs, dtype=float)
+    other_counts = np.asarray(other_counts, dtype=float)
+    scale = sensitivity / epsilon
+    weights = _per_step_log_weights(outputs, other_counts, scale)
+    t_len, n = weights.shape
+
+    with np.errstate(divide="ignore"):
+        log_initial = np.log(chain.initial)
+        log_forward = np.log(chain.forward.array)
+    log_alpha = log_initial + weights[0]
+    for t in range(1, t_len):
+        log_alpha = (
+            logsumexp(log_alpha[:, None] + log_forward, axis=0) + weights[t]
+        )
+    return log_alpha
+
+
+def observed_bpl(
+    chain: MarkovChain,
+    outputs: np.ndarray,
+    other_counts: np.ndarray,
+    epsilon: float,
+    sensitivity: float = 1.0,
+) -> float:
+    """The realised backward leakage of one output sequence.
+
+    ``max_{v, v'} log [ Pr(r | l^T = v) / Pr(r | l^T = v') ]`` where the
+    conditional likelihood divides out the marginal ``Pr(l^T = v)``.
+    """
+    joint = sequence_log_likelihoods(
+        chain, outputs, other_counts, epsilon, sensitivity
+    )
+    t_len = np.asarray(outputs).shape[0]
+    with np.errstate(divide="ignore"):
+        log_marginal = np.log(chain.marginal(t_len))
+    conditional = joint - log_marginal
+    finite = conditional[np.isfinite(conditional)]
+    if finite.size < 2:
+        return 0.0
+    return float(finite.max() - finite.min())
+
+
+def empirical_bpl_estimate(
+    chain: MarkovChain,
+    other_counts: np.ndarray,
+    epsilon: float,
+    n_samples: int = 200,
+    sensitivity: float = 1.0,
+    seed: RngLike = None,
+) -> float:
+    """Monte-Carlo lower bound on BPL at time ``T = len(other_counts)``.
+
+    Samples victim paths and noisy output sequences from the true
+    generative process and returns the maximum observed likelihood-ratio
+    leakage.  Being a max over samples it approaches the analytic BPL from
+    below; the integration tests assert ``estimate <= analytic + tol``.
+    """
+    rng = as_rng(seed)
+    other_counts = np.asarray(other_counts, dtype=float)
+    t_len, n = other_counts.shape
+    scale = sensitivity / epsilon
+    worst = 0.0
+    for _ in range(n_samples):
+        path = chain.sample_path(t_len, rng)
+        true_hist = other_counts + np.eye(n)[path]
+        outputs = true_hist + rng.laplace(scale=scale, size=true_hist.shape)
+        worst = max(
+            worst,
+            observed_bpl(chain, outputs, other_counts, epsilon, sensitivity),
+        )
+    return worst

@@ -1,0 +1,73 @@
+"""Parameter-sweep helpers shared by the experiment modules.
+
+The evaluation section varies three knobs -- the smoothing degree ``s``
+(correlation strength), the domain size ``n`` and the per-time budget
+``epsilon`` -- and reports leakage/utility/runtime series.  The helpers
+here run such sweeps generically so each ``experiments.figN`` module stays
+declarative.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.loss_functions import TemporalLossFunction
+from ..markov.generate import smoothed_strongest_matrix
+
+__all__ = ["SweepSeries", "bpl_over_time", "time_call"]
+
+
+@dataclass
+class SweepSeries:
+    """One labelled series of (x, y) points produced by a sweep."""
+
+    label: str
+    x: List[float] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+
+    def append(self, x: float, y: float) -> None:
+        self.x.append(float(x))
+        self.y.append(float(y))
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        return np.asarray(self.x), np.asarray(self.y)
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+
+def bpl_over_time(
+    s: float,
+    n: int,
+    epsilon: float,
+    horizon: int,
+    seed=0,
+) -> SweepSeries:
+    """BPL trajectory for a smoothed-strongest correlation (Fig. 6 series).
+
+    ``s == 0`` uses the unsmoothed strongest matrix (linear growth).
+    """
+    matrix = smoothed_strongest_matrix(n, s, seed=seed)
+    loss = TemporalLossFunction(matrix)
+    series = SweepSeries(label=f"s={s} (n={n})")
+    for t, leak in enumerate(loss.iterate(epsilon, horizon), start=1):
+        series.append(t, leak)
+    return series
+
+
+def time_call(fn: Callable[[], object], repeats: int = 1) -> Tuple[float, object]:
+    """Wall-clock the best of ``repeats`` calls; returns (seconds, result)."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    best = float("inf")
+    result: object = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result

@@ -1,0 +1,175 @@
+"""Command-line interface for auditing and planning releases.
+
+Four subcommands cover the library's core workflows without writing any
+Python::
+
+    python -m repro.cli quantify  -m P.json --epsilon 0.1 --horizon 10
+    python -m repro.cli supremum  -m P.json --epsilon 0.1
+    python -m repro.cli allocate  -m P.json --alpha 1.0 --horizon 10 \
+                                  --method quantified -o allocation.json
+    python -m repro.cli experiments fig3 fig7
+
+``-m/--matrix`` takes a JSON transition matrix (see :mod:`repro.io`);
+pass it twice to supply distinct backward and forward correlations, once
+to use the same matrix for both.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from . import io as repro_io
+from .core.budget import allocate_quantified, allocate_upper_bound
+from .core.leakage import temporal_privacy_leakage
+from .core.supremum import leakage_supremum
+from .exceptions import ReproError, UnboundedLeakageError
+from .markov.matrix import TransitionMatrix
+
+__all__ = ["build_parser", "main"]
+
+
+def _load_matrices(paths: List[str]):
+    """Resolve -m arguments into a (backward, forward) pair."""
+    matrices = []
+    for path in paths:
+        loaded = repro_io.load_json(path)
+        if not isinstance(loaded, TransitionMatrix):
+            raise SystemExit(f"{path} does not contain a transition matrix")
+        matrices.append(loaded)
+    if len(matrices) == 1:
+        return matrices[0], matrices[0]
+    if len(matrices) == 2:
+        return matrices[0], matrices[1]
+    raise SystemExit("pass --matrix once (shared) or twice (P_B then P_F)")
+
+
+def _cmd_quantify(args) -> int:
+    backward, forward = _load_matrices(args.matrix)
+    epsilons = np.full(args.horizon, args.epsilon)
+    profile = temporal_privacy_leakage(backward, forward, epsilons)
+    print(f"t    epsilon   BPL       FPL       TPL")
+    for t in range(profile.horizon):
+        print(
+            f"{t + 1:<4d} {profile.epsilons[t]:<9.4f} "
+            f"{profile.bpl[t]:<9.4f} {profile.fpl[t]:<9.4f} "
+            f"{profile.tpl[t]:<9.4f}"
+        )
+    print(f"worst-case TPL: {profile.max_tpl:.6f}")
+    if args.output:
+        repro_io.save_json(profile, args.output)
+        print(f"profile written to {args.output}")
+    return 0
+
+
+def _cmd_supremum(args) -> int:
+    backward, forward = _load_matrices(args.matrix)
+    for name, matrix in (("backward", backward), ("forward", forward)):
+        try:
+            value = leakage_supremum(matrix, args.epsilon)
+            print(f"{name} leakage supremum at eps={args.epsilon:g}: {value:.6f}")
+        except UnboundedLeakageError:
+            print(
+                f"{name} leakage at eps={args.epsilon:g}: UNBOUNDED "
+                "(Theorem 5, no finite supremum)"
+            )
+    return 0
+
+
+def _cmd_allocate(args) -> int:
+    backward, forward = _load_matrices(args.matrix)
+    allocate = (
+        allocate_quantified if args.method == "quantified" else allocate_upper_bound
+    )
+    allocation = allocate((backward, forward), args.alpha)
+    epsilons = allocation.epsilons(args.horizon)
+    print(f"method: {allocation.method}  alpha: {allocation.alpha:g}")
+    print(f"alpha_B: {allocation.alpha_b:.6f}  alpha_F: {allocation.alpha_f:.6f}")
+    print("budgets:", " ".join(f"{e:.4f}" for e in epsilons))
+    profile = allocation.profile(args.horizon, backward, forward)
+    print(f"verified worst-case TPL over T={args.horizon}: {profile.max_tpl:.6f}")
+    if args.output:
+        repro_io.save_json(allocation, args.output)
+        print(f"allocation written to {args.output}")
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from .experiments.runner import main as runner_main
+
+    argv = list(args.names)
+    if args.quick:
+        argv.append("--quick")
+    return runner_main(argv)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Quantify and bound DP leakage under temporal correlations.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_matrix_arg(p):
+        p.add_argument(
+            "-m",
+            "--matrix",
+            action="append",
+            required=True,
+            help="JSON transition matrix; once = shared P_B/P_F, twice = P_B then P_F",
+        )
+
+    quantify = sub.add_parser(
+        "quantify", help="BPL/FPL/TPL of a uniform-budget release"
+    )
+    add_matrix_arg(quantify)
+    quantify.add_argument("--epsilon", type=float, required=True)
+    quantify.add_argument("--horizon", type=int, default=10)
+    quantify.add_argument("-o", "--output", help="write the profile as JSON")
+    quantify.set_defaults(func=_cmd_quantify)
+
+    supremum = sub.add_parser(
+        "supremum", help="Theorem-5 leakage supremum for a budget"
+    )
+    add_matrix_arg(supremum)
+    supremum.add_argument("--epsilon", type=float, required=True)
+    supremum.set_defaults(func=_cmd_supremum)
+
+    allocate = sub.add_parser(
+        "allocate", help="Algorithm 2/3 budget allocation for alpha-DP_T"
+    )
+    add_matrix_arg(allocate)
+    allocate.add_argument("--alpha", type=float, required=True)
+    allocate.add_argument("--horizon", type=int, default=10)
+    allocate.add_argument(
+        "--method",
+        choices=("quantified", "upper_bound"),
+        default="quantified",
+    )
+    allocate.add_argument("-o", "--output", help="write the allocation as JSON")
+    allocate.set_defaults(func=_cmd_allocate)
+
+    experiments = sub.add_parser(
+        "experiments", help="regenerate the paper's tables/figures"
+    )
+    experiments.add_argument("names", nargs="*", help="experiment ids (default all)")
+    experiments.add_argument("--quick", action="store_true")
+    experiments.set_defaults(func=_cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""Adversary models -- Definitions 2 and 4, Lemmas 1 and 2.
+
+* :class:`Adversary` is the classical DP adversary ``A_i``: it knows every
+  tuple in the database except the victim's.
+* :class:`AdversaryT` (``A_i^T``) additionally knows backward and/or
+  forward temporal correlations of the victim, as transition matrices.
+
+These classes make adversarial knowledge an explicit, inspectable value:
+the quantification entry points accept an :class:`AdversaryT` and derive
+which leakage components (BPL / FPL / both) it can cause -- Example 2/3's
+observation that ``A(P_B)`` only causes BPL and ``A(P_F)`` only FPL.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence
+
+from ..markov.matrix import TransitionMatrix, as_transition_matrix
+from .leakage import LeakageProfile, temporal_privacy_leakage
+
+__all__ = ["AdversaryKnowledge", "Adversary", "AdversaryT"]
+
+
+class AdversaryKnowledge(enum.Enum):
+    """The three adversary_T types of Definition 4 (plus the trivial one)."""
+
+    NONE = "A(-, -): traditional DP adversary"
+    BACKWARD = "A(P_B): backward correlations only"
+    FORWARD = "A(P_F): forward correlations only"
+    BOTH = "A(P_B, P_F): backward and forward correlations"
+
+
+class Adversary:
+    """The traditional DP adversary ``A_i`` (Definition 2).
+
+    Targets user ``victim`` and knows ``D_K = D - {l_i}``.  Its privacy
+    leakage against an ``eps``-DP mechanism is exactly ``eps`` (``PL0``),
+    independent of time.
+    """
+
+    def __init__(self, victim=0) -> None:
+        self.victim = victim
+
+    @property
+    def knowledge(self) -> AdversaryKnowledge:
+        return AdversaryKnowledge.NONE
+
+    def leakage_profile(self, epsilons: Sequence[float]) -> LeakageProfile:
+        """Against ``A_i`` every release leaks exactly its own budget."""
+        return temporal_privacy_leakage(None, None, epsilons)
+
+    def __repr__(self) -> str:
+        return f"Adversary(victim={self.victim!r})"
+
+
+class AdversaryT(Adversary):
+    """Adversary with temporal correlations, ``A_i^T(P_B, P_F)``.
+
+    Parameters
+    ----------
+    backward:
+        ``P_B`` with ``P_B[j, k] = Pr(l^{t-1} = k | l^t = j)``, or ``None``
+        when the adversary lacks backward knowledge (it does *not* guess).
+    forward:
+        ``P_F`` with ``P_F[j, k] = Pr(l^t = k | l^{t-1} = j)``, or ``None``.
+    victim:
+        The targeted user (bookkeeping only; leakage depends on the
+        matrices).
+
+    Lemmas 1 and 2: knowing ``P_B`` lets the adversary relate neighbouring
+    databases backward in time (``Pr(D^{t-1}|D^t) = Pr(l^{t-1}|l^t)``);
+    knowing ``P_F`` relates them forward.  Hence the leakage decomposition
+    implemented by :meth:`leakage_profile`.
+    """
+
+    def __init__(self, backward=None, forward=None, victim=0) -> None:
+        super().__init__(victim)
+        self._backward: Optional[TransitionMatrix] = (
+            as_transition_matrix(backward) if backward is not None else None
+        )
+        self._forward: Optional[TransitionMatrix] = (
+            as_transition_matrix(forward) if forward is not None else None
+        )
+        if (
+            self._backward is not None
+            and self._forward is not None
+            and self._backward.n != self._forward.n
+        ):
+            raise ValueError("P_B and P_F must have matching state spaces")
+
+    @property
+    def backward(self) -> Optional[TransitionMatrix]:
+        """The backward correlation ``P_B`` (or ``None``)."""
+        return self._backward
+
+    @property
+    def forward(self) -> Optional[TransitionMatrix]:
+        """The forward correlation ``P_F`` (or ``None``)."""
+        return self._forward
+
+    @property
+    def knowledge(self) -> AdversaryKnowledge:
+        if self._backward is not None and self._forward is not None:
+            return AdversaryKnowledge.BOTH
+        if self._backward is not None:
+            return AdversaryKnowledge.BACKWARD
+        if self._forward is not None:
+            return AdversaryKnowledge.FORWARD
+        return AdversaryKnowledge.NONE
+
+    @classmethod
+    def from_chain(cls, chain, victim=0) -> "AdversaryT":
+        """Build the strongest adversary_T for a user following a
+        :class:`~repro.markov.chain.MarkovChain`: forward matrix from the
+        chain, backward matrix by Bayesian inversion at stationarity."""
+        return cls(backward=chain.backward(), forward=chain.forward, victim=victim)
+
+    def leakage_profile(self, epsilons: Sequence[float]) -> LeakageProfile:
+        """TPL of a release sequence against this adversary (Eq. 10)."""
+        return temporal_privacy_leakage(self._backward, self._forward, epsilons)
+
+    def __repr__(self) -> str:
+        return (
+            f"AdversaryT(victim={self.victim!r}, "
+            f"knowledge={self.knowledge.name})"
+        )

@@ -1,0 +1,185 @@
+"""BPL / FPL / TPL recursions -- Equations (10), (11), (13), (15).
+
+Given per-time-point budgets ``eps_1 .. eps_T`` (the traditional privacy
+leakage ``PL0`` of each mechanism) and the adversary's correlation
+knowledge:
+
+* **Backward privacy leakage** accumulates forward in time:
+  ``BPL_1 = eps_1``;  ``BPL_t = L_B(BPL_{t-1}) + eps_t``.
+* **Forward privacy leakage** accumulates backward from the most recent
+  release:  ``FPL_T = eps_T``;  ``FPL_t = L_F(FPL_{t+1}) + eps_t``.
+* **Temporal privacy leakage** combines them:
+  ``TPL_t = BPL_t + FPL_t - eps_t`` (``eps_t`` is counted by both).
+
+:class:`LeakageProfile` packages the three series; the module-level
+functions compute them for a fixed horizon.  The *online* version that
+updates as releases arrive lives in :mod:`repro.core.accountant`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import InvalidPrivacyParameterError
+from .loss_functions import TemporalLossFunction
+
+__all__ = [
+    "LeakageProfile",
+    "backward_privacy_leakage",
+    "forward_privacy_leakage",
+    "temporal_privacy_leakage",
+]
+
+
+def _as_epsilons(epsilons: Sequence[float]) -> np.ndarray:
+    eps = np.asarray(epsilons, dtype=float)
+    if eps.ndim != 1 or eps.size == 0:
+        raise ValueError("epsilons must be a non-empty 1-D sequence")
+    if np.any(eps < 0) or not np.all(np.isfinite(eps)):
+        raise InvalidPrivacyParameterError(
+            "per-time-point budgets must be finite and >= 0"
+        )
+    return eps
+
+
+def _as_loss(matrix_or_loss) -> Optional[TemporalLossFunction]:
+    """``None`` stays ``None`` (no correlation known to the adversary)."""
+    if matrix_or_loss is None:
+        return None
+    if isinstance(matrix_or_loss, TemporalLossFunction):
+        return matrix_or_loss
+    return TemporalLossFunction(matrix_or_loss)
+
+
+@dataclass(frozen=True)
+class LeakageProfile:
+    """Per-time-point leakage of a sequence of DP releases.
+
+    Attributes
+    ----------
+    epsilons:
+        The traditional per-release privacy leakage ``PL0(M_t)``.
+    bpl, fpl, tpl:
+        Backward, forward and temporal privacy leakage at each time point
+        (all arrays of length ``T``).
+    """
+
+    epsilons: np.ndarray
+    bpl: np.ndarray
+    fpl: np.ndarray
+    tpl: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.tpl is None:
+            object.__setattr__(
+                self, "tpl", self.bpl + self.fpl - self.epsilons
+            )
+        for name in ("epsilons", "bpl", "fpl", "tpl"):
+            arr = np.asarray(getattr(self, name), dtype=float)
+            arr.setflags(write=False)
+            object.__setattr__(self, name, arr)
+        lengths = {arr.shape for arr in (self.epsilons, self.bpl, self.fpl, self.tpl)}
+        if len(lengths) != 1:
+            raise ValueError("profile series must share one length")
+
+    @property
+    def horizon(self) -> int:
+        """Number of time points ``T``."""
+        return int(self.epsilons.shape[0])
+
+    @property
+    def max_tpl(self) -> float:
+        """The worst temporal privacy leakage over the horizon -- the
+        smallest ``alpha`` such that every release satisfies alpha-DP_T."""
+        return float(self.tpl.max())
+
+    def satisfies(self, alpha: float, rtol: float = 1e-9) -> bool:
+        """Event-level alpha-DP_T check (Definition 8) at every time point.
+
+        ``rtol`` absorbs the bisection tolerance of the allocation
+        algorithms, which stabilise the leakage at ``alpha`` up to solver
+        precision.
+        """
+        return bool(self.max_tpl <= alpha * (1.0 + rtol) + 1e-12)
+
+    def user_level_leakage(self) -> float:
+        """Corollary 1: leakage of the combined mechanism = sum of budgets."""
+        return float(self.epsilons.sum())
+
+    def __len__(self) -> int:
+        return self.horizon
+
+
+def backward_privacy_leakage(
+    backward_matrix,
+    epsilons: Sequence[float],
+    initial: float = 0.0,
+) -> np.ndarray:
+    """BPL_t for ``t = 1..T`` under budgets ``epsilons`` (Eq. 13).
+
+    Parameters
+    ----------
+    backward_matrix:
+        ``P_B`` known to the adversary, or ``None`` for the traditional
+        adversary (then ``BPL_t = eps_t``).
+    epsilons:
+        Budgets per time point.
+    initial:
+        Leakage already accumulated before time 1 (for resuming streams).
+    """
+    eps = _as_epsilons(epsilons)
+    loss = _as_loss(backward_matrix)
+    if loss is None:
+        return eps.copy()
+    if initial < 0:
+        raise InvalidPrivacyParameterError("initial leakage must be >= 0")
+    out = np.empty_like(eps)
+    alpha = float(initial)
+    for t, eps_t in enumerate(eps):
+        alpha = loss(alpha) + eps_t
+        out[t] = alpha
+    return out
+
+
+def forward_privacy_leakage(
+    forward_matrix,
+    epsilons: Sequence[float],
+) -> np.ndarray:
+    """FPL_t for ``t = 1..T`` under budgets ``epsilons`` (Eq. 15).
+
+    The recursion runs backward from the final release: the forward
+    leakage of time ``t`` reflects everything published *after* ``t``
+    (and grows retroactively when new releases happen -- recompute with
+    the extended budget vector, or use the accountant).
+    """
+    eps = _as_epsilons(epsilons)
+    loss = _as_loss(forward_matrix)
+    if loss is None:
+        return eps.copy()
+    out = np.empty_like(eps)
+    alpha = 0.0
+    for t in range(eps.shape[0] - 1, -1, -1):
+        alpha = loss(alpha) + eps[t]
+        out[t] = alpha
+    return out
+
+
+def temporal_privacy_leakage(
+    backward_matrix,
+    forward_matrix,
+    epsilons: Sequence[float],
+) -> LeakageProfile:
+    """Full leakage profile (Eq. 10/11) of a release sequence.
+
+    ``backward_matrix`` / ``forward_matrix`` may each be ``None`` to model
+    the three adversary types of Definition 4: ``A(P_B)`` only causes BPL,
+    ``A(P_F)`` only FPL, ``A(P_B, P_F)`` both.  With both ``None`` this
+    degrades exactly to traditional DP: ``TPL_t = eps_t``.
+    """
+    eps = _as_epsilons(epsilons)
+    bpl = backward_privacy_leakage(backward_matrix, eps)
+    fpl = forward_privacy_leakage(forward_matrix, eps)
+    return LeakageProfile(epsilons=eps, bpl=bpl, fpl=fpl)

@@ -1,0 +1,131 @@
+"""The linear-fractional program behind the temporal loss functions.
+
+Section IV-A of the paper reduces the computation of the backward/forward
+temporal privacy loss ``L_B`` / ``L_F`` to the following linear-fractional
+program (problem (18)-(20)), for one ordered pair of rows ``q`` and ``d``
+of a transition matrix::
+
+    maximize    (q . x) / (d . x)
+    subject to  e^{-alpha} <= x_j / x_k <= e^{alpha}   for all j, k
+                0 < x_j < 1
+
+where ``alpha`` is the previous BPL (resp. the next FPL).  The optimal
+*log*-value is the increment contributed by the correlation.
+
+:class:`LfpProblem` is the shared representation handed to every solver in
+:mod:`repro.lp` and to Algorithm 1 (:mod:`repro.core.algorithm1`).  Because
+the objective is scale-invariant and the feasible region is an intersection
+of ratio constraints, every vertex of the (normalised) feasible region has
+coordinates in ``{m, m e^alpha}`` -- captured by
+:meth:`LfpProblem.objective_for_subset`, which all solvers and the
+brute-force oracle share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from ..exceptions import InvalidPrivacyParameterError
+
+__all__ = ["LfpProblem"]
+
+
+@dataclass(frozen=True)
+class LfpProblem:
+    """One instance of the paper's problem (18)-(20).
+
+    Parameters
+    ----------
+    q, d:
+        Coefficient vectors -- two rows of a (backward or forward)
+        transition matrix.  Must be the same length, entries in ``[0, 1]``.
+    alpha:
+        The incoming leakage bound (previous BPL or next FPL), ``>= 0``.
+    """
+
+    q: np.ndarray
+    d: np.ndarray
+    alpha: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "q", np.asarray(self.q, dtype=float))
+        object.__setattr__(self, "d", np.asarray(self.d, dtype=float))
+        if self.q.ndim != 1 or self.q.shape != self.d.shape:
+            raise ValueError("q and d must be 1-D vectors of equal length")
+        if self.alpha < 0:
+            raise InvalidPrivacyParameterError(
+                f"alpha must be >= 0, got {self.alpha}"
+            )
+        if np.any(self.q < 0) or np.any(self.d < 0):
+            raise ValueError("coefficients must be non-negative probabilities")
+
+    @property
+    def n(self) -> int:
+        """Number of variables (states)."""
+        return self.q.shape[0]
+
+    @property
+    def ratio_bound(self) -> float:
+        """``e^alpha`` -- the maximal allowed ratio between two variables."""
+        return float(np.exp(self.alpha))
+
+    # ------------------------------------------------------------------
+    # Evaluation helpers shared by all solvers
+    # ------------------------------------------------------------------
+    def objective(self, x: np.ndarray) -> float:
+        """Raw (non-log) objective ``q.x / d.x`` at a feasible point."""
+        x = np.asarray(x, dtype=float)
+        denominator = float(self.d @ x)
+        if denominator <= 0:
+            return float("inf")
+        return float(self.q @ x) / denominator
+
+    def is_feasible(self, x: np.ndarray, rtol: float = 1e-9) -> bool:
+        """Check the ratio and positivity constraints at ``x``."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.n,) or np.any(x <= 0):
+            return False
+        ratio = x.max() / x.min()
+        return bool(ratio <= self.ratio_bound * (1.0 + rtol))
+
+    def point_for_subset(self, subset: Iterable[int], scale: float = 0.5) -> np.ndarray:
+        """The two-level candidate point: ``x_i = scale * e^alpha`` for ``i``
+        in ``subset`` and ``x_i = scale`` otherwise.
+
+        ``scale`` keeps the point inside the open box ``0 < x < 1``; the
+        objective does not depend on it.
+        """
+        if not 0 < scale * self.ratio_bound:
+            raise ValueError("scale must be positive")
+        x = np.full(self.n, scale, dtype=float)
+        idx = np.fromiter(subset, dtype=int, count=-1)
+        if idx.size:
+            x[idx] = scale * self.ratio_bound
+        return x
+
+    def objective_for_subset(self, subset_mask: np.ndarray) -> float:
+        """Closed-form objective when the "high" variables are ``subset_mask``.
+
+        With ``x_i = e^alpha m`` on the subset and ``m`` elsewhere and
+        ``sum(q) == sum(d) == 1`` for stochastic rows, the objective is::
+
+            (q_S (e^alpha - 1) + sum(q)) / (d_S (e^alpha - 1) + sum(d))
+
+        which for stochastic rows is exactly the expression of Theorem 4.
+        """
+        subset_mask = np.asarray(subset_mask, dtype=bool)
+        e = self.ratio_bound - 1.0
+        numerator = float(self.q[subset_mask].sum()) * e + float(self.q.sum())
+        denominator = float(self.d[subset_mask].sum()) * e + float(self.d.sum())
+        if denominator <= 0:
+            return float("inf")
+        return numerator / denominator
+
+    def ordered_pairs(self) -> Tuple[Tuple[int, int], ...]:
+        """All ordered index pairs ``(j, k)`` with ``j != k`` -- one ratio
+        constraint ``x_j <= e^alpha x_k`` each."""
+        n = self.n
+        return tuple((j, k) for j in range(n) for k in range(n) if j != k)

@@ -1,0 +1,79 @@
+"""Privacy notions: epsilon-DP, alpha-DP_T and the release-level taxonomy.
+
+Definition 1 (epsilon-DP), Definition 8 (alpha-DP_T) and the
+event-level / w-event / user-level taxonomy of Section II-C are captured
+as small value types so that mechanisms and experiments can talk about
+guarantees explicitly instead of passing bare floats around.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..exceptions import InvalidPrivacyParameterError
+
+__all__ = ["PrivacyLevel", "EpsilonDP", "AlphaDPT"]
+
+
+class PrivacyLevel(enum.Enum):
+    """What a guarantee protects in continuous release (Section II-C).
+
+    * ``EVENT`` -- one user's single data point at one time point.
+    * ``W_EVENT`` -- any window of ``w`` consecutive time points.
+    * ``USER`` -- a user's entire timeline.
+    """
+
+    EVENT = "event"
+    W_EVENT = "w-event"
+    USER = "user"
+
+
+@dataclass(frozen=True, order=True)
+class EpsilonDP:
+    """A traditional epsilon-DP guarantee (Definition 1).
+
+    ``EpsilonDP(a) <= EpsilonDP(b)`` iff ``a <= b``; a mechanism with a
+    smaller budget automatically satisfies any larger one.
+    """
+
+    epsilon: float
+
+    def __post_init__(self) -> None:
+        if not self.epsilon > 0:
+            raise InvalidPrivacyParameterError(
+                f"epsilon must be > 0, got {self.epsilon}"
+            )
+
+    def implies(self, other: "EpsilonDP") -> bool:
+        """True when this guarantee is at least as strong as ``other``."""
+        return self.epsilon <= other.epsilon
+
+    def __str__(self) -> str:
+        return f"{self.epsilon:g}-DP"
+
+
+@dataclass(frozen=True, order=True)
+class AlphaDPT:
+    """An alpha-DP_T guarantee (Definition 8): TPL bounded by ``alpha``.
+
+    DP_T is the enhanced notion under temporal correlations; on temporally
+    independent data an ``eps``-DP mechanism satisfies ``eps``-DP_T, and on
+    correlated data it satisfies ``alpha``-DP_T for the (larger) ``alpha``
+    quantified by this library.
+    """
+
+    alpha: float
+
+    def __post_init__(self) -> None:
+        if not self.alpha > 0:
+            raise InvalidPrivacyParameterError(
+                f"alpha must be > 0, got {self.alpha}"
+            )
+
+    def implies(self, other: "AlphaDPT") -> bool:
+        """True when this guarantee is at least as strong as ``other``."""
+        return self.alpha <= other.alpha
+
+    def __str__(self) -> str:
+        return f"{self.alpha:g}-DP_T"

@@ -1,0 +1,175 @@
+"""Theorem 5: the supremum of BPL/FPL over an infinite release horizon.
+
+Under a constant per-time-point budget ``epsilon`` the backward leakage
+follows ``alpha_t = L_B(alpha_{t-1}) + epsilon`` (Eq. 13).  Because
+``L_B`` is non-decreasing the sequence is monotone; it either converges to
+the least fixed point of ``g(a) = L(a) + epsilon`` or diverges.  Theorem 5
+gives the limit in closed form in terms of the Theorem-4 subset sums
+``q``/``d`` of the maximising row pair:
+
+=====================  ==========================================================
+case                   supremum
+=====================  ==========================================================
+``d != 0``             ``log( (sqrt(4 d e^eps (1-q) + (d + q e^eps - 1)^2)
+                       + d + q e^eps - 1) / (2 d) )``
+``d == 0, q != 1,``    ``log( (1-q) e^eps / (1 - q e^eps) )``
+``eps < log(1/q)``
+``d == 0, q != 1,``    does not exist
+``eps >= log(1/q)``
+``d == 0, q == 1``     does not exist
+=====================  ==========================================================
+
+(The paper states the second case with ``<=``; at equality the expression
+diverges, so we classify it as unbounded.)
+
+Both the closed forms and a robust fixed-point iteration (which also
+handles maximising-pair switches as ``alpha`` grows) are provided; the
+tests cross-validate them against stepping Eq. (13) directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+from ..exceptions import InvalidPrivacyParameterError, UnboundedLeakageError
+from .loss_functions import TemporalLossFunction
+
+__all__ = [
+    "supremum_closed_form",
+    "leakage_supremum",
+    "has_finite_supremum",
+    "epsilon_for_supremum",
+]
+
+#: Probe point used to decide whether a fixed point exists at all.  If
+#: ``L(PROBE) + eps < PROBE`` then, by monotonicity of ``L``, the recursion
+#: started below PROBE can never cross it, so it converges.
+_PROBE_ALPHA = 600.0
+
+LossLike = Union[TemporalLossFunction, object]
+
+
+def _as_loss(matrix_or_loss: LossLike) -> TemporalLossFunction:
+    if isinstance(matrix_or_loss, TemporalLossFunction):
+        return matrix_or_loss
+    return TemporalLossFunction(matrix_or_loss)
+
+
+def supremum_closed_form(q: float, d: float, epsilon: float) -> float:
+    """Evaluate Theorem 5 for given subset sums ``q``, ``d`` and budget.
+
+    Parameters
+    ----------
+    q, d:
+        The Theorem-4 subset sums of the maximising row pair at the fixed
+        point (``0 <= d < q <= 1``; with ``q <= d`` the loss function is
+        zero and the supremum is trivially ``epsilon``).
+    epsilon:
+        Per-time-point privacy budget, ``> 0``.
+
+    Raises
+    ------
+    UnboundedLeakageError
+        In the "does not exist" cases of Theorem 5.
+    """
+    if epsilon <= 0:
+        raise InvalidPrivacyParameterError(
+            f"epsilon must be > 0, got {epsilon}"
+        )
+    if not (0.0 <= d <= 1.0 and 0.0 <= q <= 1.0):
+        raise ValueError("q and d must be subset sums in [0, 1]")
+    if q <= d:
+        return epsilon  # zero loss function: leakage stays at epsilon
+    e_eps = math.exp(epsilon)
+    if d > 0:
+        discriminant = 4.0 * d * e_eps * (1.0 - q) + (d + q * e_eps - 1.0) ** 2
+        y = (math.sqrt(discriminant) + d + q * e_eps - 1.0) / (2.0 * d)
+        return math.log(y)
+    if q >= 1.0:
+        raise UnboundedLeakageError(
+            "strongest correlation (q == 1, d == 0): leakage grows without bound"
+        )
+    if q * e_eps >= 1.0:
+        raise UnboundedLeakageError(
+            f"epsilon = {epsilon} >= log(1/q) = {math.log(1.0 / q)}: "
+            "no finite supremum (Theorem 5, case 3)"
+        )
+    return math.log((1.0 - q) * e_eps / (1.0 - q * e_eps))
+
+
+def leakage_supremum(
+    matrix_or_loss: LossLike,
+    epsilon: float,
+    *,
+    tol: float = 1e-12,
+    max_iter: int = 200_000,
+) -> float:
+    """Supremum of BPL (or FPL) over infinite time for a whole matrix.
+
+    Iterates ``alpha <- L(alpha) + epsilon`` from ``alpha = epsilon``,
+    accelerating by jumping to the Theorem-5 closed form of the current
+    maximising pair whenever that closed form is a consistent fixed point
+    of the *full* loss function.
+
+    Raises
+    ------
+    UnboundedLeakageError
+        When no finite fixed point exists.
+    """
+    loss = _as_loss(matrix_or_loss)
+    if epsilon <= 0:
+        raise InvalidPrivacyParameterError(
+            f"epsilon must be > 0, got {epsilon}"
+        )
+    if loss(_PROBE_ALPHA) + epsilon >= _PROBE_ALPHA:
+        raise UnboundedLeakageError(
+            "no fixed point of L(alpha) + epsilon: leakage is unbounded"
+        )
+
+    alpha = epsilon
+    for _ in range(max_iter):
+        pair = loss.maximizing_pair(alpha)
+        new_alpha = loss(alpha) + epsilon
+        if pair is not None:
+            try:
+                candidate = supremum_closed_form(
+                    pair.q_sum, pair.d_sum, epsilon
+                )
+            except UnboundedLeakageError:
+                candidate = None
+            if candidate is not None and candidate >= new_alpha - 1e-12:
+                residual = loss(candidate) + epsilon - candidate
+                if abs(residual) <= 1e-9 * max(1.0, candidate):
+                    return candidate
+        if abs(new_alpha - alpha) <= tol:
+            return new_alpha
+        alpha = new_alpha
+    return alpha
+
+
+def has_finite_supremum(matrix_or_loss: LossLike, epsilon: float) -> bool:
+    """``True`` when the leakage under budget ``epsilon`` stays bounded."""
+    loss = _as_loss(matrix_or_loss)
+    if epsilon <= 0:
+        raise InvalidPrivacyParameterError(
+            f"epsilon must be > 0, got {epsilon}"
+        )
+    return loss(_PROBE_ALPHA) + epsilon < _PROBE_ALPHA
+
+
+def epsilon_for_supremum(matrix_or_loss: LossLike, alpha: float) -> float:
+    """Inverse of :func:`leakage_supremum`: the per-time-point budget whose
+    leakage supremum is exactly ``alpha``.
+
+    This is the key primitive of Algorithm 2 (lines 4/7).  At the fixed
+    point ``alpha = L(alpha) + epsilon``, so ``epsilon = alpha -
+    L(alpha)``.
+
+    Raises
+    ------
+    InvalidPrivacyParameterError
+        If ``alpha <= 0`` or the correlation is the strongest one
+        (``L(alpha) == alpha``), where no positive budget works.
+    """
+    return _as_loss(matrix_or_loss).epsilon_for_fixed_point(alpha)

@@ -1,0 +1,32 @@
+"""Workload substrate: trajectories, synthetic populations, road networks,
+Geolife-like traces and the aggregate queries released over them."""
+
+from .trajectory import Trajectory, TrajectoryDataset
+from .queries import CountQuery, HistogramQuery, SnapshotQuery
+from .synthetic import generate_population, population_correlations
+from .roadnet import RoadNetwork, example1_dataset, example1_network
+from .geolife import (
+    BEIJING_BBOX,
+    GpsTrace,
+    Grid,
+    generate_gps_traces,
+    geolife_like_dataset,
+)
+
+__all__ = [
+    "Trajectory",
+    "TrajectoryDataset",
+    "SnapshotQuery",
+    "HistogramQuery",
+    "CountQuery",
+    "generate_population",
+    "population_correlations",
+    "RoadNetwork",
+    "example1_network",
+    "example1_dataset",
+    "BEIJING_BBOX",
+    "GpsTrace",
+    "Grid",
+    "generate_gps_traces",
+    "geolife_like_dataset",
+]

@@ -1,0 +1,98 @@
+"""Aggregate queries over database snapshots (Fig. 1(c)).
+
+The paper's running scenario releases per-location counts at every time
+point.  :class:`HistogramQuery` computes the full count vector;
+:class:`CountQuery` a single location's count.  Both expose their L1
+sensitivity so mechanisms can calibrate noise, delegating the
+neighbourhood convention to :mod:`repro.mechanisms.sensitivity`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from ..mechanisms.sensitivity import (
+    NeighborhoodKind,
+    count_sensitivity,
+    histogram_sensitivity,
+)
+
+__all__ = ["SnapshotQuery", "HistogramQuery", "CountQuery"]
+
+
+class SnapshotQuery(abc.ABC):
+    """A statistical query evaluated on one snapshot ``D^t``.
+
+    A snapshot is a 1-D integer array of user values (state indices).
+    """
+
+    def __init__(
+        self, n_states: int, kind: NeighborhoodKind = NeighborhoodKind.VALUE
+    ) -> None:
+        if n_states < 1:
+            raise ValueError("n_states must be >= 1")
+        self._n_states = n_states
+        self._kind = kind
+
+    @property
+    def n_states(self) -> int:
+        return self._n_states
+
+    @property
+    def neighborhood(self) -> NeighborhoodKind:
+        return self._kind
+
+    @property
+    @abc.abstractmethod
+    def sensitivity(self) -> float:
+        """L1 sensitivity under the configured neighbourhood."""
+
+    @abc.abstractmethod
+    def __call__(self, snapshot: np.ndarray) -> np.ndarray:
+        """Evaluate the exact query answer."""
+
+
+class HistogramQuery(SnapshotQuery):
+    """Counts of users at every location: the release of Fig. 1(c)/(d)."""
+
+    @property
+    def sensitivity(self) -> float:
+        return histogram_sensitivity(self._kind)
+
+    def __call__(self, snapshot: np.ndarray) -> np.ndarray:
+        snapshot = np.asarray(snapshot, dtype=int)
+        if snapshot.size and (snapshot.min() < 0 or snapshot.max() >= self._n_states):
+            raise ValueError("snapshot contains out-of-domain state index")
+        return np.bincount(snapshot, minlength=self._n_states).astype(float)
+
+
+class CountQuery(SnapshotQuery):
+    """Count of users at one location (the "each count" of Example 1)."""
+
+    def __init__(
+        self,
+        n_states: int,
+        location: int,
+        kind: NeighborhoodKind = NeighborhoodKind.VALUE,
+    ) -> None:
+        super().__init__(n_states, kind)
+        if not 0 <= location < n_states:
+            raise ValueError(
+                f"location must be in [0, {n_states}), got {location}"
+            )
+        self._location = location
+
+    @property
+    def location(self) -> int:
+        return self._location
+
+    @property
+    def sensitivity(self) -> float:
+        return count_sensitivity(self._kind)
+
+    def __call__(self, snapshot: np.ndarray) -> np.ndarray:
+        snapshot = np.asarray(snapshot, dtype=int)
+        return np.asarray(float(np.count_nonzero(snapshot == self._location)))

@@ -1,0 +1,172 @@
+"""Road-network mobility: the auxiliary knowledge of Fig. 1(b).
+
+The paper's motivating example derives temporal correlations from a road
+network: a user at ``loc4`` must appear at ``loc5`` next, etc.  This
+module turns a directed graph of locations into mobility transition
+matrices.  ``networkx`` is used when available; a minimal adjacency
+implementation keeps the module importable without it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..markov.chain import MarkovChain
+from ..markov.matrix import TransitionMatrix
+
+try:  # networkx is an optional extra
+    import networkx as _nx
+except ImportError:  # pragma: no cover - exercised only without networkx
+    _nx = None
+
+__all__ = [
+    "RoadNetwork",
+    "example1_network",
+    "example1_dataset",
+]
+
+
+class RoadNetwork:
+    """A directed location graph with mobility-matrix derivation.
+
+    Parameters
+    ----------
+    locations:
+        Ordered location labels (matrix rows/columns follow this order).
+    edges:
+        Directed ``(src, dst)`` pairs meaning "dst is reachable from src
+        in one time step".  Self-loops are allowed ("stay here").
+    """
+
+    def __init__(self, locations: Sequence[str], edges: Iterable[Tuple[str, str]]):
+        self._locations: Tuple[str, ...] = tuple(locations)
+        if len(set(self._locations)) != len(self._locations):
+            raise ValueError("location labels must be unique")
+        self._index: Dict[str, int] = {
+            loc: i for i, loc in enumerate(self._locations)
+        }
+        n = len(self._locations)
+        self._adjacency = np.zeros((n, n), dtype=bool)
+        for src, dst in edges:
+            self._adjacency[self._index[src], self._index[dst]] = True
+        if not self._adjacency.any(axis=1).all():
+            dead = [
+                loc
+                for loc, row in zip(self._locations, self._adjacency)
+                if not row.any()
+            ]
+            raise ValueError(f"locations with no outgoing edge: {dead}")
+
+    @property
+    def locations(self) -> Tuple[str, ...]:
+        return self._locations
+
+    @property
+    def n(self) -> int:
+        return len(self._locations)
+
+    @property
+    def adjacency(self) -> np.ndarray:
+        return self._adjacency.copy()
+
+    def to_networkx(self):
+        """Export as a :class:`networkx.DiGraph` (requires networkx)."""
+        if _nx is None:  # pragma: no cover
+            raise ImportError("networkx is not installed")
+        graph = _nx.DiGraph()
+        graph.add_nodes_from(self._locations)
+        srcs, dsts = np.nonzero(self._adjacency)
+        graph.add_edges_from(
+            (self._locations[s], self._locations[d]) for s, d in zip(srcs, dsts)
+        )
+        return graph
+
+    def mobility_matrix(
+        self,
+        stay_probability: float = 0.0,
+        weights: Optional[np.ndarray] = None,
+    ) -> TransitionMatrix:
+        """Forward correlation ``P_F`` induced by the network.
+
+        Each location moves to its out-neighbours with probability
+        proportional to ``weights`` (uniform by default); with
+        ``stay_probability`` the user stays put first (added as an
+        implicit self-loop mass, congestion-style).
+        """
+        if not 0.0 <= stay_probability < 1.0:
+            raise ValueError("stay_probability must be in [0, 1)")
+        n = self.n
+        if weights is None:
+            weights = self._adjacency.astype(float)
+        else:
+            weights = np.asarray(weights, dtype=float)
+            if weights.shape != (n, n):
+                raise ValueError(f"weights must have shape ({n}, {n})")
+            if np.any(weights < 0) or np.any((weights > 0) & ~self._adjacency):
+                raise ValueError("weights must be >= 0 and respect the edges")
+        p = np.zeros((n, n))
+        for j in range(n):
+            row = weights[j]
+            total = row.sum()
+            if total <= 0:
+                raise ValueError(
+                    f"location {self._locations[j]} has zero outgoing weight"
+                )
+            move = (1.0 - stay_probability) * row / total
+            p[j] = move
+            p[j, j] += stay_probability
+        return TransitionMatrix(p, self._locations, validate=False)
+
+    def chain(
+        self,
+        stay_probability: float = 0.0,
+        initial: Optional[np.ndarray] = None,
+    ) -> MarkovChain:
+        """A :class:`MarkovChain` over the network's mobility matrix."""
+        return MarkovChain(self.mobility_matrix(stay_probability), initial)
+
+    def __repr__(self) -> str:
+        return f"RoadNetwork(n={self.n}, edges={int(self._adjacency.sum())})"
+
+
+def example1_network() -> RoadNetwork:
+    """The 5-location road network of the paper's Fig. 1(b).
+
+    Encodes the deterministic pattern "always arriving at loc5 after
+    visiting loc4" plus plausible edges for the other locations consistent
+    with the example's count tables.
+    """
+    locations = ["loc1", "loc2", "loc3", "loc4", "loc5"]
+    edges = [
+        ("loc1", "loc1"),
+        ("loc2", "loc1"),
+        ("loc1", "loc2"),
+        ("loc2", "loc4"),
+        ("loc3", "loc1"),
+        ("loc3", "loc3"),
+        ("loc4", "loc5"),  # the deterministic pattern of Example 1
+        ("loc5", "loc3"),
+        ("loc5", "loc5"),
+    ]
+    return RoadNetwork(locations, edges)
+
+
+def example1_dataset():
+    """The exact 4-user location table of Fig. 1(a) (t = 1..3)."""
+    from .trajectory import Trajectory, TrajectoryDataset
+
+    rows = {
+        "u1": ["loc3", "loc1", "loc1"],
+        "u2": ["loc2", "loc1", "loc1"],
+        "u3": ["loc2", "loc4", "loc5"],
+        "u4": ["loc4", "loc5", "loc3"],
+    }
+    labels = ["loc1", "loc2", "loc3", "loc4", "loc5"]
+    index = {label: i for i, label in enumerate(labels)}
+    trajectories = [
+        Trajectory(user, [index[loc] for loc in path])
+        for user, path in rows.items()
+    ]
+    return TrajectoryDataset(trajectories, n_states=5, state_labels=labels)

@@ -1,0 +1,158 @@
+"""Trajectory containers: the database ``D^t`` of the paper's Fig. 1(a).
+
+A :class:`TrajectoryDataset` holds one discrete-state trajectory per user
+over a common horizon; column ``t`` is the snapshot database
+``D^t = {l_1^t, ..., l_|U|^t}`` that the trusted server aggregates and
+releases at time ``t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Trajectory", "TrajectoryDataset"]
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """One user's state-index path.
+
+    Attributes
+    ----------
+    user_id:
+        Any hashable identifier.
+    states:
+        1-D integer array; ``states[t]`` is the user's value at time
+        ``t + 1`` (the paper's time index is 1-based).
+    """
+
+    user_id: object
+    states: np.ndarray
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.states, dtype=int)
+        if arr.ndim != 1:
+            raise ValueError("states must be a 1-D sequence")
+        arr = arr.copy()
+        arr.setflags(write=False)
+        object.__setattr__(self, "states", arr)
+
+    @property
+    def horizon(self) -> int:
+        return int(self.states.shape[0])
+
+    def state_at(self, t: int) -> int:
+        """The user's value at 1-based time ``t``."""
+        if not 1 <= t <= self.horizon:
+            raise IndexError(f"t must be in [1, {self.horizon}], got {t}")
+        return int(self.states[t - 1])
+
+    def __len__(self) -> int:
+        return self.horizon
+
+
+class TrajectoryDataset:
+    """The full temporal database: one trajectory per user, common horizon.
+
+    Parameters
+    ----------
+    trajectories:
+        Iterable of :class:`Trajectory` with identical horizons.
+    n_states:
+        Size of the value domain ``|loc|``.  Inferred as
+        ``max(state) + 1`` when omitted.
+    state_labels:
+        Optional display labels (e.g. ``["loc1", ..., "loc5"]``).
+    """
+
+    def __init__(
+        self,
+        trajectories: Iterable[Trajectory],
+        n_states: Optional[int] = None,
+        state_labels: Optional[Sequence[str]] = None,
+    ) -> None:
+        self._trajectories: List[Trajectory] = list(trajectories)
+        if not self._trajectories:
+            raise ValueError("dataset needs at least one trajectory")
+        horizons = {t.horizon for t in self._trajectories}
+        if len(horizons) != 1:
+            raise ValueError(f"trajectories disagree on horizon: {horizons}")
+        self._horizon = horizons.pop()
+        observed_max = max(int(t.states.max()) for t in self._trajectories)
+        observed_min = min(int(t.states.min()) for t in self._trajectories)
+        if observed_min < 0:
+            raise ValueError("state indices must be non-negative")
+        self._n_states = n_states if n_states is not None else observed_max + 1
+        if observed_max >= self._n_states:
+            raise ValueError(
+                f"state index {observed_max} out of range for n_states="
+                f"{self._n_states}"
+            )
+        if state_labels is not None and len(state_labels) != self._n_states:
+            raise ValueError("state_labels length must equal n_states")
+        self._labels = tuple(state_labels) if state_labels is not None else None
+        ids = [t.user_id for t in self._trajectories]
+        if len(set(ids)) != len(ids):
+            raise ValueError("user ids must be unique")
+        # Matrix view: rows are users, columns are time points.
+        self._matrix = np.stack([t.states for t in self._trajectories])
+
+    # ------------------------------------------------------------------
+    @property
+    def n_users(self) -> int:
+        return len(self._trajectories)
+
+    @property
+    def n_states(self) -> int:
+        return self._n_states
+
+    @property
+    def horizon(self) -> int:
+        return self._horizon
+
+    @property
+    def state_labels(self) -> Optional[Tuple[str, ...]]:
+        return self._labels
+
+    @property
+    def trajectories(self) -> Tuple[Trajectory, ...]:
+        return tuple(self._trajectories)
+
+    def snapshot(self, t: int) -> np.ndarray:
+        """The database ``D^t``: every user's value at 1-based time ``t``."""
+        if not 1 <= t <= self._horizon:
+            raise IndexError(f"t must be in [1, {self._horizon}], got {t}")
+        return self._matrix[:, t - 1].copy()
+
+    def counts(self, t: int) -> np.ndarray:
+        """The per-state count histogram at time ``t`` (Fig. 1(c))."""
+        return np.bincount(self.snapshot(t), minlength=self._n_states).astype(float)
+
+    def count_series(self) -> np.ndarray:
+        """All true histograms as a ``(horizon, n_states)`` array."""
+        return np.stack([self.counts(t) for t in range(1, self._horizon + 1)])
+
+    def paths(self) -> List[np.ndarray]:
+        """State-index paths, e.g. for correlation estimation."""
+        return [t.states.copy() for t in self._trajectories]
+
+    def without_user(self, user_id) -> "TrajectoryDataset":
+        """The adversary's knowledge ``D_K``: drop one user."""
+        remaining = [t for t in self._trajectories if t.user_id != user_id]
+        if len(remaining) == len(self._trajectories):
+            raise KeyError(f"unknown user {user_id!r}")
+        if not remaining:
+            raise ValueError("cannot drop the only user")
+        return TrajectoryDataset(remaining, self._n_states, self._labels)
+
+    def __len__(self) -> int:
+        return self.n_users
+
+    def __repr__(self) -> str:
+        return (
+            f"TrajectoryDataset(users={self.n_users}, "
+            f"horizon={self._horizon}, n_states={self._n_states})"
+        )

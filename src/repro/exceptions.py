@@ -1,0 +1,50 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch a single base class.  More specific subclasses communicate *which*
+part of the pipeline rejected the input:
+
+* :class:`InvalidTransitionMatrixError` -- a matrix fails the row-stochastic
+  validation in :mod:`repro.markov.matrix`.
+* :class:`InvalidPrivacyParameterError` -- a privacy budget / leakage bound
+  is out of its legal domain (non-positive epsilon, alpha, ...).
+* :class:`UnboundedLeakageError` -- Theorem 5 case "supremum does not
+  exist"; raised when an algorithm needs a finite supremum but the given
+  correlation / budget combination has none.
+* :class:`SolverError` -- an LP / LFP backend failed to converge or
+  reported an infeasible problem that should have been feasible.
+* :class:`AllocationError` -- Algorithms 2/3 could not find a feasible
+  budget allocation for the requested ``alpha``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class InvalidTransitionMatrixError(ReproError, ValueError):
+    """A matrix is not a valid row-stochastic transition matrix."""
+
+
+class InvalidPrivacyParameterError(ReproError, ValueError):
+    """A privacy parameter (epsilon, alpha, delta, ...) is out of range."""
+
+
+class UnboundedLeakageError(ReproError):
+    """The supremum of temporal privacy leakage does not exist (Theorem 5).
+
+    Raised by :func:`repro.core.supremum.leakage_supremum` when the
+    correlation is too strong (``d == 0`` with ``q == 1``, or
+    ``epsilon > log(1/q)``) and by Algorithm 2 when asked to bound an
+    unboundable leakage.
+    """
+
+
+class SolverError(ReproError, RuntimeError):
+    """An optimisation backend failed (did not converge, infeasible, ...)."""
+
+
+class AllocationError(ReproError, RuntimeError):
+    """Budget allocation (Algorithm 2/3) failed to converge to a solution."""

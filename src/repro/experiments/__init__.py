@@ -1,0 +1,23 @@
+"""Experiment modules -- one per table/figure of the paper's evaluation.
+
+Each module exposes ``run(...)`` returning a result dataclass and
+``format_table(result)`` rendering the paper-style series.  The benchmark
+harness in ``benchmarks/`` wraps these, and
+``python -m repro.experiments.runner`` prints everything at once.
+"""
+
+from . import example1, fig3, fig4, fig5, fig6, fig7, fig8, table2
+from .runner import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "example1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "table2",
+    "EXPERIMENTS",
+    "run_experiment",
+]

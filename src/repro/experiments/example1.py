@@ -1,0 +1,96 @@
+"""Example 1 / Figure 1: end-to-end continuous count release on the road
+network.
+
+Reconstructs the paper's motivating scenario: four users move over the
+five-location road network of Fig. 1(b); the server publishes Laplace-
+perturbed per-location counts at every time point.  The adversary derives
+temporal correlations from the road network, and the quantified TPL of
+the naive ``Lap(1/eps)`` release exceeds ``eps`` exactly as Example 1
+argues (2x for the loc4 -> loc5 pattern, T-fold for frozen traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..core.accountant import TemporalPrivacyAccountant
+from ..core.leakage import LeakageProfile
+from ..data.queries import HistogramQuery
+from ..data.roadnet import example1_dataset, example1_network
+from ..data.trajectory import TrajectoryDataset
+from ..mechanisms.release import ContinuousReleaseEngine, ReleaseRecord
+
+__all__ = ["Example1Result", "run", "format_table"]
+
+
+@dataclass
+class Example1Result:
+    epsilon: float
+    dataset: TrajectoryDataset
+    records: List[ReleaseRecord]
+    profile: LeakageProfile
+    identity_profile: LeakageProfile  # the "traffic congestion" extreme
+
+
+def run(epsilon: float = 1.0, seed: int = 0) -> Example1Result:
+    """Release Fig. 1's counts and quantify the leakage both for the road
+    network's correlation and for the frozen-traffic extreme."""
+    network = example1_network()
+    dataset = example1_dataset()
+    chain = network.chain(stay_probability=0.2)
+    correlations = (chain.backward(), chain.forward)
+
+    accountant = TemporalPrivacyAccountant(correlations)
+    engine = ContinuousReleaseEngine(
+        query=HistogramQuery(dataset.n_states),
+        budgets=epsilon,
+        accountant=accountant,
+        seed=seed,
+    )
+    records = engine.run(dataset)
+    profile = accountant.profile()
+
+    # Extreme case of Example 1: counts frozen over time (identity chain).
+    identity = np.eye(dataset.n_states)
+    identity_profile = TemporalPrivacyAccountant((identity, identity))
+    for _ in range(dataset.horizon):
+        identity_profile.add_release(epsilon)
+    return Example1Result(
+        epsilon=epsilon,
+        dataset=dataset,
+        records=records,
+        profile=profile,
+        identity_profile=identity_profile.profile(),
+    )
+
+
+def format_table(result: Example1Result) -> str:
+    labels = result.dataset.state_labels or tuple(
+        str(i) for i in range(result.dataset.n_states)
+    )
+    lines = [
+        f"Example 1: continuous count release with Lap(1/{result.epsilon:g})"
+    ]
+    lines.append("true counts / private counts per time point:")
+    for record in result.records:
+        true_cells = " ".join(
+            f"{label}={int(v)}" for label, v in zip(labels, record.true_answer)
+        )
+        noisy_cells = " ".join(
+            f"{v:.1f}" for v in record.noisy_answer
+        )
+        lines.append(f"  t={record.t}: {true_cells}  ->  [{noisy_cells}]")
+    lines.append(
+        f"TPL under road-network correlation: "
+        + " ".join(f"{v:.3f}" for v in result.profile.tpl)
+        + f"  (max {result.profile.max_tpl:.3f} > eps = {result.epsilon:g})"
+    )
+    lines.append(
+        f"TPL under frozen traffic (identity): "
+        + " ".join(f"{v:.3f}" for v in result.identity_profile.tpl)
+        + "  (= T * eps, the paper's extreme case)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Run every experiment and print the paper-style tables.
+
+``python -m repro.experiments.runner`` regenerates all tables/figures'
+numbers in one pass; individual experiments can be selected by name::
+
+    python -m repro.experiments.runner fig3 fig7
+
+Use ``--quick`` to shrink the slow sweeps (Fig. 5/6) for smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Tuple
+
+from . import example1, fig3, fig4, fig5, fig6, fig7, fig8, table2
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+
+def _run_fig5(quick: bool) -> str:
+    if quick:
+        panel_a = fig5.run_vs_n(n_values=(10, 20), baseline_cap=20)
+        panel_b = fig5.run_vs_alpha(alpha_values=(0.01, 1.0, 10.0), n=20)
+    else:
+        panel_a = fig5.run_vs_n()
+        panel_b = fig5.run_vs_alpha()
+    return fig5.format_table(panel_a) + "\n\n" + fig5.format_table(panel_b)
+
+
+def _run_fig6(quick: bool) -> str:
+    if quick:
+        panel_a = fig6.run(epsilon=1.0, horizon=10, configs=((0.005, 20), (0.05, 20)))
+        return fig6.format_table(panel_a)
+    panel_a = fig6.run(epsilon=1.0, horizon=15)
+    panel_b = fig6.run(epsilon=0.1, horizon=150)
+    return fig6.format_table(panel_a) + "\n\n" + fig6.format_table(panel_b)
+
+
+def _run_fig8(quick: bool) -> str:
+    if quick:
+        panel_a = fig8.run_vs_horizon(horizons=(5, 10), n=10)
+        panel_b = fig8.run_vs_correlation(s_values=(0.01, 1.0), n=10)
+    else:
+        panel_a = fig8.run_vs_horizon()
+        panel_b = fig8.run_vs_correlation()
+    return fig8.format_table(panel_a) + "\n\n" + fig8.format_table(panel_b)
+
+
+EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
+    "example1": lambda quick: example1.format_table(example1.run()),
+    "fig3": lambda quick: fig3.format_table(fig3.run()),
+    "fig4": lambda quick: fig4.format_table(
+        fig4.run(horizon=30 if quick else 100)
+    ),
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig7": lambda quick: fig7.format_table(fig7.run()),
+    "fig8": _run_fig8,
+    "table2": lambda quick: table2.format_table(table2.run()),
+}
+
+
+def run_experiment(name: str, quick: bool = False) -> str:
+    """Run one experiment by id (e.g. ``"fig3"``) and return its table."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(quick)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=list(EXPERIMENTS),
+        help="experiment ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="shrink the slow sweeps"
+    )
+    args = parser.parse_args(argv)
+    for name in args.experiments:
+        print("=" * 72)
+        print(run_experiment(name, quick=args.quick))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

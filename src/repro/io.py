@@ -1,0 +1,124 @@
+"""Serialisation: matrices, allocations and leakage profiles to/from JSON.
+
+A deployed pipeline needs to persist the adversary model it audited
+against and the budget schedule it committed to.  This module provides a
+small, versioned JSON format for the three value types that cross system
+boundaries:
+
+* :class:`~repro.markov.matrix.TransitionMatrix` (with state labels),
+* :class:`~repro.core.budget.BudgetAllocation`,
+* :class:`~repro.core.leakage.LeakageProfile`.
+
+Round-tripping is exact up to float representation and covered by tests.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .core.budget import BudgetAllocation
+from .core.leakage import LeakageProfile
+from .markov.matrix import TransitionMatrix
+
+__all__ = [
+    "to_json",
+    "from_json",
+    "save_json",
+    "load_json",
+]
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+Serialisable = Union[TransitionMatrix, BudgetAllocation, LeakageProfile]
+
+
+def _encode(obj: Serialisable) -> dict:
+    if isinstance(obj, TransitionMatrix):
+        return {
+            "format": FORMAT_VERSION,
+            "kind": "transition_matrix",
+            "states": list(obj.states),
+            "probabilities": obj.array.tolist(),
+        }
+    if isinstance(obj, BudgetAllocation):
+        return {
+            "format": FORMAT_VERSION,
+            "kind": "budget_allocation",
+            "alpha": obj.alpha,
+            "alpha_b": obj.alpha_b,
+            "alpha_f": obj.alpha_f,
+            "method": obj.method,
+            "epsilon_first": obj.epsilon_first,
+            "epsilon_middle": obj.epsilon_middle,
+            "epsilon_last": obj.epsilon_last,
+        }
+    if isinstance(obj, LeakageProfile):
+        return {
+            "format": FORMAT_VERSION,
+            "kind": "leakage_profile",
+            "epsilons": obj.epsilons.tolist(),
+            "bpl": obj.bpl.tolist(),
+            "fpl": obj.fpl.tolist(),
+            "tpl": obj.tpl.tolist(),
+        }
+    raise TypeError(f"cannot serialise objects of type {type(obj).__name__}")
+
+
+def _decode(payload: dict) -> Serialisable:
+    if not isinstance(payload, dict) or "kind" not in payload:
+        raise ValueError("not a repro JSON payload (missing 'kind')")
+    version = payload.get("format")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    kind = payload["kind"]
+    if kind == "transition_matrix":
+        states = payload["states"]
+        # JSON turns tuple labels into lists; restore hashability.
+        states = [tuple(s) if isinstance(s, list) else s for s in states]
+        return TransitionMatrix(payload["probabilities"], states=states)
+    if kind == "budget_allocation":
+        return BudgetAllocation(
+            alpha=float(payload["alpha"]),
+            alpha_b=float(payload["alpha_b"]),
+            alpha_f=float(payload["alpha_f"]),
+            method=str(payload["method"]),
+            epsilon_first=float(payload["epsilon_first"]),
+            epsilon_middle=float(payload["epsilon_middle"]),
+            epsilon_last=float(payload["epsilon_last"]),
+        )
+    if kind == "leakage_profile":
+        return LeakageProfile(
+            epsilons=np.asarray(payload["epsilons"], dtype=float),
+            bpl=np.asarray(payload["bpl"], dtype=float),
+            fpl=np.asarray(payload["fpl"], dtype=float),
+            tpl=np.asarray(payload["tpl"], dtype=float),
+        )
+    raise ValueError(f"unknown payload kind {kind!r}")
+
+
+def to_json(obj: Serialisable, indent: int = 2) -> str:
+    """Serialise a matrix / allocation / profile to a JSON string."""
+    return json.dumps(_encode(obj), indent=indent)
+
+
+def from_json(text: str) -> Serialisable:
+    """Inverse of :func:`to_json`."""
+    return _decode(json.loads(text))
+
+
+def save_json(obj: Serialisable, path: PathLike) -> None:
+    """Write :func:`to_json` output to ``path``."""
+    Path(path).write_text(to_json(obj) + "\n", encoding="utf-8")
+
+
+def load_json(path: PathLike) -> Serialisable:
+    """Read an object previously written with :func:`save_json`."""
+    return from_json(Path(path).read_text(encoding="utf-8"))

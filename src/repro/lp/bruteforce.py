@@ -1,0 +1,49 @@
+"""Exact brute-force oracle for small LFP instances.
+
+Every vertex of the (scale-normalised) feasible region of problem
+(18)-(20) is a two-level point: ``x_i = e^alpha m`` on some subset ``S``
+and ``x_i = m`` elsewhere (see :mod:`repro.core.lfp`).  For small ``n``
+we can therefore enumerate all ``2^n`` subsets and take the best
+objective -- an implementation-independent ground truth used by the
+property-based tests to validate Algorithm 1, the simplex backend and
+Dinkelbach simultaneously.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+from ..core.lfp import LfpProblem
+
+__all__ = ["solve_lfp_bruteforce", "MAX_BRUTEFORCE_N"]
+
+#: Enumeration is 2^n; keep the oracle honest about its limits.
+MAX_BRUTEFORCE_N = 20
+
+
+def solve_lfp_bruteforce(problem: LfpProblem) -> float:
+    """Return the optimal **log** value by full subset enumeration.
+
+    Raises
+    ------
+    ValueError
+        If ``problem.n`` exceeds :data:`MAX_BRUTEFORCE_N`.
+    """
+    n = problem.n
+    if n > MAX_BRUTEFORCE_N:
+        raise ValueError(
+            f"brute force limited to n <= {MAX_BRUTEFORCE_N}, got {n}"
+        )
+    best = -math.inf
+    mask = np.zeros(n, dtype=bool)
+    for bits in itertools.product((False, True), repeat=n):
+        mask[:] = bits
+        value = problem.objective_for_subset(mask)
+        if value > best:
+            best = value
+    if best <= 0:
+        raise ValueError("non-positive brute-force optimum")
+    return math.log(best)

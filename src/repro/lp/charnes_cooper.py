@@ -1,0 +1,89 @@
+"""Charnes-Cooper transformation: linear-fractional program -> LP.
+
+The paper's generic baseline solves problem (18)-(20) by converting it
+"into a sequence of linear programming problems" and running the simplex
+algorithm.  The standard single-shot conversion is due to Charnes & Cooper
+(1962): for ``max q.x / d.x`` over a polyhedron ``{x : A x <= b, x > 0}``
+with ``d.x > 0``, substitute ``y = t x`` with ``t = 1 / d.x`` to obtain::
+
+    maximize    q . y
+    subject to  d . y == 1
+                A y - b t <= 0
+                y >= 0,  t >= 0
+
+Our ratio constraints ``x_j <= e^alpha x_k`` are homogeneous (``b == 0``),
+so the auxiliary ``t`` never appears in the inequality rows and the LP is
+simply ``max q.y  s.t.  d.y == 1,  y_j - e^alpha y_k <= 0``.
+
+This module builds the LP in a backend-neutral dense form consumed by both
+:mod:`repro.lp.scipy_backend` and :mod:`repro.lp.simplex`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.lfp import LfpProblem
+
+__all__ = ["LinearProgram", "lfp_to_lp", "lp_solution_to_lfp_value"]
+
+
+@dataclass(frozen=True)
+class LinearProgram:
+    """A dense LP: ``max c.y`` s.t. ``A_ub y <= b_ub``, ``A_eq y == b_eq``,
+    ``y >= 0``."""
+
+    c: np.ndarray
+    a_ub: np.ndarray
+    b_ub: np.ndarray
+    a_eq: np.ndarray
+    b_eq: np.ndarray
+
+    @property
+    def n_variables(self) -> int:
+        return self.c.shape[0]
+
+    @property
+    def n_constraints(self) -> int:
+        return self.a_ub.shape[0] + self.a_eq.shape[0]
+
+
+def lfp_to_lp(problem: LfpProblem) -> LinearProgram:
+    """Build the Charnes-Cooper LP for an :class:`LfpProblem`.
+
+    The ``n (n - 1)`` ratio constraints become rows ``y_j - e^alpha y_k <= 0``
+    for every ordered pair ``(j, k)``; the normalisation ``d . y == 1``
+    pins the denominator.
+    """
+    n = problem.n
+    bound = problem.ratio_bound
+    rows = []
+    for j in range(n):
+        for k in range(n):
+            if j == k:
+                continue
+            row = np.zeros(n)
+            row[j] = 1.0
+            row[k] = -bound
+            rows.append(row)
+    a_ub = np.vstack(rows) if rows else np.zeros((0, n))
+    b_ub = np.zeros(a_ub.shape[0])
+    a_eq = problem.d.reshape(1, -1)
+    b_eq = np.ones(1)
+    return LinearProgram(c=problem.q.copy(), a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq)
+
+
+def lp_solution_to_lfp_value(problem: LfpProblem, y: np.ndarray) -> float:
+    """Recover the LFP objective from an LP solution ``y``.
+
+    Because ``d . y == 1`` at feasibility, the LP objective ``q . y`` *is*
+    the ratio ``q.x / d.x``; we still recompute it defensively from ``y``
+    (any positive rescaling of ``y`` is a feasible ``x``).
+    """
+    y = np.asarray(y, dtype=float)
+    denominator = float(problem.d @ y)
+    if denominator <= 0:
+        return float("inf")
+    return float(problem.q @ y) / denominator

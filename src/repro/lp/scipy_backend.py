@@ -1,0 +1,47 @@
+"""Reference LFP solver backed by :func:`scipy.optimize.linprog` (HiGHS).
+
+Plays the role of Gurobi in the paper's Fig. 5 runtime comparison: a
+well-engineered general-purpose LP solver, fed the Charnes-Cooper
+transformation of problem (18)-(20).  Exact up to solver tolerances, but
+must materialise ``n (n - 1)`` constraint rows, so it scales much worse
+than Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..core.lfp import LfpProblem
+from ..exceptions import SolverError
+from .charnes_cooper import lfp_to_lp, lp_solution_to_lfp_value
+
+__all__ = ["solve_lfp_scipy"]
+
+
+def solve_lfp_scipy(problem: LfpProblem) -> float:
+    """Solve an :class:`LfpProblem`, returning the optimal **log** value.
+
+    Raises
+    ------
+    SolverError
+        If HiGHS reports anything but success.
+    """
+    lp = lfp_to_lp(problem)
+    result = linprog(
+        c=-lp.c,  # linprog minimises
+        A_ub=lp.a_ub,
+        b_ub=lp.b_ub,
+        A_eq=lp.a_eq,
+        b_eq=lp.b_eq,
+        bounds=(0.0, None),
+        method="highs",
+    )
+    if not result.success:
+        raise SolverError(f"scipy/HiGHS failed: {result.message}")
+    value = lp_solution_to_lfp_value(problem, result.x)
+    if value <= 0:
+        raise SolverError(f"non-positive LFP optimum {value}")
+    return math.log(value)

@@ -1,0 +1,202 @@
+"""A dense two-phase tableau simplex solver, implemented from scratch.
+
+Plays the role of ``lp_solve`` in the paper's Fig. 5 comparison: an
+unsophisticated general-purpose simplex implementation.  It solves LPs of
+the form::
+
+    maximize    c . y
+    subject to  A_ub y <= b_ub
+                A_eq y == b_eq
+                y >= 0
+
+via the classical two-phase method (phase 1 drives artificial variables
+out of the basis, phase 2 optimises the true objective) with Bland's rule
+for cycle-free pivoting.
+
+This is intentionally a straightforward textbook implementation -- the
+point of the benchmark is to contrast a generic exponential-worst-case
+solver with the paper's polynomial Algorithm 1, not to compete with HiGHS.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.lfp import LfpProblem
+from ..exceptions import SolverError
+from .charnes_cooper import LinearProgram, lfp_to_lp, lp_solution_to_lfp_value
+
+__all__ = ["SimplexResult", "simplex_solve", "solve_lfp_simplex"]
+
+_PIVOT_TOL = 1e-9
+
+
+@dataclass
+class SimplexResult:
+    """Optimal point and value of an LP solved by :func:`simplex_solve`."""
+
+    x: np.ndarray
+    value: float
+    iterations: int
+
+
+def _pivot(tableau: np.ndarray, basis: np.ndarray, row: int, col: int) -> None:
+    """Gauss-Jordan pivot on (row, col), updating the basis bookkeeping."""
+    tableau[row] /= tableau[row, col]
+    for r in range(tableau.shape[0]):
+        if r != row and abs(tableau[r, col]) > 0:
+            tableau[r] -= tableau[r, col] * tableau[row]
+    basis[row] = col
+
+
+def _run_simplex(
+    tableau: np.ndarray, basis: np.ndarray, n_cols: int, max_iter: int
+) -> int:
+    """Optimise the tableau in place (objective in the last row, maximised).
+
+    Returns the number of pivots performed.  Bland's rule: choose the
+    lowest-index column with positive reduced cost, lowest-index row on
+    ratio ties.
+    """
+    iterations = 0
+    objective = tableau[-1]
+    while iterations < max_iter:
+        col = -1
+        for j in range(n_cols):
+            if objective[j] > _PIVOT_TOL:
+                col = j
+                break
+        if col < 0:
+            return iterations  # optimal
+        if tableau.shape[0] == 1:
+            # Improving direction with no constraint rows at all.
+            raise SolverError("LP is unbounded")
+        ratios = np.full(tableau.shape[0] - 1, np.inf)
+        column = tableau[:-1, col]
+        rhs = tableau[:-1, -1]
+        positive = column > _PIVOT_TOL
+        ratios[positive] = rhs[positive] / column[positive]
+        row = int(np.argmin(ratios))
+        if not np.isfinite(ratios[row]):
+            raise SolverError("LP is unbounded")
+        # Bland tie-break: among minimal ratios pick smallest basis index.
+        minimal = np.isclose(ratios, ratios[row], rtol=1e-12, atol=1e-12)
+        candidates = np.flatnonzero(minimal & positive)
+        if candidates.size > 1:
+            row = int(candidates[np.argmin(basis[candidates])])
+        _pivot(tableau, basis, row, col)
+        iterations += 1
+    raise SolverError(f"simplex exceeded {max_iter} pivots")
+
+
+def simplex_solve(lp: LinearProgram, max_iter: int = 100_000) -> SimplexResult:
+    """Solve a :class:`LinearProgram` with the two-phase tableau simplex."""
+    n = lp.n_variables
+    a_ub, b_ub = np.atleast_2d(lp.a_ub), np.asarray(lp.b_ub, dtype=float)
+    a_eq, b_eq = np.atleast_2d(lp.a_eq), np.asarray(lp.b_eq, dtype=float)
+    m_ub = a_ub.shape[0] if a_ub.size else 0
+    m_eq = a_eq.shape[0] if a_eq.size else 0
+    m = m_ub + m_eq
+
+    # Normalise to non-negative right-hand sides.
+    a_ub = a_ub.copy() if m_ub else np.zeros((0, n))
+    b_ub = b_ub.copy() if m_ub else np.zeros(0)
+    flip = b_ub < 0
+    # A flipped <= row becomes a >= row; give it a surplus + artificial.
+    needs_artificial_ub = flip.copy()
+    a_ub[flip] *= -1.0
+    b_ub[flip] *= -1.0
+
+    a_eq = a_eq.copy() if m_eq else np.zeros((0, n))
+    b_eq = b_eq.copy() if m_eq else np.zeros(0)
+    eq_flip = b_eq < 0
+    a_eq[eq_flip] *= -1.0
+    b_eq[eq_flip] *= -1.0
+
+    n_slack = m_ub
+    n_art = int(needs_artificial_ub.sum()) + m_eq
+    total = n + n_slack + n_art
+
+    tableau = np.zeros((m + 1, total + 1))
+    basis = np.full(m, -1, dtype=int)
+
+    art_col = n + n_slack
+    for i in range(m_ub):
+        tableau[i, :n] = a_ub[i]
+        tableau[i, -1] = b_ub[i]
+        sign = -1.0 if needs_artificial_ub[i] else 1.0
+        tableau[i, n + i] = sign
+        if needs_artificial_ub[i]:
+            tableau[i, art_col] = 1.0
+            basis[i] = art_col
+            art_col += 1
+        else:
+            basis[i] = n + i
+    for e in range(m_eq):
+        i = m_ub + e
+        tableau[i, :n] = a_eq[e]
+        tableau[i, -1] = b_eq[e]
+        tableau[i, art_col] = 1.0
+        basis[i] = art_col
+        art_col += 1
+
+    iterations = 0
+    if n_art:
+        # Phase 1: maximise -(sum of artificials).
+        phase1 = tableau[-1]
+        phase1[:] = 0.0
+        phase1[n + n_slack : n + n_slack + n_art] = -1.0
+        # Price out the artificial basis columns.
+        for i in range(m):
+            if basis[i] >= n + n_slack:
+                tableau[-1] += tableau[i]
+        iterations += _run_simplex(tableau, basis, total, max_iter)
+        # With this tableau convention the phase-1 rhs equals the residual
+        # sum of artificial variables; positive residual means infeasible.
+        if tableau[-1, -1] > 1e-7:
+            raise SolverError(
+                "LP is infeasible (artificial variables remain positive)"
+            )
+        # Drive any residual artificial variables out of the basis.
+        for i in range(m):
+            if basis[i] >= n + n_slack:
+                pivot_col = next(
+                    (
+                        j
+                        for j in range(n + n_slack)
+                        if abs(tableau[i, j]) > _PIVOT_TOL
+                    ),
+                    None,
+                )
+                if pivot_col is not None:
+                    _pivot(tableau, basis, i, pivot_col)
+        # Remove artificial columns from consideration.
+        tableau[:, n + n_slack : n + n_slack + n_art] = 0.0
+
+    # Phase 2: install the real objective (maximise c.y).
+    tableau[-1, :] = 0.0
+    tableau[-1, :n] = lp.c
+    for i in range(m):
+        if basis[i] < n and abs(tableau[-1, basis[i]]) > 0:
+            tableau[-1] -= tableau[-1, basis[i]] * tableau[i]
+    iterations += _run_simplex(tableau, basis, n + n_slack, max_iter)
+
+    x = np.zeros(total)
+    for i in range(m):
+        x[basis[i]] = tableau[i, -1]
+    value = float(lp.c @ x[:n])
+    return SimplexResult(x=x[:n], value=value, iterations=iterations)
+
+
+def solve_lfp_simplex(problem: LfpProblem, max_iter: int = 100_000) -> float:
+    """Solve an :class:`LfpProblem` via Charnes-Cooper + our own simplex,
+    returning the optimal **log** value."""
+    lp = lfp_to_lp(problem)
+    result = simplex_solve(lp, max_iter=max_iter)
+    value = lp_solution_to_lfp_value(problem, result.x)
+    if value <= 0:
+        raise SolverError(f"non-positive LFP optimum {value}")
+    return math.log(value)

@@ -1,0 +1,71 @@
+"""Markov-chain substrate: transition matrices, chains, generators,
+estimation.
+
+The quantification core (:mod:`repro.core`) consumes plain transition
+matrices; everything in this package exists to *produce* them -- either
+synthetically with controlled correlation strength (Section VI of the
+paper) or by estimation from trajectory data (Section III-A).
+"""
+
+from .matrix import TransitionMatrix, as_transition_matrix
+from .chain import MarkovChain
+from .generate import (
+    convex_blend,
+    identity_matrix,
+    laplacian_smoothing,
+    permutation_matrix,
+    random_stochastic_matrix,
+    smoothed_strongest_matrix,
+    strongest_matrix,
+    two_state_matrix,
+    uniform_matrix,
+)
+from .higher_order import (
+    estimate_order2_tensor,
+    history_states,
+    lift_first_order,
+    lift_transition_tensor,
+    lifted_paths,
+)
+from .metrics import (
+    dobrushin_coefficient,
+    is_potentially_unbounded,
+    spectral_gap,
+    tv_from_uniform,
+)
+from .estimate import (
+    HmmParameters,
+    backward_mle_transition_matrix,
+    baum_welch,
+    mle_transition_matrix,
+    transition_counts,
+)
+
+__all__ = [
+    "TransitionMatrix",
+    "as_transition_matrix",
+    "MarkovChain",
+    "identity_matrix",
+    "uniform_matrix",
+    "permutation_matrix",
+    "strongest_matrix",
+    "laplacian_smoothing",
+    "smoothed_strongest_matrix",
+    "random_stochastic_matrix",
+    "two_state_matrix",
+    "convex_blend",
+    "mle_transition_matrix",
+    "backward_mle_transition_matrix",
+    "transition_counts",
+    "HmmParameters",
+    "baum_welch",
+    "history_states",
+    "lift_transition_tensor",
+    "lift_first_order",
+    "estimate_order2_tensor",
+    "lifted_paths",
+    "dobrushin_coefficient",
+    "spectral_gap",
+    "tv_from_uniform",
+    "is_potentially_unbounded",
+]

@@ -1,0 +1,140 @@
+"""First-order Markov chains: simulation and distribution evolution.
+
+The data substrate of the paper (Fig. 1) is a population of users whose
+locations evolve under per-user Markov models.  :class:`MarkovChain` couples
+a :class:`~repro.markov.matrix.TransitionMatrix` with an initial
+distribution and provides trajectory sampling (used by
+:mod:`repro.data.synthetic`) plus the forward/backward correlation pair an
+:class:`~repro.core.adversary.AdversaryT` consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from .matrix import TransitionMatrix, as_transition_matrix
+
+__all__ = ["MarkovChain"]
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def _rng(seed: RngLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+class MarkovChain:
+    """A time-homogeneous first-order Markov chain.
+
+    Parameters
+    ----------
+    forward:
+        The forward correlation ``P_F`` with ``P_F[j, k] = Pr(l^t = k |
+        l^{t-1} = j)``.
+    initial:
+        Distribution of the first state ``Pr(l^1)``; defaults to the
+        stationary distribution of ``forward``.
+    """
+
+    def __init__(self, forward, initial: Optional[Sequence[float]] = None) -> None:
+        self._forward = as_transition_matrix(forward)
+        if initial is None:
+            initial_arr = self._forward.stationary_distribution()
+        else:
+            initial_arr = np.asarray(initial, dtype=float)
+            if initial_arr.shape != (self._forward.n,):
+                raise ValueError(
+                    f"initial distribution must have shape ({self._forward.n},)"
+                )
+            if np.any(initial_arr < 0) or not np.isclose(
+                initial_arr.sum(), 1.0, atol=1e-8
+            ):
+                raise ValueError("initial must be a probability distribution")
+            initial_arr = initial_arr / initial_arr.sum()
+        self._initial = initial_arr
+
+    @property
+    def forward(self) -> TransitionMatrix:
+        """Forward temporal correlation ``P_F`` (Definition 3)."""
+        return self._forward
+
+    @property
+    def initial(self) -> np.ndarray:
+        """Distribution of the state at time 1."""
+        return self._initial.copy()
+
+    @property
+    def n(self) -> int:
+        return self._forward.n
+
+    @property
+    def states(self) -> tuple:
+        return self._forward.states
+
+    def backward(self, at_time: Optional[int] = None) -> TransitionMatrix:
+        """Backward temporal correlation ``P_B`` via Bayesian inversion.
+
+        ``P_B[j, k] = Pr(l^{t-1} = k | l^t = j)`` depends on the marginal
+        distribution at ``t-1``.  With ``at_time=None`` the stationary
+        distribution is used (time-homogeneous ``P_B``, the setting of the
+        paper); otherwise the marginal after ``at_time - 1`` steps from the
+        initial distribution is used.
+        """
+        if at_time is None:
+            prior = None  # TransitionMatrix.reverse defaults to stationary.
+        else:
+            if at_time < 2:
+                raise ValueError("backward correlation needs at_time >= 2")
+            prior = self.marginal(at_time - 1)
+        return self._forward.reverse(prior)
+
+    def marginal(self, t: int) -> np.ndarray:
+        """Distribution of the state at time ``t`` (1-indexed)."""
+        if t < 1:
+            raise ValueError("time index is 1-based")
+        dist = self._initial
+        for _ in range(t - 1):
+            dist = dist @ self._forward.array
+        return dist
+
+    def sample_path(self, length: int, seed: RngLike = None) -> np.ndarray:
+        """Sample a trajectory of ``length`` state indices."""
+        if length < 1:
+            raise ValueError("length must be >= 1")
+        rng = _rng(seed)
+        path = np.empty(length, dtype=int)
+        path[0] = rng.choice(self.n, p=self._initial)
+        for t in range(1, length):
+            path[t] = rng.choice(self.n, p=self._forward.row(path[t - 1]))
+        return path
+
+    def sample_paths(
+        self, count: int, length: int, seed: RngLike = None
+    ) -> np.ndarray:
+        """Sample ``count`` independent trajectories as a (count, length)
+        integer array."""
+        rng = _rng(seed)
+        return np.stack([self.sample_path(length, rng) for _ in range(count)])
+
+    def log_likelihood(self, path: Sequence[int]) -> float:
+        """Log-probability of an observed state-index path under the chain."""
+        path = np.asarray(path, dtype=int)
+        if path.size == 0:
+            return 0.0
+        p0 = self._initial[path[0]]
+        if p0 == 0:
+            return float("-inf")
+        total = np.log(p0)
+        for prev, cur in zip(path[:-1], path[1:]):
+            step = self._forward[prev, cur]
+            if step == 0:
+                return float("-inf")
+            total += np.log(step)
+        return float(total)
+
+    def __repr__(self) -> str:
+        return f"MarkovChain(n={self.n})"

@@ -1,0 +1,201 @@
+"""Estimating temporal correlations from trajectory data.
+
+Section III-A notes that an adversary "can learn [the correlations] from
+user's historical trajectories (or the reversed trajectories) by well
+studied methods such as Maximum Likelihood estimation (supervised) or
+Baum-Welch algorithm (unsupervised)".  This module implements both so the
+Geolife-style pipeline in :mod:`repro.data.geolife` can go from raw traces
+to the transition matrices consumed by the quantification core.
+
+* :func:`mle_transition_matrix` -- supervised MLE with optional additive
+  (Dirichlet/Laplace) smoothing: count transitions, normalise rows.
+* :func:`backward_mle_transition_matrix` -- MLE on time-reversed paths,
+  directly estimating ``P_B``.
+* :func:`baum_welch` -- unsupervised EM for a hidden Markov model with
+  categorical emissions, for the case where only noisy observations of the
+  state sequence are available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from .matrix import TransitionMatrix
+
+__all__ = [
+    "mle_transition_matrix",
+    "backward_mle_transition_matrix",
+    "transition_counts",
+    "HmmParameters",
+    "baum_welch",
+]
+
+
+def transition_counts(paths: Iterable[Sequence[int]], n: int) -> np.ndarray:
+    """Count observed transitions over a collection of state-index paths."""
+    counts = np.zeros((n, n), dtype=float)
+    for path in paths:
+        path = np.asarray(path, dtype=int)
+        if path.size and (path.min() < 0 or path.max() >= n):
+            raise ValueError("path contains state index outside range(n)")
+        np.add.at(counts, (path[:-1], path[1:]), 1.0)
+    return counts
+
+
+def mle_transition_matrix(
+    paths: Iterable[Sequence[int]], n: int, smoothing: float = 0.0
+) -> TransitionMatrix:
+    """Maximum-likelihood estimate of the forward correlation ``P_F``.
+
+    Parameters
+    ----------
+    paths:
+        Iterable of state-index sequences.
+    n:
+        Number of states.
+    smoothing:
+        Additive smoothing pseudo-count per cell.  Rows never observed as a
+        source state fall back to uniform (they carry no evidence).
+    """
+    if smoothing < 0:
+        raise ValueError("smoothing must be >= 0")
+    counts = transition_counts(paths, n) + smoothing
+    row_sums = counts.sum(axis=1, keepdims=True)
+    p = np.where(row_sums > 0, counts / np.where(row_sums == 0, 1, row_sums), 1.0 / n)
+    return TransitionMatrix(p, validate=False)
+
+
+def backward_mle_transition_matrix(
+    paths: Iterable[Sequence[int]], n: int, smoothing: float = 0.0
+) -> TransitionMatrix:
+    """MLE of the backward correlation ``P_B`` from reversed trajectories.
+
+    Estimating ``Pr(l^{t-1} | l^t)`` is exactly MLE on the time-reversed
+    paths, which is how the paper suggests an adversary would obtain
+    ``P_B`` without knowing the initial distribution.
+    """
+    reversed_paths = [np.asarray(p, dtype=int)[::-1] for p in paths]
+    return mle_transition_matrix(reversed_paths, n, smoothing)
+
+
+@dataclass
+class HmmParameters:
+    """Parameters of a categorical-emission HMM fitted by Baum-Welch."""
+
+    transition: TransitionMatrix
+    emission: np.ndarray  # shape (n_states, n_symbols)
+    initial: np.ndarray  # shape (n_states,)
+    log_likelihood: float
+    iterations: int
+
+
+def _forward_backward(
+    obs: np.ndarray, a: np.ndarray, b: np.ndarray, pi: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+    """Scaled forward-backward pass; returns (alpha, beta, scales, loglik)."""
+    t_len = obs.shape[0]
+    n = a.shape[0]
+    alpha = np.zeros((t_len, n))
+    beta = np.zeros((t_len, n))
+    scales = np.zeros(t_len)
+
+    alpha[0] = pi * b[:, obs[0]]
+    scales[0] = alpha[0].sum() or 1e-300
+    alpha[0] /= scales[0]
+    for t in range(1, t_len):
+        alpha[t] = (alpha[t - 1] @ a) * b[:, obs[t]]
+        scales[t] = alpha[t].sum() or 1e-300
+        alpha[t] /= scales[t]
+
+    beta[-1] = 1.0
+    for t in range(t_len - 2, -1, -1):
+        beta[t] = (a @ (b[:, obs[t + 1]] * beta[t + 1])) / scales[t + 1]
+
+    return alpha, beta, scales, float(np.log(scales).sum())
+
+
+def baum_welch(
+    observations: Iterable[Sequence[int]],
+    n_states: int,
+    n_symbols: int,
+    *,
+    max_iter: int = 100,
+    tol: float = 1e-6,
+    seed=None,
+) -> HmmParameters:
+    """Baum-Welch EM for an HMM with categorical emissions.
+
+    Used as the *unsupervised* correlation-estimation path: when the
+    adversary only sees noisy symbols (e.g. coarse location reports), EM
+    recovers the hidden transition structure.
+
+    Parameters
+    ----------
+    observations:
+        Iterable of observation-symbol sequences (ints in ``range(n_symbols)``).
+    n_states, n_symbols:
+        Model dimensions.
+    max_iter, tol:
+        EM stopping criteria (iteration cap / log-likelihood improvement).
+    seed:
+        Seed for random initialisation.
+    """
+    rng = np.random.default_rng(seed)
+    sequences = [np.asarray(o, dtype=int) for o in observations]
+    if not sequences:
+        raise ValueError("at least one observation sequence is required")
+    for seq in sequences:
+        if seq.size < 2:
+            raise ValueError("each sequence needs length >= 2")
+        if seq.min() < 0 or seq.max() >= n_symbols:
+            raise ValueError("observation symbol outside range(n_symbols)")
+
+    a = rng.dirichlet(np.ones(n_states), size=n_states)
+    b = rng.dirichlet(np.ones(n_symbols), size=n_states)
+    pi = rng.dirichlet(np.ones(n_states))
+
+    previous_ll = -np.inf
+    iterations = 0
+    total_ll = previous_ll
+    for iterations in range(1, max_iter + 1):
+        a_num = np.zeros((n_states, n_states))
+        b_num = np.zeros((n_states, n_symbols))
+        pi_num = np.zeros(n_states)
+        gamma_sum = np.zeros(n_states)
+        total_ll = 0.0
+
+        for obs in sequences:
+            alpha, beta, scales, ll = _forward_backward(obs, a, b, pi)
+            total_ll += ll
+            gamma = alpha * beta
+            gamma /= gamma.sum(axis=1, keepdims=True)
+            pi_num += gamma[0]
+            for t in range(obs.shape[0] - 1):
+                xi = (
+                    alpha[t][:, None]
+                    * a
+                    * (b[:, obs[t + 1]] * beta[t + 1])[None, :]
+                ) / scales[t + 1]
+                a_num += xi
+            for t, symbol in enumerate(obs):
+                b_num[:, symbol] += gamma[t]
+            gamma_sum += gamma.sum(axis=0)
+
+        a = a_num / np.maximum(a_num.sum(axis=1, keepdims=True), 1e-300)
+        b = b_num / np.maximum(b_num.sum(axis=1, keepdims=True), 1e-300)
+        pi = pi_num / pi_num.sum()
+
+        if abs(total_ll - previous_ll) < tol:
+            break
+        previous_ll = total_ll
+
+    return HmmParameters(
+        transition=TransitionMatrix(a, validate=False),
+        emission=b,
+        initial=pi,
+        log_likelihood=total_ll,
+        iterations=iterations,
+    )

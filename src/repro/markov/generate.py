@@ -1,0 +1,158 @@
+"""Generators for transition matrices used throughout the experiments.
+
+The paper's evaluation (Section VI) does not estimate correlations from a
+dataset; instead it *generates* them so the degree of correlation can be
+controlled exactly:
+
+1. start from a "strongest" matrix -- one probability-1.0 cell per row,
+   in different columns (a deterministic permutation chain), and
+2. apply **Laplacian smoothing** (Eq. 25) with parameter ``s``::
+
+       p_hat[j, k] = (p[j, k] + s) / sum_u (p[j, u] + s)
+
+   Smaller ``s`` keeps the matrix closer to deterministic, i.e. a
+   *stronger* temporal correlation; ``s -> inf`` approaches the uniform
+   matrix (no correlation).
+
+This module implements that generator plus the standard corner cases
+(identity, uniform, random) used in Figures 3, 4 and 6.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from .matrix import TransitionMatrix, as_transition_matrix
+
+__all__ = [
+    "identity_matrix",
+    "uniform_matrix",
+    "permutation_matrix",
+    "strongest_matrix",
+    "laplacian_smoothing",
+    "smoothed_strongest_matrix",
+    "random_stochastic_matrix",
+    "two_state_matrix",
+    "convex_blend",
+]
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def _rng(seed: RngLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def identity_matrix(n: int) -> TransitionMatrix:
+    """The identity chain: each state deterministically repeats.
+
+    This is the "strongest" self-correlation of Examples 2/3, whose BPL/FPL
+    grows linearly forever (no supremum, Theorem 5 case 4).
+    """
+    return TransitionMatrix(np.eye(n), validate=False)
+
+
+def uniform_matrix(n: int) -> TransitionMatrix:
+    """The uniform chain: all rows equal ``1/n``; carries no information, so
+    the temporal loss functions ``L_B``/``L_F`` are identically zero."""
+    return TransitionMatrix(np.full((n, n), 1.0 / n), validate=False)
+
+
+def permutation_matrix(permutation) -> TransitionMatrix:
+    """Deterministic chain following ``permutation`` (state j -> perm[j])."""
+    permutation = np.asarray(permutation, dtype=int)
+    n = permutation.shape[0]
+    if sorted(permutation.tolist()) != list(range(n)):
+        raise ValueError("argument must be a permutation of range(n)")
+    p = np.zeros((n, n))
+    p[np.arange(n), permutation] = 1.0
+    return TransitionMatrix(p, validate=False)
+
+
+def strongest_matrix(n: int, seed: RngLike = None) -> TransitionMatrix:
+    """A "strongest correlation" matrix as described in Section VI.
+
+    Each row has exactly one cell with probability 1.0, **at a different
+    column per row** (a random permutation without fixed points when
+    possible, so rows differ maximally -- this is the configuration that
+    upper-bounds TPL as in Examples 2 and 3).
+    """
+    rng = _rng(seed)
+    if n == 1:
+        return identity_matrix(1)
+    # Draw a random derangement-ish permutation: a cyclic shift of a random
+    # permutation guarantees "different columns per row" with no fixed point.
+    order = rng.permutation(n)
+    permutation = np.empty(n, dtype=int)
+    permutation[order] = np.roll(order, 1)
+    return permutation_matrix(permutation)
+
+
+def laplacian_smoothing(matrix, s: float) -> TransitionMatrix:
+    """Laplacian smoothing, Eq. (25) of the paper.
+
+    ``s == 0`` returns the matrix unchanged; larger ``s`` pushes every row
+    toward uniform.  ``s`` must be non-negative.
+    """
+    if s < 0:
+        raise ValueError(f"smoothing parameter s must be >= 0, got {s}")
+    matrix = as_transition_matrix(matrix)
+    if s == 0:
+        return matrix
+    p = matrix.array + s
+    p = p / p.sum(axis=1, keepdims=True)
+    return TransitionMatrix(p, matrix.states, validate=False)
+
+
+def smoothed_strongest_matrix(
+    n: int, s: float, seed: RngLike = None
+) -> TransitionMatrix:
+    """The experiment generator of Section VI: strongest matrix + smoothing.
+
+    Reproduces the knob used in Figures 6 and 8: ``s`` in ``[0.005, 1]``
+    spans strong to weak correlation (comparable only at equal ``n``).
+    """
+    return laplacian_smoothing(strongest_matrix(n, seed), s)
+
+
+def random_stochastic_matrix(n: int, seed: RngLike = None) -> TransitionMatrix:
+    """Rows drawn uniformly (entries ~ U[0,1], then normalised), matching the
+    random matrices used for the runtime evaluation in Fig. 5."""
+    rng = _rng(seed)
+    p = rng.uniform(size=(n, n))
+    # A zero row is probability-zero but guard against it for robustness.
+    p += 1e-12
+    p /= p.sum(axis=1, keepdims=True)
+    return TransitionMatrix(p, validate=False)
+
+
+def two_state_matrix(q: float, d: float) -> TransitionMatrix:
+    """The 2-state matrix ``[[q, 1-q], [d, 1-d]]``.
+
+    Convenient for reproducing the paper's running examples: Fig. 4 uses
+    ``[[0.8, 0.2], [0.1, 0.9]]`` (q=0.8, d=0.1) and ``[[0.8, 0.2], [0, 1]]``
+    (q=0.8, d=0).
+    """
+    for name, value in (("q", q), ("d", d)):
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return TransitionMatrix([[q, 1.0 - q], [d, 1.0 - d]])
+
+
+def convex_blend(matrix, weight: float) -> TransitionMatrix:
+    """Blend a matrix with the uniform matrix: ``(1-w) P + w U``.
+
+    An alternative correlation-weakening knob used in ablation benchmarks;
+    ``weight = 0`` keeps ``P``; ``weight = 1`` gives the uniform matrix.
+    """
+    if not 0.0 <= weight <= 1.0:
+        raise ValueError(f"weight must be in [0, 1], got {weight}")
+    matrix = as_transition_matrix(matrix)
+    u = np.full_like(matrix.array, 1.0 / matrix.n)
+    return TransitionMatrix(
+        (1.0 - weight) * matrix.array + weight * u, matrix.states, validate=False
+    )

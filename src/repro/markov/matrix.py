@@ -1,0 +1,252 @@
+"""Validated row-stochastic transition matrices.
+
+The paper models temporal correlations with first-order, time-homogeneous
+Markov chains (Definition 3).  Both the *backward* correlation
+``P_B[j, k] = Pr(l^{t-1} = loc_k | l^t = loc_j)`` and the *forward*
+correlation ``P_F[j, k] = Pr(l^t = loc_k | l^{t-1} = loc_j)`` are ordinary
+row-stochastic matrices; only their interpretation differs.
+
+:class:`TransitionMatrix` wraps a ``numpy`` array with validation,
+hashing/equality, and the small linear-algebra helpers the rest of the
+library needs (stationary distribution, Bayesian time reversal, powers).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import InvalidTransitionMatrixError
+
+__all__ = ["TransitionMatrix", "as_transition_matrix"]
+
+#: Tolerance used when checking that each row sums to one.
+ROW_SUM_ATOL = 1e-8
+
+MatrixLike = Union["TransitionMatrix", np.ndarray, Sequence[Sequence[float]]]
+
+
+class TransitionMatrix:
+    """An ``n x n`` row-stochastic matrix with named-state support.
+
+    Parameters
+    ----------
+    probabilities:
+        Square array-like.  Every entry must lie in ``[0, 1]`` and every row
+        must sum to one (within :data:`ROW_SUM_ATOL`).
+    states:
+        Optional sequence of hashable state labels (e.g. location names).
+        Defaults to ``range(n)``.
+    validate:
+        Skip validation when the caller guarantees the invariants (used
+        internally after operations that preserve stochasticity).
+
+    Examples
+    --------
+    >>> P = TransitionMatrix([[0.8, 0.2], [0.0, 1.0]])
+    >>> P.n
+    2
+    >>> P[0, 1]
+    0.2
+    """
+
+    __slots__ = ("_p", "_states", "_state_index")
+
+    def __init__(
+        self,
+        probabilities: MatrixLike,
+        states: Optional[Sequence] = None,
+        *,
+        validate: bool = True,
+    ) -> None:
+        if isinstance(probabilities, TransitionMatrix):
+            array = probabilities._p.copy()
+            if states is None:
+                states = probabilities._states
+        else:
+            array = np.asarray(probabilities, dtype=float)
+        if validate:
+            _validate_stochastic(array)
+        array = array.copy()
+        array.setflags(write=False)
+        self._p = array
+        n = array.shape[0]
+        self._states = tuple(states) if states is not None else tuple(range(n))
+        if len(self._states) != n:
+            raise InvalidTransitionMatrixError(
+                f"{len(self._states)} state labels given for a {n}x{n} matrix"
+            )
+        if len(set(self._states)) != n:
+            raise InvalidTransitionMatrixError("state labels must be unique")
+        self._state_index = {s: i for i, s in enumerate(self._states)}
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of states (the paper's ``n = |loc|``)."""
+        return self._p.shape[0]
+
+    @property
+    def states(self) -> tuple:
+        """The state labels, in row/column order."""
+        return self._states
+
+    @property
+    def array(self) -> np.ndarray:
+        """Read-only ``numpy`` view of the probabilities."""
+        return self._p
+
+    def row(self, j: int) -> np.ndarray:
+        """Return row ``j`` (the conditional distribution out of state j)."""
+        return self._p[j]
+
+    def index_of(self, state) -> int:
+        """Map a state label to its row/column index."""
+        try:
+            return self._state_index[state]
+        except KeyError:
+            raise KeyError(f"unknown state {state!r}") from None
+
+    def __getitem__(self, key) -> float:
+        return self._p[key]
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __iter__(self) -> Iterable[np.ndarray]:
+        return iter(self._p)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TransitionMatrix):
+            return NotImplemented
+        return self._states == other._states and np.array_equal(self._p, other._p)
+
+    def __hash__(self) -> int:
+        return hash((self._states, self._p.tobytes()))
+
+    def __repr__(self) -> str:
+        rows = np.array2string(self._p, precision=4, suppress_small=True)
+        return f"TransitionMatrix(n={self.n}, states={self._states!r},\n{rows})"
+
+    # ------------------------------------------------------------------
+    # Probability helpers
+    # ------------------------------------------------------------------
+    def allclose(self, other: MatrixLike, atol: float = 1e-9) -> bool:
+        """Numerical equality with another matrix-like object."""
+        other_arr = as_transition_matrix(other).array
+        return self._p.shape == other_arr.shape and np.allclose(
+            self._p, other_arr, atol=atol
+        )
+
+    def is_identity(self, atol: float = 1e-12) -> bool:
+        """``True`` when the chain is deterministic self-looping (strongest
+        correlation of Examples 2/3)."""
+        return bool(np.allclose(self._p, np.eye(self.n), atol=atol))
+
+    def is_uniform(self, atol: float = 1e-12) -> bool:
+        """``True`` when all rows equal the uniform distribution (no
+        correlation usable by the adversary)."""
+        return bool(np.allclose(self._p, 1.0 / self.n, atol=atol))
+
+    def is_deterministic(self, atol: float = 1e-12) -> bool:
+        """``True`` when every row has a single probability-one entry."""
+        return bool(np.all(np.isclose(self._p.max(axis=1), 1.0, atol=atol)))
+
+    def power(self, k: int) -> "TransitionMatrix":
+        """The ``k``-step transition matrix ``P^k``."""
+        if k < 0:
+            raise ValueError("power must be non-negative")
+        result = np.linalg.matrix_power(self._p, k)
+        # Renormalise tiny float drift so the invariant survives large k.
+        result = result / result.sum(axis=1, keepdims=True)
+        return TransitionMatrix(result, self._states, validate=False)
+
+    def stationary_distribution(self) -> np.ndarray:
+        """A stationary distribution ``pi`` with ``pi P = pi``.
+
+        Solves the eigenproblem on ``P^T`` and returns the (normalised)
+        eigenvector for eigenvalue 1.  For reducible chains an arbitrary
+        stationary distribution is returned.
+        """
+        eigenvalues, eigenvectors = np.linalg.eig(self._p.T)
+        idx = int(np.argmin(np.abs(eigenvalues - 1.0)))
+        pi = np.real(eigenvectors[:, idx])
+        pi = np.abs(pi)
+        total = pi.sum()
+        if total <= 0:
+            raise InvalidTransitionMatrixError(
+                "failed to extract a stationary distribution"
+            )
+        return pi / total
+
+    def reverse(self, prior: Optional[np.ndarray] = None) -> "TransitionMatrix":
+        """Bayesian time reversal (Section III-A of the paper).
+
+        Given the forward correlation ``Pr(l^t | l^{t-1})`` (``self``) and a
+        prior ``Pr(l^{t-1})``, returns the backward correlation::
+
+            Pr(l^{t-1} = k | l^t = j)
+                = Pr(l^t = j | l^{t-1} = k) Pr(l^{t-1} = k) / Z_j
+
+        Parameters
+        ----------
+        prior:
+            Distribution over states at time ``t-1``.  Defaults to the
+            stationary distribution, matching the common steady-state
+            assumption.
+        """
+        if prior is None:
+            prior = self.stationary_distribution()
+        prior = np.asarray(prior, dtype=float)
+        if prior.shape != (self.n,):
+            raise ValueError(f"prior must have shape ({self.n},)")
+        if np.any(prior < 0) or not np.isclose(prior.sum(), 1.0, atol=1e-6):
+            raise ValueError("prior must be a probability distribution")
+        joint = self._p * prior[:, None]  # joint[k, j] = Pr(l^{t-1}=k, l^t=j)
+        marginal = joint.sum(axis=0)  # Pr(l^t = j)
+        if np.any(marginal <= 0):
+            # States never reached under the prior: fall back to uniform
+            # backward rows for them (the adversary has no information).
+            backward = np.full((self.n, self.n), 1.0 / self.n)
+            ok = marginal > 0
+            backward[ok, :] = (joint[:, ok] / marginal[ok]).T
+        else:
+            backward = (joint / marginal).T
+        return TransitionMatrix(backward, self._states, validate=False)
+
+
+def _validate_stochastic(array: np.ndarray) -> None:
+    """Raise :class:`InvalidTransitionMatrixError` unless ``array`` is a
+    square row-stochastic matrix."""
+    if array.ndim != 2 or array.shape[0] != array.shape[1]:
+        raise InvalidTransitionMatrixError(
+            f"transition matrix must be square, got shape {array.shape}"
+        )
+    if array.shape[0] == 0:
+        raise InvalidTransitionMatrixError("transition matrix must be non-empty")
+    if not np.all(np.isfinite(array)):
+        raise InvalidTransitionMatrixError("transition matrix has NaN/inf entries")
+    if np.any(array < 0) or np.any(array > 1):
+        raise InvalidTransitionMatrixError(
+            "transition probabilities must lie in [0, 1]"
+        )
+    row_sums = array.sum(axis=1)
+    if not np.allclose(row_sums, 1.0, atol=ROW_SUM_ATOL):
+        bad = int(np.argmax(np.abs(row_sums - 1.0)))
+        raise InvalidTransitionMatrixError(
+            f"row {bad} sums to {row_sums[bad]:.12f}, expected 1.0"
+        )
+
+
+def as_transition_matrix(value: MatrixLike, states=None) -> TransitionMatrix:
+    """Coerce arrays / nested sequences to :class:`TransitionMatrix`.
+
+    Existing :class:`TransitionMatrix` instances pass through unchanged
+    (unless new ``states`` are supplied).
+    """
+    if isinstance(value, TransitionMatrix) and states is None:
+        return value
+    return TransitionMatrix(value, states)

@@ -1,0 +1,84 @@
+"""Correlation-strength metrics for transition matrices.
+
+The experiments control correlation strength through the smoothing
+parameter ``s`` of Eq. 25, but ``s`` is "only comparable under the same
+n" (Section VI).  These metrics summarise a matrix's strength
+intrinsically, letting heterogeneous correlations be compared and giving
+a fast screen before the full leakage quantification:
+
+* :func:`dobrushin_coefficient` -- the contraction coefficient
+  ``max_{j,k} TV(P[j], P[k])``.  Zero means identical rows (no usable
+  correlation; ``L == 0``); one means some pair of rows has disjoint
+  support (the strongest case, where ``L(alpha) == alpha`` is possible).
+* :func:`spectral_gap` -- ``1 - |lambda_2|``; small gaps mean slow mixing
+  and long-lived leakage accumulation.
+* :func:`tv_from_uniform` -- mean total-variation distance of rows from
+  uniform; the knob Eq. 25 actually turns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .matrix import as_transition_matrix
+
+__all__ = [
+    "dobrushin_coefficient",
+    "spectral_gap",
+    "tv_from_uniform",
+    "is_potentially_unbounded",
+]
+
+
+def dobrushin_coefficient(matrix) -> float:
+    """``max_{j,k} 0.5 * || P[j] - P[k] ||_1`` in ``[0, 1]``.
+
+    This is exactly the quantity that controls the temporal loss
+    function: ``L(alpha) == 0`` for all alpha iff the coefficient is 0,
+    and ``L(alpha) == alpha`` (strongest correlation) requires a row pair
+    with disjoint supports, i.e. coefficient 1.
+    """
+    p = as_transition_matrix(matrix).array
+    # Pairwise L1 distances between rows, vectorised.
+    diffs = np.abs(p[:, None, :] - p[None, :, :]).sum(axis=2)
+    return float(diffs.max() / 2.0)
+
+
+def spectral_gap(matrix) -> float:
+    """``1 - |lambda_2|`` where ``lambda_2`` is the second-largest
+    eigenvalue modulus.  In ``[0, 1]``; larger gap = faster mixing."""
+    p = as_transition_matrix(matrix).array
+    eigenvalues = np.linalg.eigvals(p)
+    moduli = np.sort(np.abs(eigenvalues))[::-1]
+    if moduli.shape[0] < 2:
+        return 1.0
+    return float(max(0.0, 1.0 - moduli[1]))
+
+
+def tv_from_uniform(matrix) -> float:
+    """Mean total-variation distance of the rows from uniform."""
+    m = as_transition_matrix(matrix)
+    uniform = 1.0 / m.n
+    return float(np.abs(m.array - uniform).sum(axis=1).mean() / 2.0)
+
+
+def is_potentially_unbounded(matrix, atol: float = 1e-12) -> bool:
+    """Fast necessary-condition screen for unbounded leakage.
+
+    Theorem 5's divergent cases require a maximising pair with
+    ``d == 0``, i.e. two rows ``q, d`` where ``q`` has mass on a set on
+    which ``d`` has none.  This checks that support condition directly
+    (cheaper than running the supremum search); when it returns False,
+    every budget has a finite supremum.
+    """
+    p = as_transition_matrix(matrix).array
+    n = p.shape[0]
+    for j in range(n):
+        support_j = p[j] > atol
+        for k in range(n):
+            if j == k:
+                continue
+            # Rows j (as q) and k (as d): candidate mass where d has none.
+            if np.any(support_j & (p[k] <= atol)):
+                return True
+    return False

@@ -1,0 +1,38 @@
+"""DP-mechanism substrate: Laplace mechanism, sensitivities, the
+continuous release engine of Fig. 1 and the DP -> alpha-DP_T converters
+of Section V."""
+
+from .base import Mechanism, as_rng
+from .laplace import LaplaceMechanism, laplace_log_density
+from .sensitivity import (
+    NeighborhoodKind,
+    count_sensitivity,
+    histogram_sensitivity,
+)
+from .release import ContinuousReleaseEngine, ReleaseRecord
+from .converters import DptReleasePlan, make_dpt_engine, plan_dpt_release
+from .sampling import (
+    front_loaded_schedule,
+    max_budget_with_skips,
+    periodic_schedule,
+    schedule_leakage,
+)
+
+__all__ = [
+    "Mechanism",
+    "as_rng",
+    "LaplaceMechanism",
+    "laplace_log_density",
+    "NeighborhoodKind",
+    "count_sensitivity",
+    "histogram_sensitivity",
+    "ContinuousReleaseEngine",
+    "ReleaseRecord",
+    "DptReleasePlan",
+    "make_dpt_engine",
+    "plan_dpt_release",
+    "periodic_schedule",
+    "front_loaded_schedule",
+    "schedule_leakage",
+    "max_budget_with_skips",
+]

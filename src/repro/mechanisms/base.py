@@ -1,0 +1,73 @@
+"""Mechanism abstractions shared by the release pipeline.
+
+A :class:`Mechanism` perturbs a numeric query answer under a privacy
+budget.  The paper treats mechanisms abstractly ("any traditional DP
+mechanism"); we provide the Laplace mechanism (Theorem 1) concretely and
+keep the interface small so other noise distributions can be plugged into
+the continuous-release engine.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Union
+
+import numpy as np
+
+from ..exceptions import InvalidPrivacyParameterError
+
+__all__ = ["Mechanism", "as_rng"]
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def as_rng(seed: RngLike) -> np.random.Generator:
+    """Coerce ``None`` / int / Generator to a :class:`numpy` Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+class Mechanism(abc.ABC):
+    """A randomised mechanism ``M`` with privacy leakage ``PL0 == epsilon``.
+
+    Subclasses perturb exact query answers; the privacy guarantee is
+    epsilon-DP with respect to the query's sensitivity (Definition 1 /
+    Theorem 1).
+    """
+
+    def __init__(self, epsilon: float, sensitivity: float = 1.0) -> None:
+        if not epsilon > 0:
+            raise InvalidPrivacyParameterError(
+                f"epsilon must be > 0, got {epsilon}"
+            )
+        if not sensitivity > 0:
+            raise InvalidPrivacyParameterError(
+                f"sensitivity must be > 0, got {sensitivity}"
+            )
+        self._epsilon = float(epsilon)
+        self._sensitivity = float(sensitivity)
+
+    @property
+    def epsilon(self) -> float:
+        """The privacy budget, i.e. the traditional leakage ``PL0(M)``."""
+        return self._epsilon
+
+    @property
+    def sensitivity(self) -> float:
+        """L1 sensitivity the budget is calibrated against."""
+        return self._sensitivity
+
+    @abc.abstractmethod
+    def perturb(self, value, rng: RngLike = None) -> np.ndarray:
+        """Return a noisy version of ``value`` (scalar or array)."""
+
+    @abc.abstractmethod
+    def expected_absolute_error(self) -> float:
+        """E|noise| per released coordinate (the utility proxy of Fig. 8)."""
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(epsilon={self._epsilon:g}, "
+            f"sensitivity={self._sensitivity:g})"
+        )

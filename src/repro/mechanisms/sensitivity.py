@@ -1,0 +1,52 @@
+"""L1 sensitivity of the queries used in continuous aggregate release.
+
+Two neighbouring-database conventions appear in event-level continuous
+release, and the library supports both explicitly:
+
+* ``VALUE`` neighbours (the paper's Definition 5 setting): ``D^t`` and
+  ``D^t'`` differ in *one user's value* ``l_i^t`` vs ``l_i^t'``.  A
+  per-location count vector then changes in at most two cells (one
+  decrement, one increment) -- L1 sensitivity 2.  A *single* location's
+  count changes by at most 1 -- sensitivity 1, which is why Example 1 adds
+  ``Lap(1/eps)`` to "each count".
+* ``PRESENCE`` neighbours: one user is added/removed.  The histogram
+  changes in one cell -- sensitivity 1.
+
+:func:`histogram_sensitivity` encodes this decision table so mechanisms
+are calibrated deliberately rather than by convention.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["NeighborhoodKind", "histogram_sensitivity", "count_sensitivity"]
+
+
+class NeighborhoodKind(enum.Enum):
+    """Which pair of databases counts as neighbours at one time point."""
+
+    VALUE = "value"  # one user's value changes (paper's Definition 5)
+    PRESENCE = "presence"  # one user appears/disappears
+
+
+def count_sensitivity(kind: NeighborhoodKind = NeighborhoodKind.VALUE) -> float:
+    """Sensitivity of a *single* location-count query ``Q(D) = |{i : l_i =
+    loc}|``: 1 under both conventions (one user moves at most one unit of
+    count into or out of the cell)."""
+    if not isinstance(kind, NeighborhoodKind):
+        raise TypeError(f"expected NeighborhoodKind, got {kind!r}")
+    return 1.0
+
+
+def histogram_sensitivity(
+    kind: NeighborhoodKind = NeighborhoodKind.VALUE,
+) -> float:
+    """Sensitivity of the full count histogram released as one vector.
+
+    ``VALUE`` neighbours move one user between two cells (L1 distance 2);
+    ``PRESENCE`` neighbours toggle one cell (L1 distance 1).
+    """
+    if not isinstance(kind, NeighborhoodKind):
+        raise TypeError(f"expected NeighborhoodKind, got {kind!r}")
+    return 2.0 if kind is NeighborhoodKind.VALUE else 1.0

@@ -1,0 +1,139 @@
+"""Tests for the online TemporalPrivacyAccountant."""
+
+import numpy as np
+import pytest
+
+from repro.core import AdversaryT, TemporalPrivacyAccountant, temporal_privacy_leakage
+from repro.exceptions import InvalidPrivacyParameterError
+from repro.markov import identity_matrix, two_state_matrix, uniform_matrix
+
+
+@pytest.fixture
+def correlations(moderate_matrix):
+    return (moderate_matrix, moderate_matrix)
+
+
+class TestConstruction:
+    def test_single_pair(self, correlations):
+        acct = TemporalPrivacyAccountant(correlations)
+        assert list(acct.users) == [0]
+
+    def test_adversary_input(self, moderate_matrix):
+        adversary = AdversaryT(moderate_matrix, moderate_matrix)
+        acct = TemporalPrivacyAccountant(adversary)
+        acct.add_release(0.1)
+        assert acct.max_tpl() > 0
+
+    def test_user_mapping(self, moderate_matrix):
+        acct = TemporalPrivacyAccountant(
+            {"a": (moderate_matrix, None), "b": (None, None)}
+        )
+        assert set(acct.users) == {"a", "b"}
+
+    def test_rejects_bad_alpha(self, correlations):
+        with pytest.raises(InvalidPrivacyParameterError):
+            TemporalPrivacyAccountant(correlations, alpha=0.0)
+
+    def test_repr(self, correlations):
+        assert "releases=0" in repr(TemporalPrivacyAccountant(correlations))
+
+
+class TestStreaming:
+    def test_matches_offline_quantification(self, correlations):
+        """The online accountant equals the batch recursion at any point."""
+        acct = TemporalPrivacyAccountant(correlations)
+        budgets = [0.1, 0.2, 0.05, 0.3]
+        for eps in budgets:
+            acct.add_release(eps)
+        online = acct.profile()
+        offline = temporal_privacy_leakage(*correlations, budgets)
+        assert online.bpl == pytest.approx(offline.bpl)
+        assert online.fpl == pytest.approx(offline.fpl)
+        assert online.tpl == pytest.approx(offline.tpl)
+
+    def test_fpl_updates_retroactively(self, correlations):
+        """Example 3: a new release raises FPL (and TPL) of old points."""
+        acct = TemporalPrivacyAccountant(correlations)
+        for _ in range(3):
+            acct.add_release(0.1)
+        before = acct.profile().tpl.copy()
+        acct.add_release(0.1)
+        after = acct.profile().tpl
+        assert after[0] > before[0]
+
+    def test_max_tpl_empty(self, correlations):
+        assert TemporalPrivacyAccountant(correlations).max_tpl() == 0.0
+
+    def test_profile_empty_raises(self, correlations):
+        with pytest.raises(ValueError):
+            TemporalPrivacyAccountant(correlations).profile()
+
+    def test_rejects_negative_epsilon(self, correlations):
+        acct = TemporalPrivacyAccountant(correlations)
+        with pytest.raises(InvalidPrivacyParameterError):
+            acct.add_release(-0.1)
+
+    def test_horizon_and_epsilons(self, correlations):
+        acct = TemporalPrivacyAccountant(correlations)
+        acct.add_release(0.1)
+        acct.add_release(0.2)
+        assert acct.horizon == 2
+        assert acct.epsilons == pytest.approx([0.1, 0.2])
+
+
+class TestAlphaBound:
+    def test_rejects_release_beyond_alpha(self):
+        identity = identity_matrix(2)
+        acct = TemporalPrivacyAccountant((identity, identity), alpha=0.25)
+        acct.add_release(0.1)  # TPL 0.1
+        acct.add_release(0.1)  # TPL 0.2
+        with pytest.raises(InvalidPrivacyParameterError):
+            acct.add_release(0.1)  # would be 0.3 > 0.25
+
+    def test_rollback_preserves_state(self):
+        identity = identity_matrix(2)
+        acct = TemporalPrivacyAccountant((identity, identity), alpha=0.25)
+        acct.add_release(0.2)
+        with pytest.raises(InvalidPrivacyParameterError):
+            acct.add_release(0.2)
+        assert acct.horizon == 1
+        assert acct.max_tpl() == pytest.approx(0.2)
+        # A smaller release still fits.
+        acct.add_release(0.05)
+        assert acct.max_tpl() <= 0.25 + 1e-12
+
+    def test_remaining_alpha(self, correlations):
+        acct = TemporalPrivacyAccountant(correlations, alpha=1.0)
+        assert acct.remaining_alpha() == pytest.approx(1.0)
+        acct.add_release(0.1)
+        assert 0 < acct.remaining_alpha() < 1.0
+
+    def test_remaining_alpha_none_without_bound(self, correlations):
+        assert TemporalPrivacyAccountant(correlations).remaining_alpha() is None
+
+
+class TestMultiUser:
+    def test_max_over_users(self, moderate_matrix):
+        uniform = uniform_matrix(2)
+        acct = TemporalPrivacyAccountant(
+            {
+                "correlated": (moderate_matrix, moderate_matrix),
+                "independent": (uniform, uniform),
+            }
+        )
+        for _ in range(5):
+            acct.add_release(0.1)
+        correlated = acct.profile("correlated").max_tpl
+        independent = acct.profile("independent").max_tpl
+        assert acct.max_tpl() == pytest.approx(max(correlated, independent))
+        assert independent == pytest.approx(0.1)
+
+    def test_profile_requires_user_when_ambiguous(self, moderate_matrix):
+        acct = TemporalPrivacyAccountant(
+            {"a": (moderate_matrix, None), "b": (None, None)}
+        )
+        acct.add_release(0.1)
+        with pytest.raises(ValueError):
+            acct.profile()
+        with pytest.raises(KeyError):
+            acct.profile("zzz")

@@ -1,0 +1,71 @@
+"""Tests for the adversary models (Definitions 2/4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Adversary, AdversaryKnowledge, AdversaryT
+from repro.markov import MarkovChain, two_state_matrix
+
+
+class TestAdversary:
+    def test_traditional_adversary_leaks_epsilon(self):
+        profile = Adversary().leakage_profile([0.1, 0.2, 0.3])
+        assert profile.tpl == pytest.approx([0.1, 0.2, 0.3])
+
+    def test_knowledge_none(self):
+        assert Adversary().knowledge is AdversaryKnowledge.NONE
+
+    def test_repr(self):
+        assert "victim" in repr(Adversary(victim="u1"))
+
+
+class TestAdversaryT:
+    def test_knowledge_classification(self, moderate_matrix):
+        assert (
+            AdversaryT(moderate_matrix, moderate_matrix).knowledge
+            is AdversaryKnowledge.BOTH
+        )
+        assert (
+            AdversaryT(moderate_matrix, None).knowledge
+            is AdversaryKnowledge.BACKWARD
+        )
+        assert (
+            AdversaryT(None, moderate_matrix).knowledge
+            is AdversaryKnowledge.FORWARD
+        )
+        assert AdversaryT(None, None).knowledge is AdversaryKnowledge.NONE
+
+    def test_rejects_mismatched_domains(self, moderate_matrix):
+        with pytest.raises(ValueError):
+            AdversaryT(moderate_matrix, np.eye(3))
+
+    def test_backward_only_causes_only_bpl(self, moderate_matrix):
+        """Example 2/3's observation, via the adversary API."""
+        eps = np.full(5, 0.1)
+        profile = AdversaryT(moderate_matrix, None).leakage_profile(eps)
+        assert profile.fpl == pytest.approx(eps)
+        assert profile.bpl[-1] > 0.1
+
+    def test_both_strictly_worse_than_either(self, moderate_matrix):
+        eps = np.full(5, 0.1)
+        both = AdversaryT(moderate_matrix, moderate_matrix).leakage_profile(eps)
+        backward = AdversaryT(moderate_matrix, None).leakage_profile(eps)
+        forward = AdversaryT(None, moderate_matrix).leakage_profile(eps)
+        assert both.max_tpl > backward.max_tpl - 1e-12
+        assert both.max_tpl > forward.max_tpl - 1e-12
+
+    def test_no_knowledge_degrades_to_traditional(self):
+        eps = [0.1, 0.4]
+        a = AdversaryT(None, None)
+        assert a.leakage_profile(eps).tpl == pytest.approx(eps)
+
+    def test_from_chain(self):
+        chain = MarkovChain(two_state_matrix(0.9, 0.2))
+        adversary = AdversaryT.from_chain(chain, victim="u7")
+        assert adversary.knowledge is AdversaryKnowledge.BOTH
+        assert adversary.victim == "u7"
+        assert adversary.forward == chain.forward
+        assert adversary.backward.allclose(chain.backward())
+
+    def test_repr_mentions_knowledge(self, moderate_matrix):
+        assert "BACKWARD" in repr(AdversaryT(moderate_matrix, None))

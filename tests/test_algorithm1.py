@@ -1,0 +1,141 @@
+"""Tests for Algorithm 1 (Theorem 4 / Corollary 2 solver)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import LfpProblem, max_log_ratio, solve_lfp_algorithm1, solve_pair
+from repro.exceptions import InvalidPrivacyParameterError
+from repro.lp import solve_lfp_bruteforce
+from repro.markov import (
+    identity_matrix,
+    random_stochastic_matrix,
+    two_state_matrix,
+    uniform_matrix,
+)
+
+from conftest import alphas, transition_matrices
+
+
+class TestSolvePair:
+    def test_zero_alpha_gives_zero(self):
+        sol = solve_pair(np.array([0.9, 0.1]), np.array([0.1, 0.9]), 0.0)
+        assert sol.log_value == 0.0
+
+    def test_equal_rows_give_zero(self):
+        row = np.array([0.3, 0.7])
+        assert solve_pair(row, row, 1.0).log_value == 0.0
+
+    def test_opposite_deterministic_rows_give_alpha(self):
+        """q=(1,0), d=(0,1): the strongest pair -- L(alpha) == alpha."""
+        sol = solve_pair(np.array([1.0, 0.0]), np.array([0.0, 1.0]), 0.8)
+        assert sol.log_value == pytest.approx(0.8)
+        assert sol.q_sum == pytest.approx(1.0)
+        assert sol.d_sum == pytest.approx(0.0)
+
+    def test_known_two_state_value(self):
+        """For rows (0.8, 0.2) / (0.0, 1.0) the candidate set is {0} and
+        the Theorem-4 value is (0.8 (e^a - 1) + 1) / 1."""
+        alpha = 0.5
+        sol = solve_pair(np.array([0.8, 0.2]), np.array([0.0, 1.0]), alpha)
+        expected = math.log(0.8 * (math.exp(alpha) - 1.0) + 1.0)
+        assert sol.log_value == pytest.approx(expected)
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(InvalidPrivacyParameterError):
+            solve_pair(np.array([1.0, 0.0]), np.array([0.0, 1.0]), -0.1)
+
+    def test_deletion_loop_runs(self):
+        """A pair constructed so the initial Corollary-2 candidate set
+        contains an element violating Inequality (21) that must be
+        deleted: q_j barely above d_j with large alpha."""
+        q = np.array([0.50, 0.21, 0.29])
+        d = np.array([0.20, 0.20, 0.60])
+        sol = solve_pair(q, d, 5.0)
+        # Index 1 (0.21 vs 0.20) should be pruned at large alpha.
+        assert not sol.subset_mask[1]
+        assert sol.subset_mask[0]
+        assert sol.iterations >= 2
+
+    def test_objective_reevaluation(self):
+        q = np.array([0.8, 0.2])
+        d = np.array([0.0, 1.0])
+        sol = solve_pair(q, d, 1.0)
+        assert math.log(sol.objective(1.0)) == pytest.approx(sol.log_value)
+
+    @given(transition_matrices(), alphas())
+    def test_agrees_with_bruteforce(self, m, alpha):
+        q, d = m.array[0], m.array[-1]
+        ours = solve_pair(q, d, alpha).log_value
+        oracle = solve_lfp_bruteforce(LfpProblem(q, d, alpha))
+        assert ours == pytest.approx(oracle, abs=1e-9)
+
+    @given(transition_matrices(), alphas())
+    def test_remark1_bounds(self, m, alpha):
+        """0 <= L <= alpha (Remark 1)."""
+        value = solve_pair(m.array[0], m.array[-1], alpha).log_value
+        assert -1e-12 <= value <= alpha + 1e-9
+
+
+class TestSolveLfpAlgorithm1:
+    def test_interface_matches_solve_pair(self):
+        q = np.array([0.7, 0.3])
+        d = np.array([0.2, 0.8])
+        problem = LfpProblem(q, d, 1.2)
+        assert solve_lfp_algorithm1(problem) == pytest.approx(
+            solve_pair(q, d, 1.2).log_value
+        )
+
+
+class TestMaxLogRatio:
+    def test_uniform_matrix_is_zero(self):
+        assert max_log_ratio(uniform_matrix(5), 2.0) == 0.0
+
+    def test_identity_matrix_is_alpha(self):
+        assert max_log_ratio(identity_matrix(3), 0.7) == pytest.approx(0.7)
+
+    def test_zero_alpha_is_zero(self):
+        assert max_log_ratio(random_stochastic_matrix(4, seed=0), 0.0) == 0.0
+
+    def test_single_state_is_zero(self):
+        assert max_log_ratio([[1.0]], 3.0) == 0.0
+
+    def test_return_pair_consistency(self):
+        m = two_state_matrix(0.8, 0.0)
+        value, pair = max_log_ratio(m, 0.5, return_pair=True)
+        assert pair is not None
+        expected = (pair.q_sum * (math.exp(0.5) - 1) + 1) / (
+            pair.d_sum * (math.exp(0.5) - 1) + 1
+        )
+        assert value == pytest.approx(math.log(expected))
+
+    def test_return_pair_none_when_trivial(self):
+        value, pair = max_log_ratio(uniform_matrix(3), 1.0, return_pair=True)
+        assert value == 0.0 and pair is None
+
+    @given(transition_matrices(), alphas())
+    def test_batch_matches_per_pair_maximum(self, m, alpha):
+        """The vectorised all-pairs sweep equals the explicit loop."""
+        batch = max_log_ratio(m, alpha)
+        explicit = max(
+            solve_pair(m.array[j], m.array[k], alpha).log_value
+            for j in range(m.n)
+            for k in range(m.n)
+            if j != k
+        )
+        assert batch == pytest.approx(max(explicit, 0.0), abs=1e-9)
+
+    @given(transition_matrices())
+    def test_monotone_in_alpha(self, m):
+        values = [max_log_ratio(m, a) for a in (0.1, 0.5, 1.0, 2.0, 5.0)]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_large_alpha_saturates_at_log_q_over_d(self):
+        """As alpha -> inf the objective tends to q/d for d > 0 pairs."""
+        m = two_state_matrix(0.8, 0.1)
+        value = max_log_ratio(m, 80.0)
+        # rows: q=(0.8,0.2), d=(0.1,0.9): subset {0}, limit log(0.8/0.1)
+        assert value == pytest.approx(math.log(8.0), abs=1e-3)

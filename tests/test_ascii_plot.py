@@ -1,0 +1,62 @@
+"""Tests for the terminal chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_plot import ascii_chart
+
+
+class TestAsciiChart:
+    def test_single_series_contains_markers(self):
+        chart = ascii_chart({"bpl": [0.1, 0.2, 0.3, 0.4]})
+        assert "*" in chart
+        assert "bpl" in chart
+
+    def test_title_and_labels(self):
+        chart = ascii_chart(
+            {"a": [0.0, 1.0]}, title="My chart", y_label="TPL"
+        )
+        assert chart.splitlines()[0] == "My chart"
+        assert "TPL" in chart
+
+    def test_multiple_series_get_distinct_markers(self):
+        chart = ascii_chart({"a": [0, 1, 2], "b": [2, 1, 0]})
+        assert "* a" in chart and "o b" in chart
+
+    def test_axis_extremes_shown(self):
+        chart = ascii_chart({"a": [1.0, 5.0]})
+        assert "5" in chart and "1" in chart
+
+    def test_flat_series_renders(self):
+        chart = ascii_chart({"flat": [0.5, 0.5, 0.5]})
+        assert "*" in chart
+
+    def test_monotone_series_marker_positions_descend(self):
+        """Rising values appear on rising rows (lower row index = higher
+        value)."""
+        chart = ascii_chart({"up": [0.0, 1.0, 2.0, 3.0]}, height=8)
+        rows_with_marker = [
+            i for i, line in enumerate(chart.splitlines()) if "*" in line and "|" in line
+        ]
+        assert rows_with_marker == sorted(rows_with_marker)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [1, 2], "b": [1, 2, 3]})
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [1.0]})
+
+    def test_rejects_too_many_series(self):
+        series = {f"s{i}": [0, 1] for i in range(9)}
+        with pytest.raises(ValueError):
+            ascii_chart(series)
+
+    def test_numpy_input(self):
+        chart = ascii_chart({"a": np.linspace(0, 1, 10)})
+        assert isinstance(chart, str)

@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import load_json, save_json
+from repro.markov import identity_matrix, two_state_matrix
+
+
+@pytest.fixture
+def matrix_file(tmp_path):
+    path = tmp_path / "matrix.json"
+    save_json(two_state_matrix(0.8, 0.1), path)
+    return str(path)
+
+
+@pytest.fixture
+def identity_file(tmp_path):
+    path = tmp_path / "identity.json"
+    save_json(identity_matrix(2), path)
+    return str(path)
+
+
+class TestQuantify:
+    def test_prints_profile(self, matrix_file, capsys):
+        code = main(
+            ["quantify", "-m", matrix_file, "--epsilon", "0.1", "--horizon", "5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "worst-case TPL" in out
+        assert out.count("\n") >= 6  # header + 5 rows + summary
+
+    def test_writes_profile_json(self, matrix_file, tmp_path, capsys):
+        out_file = tmp_path / "profile.json"
+        code = main(
+            [
+                "quantify", "-m", matrix_file,
+                "--epsilon", "0.1", "--horizon", "3",
+                "-o", str(out_file),
+            ]
+        )
+        assert code == 0
+        profile = load_json(out_file)
+        assert profile.horizon == 3
+
+    def test_two_matrices(self, matrix_file, identity_file, capsys):
+        code = main(
+            [
+                "quantify",
+                "-m", matrix_file, "-m", identity_file,
+                "--epsilon", "0.1", "--horizon", "3",
+            ]
+        )
+        assert code == 0
+
+    def test_rejects_non_matrix_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format": 1, "kind": "leakage_profile",
+                                   "epsilons": [0.1], "bpl": [0.1],
+                                   "fpl": [0.1], "tpl": [0.1]}))
+        with pytest.raises(SystemExit):
+            main(["quantify", "-m", str(bad), "--epsilon", "0.1"])
+
+
+class TestSupremum:
+    def test_finite_case(self, matrix_file, capsys):
+        code = main(["supremum", "-m", matrix_file, "--epsilon", "0.23"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "supremum" in out
+        assert "0.792" in out
+
+    def test_unbounded_case(self, identity_file, capsys):
+        code = main(["supremum", "-m", identity_file, "--epsilon", "0.1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "UNBOUNDED" in out
+
+
+class TestAllocate:
+    def test_quantified(self, matrix_file, capsys):
+        code = main(
+            ["allocate", "-m", matrix_file, "--alpha", "1.0", "--horizon", "6"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verified worst-case TPL" in out
+
+    def test_writes_allocation(self, matrix_file, tmp_path, capsys):
+        out_file = tmp_path / "allocation.json"
+        code = main(
+            [
+                "allocate", "-m", matrix_file,
+                "--alpha", "1.0", "-o", str(out_file),
+            ]
+        )
+        assert code == 0
+        allocation = load_json(out_file)
+        assert allocation.alpha == pytest.approx(1.0)
+
+    def test_unbounded_correlation_reports_error(self, identity_file, capsys):
+        code = main(["allocate", "-m", identity_file, "--alpha", "1.0"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error:" in captured.err
+
+
+class TestExperiments:
+    def test_runs_named_experiment(self, capsys):
+        code = main(["experiments", "fig3", "--quick"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 3" in out

@@ -1,0 +1,124 @@
+"""Tests for Theorem 2 / Corollary 1 / Table II composition helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    sequence_tpl,
+    table2_guarantees,
+    temporal_privacy_leakage,
+    user_level_leakage,
+    w_event_leakage,
+)
+from repro.exceptions import InvalidPrivacyParameterError
+from repro.markov import identity_matrix, two_state_matrix, uniform_matrix
+
+
+@pytest.fixture
+def profile(moderate_matrix):
+    eps = np.full(6, 0.1)
+    return temporal_privacy_leakage(moderate_matrix, moderate_matrix, eps)
+
+
+class TestSequenceTpl:
+    def test_event_level_is_tpl(self, profile):
+        for t in range(1, 7):
+            assert sequence_tpl(profile, t, t) == pytest.approx(profile.tpl[t - 1])
+
+    def test_adjacent_pair_rule(self, profile):
+        """j = 1: alphaB_t + alphaF_{t+1}."""
+        assert sequence_tpl(profile, 2, 3) == pytest.approx(
+            profile.bpl[1] + profile.fpl[2]
+        )
+
+    def test_window_rule(self, profile):
+        """j >= 2: alphaB_t + alphaF_{t+j} + middle budgets."""
+        expected = profile.bpl[0] + profile.fpl[4] + profile.epsilons[1:4].sum()
+        assert sequence_tpl(profile, 1, 5) == pytest.approx(expected)
+
+    def test_rejects_bad_range(self, profile):
+        with pytest.raises(ValueError):
+            sequence_tpl(profile, 3, 2)
+        with pytest.raises(ValueError):
+            sequence_tpl(profile, 0, 1)
+        with pytest.raises(ValueError):
+            sequence_tpl(profile, 1, 7)
+
+    def test_window_leakage_at_least_event_level(self, profile):
+        """Wider windows can only leak more."""
+        assert sequence_tpl(profile, 2, 4) >= sequence_tpl(profile, 2, 2)
+        assert sequence_tpl(profile, 2, 4) >= sequence_tpl(profile, 3, 3)
+
+
+class TestCorollary1:
+    def test_user_level_equals_budget_sum(self, profile):
+        assert user_level_leakage(profile) == pytest.approx(
+            profile.epsilons.sum()
+        )
+
+    def test_user_level_correlation_free(self, moderate_matrix):
+        """Corollary 1: the same sum with or without correlations."""
+        eps = np.array([0.1, 0.3, 0.2])
+        correlated = temporal_privacy_leakage(moderate_matrix, moderate_matrix, eps)
+        independent = temporal_privacy_leakage(None, None, eps)
+        assert user_level_leakage(correlated) == pytest.approx(
+            user_level_leakage(independent)
+        )
+
+    def test_strongest_correlation_event_equals_user(self):
+        """Fig. 3's strong case blurs event- and user-level completely."""
+        identity = identity_matrix(2)
+        eps = np.full(10, 0.1)
+        profile = temporal_privacy_leakage(identity, identity, eps)
+        assert profile.max_tpl == pytest.approx(user_level_leakage(profile))
+
+
+class TestWEvent:
+    def test_w_equals_one_is_event_level(self, profile):
+        assert w_event_leakage(profile, 1) == pytest.approx(profile.max_tpl)
+
+    def test_w_equals_horizon_is_user_level(self, profile):
+        assert w_event_leakage(profile, 6) == pytest.approx(
+            user_level_leakage(profile)
+        )
+
+    def test_monotone_in_w(self, profile):
+        values = [w_event_leakage(profile, w) for w in range(1, 7)]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_rejects_bad_w(self, profile):
+        with pytest.raises(ValueError):
+            w_event_leakage(profile, 0)
+        with pytest.raises(ValueError):
+            w_event_leakage(profile, 7)
+
+
+class TestTable2:
+    def test_rows_and_levels(self, moderate_matrix):
+        rows = table2_guarantees(0.1, 10, 3, moderate_matrix, moderate_matrix)
+        assert [r.level for r in rows] == ["event-level", "3-event", "user-level"]
+
+    def test_independent_column_follows_theorem3(self, moderate_matrix):
+        rows = table2_guarantees(0.1, 10, 3, moderate_matrix, moderate_matrix)
+        assert rows[0].independent == pytest.approx(0.1)
+        assert rows[1].independent == pytest.approx(0.3)
+        assert rows[2].independent == pytest.approx(1.0)
+
+    def test_event_level_degrades_user_level_does_not(self, moderate_matrix):
+        rows = table2_guarantees(0.1, 10, 3, moderate_matrix, moderate_matrix)
+        assert rows[0].degradation > 1.0
+        assert rows[2].degradation == pytest.approx(1.0)
+
+    def test_independent_data_no_degradation(self):
+        uniform = uniform_matrix(2)
+        rows = table2_guarantees(0.1, 10, 3, uniform, uniform)
+        for row in rows:
+            assert row.degradation == pytest.approx(1.0)
+
+    def test_rejects_bad_parameters(self, moderate_matrix):
+        with pytest.raises(InvalidPrivacyParameterError):
+            table2_guarantees(0.0, 10, 3)
+        with pytest.raises(ValueError):
+            table2_guarantees(0.1, 10, 11)
+        with pytest.raises(ValueError):
+            table2_guarantees(0.1, 0, 1)

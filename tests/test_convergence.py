@@ -1,0 +1,84 @@
+"""Tests for convergence analysis: growth-phase duration and rates."""
+
+import pytest
+
+from repro.core import TemporalLossFunction
+from repro.core.convergence import contraction_rate, time_to_fraction
+from repro.exceptions import UnboundedLeakageError
+from repro.markov import identity_matrix, two_state_matrix, uniform_matrix
+
+
+class TestTimeToFraction:
+    def test_uniform_correlation_reaches_instantly(self):
+        assert time_to_fraction(uniform_matrix(3), 0.5) == 1
+
+    def test_fig6_claim_smaller_epsilon_longer_growth(self):
+        """The paper's Fig. 6 observation: eps=0.1 stretches the growth
+        phase roughly 10x relative to eps=1."""
+        m = two_state_matrix(0.95, 0.05)
+        fast = time_to_fraction(m, 1.0, 0.95)
+        slow = time_to_fraction(m, 0.1, 0.95)
+        assert slow > 3 * fast
+
+    def test_stronger_correlation_longer_growth(self):
+        eps = 0.5
+        strong = time_to_fraction(two_state_matrix(0.95, 0.05), eps, 0.95)
+        weak = time_to_fraction(two_state_matrix(0.6, 0.4), eps, 0.95)
+        assert strong > weak
+
+    def test_unbounded_raises(self):
+        with pytest.raises(UnboundedLeakageError):
+            time_to_fraction(identity_matrix(2), 0.1)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            time_to_fraction(uniform_matrix(2), 0.5, fraction=1.0)
+
+    def test_consistent_with_direct_iteration(self):
+        m = two_state_matrix(0.8, 0.1)
+        eps, fraction = 0.3, 0.9
+        t = time_to_fraction(m, eps, fraction)
+        loss = TemporalLossFunction(m)
+        series = loss.iterate(eps, t)
+        from repro.core import leakage_supremum
+
+        target = fraction * leakage_supremum(m, eps)
+        assert series[-1] >= target
+        if t > 1:
+            assert series[-2] < target
+
+
+class TestContractionRate:
+    def test_uniform_rate_is_zero(self):
+        assert contraction_rate(uniform_matrix(3), 0.5) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_rate_in_unit_interval(self):
+        rate = contraction_rate(two_state_matrix(0.9, 0.1), 0.3)
+        assert 0.0 <= rate < 1.0
+
+    def test_stronger_correlation_higher_rate(self):
+        eps = 0.3
+        strong = contraction_rate(two_state_matrix(0.95, 0.02), eps)
+        weak = contraction_rate(two_state_matrix(0.6, 0.4), eps)
+        assert strong > weak
+
+    def test_rate_predicts_growth_duration(self):
+        """Durations ordered consistently with 1 / -log(rate)."""
+        import math
+
+        eps = 0.5
+        matrices = [
+            two_state_matrix(0.95, 0.05),
+            two_state_matrix(0.8, 0.15),
+            two_state_matrix(0.6, 0.35),
+        ]
+        durations = [time_to_fraction(m, eps, 0.95) for m in matrices]
+        scales = [1.0 / -math.log(contraction_rate(m, eps)) for m in matrices]
+        assert sorted(durations, reverse=True) == durations
+        assert sorted(scales, reverse=True) == scales
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            contraction_rate(uniform_matrix(2), 0.5, delta=0.0)

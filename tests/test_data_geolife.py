@@ -1,0 +1,122 @@
+"""Tests for the Geolife-like GPS substitution pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BEIJING_BBOX,
+    GpsTrace,
+    Grid,
+    generate_gps_traces,
+    geolife_like_dataset,
+)
+
+
+class TestGpsTrace:
+    def test_construction(self):
+        t = GpsTrace("u", [39.9, 39.91], [116.3, 116.31])
+        assert t.length == 2
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            GpsTrace("u", [39.9], [116.3, 116.4])
+
+    def test_arrays_read_only(self):
+        t = GpsTrace("u", [39.9], [116.3])
+        with pytest.raises(ValueError):
+            t.latitudes[0] = 0.0
+
+
+class TestGrid:
+    def test_n_cells(self):
+        assert Grid(rows=4, cols=6).n_cells == 24
+
+    def test_corner_cells(self):
+        lat_min, lat_max, lon_min, lon_max = BEIJING_BBOX
+        grid = Grid(rows=3, cols=3)
+        assert grid.cell_of(lat_min, lon_min) == 0
+        assert grid.cell_of(lat_max, lon_max) == 8
+
+    def test_out_of_box_clamps(self):
+        grid = Grid(rows=3, cols=3)
+        assert grid.cell_of(0.0, 0.0) == 0
+        assert grid.cell_of(90.0, 180.0) == 8
+
+    def test_cell_center_roundtrip(self):
+        grid = Grid(rows=5, cols=5)
+        for cell in (0, 7, 24):
+            lat, lon = grid.cell_center(cell)
+            assert grid.cell_of(lat, lon) == cell
+
+    def test_cell_center_bounds(self):
+        with pytest.raises(ValueError):
+            Grid(rows=2, cols=2).cell_center(4)
+
+    def test_rejects_degenerate_bbox(self):
+        with pytest.raises(ValueError):
+            Grid(bbox=(1.0, 1.0, 0.0, 1.0))
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ValueError):
+            Grid(rows=0, cols=3)
+
+    def test_discretize(self):
+        grid = Grid(rows=3, cols=3)
+        trace = generate_gps_traces(1, 20, seed=0)[0]
+        trajectory = grid.discretize(trace)
+        assert trajectory.horizon == 20
+        assert trajectory.states.max() < grid.n_cells
+
+
+class TestGenerateTraces:
+    def test_shapes_and_bounds(self):
+        traces = generate_gps_traces(3, 50, seed=1)
+        assert len(traces) == 3
+        lat_min, lat_max, lon_min, lon_max = BEIJING_BBOX
+        for trace in traces:
+            assert trace.length == 50
+            assert np.all((lat_min <= trace.latitudes) & (trace.latitudes <= lat_max))
+            assert np.all((lon_min <= trace.longitudes) & (trace.longitudes <= lon_max))
+
+    def test_reproducible(self):
+        a = generate_gps_traces(2, 10, seed=5)[0]
+        b = generate_gps_traces(2, 10, seed=5)[0]
+        assert np.array_equal(a.latitudes, b.latitudes)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            generate_gps_traces(0, 10)
+        with pytest.raises(ValueError):
+            generate_gps_traces(1, 0)
+
+    def test_traces_are_temporally_smooth(self):
+        """Consecutive fixes stay close -- the property that induces the
+        diagonal-dominant transition matrices the paper relies on."""
+        trace = generate_gps_traces(1, 200, seed=2)[0]
+        steps = np.hypot(
+            np.diff(trace.latitudes), np.diff(trace.longitudes)
+        )
+        box_diag = np.hypot(
+            BEIJING_BBOX[1] - BEIJING_BBOX[0], BEIJING_BBOX[3] - BEIJING_BBOX[2]
+        )
+        assert np.median(steps) < 0.2 * box_diag
+
+
+class TestGeolifePipeline:
+    def test_end_to_end(self):
+        grid = Grid(rows=3, cols=3)
+        dataset, backward, forward = geolife_like_dataset(
+            n_users=5, length=100, grid=grid, seed=0
+        )
+        assert dataset.n_users == 5
+        assert dataset.n_states == 9
+        assert backward.n == forward.n == 9
+        assert np.allclose(forward.array.sum(axis=1), 1.0)
+
+    def test_estimated_matrix_is_self_correlated(self):
+        """Commuting traces must yield strong self-transitions -- the
+        temporal correlation the whole framework quantifies."""
+        _, _, forward = geolife_like_dataset(
+            n_users=10, length=200, seed=3
+        )
+        assert np.mean(np.diag(forward.array)) > 0.3

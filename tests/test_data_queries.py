@@ -1,0 +1,58 @@
+"""Tests for snapshot queries (histogram / single count)."""
+
+import numpy as np
+import pytest
+
+from repro.data import CountQuery, HistogramQuery
+from repro.mechanisms import NeighborhoodKind
+
+
+class TestHistogramQuery:
+    def test_counts(self):
+        q = HistogramQuery(4)
+        snapshot = np.array([0, 0, 2, 3, 3, 3])
+        assert q(snapshot).tolist() == [2, 0, 1, 3]
+
+    def test_empty_snapshot(self):
+        q = HistogramQuery(3)
+        assert q(np.array([], dtype=int)).tolist() == [0, 0, 0]
+
+    def test_sensitivity_by_neighborhood(self):
+        assert HistogramQuery(3).sensitivity == 2.0
+        assert (
+            HistogramQuery(3, kind=NeighborhoodKind.PRESENCE).sensitivity == 1.0
+        )
+
+    def test_rejects_out_of_domain(self):
+        with pytest.raises(ValueError):
+            HistogramQuery(2)(np.array([0, 5]))
+
+    def test_rejects_bad_n_states(self):
+        with pytest.raises(ValueError):
+            HistogramQuery(0)
+
+
+class TestCountQuery:
+    def test_single_location_count(self):
+        q = CountQuery(4, location=2)
+        assert float(q(np.array([2, 2, 0, 1]))) == 2.0
+
+    def test_sensitivity_is_one(self):
+        assert CountQuery(4, 0).sensitivity == 1.0
+        assert CountQuery(4, 0, kind=NeighborhoodKind.PRESENCE).sensitivity == 1.0
+
+    def test_location_property(self):
+        assert CountQuery(4, 3).location == 3
+
+    def test_rejects_bad_location(self):
+        with pytest.raises(ValueError):
+            CountQuery(4, 4)
+        with pytest.raises(ValueError):
+            CountQuery(4, -1)
+
+    def test_histogram_consistency(self):
+        """Summing CountQuery over locations equals HistogramQuery."""
+        snapshot = np.array([0, 1, 1, 2, 2, 2])
+        histogram = HistogramQuery(3)(snapshot)
+        per_location = [float(CountQuery(3, j)(snapshot)) for j in range(3)]
+        assert histogram.tolist() == per_location

@@ -1,0 +1,97 @@
+"""Tests for the road-network mobility model and the Example-1 data."""
+
+import numpy as np
+import pytest
+
+from repro.data import RoadNetwork, example1_dataset, example1_network
+
+
+class TestRoadNetwork:
+    def test_basic_construction(self):
+        net = RoadNetwork(["a", "b"], [("a", "b"), ("b", "a"), ("a", "a")])
+        assert net.n == 2
+        assert net.adjacency[0, 1]
+
+    def test_rejects_duplicate_locations(self):
+        with pytest.raises(ValueError):
+            RoadNetwork(["a", "a"], [("a", "a")])
+
+    def test_rejects_dead_ends(self):
+        with pytest.raises(ValueError, match="no outgoing edge"):
+            RoadNetwork(["a", "b"], [("a", "b")])
+
+    def test_rejects_unknown_edge_endpoint(self):
+        with pytest.raises(KeyError):
+            RoadNetwork(["a"], [("a", "z")])
+
+    def test_mobility_matrix_uniform_over_neighbors(self):
+        net = RoadNetwork(
+            ["a", "b", "c"],
+            [("a", "b"), ("a", "c"), ("b", "a"), ("c", "a")],
+        )
+        m = net.mobility_matrix()
+        assert m.row(0) == pytest.approx([0.0, 0.5, 0.5])
+        assert m.row(1) == pytest.approx([1.0, 0.0, 0.0])
+
+    def test_mobility_matrix_stay_probability(self):
+        net = RoadNetwork(["a", "b"], [("a", "b"), ("b", "a")])
+        m = net.mobility_matrix(stay_probability=0.4)
+        assert m.row(0) == pytest.approx([0.4, 0.6])
+
+    def test_mobility_matrix_weights(self):
+        net = RoadNetwork(
+            ["a", "b", "c"],
+            [("a", "b"), ("a", "c"), ("b", "a"), ("c", "a")],
+        )
+        weights = np.zeros((3, 3))
+        weights[0, 1] = 3.0
+        weights[0, 2] = 1.0
+        weights[1, 0] = 1.0
+        weights[2, 0] = 1.0
+        m = net.mobility_matrix(weights=weights)
+        assert m.row(0) == pytest.approx([0.0, 0.75, 0.25])
+
+    def test_weights_must_respect_edges(self):
+        net = RoadNetwork(["a", "b"], [("a", "b"), ("b", "a")])
+        bad = np.ones((2, 2))  # weight on non-edges (self-loops)
+        with pytest.raises(ValueError):
+            net.mobility_matrix(weights=bad)
+
+    def test_chain_roundtrip(self):
+        net = RoadNetwork(["a", "b"], [("a", "b"), ("b", "a"), ("b", "b")])
+        chain = net.chain(stay_probability=0.1)
+        assert chain.n == 2
+
+    def test_networkx_export(self):
+        pytest.importorskip("networkx")
+        net = example1_network()
+        graph = net.to_networkx()
+        assert graph.number_of_nodes() == 5
+        assert graph.has_edge("loc4", "loc5")
+
+
+class TestExample1Fixtures:
+    def test_network_has_the_deterministic_pattern(self):
+        net = example1_network()
+        m = net.mobility_matrix()
+        i4, i5 = net.locations.index("loc4"), net.locations.index("loc5")
+        # "always arriving at loc5 after visiting loc4"
+        assert m[i4, i5] == pytest.approx(1.0)
+
+    def test_dataset_matches_fig1a(self):
+        ds = example1_dataset()
+        assert ds.n_users == 4
+        assert ds.horizon == 3
+        # Fig. 1(c): true counts at t=1 are (0, 2, 1, 1, 0).
+        assert ds.counts(1).tolist() == [0, 2, 1, 1, 0]
+        assert ds.counts(2).tolist() == [2, 0, 0, 1, 1]
+        assert ds.counts(3).tolist() == [2, 0, 1, 0, 1]
+
+    def test_dataset_trajectories_follow_network(self):
+        """Every observed move in Fig. 1(a) is an edge of Fig. 1(b)."""
+        net = example1_network()
+        ds = example1_dataset()
+        adjacency = net.adjacency
+        for path in ds.paths():
+            for src, dst in zip(path[:-1], path[1:]):
+                assert adjacency[src, dst], (src, dst)

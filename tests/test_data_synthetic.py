@@ -1,0 +1,76 @@
+"""Tests for the synthetic Markov population generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_population, population_correlations
+from repro.markov import MarkovChain, two_state_matrix, uniform_matrix
+
+
+@pytest.fixture
+def chain():
+    return MarkovChain(two_state_matrix(0.9, 0.1))
+
+
+class TestGeneratePopulation:
+    def test_shared_chain(self, chain):
+        ds = generate_population(chain, n_users=10, horizon=5, seed=0)
+        assert ds.n_users == 10
+        assert ds.horizon == 5
+        assert ds.n_states == 2
+
+    def test_requires_n_users_for_shared_chain(self, chain):
+        with pytest.raises(ValueError):
+            generate_population(chain, horizon=5)
+
+    def test_personalised_chains(self, chain):
+        other = MarkovChain(uniform_matrix(2))
+        ds = generate_population({"a": chain, "b": other}, horizon=4, seed=0)
+        assert ds.n_users == 2
+        assert {t.user_id for t in ds.trajectories} == {"a", "b"}
+
+    def test_rejects_conflicting_n_users(self, chain):
+        with pytest.raises(ValueError):
+            generate_population({"a": chain}, n_users=3, horizon=4)
+
+    def test_rejects_mixed_domains(self, chain):
+        with pytest.raises(ValueError):
+            generate_population(
+                {"a": chain, "b": MarkovChain(uniform_matrix(3))}, horizon=4
+            )
+
+    def test_reproducible(self, chain):
+        a = generate_population(chain, n_users=5, horizon=6, seed=3)
+        b = generate_population(chain, n_users=5, horizon=6, seed=3)
+        assert np.array_equal(a.count_series(), b.count_series())
+
+    def test_statistics_follow_chain(self, chain):
+        """Self-transition frequency approaches the chain parameter."""
+        ds = generate_population(chain, n_users=200, horizon=50, seed=1)
+        paths = np.stack(ds.paths())
+        from_zero = paths[:, :-1] == 0
+        stays = np.mean(paths[:, 1:][from_zero] == 0)
+        assert stays == pytest.approx(0.9, abs=0.02)
+
+    def test_state_labels_forwarded(self, chain):
+        ds = generate_population(
+            chain, n_users=2, horizon=2, seed=0, state_labels=["x", "y"]
+        )
+        assert ds.state_labels == ("x", "y")
+
+
+class TestPopulationCorrelations:
+    def test_shared_chain_pairs(self, chain):
+        pairs = population_correlations(chain, n_users=3)
+        assert set(pairs) == {0, 1, 2}
+        backward, forward = pairs[0]
+        assert forward == chain.forward
+        assert backward.allclose(chain.backward())
+
+    def test_personalised_pairs(self, chain):
+        pairs = population_correlations({"a": chain})
+        assert set(pairs) == {"a"}
+
+    def test_requires_n_users(self, chain):
+        with pytest.raises(ValueError):
+            population_correlations(chain)

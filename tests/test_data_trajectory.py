@@ -1,0 +1,112 @@
+"""Tests for Trajectory / TrajectoryDataset containers."""
+
+import numpy as np
+import pytest
+
+from repro.data import Trajectory, TrajectoryDataset
+
+
+@pytest.fixture
+def dataset():
+    return TrajectoryDataset(
+        [
+            Trajectory("u1", [0, 1, 1]),
+            Trajectory("u2", [2, 2, 0]),
+            Trajectory("u3", [1, 0, 2]),
+        ],
+        n_states=3,
+        state_labels=["a", "b", "c"],
+    )
+
+
+class TestTrajectory:
+    def test_basics(self):
+        t = Trajectory("u", [0, 1, 2])
+        assert t.horizon == 3 == len(t)
+        assert t.state_at(1) == 0 and t.state_at(3) == 2
+
+    def test_state_at_bounds(self):
+        t = Trajectory("u", [0, 1])
+        with pytest.raises(IndexError):
+            t.state_at(0)
+        with pytest.raises(IndexError):
+            t.state_at(3)
+
+    def test_states_read_only(self):
+        t = Trajectory("u", [0, 1])
+        with pytest.raises(ValueError):
+            t.states[0] = 5
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            Trajectory("u", [[0, 1], [1, 0]])
+
+
+class TestTrajectoryDataset:
+    def test_shape_properties(self, dataset):
+        assert dataset.n_users == 3 == len(dataset)
+        assert dataset.horizon == 3
+        assert dataset.n_states == 3
+        assert dataset.state_labels == ("a", "b", "c")
+
+    def test_snapshot(self, dataset):
+        assert dataset.snapshot(1).tolist() == [0, 2, 1]
+        assert dataset.snapshot(3).tolist() == [1, 0, 2]
+
+    def test_snapshot_bounds(self, dataset):
+        with pytest.raises(IndexError):
+            dataset.snapshot(0)
+        with pytest.raises(IndexError):
+            dataset.snapshot(4)
+
+    def test_counts(self, dataset):
+        assert dataset.counts(1).tolist() == [1, 1, 1]
+        assert dataset.counts(2).tolist() == [1, 1, 1]
+
+    def test_count_series_shape_and_mass(self, dataset):
+        series = dataset.count_series()
+        assert series.shape == (3, 3)
+        assert np.all(series.sum(axis=1) == 3)
+
+    def test_paths_roundtrip(self, dataset):
+        paths = dataset.paths()
+        assert len(paths) == 3
+        assert paths[0].tolist() == [0, 1, 1]
+
+    def test_without_user(self, dataset):
+        smaller = dataset.without_user("u2")
+        assert smaller.n_users == 2
+        assert smaller.snapshot(1).tolist() == [0, 1]
+
+    def test_without_user_unknown(self, dataset):
+        with pytest.raises(KeyError):
+            dataset.without_user("zzz")
+
+    def test_without_only_user(self):
+        ds = TrajectoryDataset([Trajectory("u", [0])])
+        with pytest.raises(ValueError):
+            ds.without_user("u")
+
+    def test_rejects_mismatched_horizons(self):
+        with pytest.raises(ValueError):
+            TrajectoryDataset(
+                [Trajectory("a", [0, 1]), Trajectory("b", [0])]
+            )
+
+    def test_rejects_duplicate_users(self):
+        with pytest.raises(ValueError):
+            TrajectoryDataset(
+                [Trajectory("a", [0]), Trajectory("a", [1])]
+            )
+
+    def test_rejects_out_of_range_state(self):
+        with pytest.raises(ValueError):
+            TrajectoryDataset([Trajectory("a", [5])], n_states=2)
+
+    def test_infers_n_states(self):
+        ds = TrajectoryDataset([Trajectory("a", [0, 4])])
+        assert ds.n_states == 5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TrajectoryDataset([])

@@ -1,0 +1,29 @@
+"""Smoke tests: every shipped example runs to completion.
+
+The examples contain their own assertions (guarantee checks), so a clean
+run is a meaningful end-to-end test of the public API.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_populated():
+    assert len(EXAMPLES) >= 3, "the deliverable requires >= 3 examples"
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+)
+def test_example_runs(script, capsys, monkeypatch):
+    # Run as __main__ so the `if __name__ == "__main__":` body executes.
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"

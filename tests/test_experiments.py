@@ -1,0 +1,229 @@
+"""Integration tests: every experiment regenerates the paper's numbers.
+
+These are the repository's reproduction claims in executable form: exact
+value matches where the paper annotates numbers (Fig. 3), closed-form
+suprema (Fig. 4), ordering/shape claims elsewhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    example1,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    run_experiment,
+    table2,
+)
+
+
+class TestFig3:
+    def test_moderate_bpl_matches_annotated_values(self):
+        result = fig3.run()
+        assert np.round(result.bpl["moderate"], 2) == pytest.approx(
+            fig3.PAPER_MODERATE_BPL
+        )
+
+    def test_fpl_is_time_reversed_bpl(self):
+        result = fig3.run()
+        for regime in ("strong", "moderate", "none"):
+            assert result.fpl[regime] == pytest.approx(result.bpl[regime][::-1])
+
+    def test_strong_regime_is_linear(self):
+        result = fig3.run()
+        assert result.bpl["strong"] == pytest.approx(0.1 * np.arange(1, 11))
+
+    def test_none_regime_is_flat(self):
+        result = fig3.run()
+        assert result.tpl["none"] == pytest.approx(np.full(10, 0.1))
+
+    def test_format_table_mentions_panels(self):
+        text = fig3.format_table(fig3.run())
+        for token in ("BPL", "FPL", "TPL", "moderate"):
+            assert token in text
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig4.run(horizon=100)
+
+    def test_case_a_linear_no_supremum(self, result):
+        case = result.cases[0]
+        assert case.supremum is None
+        assert case.bpl[-1] == pytest.approx(0.23 * 100)
+
+    def test_case_b_unbounded_but_sublinear(self, result):
+        case = result.cases[1]
+        assert case.supremum is None
+        assert case.bpl[-1] > 3.0  # keeps growing past the (c) plateau
+
+    def test_case_c_supremum_value(self, result):
+        case = result.cases[2]
+        assert case.supremum == pytest.approx(1.1922, abs=1e-4)
+        assert case.bpl[-1] <= case.supremum
+
+    def test_case_d_supremum_value(self, result):
+        case = result.cases[3]
+        assert case.supremum == pytest.approx(0.7923, abs=1e-4)
+        # Convergence: by t=100 the recursion reaches the supremum.
+        assert case.bpl[-1] == pytest.approx(case.supremum, abs=1e-6)
+
+    def test_series_monotone(self, result):
+        for case in result.cases:
+            assert np.all(np.diff(case.bpl) >= -1e-12)
+
+    def test_format_table(self, result):
+        text = fig4.format_table(result)
+        assert "supremum" in text and "none" in text
+
+
+class TestFig5:
+    def test_vs_n_algorithm1_beats_generic(self):
+        result = fig5.run_vs_n(n_values=(10, 20), baseline_cap=20, seed=1)
+        for n in (10.0, 20.0):
+            a1 = next(p for p in result.series("algorithm1") if p.x == n)
+            simplex = next(p for p in result.series("simplex") if p.x == n)
+            assert a1.seconds < simplex.seconds
+            assert a1.log_value == pytest.approx(simplex.log_value, abs=1e-6)
+
+    def test_vs_alpha_values_agree(self):
+        result = fig5.run_vs_alpha(alpha_values=(0.1, 1.0), n=15, seed=1)
+        for alpha in (0.1, 1.0):
+            values = {
+                p.solver: p.log_value
+                for p in result.points
+                if p.x == alpha
+            }
+            baseline = values["algorithm1"]
+            for solver, value in values.items():
+                assert value == pytest.approx(baseline, abs=1e-6), solver
+
+    def test_baseline_cap_respected(self):
+        result = fig5.run_vs_n(n_values=(10, 30), baseline_cap=10, seed=1)
+        assert all(p.x <= 10 for p in result.series("simplex"))
+        assert any(p.x == 30 for p in result.series("algorithm1"))
+
+
+class TestFig6:
+    def test_stronger_correlation_leaks_more(self):
+        result = fig6.run(epsilon=1.0, horizon=10, seed=3)
+        by_label = {s.label: np.asarray(s.y) for s in result.series}
+        strongest = by_label["s=0.0 (n=50)"]
+        weak = by_label["s=0.05 (n=50)"]
+        assert strongest[-1] > weak[-1]
+
+    def test_larger_domain_weakens_correlation(self):
+        result = fig6.run(epsilon=1.0, horizon=10, seed=3)
+        by_label = {s.label: np.asarray(s.y) for s in result.series}
+        assert by_label["s=0.005 (n=50)"][-1] > by_label["s=0.005 (n=200)"][-1]
+
+    def test_smaller_epsilon_delays_growth(self):
+        """The paper's Fig. 6(a) vs (b): at eps=0.1 the leakage after 8
+        steps is far from its plateau, while at eps=1 it is close."""
+        fast = fig6.run(epsilon=1.0, horizon=40, configs=((0.005, 20),), seed=5)
+        slow = fig6.run(epsilon=0.1, horizon=40, configs=((0.005, 20),), seed=5)
+        fast_y = np.asarray(fast.series[0].y)
+        slow_y = np.asarray(slow.series[0].y)
+        fast_progress = fast_y[7] / fast_y[-1]
+        slow_progress = slow_y[7] / slow_y[-1]
+        assert fast_progress > slow_progress
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig7.run()
+
+    def test_algorithm3_exact(self, result):
+        assert result.profile3.tpl == pytest.approx(np.full(30, 1.0), rel=1e-6)
+
+    def test_algorithm2_below_but_converging(self, result):
+        assert result.profile2.max_tpl < 1.0
+        assert result.profile2.max_tpl > 0.99  # tight for T=30
+
+    def test_algorithm3_spends_more(self, result):
+        assert (
+            result.allocation3.total_budget(30)
+            > result.allocation2.total_budget(30)
+        )
+
+    def test_format_table(self, result):
+        text = fig7.format_table(result)
+        assert "Algorithm 2" in text and "Algorithm 3" in text
+
+
+class TestFig8:
+    def test_algorithm3_wins_at_short_horizons(self):
+        result = fig8.run_vs_horizon(horizons=(5, 10), n=10, s=0.01)
+        for n2, n3 in zip(result.noise2, result.noise3):
+            assert n3 < n2
+
+    def test_noise_decreases_with_weaker_correlation(self):
+        result = fig8.run_vs_correlation(s_values=(0.01, 1.0), n=10)
+        assert result.noise3[0] > result.noise3[-1]
+        assert result.noise2[0] > result.noise2[-1]
+
+    def test_reference_is_lower_bound(self):
+        result = fig8.run_vs_correlation(s_values=(0.01, 1.0), n=10)
+        assert all(n >= result.reference for n in result.noise2 + result.noise3)
+
+
+class TestTable2:
+    def test_runs_and_formats(self):
+        result = table2.run()
+        text = table2.format_table(result)
+        assert "event-level" in text and "user-level" in text
+
+    def test_event_degrades_user_does_not(self):
+        result = table2.run()
+        assert result.rows[0].degradation > 1.0
+        assert result.rows[2].degradation == pytest.approx(1.0)
+
+
+class TestExample1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return example1.run(epsilon=1.0, seed=0)
+
+    def test_counts_match_fig1c(self, result):
+        assert result.records[0].true_answer.tolist() == [0, 2, 1, 1, 0]
+
+    def test_leakage_exceeds_promise(self, result):
+        assert result.profile.max_tpl > result.epsilon
+
+    def test_identity_reaches_t_epsilon(self, result):
+        horizon = result.dataset.horizon
+        assert result.identity_profile.tpl == pytest.approx(
+            np.full(horizon, horizon * result.epsilon)
+        )
+
+    def test_format_table(self, result):
+        assert "loc1" in example1.format_table(result)
+
+
+class TestRunner:
+    def test_registry_is_complete(self):
+        assert set(EXPERIMENTS) == {
+            "example1",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "table2",
+        }
+
+    def test_run_experiment_quick(self):
+        text = run_experiment("fig3", quick=True)
+        assert "Figure 3" in text
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")

@@ -1,0 +1,119 @@
+"""Full-stack integration tests: data -> estimation -> quantification ->
+allocation -> release -> verification.
+
+Each test exercises a realistic end-to-end scenario across at least four
+packages, the way a downstream user would compose the library.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import records_mae
+from repro.core import (
+    TemporalPrivacyAccountant,
+    allocate_personalized,
+    temporal_privacy_leakage,
+)
+from repro.data import (
+    Grid,
+    HistogramQuery,
+    generate_population,
+    geolife_like_dataset,
+    population_correlations,
+)
+from repro.markov import (
+    MarkovChain,
+    dobrushin_coefficient,
+    mle_transition_matrix,
+    two_state_matrix,
+)
+from repro.mechanisms import make_dpt_engine, plan_dpt_release
+
+
+class TestGeolifePipeline:
+    """Synthetic Geolife traces all the way to a verified bounded release."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        grid = Grid(rows=3, cols=3)
+        dataset, backward, forward = geolife_like_dataset(
+            n_users=12, length=120, grid=grid, seed=7, smoothing=0.05
+        )
+        return dataset, backward, forward
+
+    def test_estimated_correlations_are_informative(self, pipeline):
+        _, backward, forward = pipeline
+        assert dobrushin_coefficient(forward) > 0.3
+        assert dobrushin_coefficient(backward) > 0.3
+
+    def test_naive_release_leaks_more_than_promised(self, pipeline):
+        _, backward, forward = pipeline
+        epsilon = 0.2
+        profile = temporal_privacy_leakage(
+            backward, forward, np.full(20, epsilon)
+        )
+        assert profile.max_tpl > 2 * epsilon
+
+    def test_bounded_release_end_to_end(self, pipeline):
+        dataset, backward, forward = pipeline
+        alpha = 1.5
+        engine = make_dpt_engine(
+            HistogramQuery(dataset.n_states),
+            (backward, forward),
+            alpha=alpha,
+            seed=0,
+        )
+        # Release a 20-step window of the dataset.
+        records = [
+            engine.release_one(dataset.snapshot(t), t, eps)
+            for t, eps in zip(
+                range(1, 21), engine._epsilons_for(20)
+            )
+        ]
+        assert len(records) == 20
+        assert engine.accountant.max_tpl() <= alpha * (1 + 1e-6)
+        assert records_mae(records) > 0.0
+
+
+class TestEstimateThenAudit:
+    """Learn the adversary's model from sampled data, then audit with it."""
+
+    def test_mle_audit_matches_ground_truth_audit(self):
+        truth = two_state_matrix(0.85, 0.2)
+        chain = MarkovChain(truth)
+        paths = chain.sample_paths(50, 400, seed=3)
+        estimated = mle_transition_matrix(paths, n=2)
+        eps = np.full(10, 0.2)
+        audit_est = temporal_privacy_leakage(estimated, estimated, eps)
+        audit_true = temporal_privacy_leakage(truth, truth, eps)
+        assert audit_est.max_tpl == pytest.approx(
+            audit_true.max_tpl, rel=0.05
+        )
+
+
+class TestPersonalizedPopulationRelease:
+    """Per-user budgets over a heterogeneous simulated population."""
+
+    def test_every_persona_hits_its_own_target(self):
+        chains = {
+            "habitual": MarkovChain(two_state_matrix(0.95, 0.05)),
+            "erratic": MarkovChain(two_state_matrix(0.55, 0.45)),
+        }
+        correlations = population_correlations(chains)
+        targets = {"habitual": 0.8, "erratic": 1.6}
+        allocation = allocate_personalized(correlations, targets)
+        assert allocation.satisfies(correlations, horizon=12)
+        profiles = allocation.verify(correlations, horizon=12)
+        for user, alpha in targets.items():
+            assert profiles[user].max_tpl == pytest.approx(alpha, rel=1e-6)
+
+    def test_population_release_with_shared_accountant(self):
+        chain = MarkovChain(two_state_matrix(0.9, 0.1))
+        dataset = generate_population(chain, n_users=30, horizon=8, seed=5)
+        correlations = population_correlations(chain, n_users=3)
+        plan = plan_dpt_release(correlations, alpha=1.2)
+        accountant = TemporalPrivacyAccountant(correlations)
+        for eps in plan.epsilons(dataset.horizon):
+            accountant.add_release(float(eps))
+        assert accountant.max_tpl() <= 1.2 * (1 + 1e-9)
+        assert accountant.max_tpl() == pytest.approx(1.2, rel=1e-6)

@@ -1,0 +1,73 @@
+"""Tests for JSON serialisation of matrices, allocations and profiles."""
+
+import numpy as np
+import pytest
+
+from repro.core import allocate_quantified, temporal_privacy_leakage
+from repro.io import from_json, load_json, save_json, to_json
+from repro.markov import TransitionMatrix, two_state_matrix
+
+
+class TestTransitionMatrixRoundtrip:
+    def test_roundtrip(self):
+        m = two_state_matrix(0.8, 0.1)
+        restored = from_json(to_json(m))
+        assert isinstance(restored, TransitionMatrix)
+        assert restored.allclose(m)
+
+    def test_roundtrip_with_labels(self):
+        m = TransitionMatrix([[0.5, 0.5], [0.2, 0.8]], states=["a", "b"])
+        restored = from_json(to_json(m))
+        assert restored.states == ("a", "b")
+
+    def test_roundtrip_with_tuple_labels(self):
+        """History-tuple labels from higher-order lifting survive JSON."""
+        from repro.markov import lift_first_order
+
+        lifted = lift_first_order(two_state_matrix(0.6, 0.3), order=2)
+        restored = from_json(to_json(lifted))
+        assert restored.states == lifted.states
+
+
+class TestAllocationRoundtrip:
+    def test_roundtrip(self, fig7_correlations):
+        allocation = allocate_quantified(fig7_correlations, 1.0)
+        restored = from_json(to_json(allocation))
+        assert restored == allocation
+        assert restored.epsilons(5) == pytest.approx(allocation.epsilons(5))
+
+
+class TestProfileRoundtrip:
+    def test_roundtrip(self, moderate_matrix):
+        profile = temporal_privacy_leakage(
+            moderate_matrix, moderate_matrix, np.full(4, 0.1)
+        )
+        restored = from_json(to_json(profile))
+        assert restored.tpl == pytest.approx(profile.tpl)
+        assert restored.max_tpl == pytest.approx(profile.max_tpl)
+
+
+class TestFileIo:
+    def test_save_and_load(self, tmp_path):
+        m = two_state_matrix(0.7, 0.2)
+        path = tmp_path / "matrix.json"
+        save_json(m, path)
+        assert load_json(path).allclose(m)
+
+
+class TestErrors:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown payload kind"):
+            from_json('{"format": 1, "kind": "nonsense"}')
+
+    def test_rejects_missing_kind(self):
+        with pytest.raises(ValueError, match="missing 'kind'"):
+            from_json('{"format": 1}')
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(ValueError, match="format version"):
+            from_json('{"format": 99, "kind": "transition_matrix"}')
+
+    def test_rejects_unserialisable_type(self):
+        with pytest.raises(TypeError):
+            to_json({"not": "supported"})

@@ -1,0 +1,177 @@
+"""Tests for the BPL/FPL/TPL recursions (Eq. 10/13/15) and LeakageProfile."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    LeakageProfile,
+    backward_privacy_leakage,
+    forward_privacy_leakage,
+    temporal_privacy_leakage,
+)
+from repro.exceptions import InvalidPrivacyParameterError
+from repro.markov import identity_matrix, two_state_matrix, uniform_matrix
+
+from conftest import transition_matrices
+
+
+class TestBackward:
+    def test_no_correlation_returns_epsilons(self):
+        eps = np.array([0.1, 0.2, 0.3])
+        assert backward_privacy_leakage(None, eps) == pytest.approx(eps)
+
+    def test_uniform_matrix_equals_epsilons(self):
+        eps = np.full(5, 0.2)
+        assert backward_privacy_leakage(uniform_matrix(3), eps) == pytest.approx(eps)
+
+    def test_identity_accumulates_linearly(self):
+        """Example 2's extreme case: BPL_t = t * eps."""
+        eps = np.full(6, 0.1)
+        bpl = backward_privacy_leakage(identity_matrix(2), eps)
+        assert bpl == pytest.approx(0.1 * np.arange(1, 7))
+
+    def test_initial_leakage_resumes_stream(self, moderate_matrix):
+        eps = np.full(4, 0.1)
+        full = backward_privacy_leakage(moderate_matrix, np.full(8, 0.1))
+        resumed = backward_privacy_leakage(moderate_matrix, eps, initial=full[3])
+        assert resumed == pytest.approx(full[4:])
+
+    def test_rejects_negative_initial(self, moderate_matrix):
+        with pytest.raises(InvalidPrivacyParameterError):
+            backward_privacy_leakage(moderate_matrix, [0.1], initial=-1.0)
+
+    def test_rejects_empty_epsilons(self, moderate_matrix):
+        with pytest.raises(ValueError):
+            backward_privacy_leakage(moderate_matrix, [])
+
+    def test_rejects_negative_epsilons(self, moderate_matrix):
+        with pytest.raises(InvalidPrivacyParameterError):
+            backward_privacy_leakage(moderate_matrix, [0.1, -0.1])
+
+    @given(transition_matrices())
+    def test_bpl_at_least_epsilon(self, m):
+        eps = np.full(5, 0.3)
+        bpl = backward_privacy_leakage(m, eps)
+        assert np.all(bpl >= 0.3 - 1e-12)
+
+    @given(transition_matrices())
+    def test_bpl_monotone_under_constant_budget(self, m):
+        bpl = backward_privacy_leakage(m, np.full(6, 0.2))
+        assert np.all(np.diff(bpl) >= -1e-12)
+
+
+class TestForward:
+    def test_mirror_of_backward_under_constant_budget(self, moderate_matrix):
+        """With constant budgets, FPL is BPL reversed in time (the paper's
+        'same manner, reversed direction' observation)."""
+        eps = np.full(7, 0.15)
+        bpl = backward_privacy_leakage(moderate_matrix, eps)
+        fpl = forward_privacy_leakage(moderate_matrix, eps)
+        assert fpl == pytest.approx(bpl[::-1])
+
+    def test_last_point_equals_epsilon(self, moderate_matrix):
+        eps = np.array([0.1, 0.2, 0.4])
+        fpl = forward_privacy_leakage(moderate_matrix, eps)
+        assert fpl[-1] == pytest.approx(0.4)
+
+    def test_new_release_raises_earlier_fpl(self, moderate_matrix):
+        """Example 3: when r^{T+1} is published, FPL of earlier time
+        points increases."""
+        short = forward_privacy_leakage(moderate_matrix, np.full(5, 0.1))
+        long = forward_privacy_leakage(moderate_matrix, np.full(6, 0.1))
+        assert np.all(long[:5] >= short - 1e-12)
+        assert long[0] > short[0]
+
+    def test_none_correlation(self):
+        eps = np.array([0.3, 0.2])
+        assert forward_privacy_leakage(None, eps) == pytest.approx(eps)
+
+
+class TestTemporal:
+    def test_decomposition_identity(self, moderate_matrix):
+        """TPL = BPL + FPL - eps (Eq. 10) by construction."""
+        eps = np.linspace(0.1, 0.5, 6)
+        profile = temporal_privacy_leakage(moderate_matrix, moderate_matrix, eps)
+        assert profile.tpl == pytest.approx(profile.bpl + profile.fpl - eps)
+
+    def test_independent_data_gives_traditional_dp(self):
+        eps = np.array([0.1, 0.2, 0.3])
+        profile = temporal_privacy_leakage(None, None, eps)
+        assert profile.tpl == pytest.approx(eps)
+        assert profile.max_tpl == pytest.approx(0.3)
+
+    def test_backward_only_adversary(self, moderate_matrix):
+        """A(P_B) only causes BPL; FPL stays at eps."""
+        eps = np.full(5, 0.1)
+        profile = temporal_privacy_leakage(moderate_matrix, None, eps)
+        assert profile.fpl == pytest.approx(eps)
+        assert profile.tpl == pytest.approx(profile.bpl)
+
+    def test_forward_only_adversary(self, moderate_matrix):
+        eps = np.full(5, 0.1)
+        profile = temporal_privacy_leakage(None, moderate_matrix, eps)
+        assert profile.bpl == pytest.approx(eps)
+        assert profile.tpl == pytest.approx(profile.fpl)
+
+    def test_strongest_correlation_event_equals_user_level(self):
+        """Fig. 3 strong case: TPL_t == T eps at every t."""
+        eps = np.full(10, 0.1)
+        profile = temporal_privacy_leakage(
+            identity_matrix(2), identity_matrix(2), eps
+        )
+        assert profile.tpl == pytest.approx(np.full(10, 1.0))
+
+    def test_fig3_moderate_bpl_matches_paper(self, moderate_matrix):
+        """The annotated series of Fig. 3(a)(ii)."""
+        profile = temporal_privacy_leakage(
+            moderate_matrix, moderate_matrix, np.full(10, 0.1)
+        )
+        paper = [0.10, 0.18, 0.25, 0.30, 0.35, 0.39, 0.42, 0.45, 0.48, 0.50]
+        assert np.round(profile.bpl, 2) == pytest.approx(paper)
+
+    def test_fig3_moderate_tpl_matches_paper(self, moderate_matrix):
+        profile = temporal_privacy_leakage(
+            moderate_matrix, moderate_matrix, np.full(10, 0.1)
+        )
+        paper = [0.50, 0.56, 0.60, 0.62, 0.64, 0.64, 0.62, 0.60, 0.56, 0.50]
+        assert np.round(profile.tpl, 2) == pytest.approx(paper)
+
+
+class TestLeakageProfile:
+    def _profile(self):
+        eps = np.array([0.1, 0.2])
+        return LeakageProfile(
+            epsilons=eps, bpl=np.array([0.1, 0.3]), fpl=np.array([0.4, 0.2])
+        )
+
+    def test_tpl_autocomputed(self):
+        profile = self._profile()
+        assert profile.tpl == pytest.approx([0.4, 0.3])
+
+    def test_horizon_len_max(self):
+        profile = self._profile()
+        assert profile.horizon == 2 == len(profile)
+        assert profile.max_tpl == pytest.approx(0.4)
+
+    def test_satisfies(self):
+        profile = self._profile()
+        assert profile.satisfies(0.4)
+        assert not profile.satisfies(0.39)
+
+    def test_user_level_leakage(self):
+        assert self._profile().user_level_leakage() == pytest.approx(0.3)
+
+    def test_arrays_read_only(self):
+        profile = self._profile()
+        with pytest.raises(ValueError):
+            profile.tpl[0] = 9.9
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            LeakageProfile(
+                epsilons=np.array([0.1]),
+                bpl=np.array([0.1, 0.2]),
+                fpl=np.array([0.1, 0.2]),
+            )

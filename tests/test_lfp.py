@@ -1,0 +1,91 @@
+"""Tests for repro.core.lfp: the problem (18)-(20) representation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.core import LfpProblem
+from repro.exceptions import InvalidPrivacyParameterError
+
+from conftest import stochastic_rows, transition_matrices
+
+
+@pytest.fixture
+def problem():
+    return LfpProblem(
+        q=np.array([0.1, 0.2, 0.7]),
+        d=np.array([0.0, 0.0, 1.0]),
+        alpha=0.5,
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self, problem):
+        assert problem.n == 3
+        assert problem.ratio_bound == pytest.approx(math.exp(0.5))
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(InvalidPrivacyParameterError):
+            LfpProblem(np.ones(2) / 2, np.ones(2) / 2, alpha=-1.0)
+
+    def test_rejects_mismatched_vectors(self):
+        with pytest.raises(ValueError):
+            LfpProblem(np.ones(2) / 2, np.ones(3) / 3, alpha=1.0)
+
+    def test_rejects_negative_coefficients(self):
+        with pytest.raises(ValueError):
+            LfpProblem(np.array([-0.1, 1.1]), np.ones(2) / 2, alpha=1.0)
+
+
+class TestObjective:
+    def test_objective_at_uniform_point(self, problem):
+        x = np.full(3, 0.5)
+        assert problem.objective(x) == pytest.approx(1.0)
+
+    def test_objective_scale_invariance(self, problem):
+        x = np.array([0.1, 0.15, 0.12])
+        assert problem.objective(x) == pytest.approx(problem.objective(5 * x))
+
+    def test_feasibility(self, problem):
+        assert problem.is_feasible(np.full(3, 0.5))
+        # Ratio beyond e^alpha is infeasible.
+        assert not problem.is_feasible(np.array([0.9, 0.1, 0.1]))
+        # Non-positive points are infeasible.
+        assert not problem.is_feasible(np.array([0.0, 0.5, 0.5]))
+
+    def test_point_for_subset_is_feasible(self, problem):
+        x = problem.point_for_subset([0, 2])
+        assert problem.is_feasible(x)
+        assert x[0] == pytest.approx(0.5 * problem.ratio_bound)
+        assert x[1] == pytest.approx(0.5)
+
+    def test_objective_for_subset_matches_point(self, problem):
+        mask = np.array([True, False, True])
+        via_formula = problem.objective_for_subset(mask)
+        via_point = problem.objective(problem.point_for_subset([0, 2]))
+        assert via_formula == pytest.approx(via_point)
+
+    def test_empty_subset_gives_one_for_stochastic_rows(self):
+        p = LfpProblem(np.array([0.5, 0.5]), np.array([0.3, 0.7]), alpha=1.0)
+        assert p.objective_for_subset(np.zeros(2, bool)) == pytest.approx(1.0)
+
+    @given(transition_matrices())
+    def test_subset_formula_consistency(self, m):
+        """objective_for_subset agrees with evaluating the two-level point
+        for random instances -- the identity every solver relies on."""
+        q, d = m.array[0], m.array[-1]
+        problem = LfpProblem(q, d, alpha=0.7)
+        mask = q > d
+        assert problem.objective_for_subset(mask) == pytest.approx(
+            problem.objective(problem.point_for_subset(np.flatnonzero(mask)))
+        )
+
+
+class TestOrderedPairs:
+    def test_count(self, problem):
+        pairs = problem.ordered_pairs()
+        assert len(pairs) == 6
+        assert (0, 1) in pairs and (1, 0) in pairs
+        assert (0, 0) not in pairs

@@ -1,0 +1,118 @@
+"""Tests for repro.markov.chain: simulation, marginals, reversal."""
+
+import numpy as np
+import pytest
+
+from repro.markov import MarkovChain, TransitionMatrix, two_state_matrix
+
+
+@pytest.fixture
+def chain():
+    return MarkovChain(two_state_matrix(0.9, 0.2))
+
+
+class TestConstruction:
+    def test_default_initial_is_stationary(self, chain):
+        pi = chain.initial
+        assert pi @ chain.forward.array == pytest.approx(pi)
+
+    def test_explicit_initial(self):
+        c = MarkovChain(two_state_matrix(0.5, 0.5), initial=[1.0, 0.0])
+        assert c.initial == pytest.approx([1.0, 0.0])
+
+    def test_rejects_bad_initial_shape(self):
+        with pytest.raises(ValueError):
+            MarkovChain(two_state_matrix(0.5, 0.5), initial=[1.0])
+
+    def test_rejects_non_distribution_initial(self):
+        with pytest.raises(ValueError):
+            MarkovChain(two_state_matrix(0.5, 0.5), initial=[0.7, 0.7])
+
+    def test_properties(self, chain):
+        assert chain.n == 2
+        assert chain.states == (0, 1)
+        assert "n=2" in repr(chain)
+
+
+class TestMarginals:
+    def test_marginal_at_time_one_is_initial(self, chain):
+        assert chain.marginal(1) == pytest.approx(chain.initial)
+
+    def test_marginal_evolution(self):
+        c = MarkovChain(two_state_matrix(0.5, 0.5), initial=[1.0, 0.0])
+        assert c.marginal(2) == pytest.approx([0.5, 0.5])
+
+    def test_marginal_rejects_zero(self, chain):
+        with pytest.raises(ValueError):
+            chain.marginal(0)
+
+
+class TestBackward:
+    def test_backward_stationary_is_stochastic(self, chain):
+        b = chain.backward()
+        assert np.allclose(b.array.sum(axis=1), 1.0)
+
+    def test_backward_at_time(self):
+        c = MarkovChain(TransitionMatrix([[0.5, 0.5], [0.0, 1.0]]),
+                        initial=[1.0, 0.0])
+        b = c.backward(at_time=2)
+        # At t=2, both states must have come from state 0.
+        assert b[0, 0] == pytest.approx(1.0)
+        assert b[1, 0] == pytest.approx(1.0)
+
+    def test_backward_rejects_early_time(self, chain):
+        with pytest.raises(ValueError):
+            chain.backward(at_time=1)
+
+
+class TestSampling:
+    def test_path_length_and_domain(self, chain):
+        path = chain.sample_path(50, seed=0)
+        assert path.shape == (50,)
+        assert set(np.unique(path)) <= {0, 1}
+
+    def test_sampling_is_reproducible(self, chain):
+        assert np.array_equal(
+            chain.sample_path(20, seed=3), chain.sample_path(20, seed=3)
+        )
+
+    def test_sample_paths_shape(self, chain):
+        paths = chain.sample_paths(4, 10, seed=0)
+        assert paths.shape == (4, 10)
+
+    def test_rejects_zero_length(self, chain):
+        with pytest.raises(ValueError):
+            chain.sample_path(0)
+
+    def test_identity_chain_never_moves(self):
+        c = MarkovChain(np.eye(3), initial=[0.0, 1.0, 0.0])
+        path = c.sample_path(30, seed=1)
+        assert np.all(path == 1)
+
+    def test_empirical_transition_frequencies(self):
+        c = MarkovChain(two_state_matrix(0.9, 0.3))
+        path = c.sample_path(30_000, seed=7)
+        stays = np.mean(path[1:][path[:-1] == 0] == 0)
+        assert stays == pytest.approx(0.9, abs=0.02)
+
+
+class TestLikelihood:
+    def test_loglik_of_certain_path(self):
+        c = MarkovChain(np.eye(2), initial=[1.0, 0.0])
+        assert c.log_likelihood([0, 0, 0]) == pytest.approx(0.0)
+
+    def test_loglik_of_impossible_path(self):
+        c = MarkovChain(np.eye(2), initial=[1.0, 0.0])
+        assert c.log_likelihood([0, 1]) == float("-inf")
+
+    def test_loglik_factorises(self, chain):
+        path = [0, 0, 1]
+        expected = (
+            np.log(chain.initial[0])
+            + np.log(chain.forward[0, 0])
+            + np.log(chain.forward[0, 1])
+        )
+        assert chain.log_likelihood(path) == pytest.approx(expected)
+
+    def test_empty_path(self, chain):
+        assert chain.log_likelihood([]) == 0.0

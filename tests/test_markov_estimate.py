@@ -1,0 +1,104 @@
+"""Tests for repro.markov.estimate: MLE and Baum-Welch recovery."""
+
+import numpy as np
+import pytest
+
+from repro.markov import (
+    MarkovChain,
+    backward_mle_transition_matrix,
+    baum_welch,
+    mle_transition_matrix,
+    transition_counts,
+    two_state_matrix,
+)
+
+
+class TestTransitionCounts:
+    def test_counts_simple_path(self):
+        counts = transition_counts([[0, 1, 1, 0]], n=2)
+        assert counts[0, 1] == 1 and counts[1, 1] == 1 and counts[1, 0] == 1
+
+    def test_counts_multiple_paths_accumulate(self):
+        counts = transition_counts([[0, 1], [0, 1]], n=2)
+        assert counts[0, 1] == 2
+
+    def test_rejects_out_of_range_state(self):
+        with pytest.raises(ValueError):
+            transition_counts([[0, 5]], n=2)
+
+
+class TestMle:
+    def test_recovers_deterministic_chain(self):
+        m = mle_transition_matrix([[0, 1, 0, 1, 0, 1]], n=2)
+        assert m[0, 1] == pytest.approx(1.0)
+        assert m[1, 0] == pytest.approx(1.0)
+
+    def test_unvisited_rows_fall_back_to_uniform(self):
+        m = mle_transition_matrix([[0, 0, 0]], n=3)
+        assert m.row(1) == pytest.approx([1 / 3] * 3)
+        assert m.row(2) == pytest.approx([1 / 3] * 3)
+
+    def test_smoothing_spreads_mass(self):
+        hard = mle_transition_matrix([[0, 1, 0, 1]], n=2, smoothing=0.0)
+        soft = mle_transition_matrix([[0, 1, 0, 1]], n=2, smoothing=1.0)
+        assert hard[0, 0] == 0.0
+        assert soft[0, 0] > 0.0
+
+    def test_rejects_negative_smoothing(self):
+        with pytest.raises(ValueError):
+            mle_transition_matrix([[0, 1]], n=2, smoothing=-1)
+
+    def test_recovers_generating_chain(self):
+        truth = two_state_matrix(0.9, 0.3)
+        chain = MarkovChain(truth)
+        paths = chain.sample_paths(20, 500, seed=0)
+        estimate = mle_transition_matrix(paths, n=2)
+        assert np.allclose(estimate.array, truth.array, atol=0.03)
+
+    def test_backward_mle_matches_bayes_reversal(self):
+        """MLE over reversed paths converges to the Bayesian reversal of
+        the forward chain at stationarity (Section III-A)."""
+        truth = two_state_matrix(0.85, 0.25)
+        chain = MarkovChain(truth)  # starts at stationarity
+        paths = chain.sample_paths(40, 800, seed=1)
+        backward_est = backward_mle_transition_matrix(paths, n=2)
+        backward_true = chain.backward()
+        assert np.allclose(backward_est.array, backward_true.array, atol=0.05)
+
+
+class TestBaumWelch:
+    def test_improves_likelihood_and_converges(self):
+        chain = MarkovChain(two_state_matrix(0.9, 0.1))
+        paths = chain.sample_paths(5, 100, seed=2)
+        # Noisy observations: flip symbols with prob 0.1.
+        rng = np.random.default_rng(3)
+        observations = np.where(
+            rng.uniform(size=paths.shape) < 0.1, 1 - paths, paths
+        )
+        fitted = baum_welch(observations, n_states=2, n_symbols=2,
+                            max_iter=50, seed=4)
+        assert fitted.iterations >= 1
+        assert np.isfinite(fitted.log_likelihood)
+        assert np.allclose(fitted.transition.array.sum(axis=1), 1.0)
+        assert np.allclose(fitted.emission.sum(axis=1), 1.0)
+
+    def test_recovers_strong_self_transition_structure(self):
+        """With near-clean emissions the fitted transition matrix should be
+        strongly diagonal (up to state relabelling)."""
+        chain = MarkovChain(two_state_matrix(0.95, 0.05))
+        paths = chain.sample_paths(10, 300, seed=5)
+        fitted = baum_welch(paths, n_states=2, n_symbols=2, seed=6)
+        diag = np.sort(np.diag(fitted.transition.array))
+        assert diag[0] > 0.8  # both states persist strongly
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(ValueError):
+            baum_welch([], n_states=2, n_symbols=2)
+
+    def test_rejects_short_sequence(self):
+        with pytest.raises(ValueError):
+            baum_welch([[0]], n_states=2, n_symbols=2)
+
+    def test_rejects_out_of_range_symbol(self):
+        with pytest.raises(ValueError):
+            baum_welch([[0, 3]], n_states=2, n_symbols=2)

@@ -1,0 +1,132 @@
+"""Tests for repro.markov.generate: the Eq.-25 generator and corner cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.markov import (
+    convex_blend,
+    identity_matrix,
+    laplacian_smoothing,
+    permutation_matrix,
+    random_stochastic_matrix,
+    smoothed_strongest_matrix,
+    strongest_matrix,
+    two_state_matrix,
+    uniform_matrix,
+)
+
+
+class TestCornerMatrices:
+    def test_identity(self):
+        assert identity_matrix(3).is_identity()
+
+    def test_uniform(self):
+        assert uniform_matrix(4).is_uniform()
+
+    def test_permutation(self):
+        m = permutation_matrix([1, 2, 0])
+        assert m.is_deterministic()
+        assert m[0, 1] == 1.0 and m[2, 0] == 1.0
+
+    def test_permutation_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            permutation_matrix([0, 0, 1])
+
+    def test_two_state_matrix(self):
+        m = two_state_matrix(0.8, 0.1)
+        assert np.allclose(m.array, [[0.8, 0.2], [0.1, 0.9]])
+
+    def test_two_state_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            two_state_matrix(1.2, 0.0)
+
+
+class TestStrongest:
+    @given(st.integers(2, 12))
+    def test_strongest_is_deterministic_without_fixed_points(self, n):
+        m = strongest_matrix(n, seed=0)
+        assert m.is_deterministic()
+        # "different columns per row": no self-loop, all targets distinct.
+        targets = m.array.argmax(axis=1)
+        assert len(set(targets.tolist())) == n
+        assert np.all(targets != np.arange(n))
+
+    def test_strongest_single_state(self):
+        assert strongest_matrix(1).is_identity()
+
+    def test_strongest_reproducible(self):
+        a = strongest_matrix(6, seed=5)
+        b = strongest_matrix(6, seed=5)
+        assert a == b
+
+
+class TestLaplacianSmoothing:
+    def test_zero_smoothing_is_identity_op(self):
+        m = strongest_matrix(4, seed=0)
+        assert laplacian_smoothing(m, 0.0) is m
+
+    def test_matches_equation_25(self):
+        m = two_state_matrix(1.0, 0.0)
+        s = 0.5
+        smoothed = laplacian_smoothing(m, s)
+        # Eq. 25: (p + s) / sum(p + s) with row sums 1: (p + s) / (1 + n s)
+        expected = (m.array + s) / (1.0 + 2 * s)
+        assert smoothed.array == pytest.approx(expected)
+
+    def test_rejects_negative_s(self):
+        with pytest.raises(ValueError):
+            laplacian_smoothing(uniform_matrix(2), -0.1)
+
+    def test_large_s_approaches_uniform(self):
+        m = strongest_matrix(5, seed=1)
+        smoothed = laplacian_smoothing(m, 1e6)
+        assert np.allclose(smoothed.array, 0.2, atol=1e-5)
+
+    @given(st.floats(0.001, 10.0))
+    def test_smoothing_preserves_stochasticity(self, s):
+        m = laplacian_smoothing(strongest_matrix(5, seed=2), s)
+        assert np.allclose(m.array.sum(axis=1), 1.0)
+
+    def test_smaller_s_stays_stronger(self):
+        """Smaller s keeps more probability mass on the deterministic
+        cell -- the 'degree of correlation' knob of Section VI."""
+        base = strongest_matrix(5, seed=3)
+        tight = laplacian_smoothing(base, 0.01)
+        loose = laplacian_smoothing(base, 1.0)
+        assert tight.array.max() > loose.array.max()
+
+
+class TestSmoothedStrongest:
+    def test_composition(self):
+        m = smoothed_strongest_matrix(6, 0.1, seed=0)
+        assert np.allclose(m.array.sum(axis=1), 1.0)
+        # Each row still has a clear dominant cell for small s.
+        assert np.all(m.array.max(axis=1) > 0.5)
+
+
+class TestRandomStochastic:
+    @given(st.integers(2, 20))
+    def test_rows_sum_to_one(self, n):
+        m = random_stochastic_matrix(n, seed=n)
+        assert np.allclose(m.array.sum(axis=1), 1.0)
+
+    def test_reproducible(self):
+        assert random_stochastic_matrix(5, seed=9) == random_stochastic_matrix(
+            5, seed=9
+        )
+
+
+class TestConvexBlend:
+    def test_weight_zero_keeps_matrix(self):
+        m = strongest_matrix(4, seed=0)
+        assert convex_blend(m, 0.0).allclose(m)
+
+    def test_weight_one_is_uniform(self):
+        m = strongest_matrix(4, seed=0)
+        assert convex_blend(m, 1.0).is_uniform()
+
+    def test_rejects_out_of_range_weight(self):
+        with pytest.raises(ValueError):
+            convex_blend(uniform_matrix(2), 1.5)

@@ -1,0 +1,176 @@
+"""Tests for repro.markov.matrix: validation, algebra, time reversal."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.exceptions import InvalidTransitionMatrixError
+from repro.markov import TransitionMatrix, as_transition_matrix
+
+from conftest import transition_matrices
+
+
+class TestValidation:
+    def test_accepts_valid_matrix(self):
+        m = TransitionMatrix([[0.5, 0.5], [0.1, 0.9]])
+        assert m.n == 2
+
+    def test_rejects_non_square(self):
+        with pytest.raises(InvalidTransitionMatrixError):
+            TransitionMatrix([[0.5, 0.5]])
+
+    def test_rejects_bad_row_sum(self):
+        with pytest.raises(InvalidTransitionMatrixError, match="sums to"):
+            TransitionMatrix([[0.5, 0.4], [0.1, 0.9]])
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(InvalidTransitionMatrixError):
+            TransitionMatrix([[1.2, -0.2], [0.5, 0.5]])
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidTransitionMatrixError):
+            TransitionMatrix([[np.nan, 1.0], [0.5, 0.5]])
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidTransitionMatrixError):
+            TransitionMatrix(np.zeros((0, 0)))
+
+    def test_rejects_duplicate_state_labels(self):
+        with pytest.raises(InvalidTransitionMatrixError, match="unique"):
+            TransitionMatrix([[0.5, 0.5], [0.5, 0.5]], states=["a", "a"])
+
+    def test_rejects_wrong_label_count(self):
+        with pytest.raises(InvalidTransitionMatrixError):
+            TransitionMatrix([[0.5, 0.5], [0.5, 0.5]], states=["a"])
+
+    def test_array_is_read_only(self):
+        m = TransitionMatrix([[0.5, 0.5], [0.1, 0.9]])
+        with pytest.raises(ValueError):
+            m.array[0, 0] = 0.3
+
+
+class TestContainerProtocol:
+    def test_states_default_to_range(self):
+        m = TransitionMatrix(np.eye(3))
+        assert m.states == (0, 1, 2)
+
+    def test_index_of_named_state(self):
+        m = TransitionMatrix(np.eye(2), states=["home", "work"])
+        assert m.index_of("work") == 1
+        with pytest.raises(KeyError):
+            m.index_of("gym")
+
+    def test_getitem_and_row(self):
+        m = TransitionMatrix([[0.2, 0.8], [0.7, 0.3]])
+        assert m[0, 1] == pytest.approx(0.8)
+        assert m.row(1) == pytest.approx([0.7, 0.3])
+
+    def test_equality_and_hash(self):
+        a = TransitionMatrix([[0.5, 0.5], [0.1, 0.9]])
+        b = TransitionMatrix([[0.5, 0.5], [0.1, 0.9]])
+        c = TransitionMatrix([[0.6, 0.4], [0.1, 0.9]])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_len_and_iter(self):
+        m = TransitionMatrix(np.eye(3))
+        assert len(m) == 3
+        assert sum(1 for _ in m) == 3
+
+    def test_repr_contains_size(self):
+        assert "n=2" in repr(TransitionMatrix(np.eye(2)))
+
+
+class TestPredicates:
+    def test_identity_detection(self):
+        assert TransitionMatrix(np.eye(4)).is_identity()
+        assert not TransitionMatrix([[0.5, 0.5], [0.5, 0.5]]).is_identity()
+
+    def test_uniform_detection(self):
+        assert TransitionMatrix(np.full((3, 3), 1 / 3)).is_uniform()
+        assert not TransitionMatrix(np.eye(3)).is_uniform()
+
+    def test_deterministic_detection(self):
+        assert TransitionMatrix([[0, 1], [1, 0]]).is_deterministic()
+        assert not TransitionMatrix([[0.5, 0.5], [0, 1]]).is_deterministic()
+
+
+class TestAlgebra:
+    def test_power_zero_is_identity(self):
+        m = TransitionMatrix([[0.5, 0.5], [0.2, 0.8]])
+        assert m.power(0).allclose(np.eye(2))
+
+    def test_power_matches_matmul(self):
+        m = TransitionMatrix([[0.5, 0.5], [0.2, 0.8]])
+        expected = m.array @ m.array @ m.array
+        assert m.power(3).allclose(expected)
+
+    def test_power_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TransitionMatrix(np.eye(2)).power(-1)
+
+    @given(transition_matrices())
+    def test_power_stays_stochastic(self, m):
+        p5 = m.power(5)
+        assert np.allclose(p5.array.sum(axis=1), 1.0)
+
+    def test_stationary_distribution_fixed_point(self):
+        m = TransitionMatrix([[0.9, 0.1], [0.4, 0.6]])
+        pi = m.stationary_distribution()
+        assert pi @ m.array == pytest.approx(pi)
+        assert pi.sum() == pytest.approx(1.0)
+
+    @given(transition_matrices())
+    def test_stationary_is_distribution(self, m):
+        pi = m.stationary_distribution()
+        assert np.all(pi >= -1e-12)
+        assert pi.sum() == pytest.approx(1.0)
+
+
+class TestReversal:
+    def test_reverse_is_stochastic(self):
+        m = TransitionMatrix([[0.9, 0.1], [0.4, 0.6]])
+        r = m.reverse()
+        assert np.allclose(r.array.sum(axis=1), 1.0)
+
+    def test_reverse_bayes_identity(self):
+        """P_B[j, k] * Pr(l^t = j) == P_F[k, j] * Pr(l^{t-1} = k) at
+        stationarity (the joint factorises both ways)."""
+        m = TransitionMatrix([[0.7, 0.3], [0.2, 0.8]])
+        pi = m.stationary_distribution()
+        r = m.reverse(pi)
+        joint_forward = m.array * pi[:, None]  # (k, j)
+        joint_backward = r.array * pi[:, None]  # (j, k)
+        assert np.allclose(joint_forward, joint_backward.T)
+
+    def test_reverse_of_symmetric_chain_is_itself(self):
+        m = TransitionMatrix([[0.7, 0.3], [0.3, 0.7]])
+        assert m.reverse().allclose(m, atol=1e-9)
+
+    def test_reverse_with_explicit_prior(self):
+        m = TransitionMatrix([[0.5, 0.5], [0.0, 1.0]])
+        r = m.reverse(np.array([1.0, 0.0]))
+        # From state 1 at time t, the predecessor must be state 0.
+        assert r[1, 0] == pytest.approx(1.0)
+
+    def test_reverse_rejects_bad_prior(self):
+        m = TransitionMatrix(np.eye(2))
+        with pytest.raises(ValueError):
+            m.reverse(np.array([0.5, 0.6]))
+        with pytest.raises(ValueError):
+            m.reverse(np.array([1.0]))
+
+    @given(transition_matrices())
+    def test_reverse_always_stochastic(self, m):
+        r = m.reverse()
+        assert np.allclose(r.array.sum(axis=1), 1.0, atol=1e-8)
+
+
+class TestCoercion:
+    def test_as_transition_matrix_passthrough(self):
+        m = TransitionMatrix(np.eye(2))
+        assert as_transition_matrix(m) is m
+
+    def test_as_transition_matrix_from_list(self):
+        m = as_transition_matrix([[0.5, 0.5], [0.1, 0.9]])
+        assert isinstance(m, TransitionMatrix)

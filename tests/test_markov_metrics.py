@@ -1,0 +1,103 @@
+"""Tests for correlation-strength metrics and their leakage connections."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import TemporalLossFunction, has_finite_supremum
+from repro.markov import (
+    dobrushin_coefficient,
+    identity_matrix,
+    is_potentially_unbounded,
+    laplacian_smoothing,
+    spectral_gap,
+    strongest_matrix,
+    tv_from_uniform,
+    two_state_matrix,
+    uniform_matrix,
+)
+
+from conftest import transition_matrices
+
+
+class TestDobrushin:
+    def test_uniform_is_zero(self):
+        assert dobrushin_coefficient(uniform_matrix(4)) == pytest.approx(0.0)
+
+    def test_identity_is_one(self):
+        assert dobrushin_coefficient(identity_matrix(3)) == pytest.approx(1.0)
+
+    def test_known_two_state(self):
+        # rows (0.8, 0.2) and (0.1, 0.9): TV = 0.7
+        assert dobrushin_coefficient(two_state_matrix(0.8, 0.1)) == pytest.approx(0.7)
+
+    @given(transition_matrices())
+    def test_in_unit_interval(self, m):
+        assert 0.0 <= dobrushin_coefficient(m) <= 1.0 + 1e-12
+
+    def test_zero_coefficient_means_zero_loss(self):
+        """Identical rows <=> the loss function is identically zero."""
+        m = uniform_matrix(3)
+        assert dobrushin_coefficient(m) == 0.0
+        assert TemporalLossFunction(m).is_trivial()
+
+    @given(st.floats(0.0, 5.0))
+    def test_smoothing_reduces_coefficient(self, s):
+        base = strongest_matrix(4, seed=0)
+        smoothed = laplacian_smoothing(base, s)
+        assert (
+            dobrushin_coefficient(smoothed)
+            <= dobrushin_coefficient(base) + 1e-12
+        )
+
+
+class TestSpectralGap:
+    def test_uniform_has_full_gap(self):
+        assert spectral_gap(uniform_matrix(3)) == pytest.approx(1.0)
+
+    def test_identity_has_zero_gap(self):
+        assert spectral_gap(identity_matrix(3)) == pytest.approx(0.0)
+
+    @given(transition_matrices())
+    def test_in_unit_interval(self, m):
+        assert 0.0 <= spectral_gap(m) <= 1.0 + 1e-9
+
+
+class TestTvFromUniform:
+    def test_uniform_is_zero(self):
+        assert tv_from_uniform(uniform_matrix(5)) == pytest.approx(0.0)
+
+    def test_deterministic_is_max(self):
+        n = 4
+        expected = (1.0 - 1.0 / n)
+        assert tv_from_uniform(identity_matrix(n)) == pytest.approx(expected)
+
+    def test_monotone_in_smoothing(self):
+        base = strongest_matrix(5, seed=1)
+        values = [
+            tv_from_uniform(laplacian_smoothing(base, s))
+            for s in (0.01, 0.1, 1.0, 10.0)
+        ]
+        assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+
+
+class TestUnboundedScreen:
+    def test_identity_flagged(self):
+        assert is_potentially_unbounded(identity_matrix(2))
+
+    def test_uniform_not_flagged(self):
+        assert not is_potentially_unbounded(uniform_matrix(3))
+
+    def test_moderate_matrix_flagged(self, moderate_matrix):
+        # [[0.8, 0.2], [0, 1]]: row 0 has mass where row 1 has none.
+        assert is_potentially_unbounded(moderate_matrix)
+
+    def test_dense_matrix_not_flagged(self):
+        assert not is_potentially_unbounded(two_state_matrix(0.8, 0.1))
+
+    @given(transition_matrices(), st.floats(0.05, 2.0))
+    def test_screen_is_sound(self, m, eps):
+        """Not flagged => every budget has a finite supremum."""
+        if not is_potentially_unbounded(m):
+            assert has_finite_supremum(m, eps)

@@ -1,0 +1,92 @@
+"""Tests for the Laplace mechanism, sensitivity table, and Mechanism ABC."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidPrivacyParameterError
+from repro.mechanisms import (
+    LaplaceMechanism,
+    NeighborhoodKind,
+    count_sensitivity,
+    histogram_sensitivity,
+    laplace_log_density,
+)
+
+
+class TestLaplaceMechanism:
+    def test_scale(self):
+        assert LaplaceMechanism(0.5, 1.0).scale == pytest.approx(2.0)
+        assert LaplaceMechanism(0.5, 2.0).scale == pytest.approx(4.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(InvalidPrivacyParameterError):
+            LaplaceMechanism(0.0)
+        with pytest.raises(InvalidPrivacyParameterError):
+            LaplaceMechanism(1.0, sensitivity=0.0)
+
+    def test_perturb_shape_and_reproducibility(self):
+        mech = LaplaceMechanism(1.0)
+        a = mech.perturb([1.0, 2.0, 3.0], rng=0)
+        b = mech.perturb([1.0, 2.0, 3.0], rng=0)
+        assert a.shape == (3,)
+        assert np.array_equal(a, b)
+
+    def test_noise_is_unbiased_with_correct_spread(self):
+        mech = LaplaceMechanism(0.5)  # scale 2
+        noisy = mech.perturb(np.zeros(200_000), rng=1)
+        assert np.mean(noisy) == pytest.approx(0.0, abs=0.05)
+        # E|Lap(b)| = b; Var = 2 b^2.
+        assert np.mean(np.abs(noisy)) == pytest.approx(2.0, rel=0.02)
+        assert np.var(noisy) == pytest.approx(8.0, rel=0.05)
+
+    def test_expected_absolute_error(self):
+        assert LaplaceMechanism(0.25).expected_absolute_error() == pytest.approx(4.0)
+
+    def test_epsilon_and_sensitivity_properties(self):
+        mech = LaplaceMechanism(0.7, 2.0)
+        assert mech.epsilon == 0.7
+        assert mech.sensitivity == 2.0
+        assert "0.7" in repr(mech)
+
+    def test_dp_guarantee_on_densities(self):
+        """The defining DP inequality: densities of M(D) and M(D') differ
+        by at most e^eps pointwise for |Q(D) - Q(D')| <= sensitivity."""
+        eps, sens = 0.8, 1.0
+        mech = LaplaceMechanism(eps, sens)
+        xs = np.linspace(-10, 10, 201)
+        log_ratio = mech.log_density(xs) - mech.log_density(xs - sens)
+        assert np.max(np.abs(log_ratio)) <= eps + 1e-9
+
+
+class TestLaplaceLogDensity:
+    def test_normalisation(self):
+        """Density integrates to ~1."""
+        xs = np.linspace(-60, 60, 200_001)
+        density = np.exp(laplace_log_density(xs, 2.0))
+        trapezoid = getattr(np, "trapezoid", None) or np.trapz
+        assert trapezoid(density, xs) == pytest.approx(1.0, abs=1e-6)
+
+    def test_peak_value(self):
+        assert laplace_log_density(0.0, 0.5) == pytest.approx(-math.log(1.0))
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            laplace_log_density(0.0, 0.0)
+
+
+class TestSensitivity:
+    def test_count_query_sensitivity_is_one(self):
+        assert count_sensitivity(NeighborhoodKind.VALUE) == 1.0
+        assert count_sensitivity(NeighborhoodKind.PRESENCE) == 1.0
+
+    def test_histogram_sensitivity(self):
+        assert histogram_sensitivity(NeighborhoodKind.VALUE) == 2.0
+        assert histogram_sensitivity(NeighborhoodKind.PRESENCE) == 1.0
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            histogram_sensitivity("value")
+        with pytest.raises(TypeError):
+            count_sensitivity("presence")

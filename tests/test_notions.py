@@ -1,0 +1,53 @@
+"""Tests for the privacy-notion value types."""
+
+import pytest
+
+from repro.core import AlphaDPT, EpsilonDP, PrivacyLevel
+from repro.exceptions import InvalidPrivacyParameterError
+
+
+class TestEpsilonDP:
+    def test_valid(self):
+        assert EpsilonDP(0.5).epsilon == 0.5
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(InvalidPrivacyParameterError):
+            EpsilonDP(0.0)
+        with pytest.raises(InvalidPrivacyParameterError):
+            EpsilonDP(-1.0)
+
+    def test_implies_weaker_guarantee(self):
+        """A 0.1-DP mechanism automatically satisfies 1-DP."""
+        assert EpsilonDP(0.1).implies(EpsilonDP(1.0))
+        assert not EpsilonDP(1.0).implies(EpsilonDP(0.1))
+
+    def test_ordering(self):
+        assert EpsilonDP(0.1) < EpsilonDP(0.2)
+
+    def test_str(self):
+        assert str(EpsilonDP(0.5)) == "0.5-DP"
+
+
+class TestAlphaDPT:
+    def test_valid(self):
+        assert AlphaDPT(2.0).alpha == 2.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(InvalidPrivacyParameterError):
+            AlphaDPT(0.0)
+
+    def test_implies(self):
+        assert AlphaDPT(0.5).implies(AlphaDPT(1.0))
+        assert not AlphaDPT(1.5).implies(AlphaDPT(1.0))
+
+    def test_str(self):
+        assert str(AlphaDPT(1.0)) == "1-DP_T"
+
+
+class TestPrivacyLevel:
+    def test_members(self):
+        assert {level.value for level in PrivacyLevel} == {
+            "event",
+            "w-event",
+            "user",
+        }

@@ -1,0 +1,116 @@
+"""Cross-module property-based tests: the paper's theorems as invariants.
+
+Each test states one theorem-level property and checks it over random
+correlation matrices and budgets -- the deepest soundness layer of the
+suite.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    allocate_quantified,
+    allocate_upper_bound,
+    backward_privacy_leakage,
+    forward_privacy_leakage,
+    leakage_supremum,
+    sequence_tpl,
+    temporal_privacy_leakage,
+    user_level_leakage,
+)
+from repro.exceptions import UnboundedLeakageError
+from repro.markov import laplacian_smoothing, strongest_matrix
+
+from conftest import transition_matrices
+
+budget_vectors = st.lists(
+    st.floats(0.01, 1.0), min_size=2, max_size=8
+).map(np.asarray)
+
+
+class TestLeakageTheorems:
+    @given(transition_matrices(), budget_vectors)
+    def test_tpl_between_event_and_user_level(self, m, eps):
+        """eps_t <= TPL_t <= sum eps (Table II's extremes)."""
+        profile = temporal_privacy_leakage(m, m, eps)
+        assert np.all(profile.tpl >= eps - 1e-9)
+        assert np.all(profile.tpl <= eps.sum() + 1e-9)
+
+    @given(transition_matrices(), budget_vectors)
+    def test_bpl_dominated_by_running_budget_sum(self, m, eps):
+        """Remark 1's loose upper bound: BPL_t <= eps_1 + ... + eps_t."""
+        bpl = backward_privacy_leakage(m, eps)
+        assert np.all(bpl <= np.cumsum(eps) + 1e-9)
+
+    @given(transition_matrices(), budget_vectors)
+    def test_fpl_dominated_by_remaining_budget_sum(self, m, eps):
+        fpl = forward_privacy_leakage(m, eps)
+        assert np.all(fpl <= np.cumsum(eps[::-1])[::-1] + 1e-9)
+
+    @given(transition_matrices(), budget_vectors)
+    def test_corollary1_user_level(self, m, eps):
+        profile = temporal_privacy_leakage(m, m, eps)
+        assert user_level_leakage(profile) == pytest.approx(eps.sum())
+
+    @given(transition_matrices(), budget_vectors)
+    def test_theorem2_window_monotone(self, m, eps):
+        """Longer windows never leak less (composition consistency)."""
+        profile = temporal_privacy_leakage(m, m, eps)
+        horizon = profile.horizon
+        for start in range(1, horizon):
+            narrow = sequence_tpl(profile, start, start)
+            wide = sequence_tpl(profile, start, horizon)
+            assert wide >= narrow - 1e-9
+
+    @given(transition_matrices(), st.floats(0.05, 1.0), st.integers(2, 12))
+    def test_more_budget_more_leakage(self, m, eps, horizon):
+        small = temporal_privacy_leakage(m, m, np.full(horizon, eps))
+        large = temporal_privacy_leakage(m, m, np.full(horizon, 2 * eps))
+        assert large.max_tpl >= small.max_tpl - 1e-9
+
+
+class TestSupremumTheorems:
+    @given(st.floats(0.05, 2.0), st.floats(0.01, 0.3))
+    @settings(max_examples=15)
+    def test_supremum_bounds_every_finite_horizon(self, eps, s):
+        m = laplacian_smoothing(strongest_matrix(4, seed=7), s)
+        try:
+            sup = leakage_supremum(m, eps)
+        except UnboundedLeakageError:
+            return
+        bpl = backward_privacy_leakage(m, np.full(200, eps))
+        assert bpl[-1] <= sup + 1e-7
+
+
+class TestAllocationTheorems:
+    @given(st.floats(0.3, 3.0), st.integers(2, 25))
+    @settings(max_examples=15)
+    def test_algorithm3_exact_everywhere(self, alpha, horizon):
+        p_b = laplacian_smoothing(strongest_matrix(3, seed=1), 0.2)
+        p_f = laplacian_smoothing(strongest_matrix(3, seed=2), 0.2)
+        allocation = allocate_quantified((p_b, p_f), alpha)
+        profile = allocation.profile(horizon, p_b, p_f)
+        assert profile.tpl == pytest.approx(
+            np.full(horizon, alpha), rel=1e-5
+        )
+
+    @given(st.floats(0.3, 3.0), st.integers(1, 40))
+    @settings(max_examples=15)
+    def test_algorithm2_never_exceeds(self, alpha, horizon):
+        p_b = laplacian_smoothing(strongest_matrix(3, seed=3), 0.2)
+        p_f = laplacian_smoothing(strongest_matrix(3, seed=4), 0.2)
+        allocation = allocate_upper_bound((p_b, p_f), alpha)
+        profile = allocation.profile(horizon, p_b, p_f)
+        assert profile.max_tpl <= alpha * (1 + 1e-9) + 1e-9
+
+    @given(st.floats(0.3, 2.0))
+    @settings(max_examples=10)
+    def test_algorithm3_dominates_algorithm2_utility(self, alpha):
+        p_b = laplacian_smoothing(strongest_matrix(3, seed=5), 0.1)
+        p_f = laplacian_smoothing(strongest_matrix(3, seed=6), 0.1)
+        a2 = allocate_upper_bound((p_b, p_f), alpha)
+        a3 = allocate_quantified((p_b, p_f), alpha)
+        for horizon in (2, 10, 40):
+            assert a3.total_budget(horizon) >= a2.total_budget(horizon) - 1e-9

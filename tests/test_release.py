@@ -1,0 +1,147 @@
+"""Tests for the continuous release engine and the DP -> DP_T converters."""
+
+import numpy as np
+import pytest
+
+from repro.core import TemporalPrivacyAccountant, allocate_quantified
+from repro.data import HistogramQuery, generate_population
+from repro.exceptions import InvalidPrivacyParameterError
+from repro.markov import MarkovChain, two_state_matrix
+from repro.mechanisms import (
+    ContinuousReleaseEngine,
+    make_dpt_engine,
+    plan_dpt_release,
+)
+
+
+@pytest.fixture
+def dataset():
+    chain = MarkovChain(two_state_matrix(0.8, 0.3))
+    return generate_population(chain, n_users=40, horizon=6, seed=0)
+
+
+@pytest.fixture
+def correlations():
+    m = two_state_matrix(0.8, 0.3)
+    chain = MarkovChain(m)
+    return (chain.backward(), chain.forward)
+
+
+class TestEngine:
+    def test_scalar_budget_stream(self, dataset):
+        engine = ContinuousReleaseEngine(
+            HistogramQuery(dataset.n_states), budgets=0.5, seed=1
+        )
+        records = engine.run(dataset)
+        assert len(records) == 6
+        assert all(r.epsilon == 0.5 for r in records)
+        assert records[0].true_answer.sum() == pytest.approx(40)
+
+    def test_vector_budget(self, dataset):
+        budgets = np.linspace(0.1, 0.6, 6)
+        engine = ContinuousReleaseEngine(
+            HistogramQuery(dataset.n_states), budgets=budgets, seed=1
+        )
+        records = engine.run(dataset)
+        assert [r.epsilon for r in records] == pytest.approx(budgets)
+
+    def test_vector_budget_wrong_length(self, dataset):
+        engine = ContinuousReleaseEngine(
+            HistogramQuery(dataset.n_states), budgets=[0.1, 0.2]
+        )
+        with pytest.raises(ValueError):
+            engine.run(dataset)
+
+    def test_rejects_nonpositive_budget(self, dataset):
+        engine = ContinuousReleaseEngine(
+            HistogramQuery(dataset.n_states), budgets=-0.5
+        )
+        with pytest.raises(InvalidPrivacyParameterError):
+            engine.run(dataset)
+
+    def test_allocation_budget(self, dataset, correlations):
+        allocation = allocate_quantified(correlations, 1.0)
+        engine = ContinuousReleaseEngine(
+            HistogramQuery(dataset.n_states), budgets=allocation, seed=1
+        )
+        records = engine.run(dataset)
+        assert records[0].epsilon == pytest.approx(allocation.epsilon_first)
+        assert records[-1].epsilon == pytest.approx(allocation.epsilon_last)
+
+    def test_accountant_tracks_tpl(self, dataset, correlations):
+        accountant = TemporalPrivacyAccountant(correlations)
+        engine = ContinuousReleaseEngine(
+            HistogramQuery(dataset.n_states),
+            budgets=0.3,
+            accountant=accountant,
+            seed=1,
+        )
+        records = engine.run(dataset)
+        assert all(r.tpl is not None for r in records)
+        # The final record's TPL equals the accountant's current worst.
+        assert records[-1].tpl == pytest.approx(accountant.max_tpl())
+
+    def test_noise_actually_added(self, dataset):
+        engine = ContinuousReleaseEngine(
+            HistogramQuery(dataset.n_states), budgets=0.5, seed=1
+        )
+        record = engine.run(dataset)[0]
+        assert record.absolute_error > 0.0
+
+    def test_reproducible_with_seed(self, dataset):
+        def noisy():
+            engine = ContinuousReleaseEngine(
+                HistogramQuery(dataset.n_states), budgets=0.5, seed=9
+            )
+            return engine.run(dataset)[0].noisy_answer
+
+        assert np.array_equal(noisy(), noisy())
+
+
+class TestConverters:
+    def test_plan_quantified_exact(self, correlations):
+        plan = plan_dpt_release(correlations, 1.0, method="quantified")
+        profile = plan.verify(12)
+        assert profile.satisfies(1.0)
+        assert profile.max_tpl == pytest.approx(1.0, rel=1e-6)
+
+    def test_plan_upper_bound_never_exceeds(self, correlations):
+        plan = plan_dpt_release(correlations, 1.0, method="upper_bound")
+        for horizon in (1, 5, 50):
+            assert plan.verify(horizon).satisfies(1.0)
+
+    def test_plan_rejects_unknown_method(self, correlations):
+        with pytest.raises(ValueError):
+            plan_dpt_release(correlations, 1.0, method="magic")
+
+    def test_plan_multi_user_verify_picks_worst(self, correlations):
+        users = {
+            "strong": correlations,
+            "independent": (None, None),
+        }
+        plan = plan_dpt_release(users, 1.0)
+        worst = plan.verify(10)
+        strong_profile = plan.allocation.profile(10, *correlations)
+        assert worst.max_tpl == pytest.approx(strong_profile.max_tpl)
+
+    def test_make_dpt_engine_end_to_end(self, dataset, correlations):
+        engine = make_dpt_engine(
+            HistogramQuery(dataset.n_states),
+            correlations,
+            alpha=1.0,
+            seed=2,
+        )
+        records = engine.run(dataset)
+        assert len(records) == dataset.horizon
+        assert engine.accountant is not None
+        assert engine.accountant.max_tpl() <= 1.0 + 1e-6
+
+    def test_make_dpt_engine_without_accountant(self, dataset, correlations):
+        engine = make_dpt_engine(
+            HistogramQuery(dataset.n_states),
+            correlations,
+            alpha=1.0,
+            with_accountant=False,
+        )
+        assert engine.accountant is None
+        engine.run(dataset)

@@ -1,0 +1,107 @@
+"""Tests for sampled release schedules and their leakage effects."""
+
+import numpy as np
+import pytest
+
+from repro.core import backward_privacy_leakage
+from repro.exceptions import InvalidPrivacyParameterError
+from repro.markov import identity_matrix, two_state_matrix
+from repro.mechanisms import (
+    front_loaded_schedule,
+    max_budget_with_skips,
+    periodic_schedule,
+    schedule_leakage,
+)
+
+
+@pytest.fixture
+def correlation():
+    return two_state_matrix(0.85, 0.1)
+
+
+class TestScheduleBuilders:
+    def test_periodic_layout(self):
+        schedule = periodic_schedule(7, 3, 0.5)
+        assert schedule.tolist() == [0.5, 0, 0, 0.5, 0, 0, 0.5]
+
+    def test_period_one_is_uniform(self):
+        assert periodic_schedule(4, 1, 0.2).tolist() == [0.2] * 4
+
+    def test_front_loaded_layout(self):
+        schedule = front_loaded_schedule(5, 2, 0.3)
+        assert schedule.tolist() == [0.3, 0.3, 0, 0, 0]
+
+    def test_builders_reject_bad_args(self):
+        with pytest.raises(ValueError):
+            periodic_schedule(0, 1, 0.1)
+        with pytest.raises(InvalidPrivacyParameterError):
+            periodic_schedule(5, 1, 0.0)
+        with pytest.raises(ValueError):
+            front_loaded_schedule(5, 6, 0.1)
+        with pytest.raises(InvalidPrivacyParameterError):
+            front_loaded_schedule(5, 2, -0.1)
+
+
+class TestLeakageOfSchedules:
+    def test_skips_contract_leakage(self, correlation):
+        """Zero-budget points shrink the accumulated BPL (L(a) < a)."""
+        dense = backward_privacy_leakage(correlation, np.full(6, 0.3))
+        sparse_schedule = periodic_schedule(6, 2, 0.3)
+        sparse = backward_privacy_leakage(correlation, sparse_schedule)
+        assert sparse[-1] < dense[-1]
+        # Between releases the leakage strictly decreases.
+        assert sparse[1] < sparse[0]
+
+    def test_identity_correlation_does_not_contract(self):
+        """Strongest correlation: skipping does not help (L(a) == a)."""
+        identity = identity_matrix(2)
+        schedule = periodic_schedule(6, 2, 0.3)
+        bpl = backward_privacy_leakage(identity, schedule)
+        assert bpl[-1] == pytest.approx(0.3 * 3)
+
+    def test_schedule_leakage_profile(self, correlation):
+        profile = schedule_leakage(
+            correlation, correlation, periodic_schedule(6, 2, 0.3)
+        )
+        assert profile.horizon == 6
+        assert profile.max_tpl > 0.3
+
+
+class TestMaxBudgetWithSkips:
+    def test_skipping_buys_budget(self, correlation):
+        """Larger period -> larger feasible per-release budget."""
+        alpha, horizon = 1.0, 12
+        dense = max_budget_with_skips(
+            correlation, correlation, alpha, horizon, period=1
+        )
+        sparse = max_budget_with_skips(
+            correlation, correlation, alpha, horizon, period=3
+        )
+        assert sparse > dense
+
+    def test_result_is_feasible_and_tight(self, correlation):
+        alpha, horizon, period = 1.0, 10, 2
+        eps = max_budget_with_skips(
+            correlation, correlation, alpha, horizon, period
+        )
+        at_eps = schedule_leakage(
+            correlation, correlation, periodic_schedule(horizon, period, eps)
+        )
+        above = schedule_leakage(
+            correlation, correlation,
+            periodic_schedule(horizon, period, eps * 1.01),
+        )
+        assert at_eps.max_tpl <= alpha + 1e-6
+        assert above.max_tpl > alpha
+
+    def test_single_release_gets_full_alpha(self, correlation):
+        """A period longer than the horizon means one release: it may
+        spend the entire alpha."""
+        eps = max_budget_with_skips(
+            correlation, correlation, 1.0, horizon=5, period=10
+        )
+        assert eps == pytest.approx(1.0, abs=1e-6)
+
+    def test_rejects_bad_alpha(self, correlation):
+        with pytest.raises(InvalidPrivacyParameterError):
+            max_budget_with_skips(correlation, correlation, 0.0, 5, 1)

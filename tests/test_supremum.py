@@ -1,0 +1,167 @@
+"""Tests for Theorem 5: closed forms, fixed-point iteration, inverse."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    TemporalLossFunction,
+    epsilon_for_supremum,
+    has_finite_supremum,
+    leakage_supremum,
+    supremum_closed_form,
+)
+from repro.exceptions import (
+    InvalidPrivacyParameterError,
+    UnboundedLeakageError,
+)
+from repro.markov import (
+    identity_matrix,
+    smoothed_strongest_matrix,
+    two_state_matrix,
+    uniform_matrix,
+)
+
+
+class TestClosedForm:
+    def test_case_d_nonzero(self):
+        """q=0.8, d=0.1, eps=0.23 -- the Fig. 4(d) panel converges ~0.79."""
+        value = supremum_closed_form(0.8, 0.1, 0.23)
+        assert value == pytest.approx(0.7923, abs=1e-4)
+
+    def test_case_d_zero_bounded(self):
+        """q=0.8, d=0, eps=0.15 < log(1/0.8) -- Fig. 4(c), ~1.19."""
+        value = supremum_closed_form(0.8, 0.0, 0.15)
+        expected = math.log((1 - 0.8) * math.exp(0.15) / (1 - 0.8 * math.exp(0.15)))
+        assert value == pytest.approx(expected)
+        assert value == pytest.approx(1.1922, abs=1e-4)
+
+    def test_case_d_zero_unbounded(self):
+        """eps=0.23 > log(1/0.8) ~ 0.2231 -- Fig. 4(b), no supremum."""
+        with pytest.raises(UnboundedLeakageError):
+            supremum_closed_form(0.8, 0.0, 0.23)
+
+    def test_case_strongest_unbounded(self):
+        with pytest.raises(UnboundedLeakageError):
+            supremum_closed_form(1.0, 0.0, 0.1)
+
+    def test_boundary_epsilon_unbounded(self):
+        """At eps == log(1/q) the expression diverges; classified
+        unbounded."""
+        with pytest.raises(UnboundedLeakageError):
+            supremum_closed_form(0.8, 0.0, math.log(1 / 0.8))
+
+    def test_trivial_pair_returns_epsilon(self):
+        assert supremum_closed_form(0.3, 0.3, 0.7) == pytest.approx(0.7)
+        assert supremum_closed_form(0.2, 0.5, 0.7) == pytest.approx(0.7)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(InvalidPrivacyParameterError):
+            supremum_closed_form(0.8, 0.1, 0.0)
+
+    def test_rejects_out_of_range_sums(self):
+        with pytest.raises(ValueError):
+            supremum_closed_form(1.2, 0.1, 0.5)
+
+    @given(
+        st.floats(0.05, 0.95),
+        st.floats(0.01, 0.5),
+        st.floats(0.01, 2.0),
+    )
+    def test_closed_form_is_fixed_point(self, q, d, eps):
+        """The closed form satisfies a = log((q(e^a-1)+1)/(d(e^a-1)+1)) + eps."""
+        if q <= d:
+            return
+        a = supremum_closed_form(q, d, eps)
+        e = math.exp(a) - 1.0
+        recursion = math.log((q * e + 1.0) / (d * e + 1.0)) + eps
+        assert recursion == pytest.approx(a, rel=1e-9)
+
+
+class TestLeakageSupremum:
+    def test_matches_closed_form_two_state(self):
+        m = two_state_matrix(0.8, 0.1)
+        assert leakage_supremum(m, 0.23) == pytest.approx(0.7923, abs=1e-4)
+
+    def test_matches_step_by_step_iteration(self):
+        """Theorem 5 vs Algorithm-1 recursion (the paper's Example 4)."""
+        m = two_state_matrix(0.8, 0.0)
+        sup = leakage_supremum(m, 0.15)
+        series = TemporalLossFunction(m).iterate(0.15, 3000)
+        assert series[-1] == pytest.approx(sup, abs=1e-6)
+        assert series[-1] <= sup + 1e-9
+
+    def test_uniform_matrix_supremum_is_epsilon(self):
+        assert leakage_supremum(uniform_matrix(3), 0.4) == pytest.approx(0.4)
+
+    def test_identity_unbounded(self):
+        with pytest.raises(UnboundedLeakageError):
+            leakage_supremum(identity_matrix(2), 0.1)
+
+    def test_above_threshold_unbounded(self):
+        with pytest.raises(UnboundedLeakageError):
+            leakage_supremum(two_state_matrix(0.8, 0.0), 0.3)
+
+    def test_rejects_nonpositive_epsilon(self):
+        with pytest.raises(InvalidPrivacyParameterError):
+            leakage_supremum(two_state_matrix(0.8, 0.1), 0.0)
+
+    def test_accepts_loss_function_argument(self):
+        loss = TemporalLossFunction(two_state_matrix(0.8, 0.1))
+        assert leakage_supremum(loss, 0.23) == pytest.approx(0.7923, abs=1e-4)
+
+    def test_larger_domain_smoothed_matrix(self):
+        m = smoothed_strongest_matrix(10, 0.1, seed=0)
+        sup = leakage_supremum(m, 0.2)
+        series = TemporalLossFunction(m).iterate(0.2, 2000)
+        assert series[-1] == pytest.approx(sup, abs=1e-5)
+
+    @given(st.floats(0.05, 2.0))
+    def test_supremum_dominates_any_finite_horizon(self, eps):
+        m = two_state_matrix(0.7, 0.2)
+        sup = leakage_supremum(m, eps)
+        series = TemporalLossFunction(m).iterate(eps, 100)
+        assert max(series) <= sup + 1e-8
+
+    def test_supremum_increasing_in_epsilon(self):
+        m = two_state_matrix(0.7, 0.2)
+        sups = [leakage_supremum(m, e) for e in (0.1, 0.2, 0.5, 1.0)]
+        assert all(b > a for a, b in zip(sups, sups[1:]))
+
+
+class TestHasFiniteSupremum:
+    def test_bounded_cases(self):
+        assert has_finite_supremum(two_state_matrix(0.8, 0.1), 0.23)
+        assert has_finite_supremum(two_state_matrix(0.8, 0.0), 0.15)
+        assert has_finite_supremum(uniform_matrix(3), 5.0)
+
+    def test_unbounded_cases(self):
+        assert not has_finite_supremum(identity_matrix(2), 0.01)
+        assert not has_finite_supremum(two_state_matrix(0.8, 0.0), 0.3)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(InvalidPrivacyParameterError):
+            has_finite_supremum(uniform_matrix(2), -1.0)
+
+
+class TestEpsilonForSupremum:
+    def test_roundtrip_with_supremum(self):
+        """eps -> supremum -> eps is the identity (Algorithm 2's core)."""
+        m = two_state_matrix(0.8, 0.1)
+        alpha = 0.7923369127447658
+        eps = epsilon_for_supremum(m, alpha)
+        assert leakage_supremum(m, eps) == pytest.approx(alpha, rel=1e-6)
+
+    @given(st.floats(0.1, 3.0))
+    def test_inverse_identity_property(self, alpha):
+        m = two_state_matrix(0.75, 0.15)
+        eps = epsilon_for_supremum(m, alpha)
+        assert 0 < eps <= alpha
+        assert leakage_supremum(m, eps) == pytest.approx(alpha, rel=1e-6)
+
+    def test_identity_matrix_raises(self):
+        with pytest.raises(InvalidPrivacyParameterError):
+            epsilon_for_supremum(identity_matrix(2), 1.0)
