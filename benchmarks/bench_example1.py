@@ -6,9 +6,9 @@ import pytest
 from repro.experiments import example1
 
 
-def test_example1_end_to_end(benchmark, show):
+def test_example1_end_to_end(benchmark, show_table):
     result = benchmark(example1.run, epsilon=1.0, seed=0)
-    show(example1.format_table(result))
+    show_table(example1.format_table(result))
     # The released true counts are exactly Fig. 1(c).
     series = np.stack([r.true_answer for r in result.records])
     assert series.tolist() == [

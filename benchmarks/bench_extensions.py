@@ -35,7 +35,7 @@ def mixed_population():
     }
 
 
-def test_personalized_vs_uniform_allocation(benchmark, show, mixed_population):
+def test_personalized_vs_uniform_allocation(benchmark, show_table, mixed_population):
     result = benchmark(allocate_personalized, mixed_population, 1.0)
     uniform_rule = allocate_quantified(mixed_population, 1.0)
     horizon = 10
@@ -43,7 +43,7 @@ def test_personalized_vs_uniform_allocation(benchmark, show, mixed_population):
         result.epsilons("weak", horizon).sum()
         / uniform_rule.epsilons(horizon).sum()
     )
-    show(
+    show_table(
         "Personalised DP_T (Section III-D): total budget over "
         f"T={horizon}\n"
         f"  uniform rule (min over users): {uniform_rule.epsilons(horizon).sum():.3f}\n"
@@ -55,7 +55,7 @@ def test_personalized_vs_uniform_allocation(benchmark, show, mixed_population):
     assert result.satisfies(mixed_population, horizon)
 
 
-def test_higher_order_adversary_gap(benchmark, show):
+def test_higher_order_adversary_gap(benchmark, show_table):
     base = two_state_matrix(0.8, 0.1)
     lifted = lift_first_order(base, order=2)
     eps = np.full(10, 0.2)
@@ -67,7 +67,7 @@ def test_higher_order_adversary_gap(benchmark, show):
         )
 
     first_order, second_order = benchmark(leakages)
-    show(
+    show_table(
         "Order-2 (lifted) adversary vs first-order, eps=0.2 x 10:\n"
         f"  first-order BPL(10):  {first_order[-1]:.4f}\n"
         f"  lifted BPL(10):       {second_order[-1]:.4f} "
@@ -76,7 +76,7 @@ def test_higher_order_adversary_gap(benchmark, show):
     assert np.all(second_order >= first_order - 1e-12)
 
 
-def test_sampling_budget_frontier(benchmark, show):
+def test_sampling_budget_frontier(benchmark, show_table):
     correlation = two_state_matrix(0.85, 0.1)
     alpha, horizon = 1.0, 12
 
@@ -92,7 +92,7 @@ def test_sampling_budget_frontier(benchmark, show):
     rows = "\n".join(
         f"  period {p}: eps = {e:.4f}" for p, e in budgets.items()
     )
-    show(
+    show_table(
         f"Sampled schedules: max per-release budget at alpha={alpha}, "
         f"T={horizon}\n{rows}"
     )

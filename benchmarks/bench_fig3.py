@@ -6,9 +6,9 @@ import pytest
 from repro.experiments import fig3
 
 
-def test_fig3_leakage_series(benchmark, show):
+def test_fig3_leakage_series(benchmark, show_table):
     result = benchmark(fig3.run)
-    show(fig3.format_table(result))
+    show_table(fig3.format_table(result))
     # Reproduction claims: the annotated moderate-BPL series and the
     # strong/none extremes.
     assert np.round(result.bpl["moderate"], 2) == pytest.approx(

@@ -6,9 +6,9 @@ import pytest
 from repro.experiments import fig4
 
 
-def test_fig4_supremum_panels(benchmark, show):
+def test_fig4_supremum_panels(benchmark, show_table):
     result = benchmark(fig4.run, horizon=100)
-    show(fig4.format_table(result))
+    show_table(fig4.format_table(result))
     suprema = [case.supremum for case in result.cases]
     # (a), (b): no supremum; (c), (d): closed-form values.
     assert suprema[0] is None and suprema[1] is None

@@ -6,12 +6,12 @@ import pytest
 from repro.experiments import fig6
 
 
-def test_fig6a_eps1(benchmark, show):
+def test_fig6a_eps1(benchmark, show_table):
     result = benchmark(
         fig6.run, epsilon=1.0, horizon=15,
         configs=((0.0, 50), (0.005, 50), (0.005, 200), (0.05, 50)),
     )
-    show(fig6.format_table(result))
+    show_table(fig6.format_table(result))
     by_label = {s.label: np.asarray(s.y) for s in result.series}
     # Shape claims of the paper: ordering by correlation strength.
     assert by_label["s=0.0 (n=50)"][-1] > by_label["s=0.005 (n=50)"][-1]
@@ -19,12 +19,12 @@ def test_fig6a_eps1(benchmark, show):
     assert by_label["s=0.005 (n=50)"][-1] > by_label["s=0.005 (n=200)"][-1]
 
 
-def test_fig6b_eps01(benchmark, show):
+def test_fig6b_eps01(benchmark, show_table):
     result = benchmark(
         fig6.run, epsilon=0.1, horizon=150,
         configs=((0.005, 50), (0.05, 50)),
     )
-    show(fig6.format_table(result))
+    show_table(fig6.format_table(result))
     strong = np.asarray(result.series[0].y)
     # The paper's claim is comparative: at eps=0.1 the growth phase lasts
     # ~10x longer than at eps=1.  After 8 steps the eps=1 series is

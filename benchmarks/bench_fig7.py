@@ -6,9 +6,9 @@ import pytest
 from repro.experiments import fig7
 
 
-def test_fig7_allocation(benchmark, show):
+def test_fig7_allocation(benchmark, show_table):
     result = benchmark(fig7.run, alpha=1.0, horizon=30)
-    show(fig7.format_table(result))
+    show_table(fig7.format_table(result))
     # Algorithm 3 achieves exactly 1-DP_T at every time point...
     assert result.profile3.tpl == pytest.approx(np.full(30, 1.0), rel=1e-6)
     # ...while Algorithm 2 stays strictly below and ramps up.

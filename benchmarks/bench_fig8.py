@@ -5,11 +5,11 @@ import pytest
 from repro.experiments import fig8
 
 
-def test_fig8a_noise_vs_horizon(benchmark, show):
+def test_fig8a_noise_vs_horizon(benchmark, show_table):
     result = benchmark(
         fig8.run_vs_horizon, alpha=2.0, horizons=(5, 10, 50), n=50, s=0.001
     )
-    show(fig8.format_table(result))
+    show_table(fig8.format_table(result))
     # Algorithm 3 beats Algorithm 2 at every finite horizon; the gap is
     # largest at T = 5 (the paper's panel a).
     gaps = [n2 - n3 for n2, n3 in zip(result.noise2, result.noise3)]
@@ -19,7 +19,7 @@ def test_fig8a_noise_vs_horizon(benchmark, show):
     assert result.noise2[0] == pytest.approx(result.noise2[-1])
 
 
-def test_fig8b_noise_vs_correlation(benchmark, show):
+def test_fig8b_noise_vs_correlation(benchmark, show_table):
     result = benchmark(
         fig8.run_vs_correlation,
         alpha=2.0,
@@ -27,7 +27,7 @@ def test_fig8b_noise_vs_correlation(benchmark, show):
         n=50,
         horizon=10,
     )
-    show(fig8.format_table(result))
+    show_table(fig8.format_table(result))
     # Utility decays sharply under strong correlations (small s)...
     assert result.noise3[0] > 2 * result.noise3[-1]
     # ...and approaches the independent-data reference as s grows.

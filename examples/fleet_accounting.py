@@ -1,0 +1,86 @@
+"""Fleet accounting: temporal-privacy bookkeeping for a whole population.
+
+The story:
+
+1. A service has 30,000 users whose temporal correlations were estimated
+   per city -- three models serve the whole population, so the fleet
+   engine runs three recursions instead of 30,000.
+2. It publishes 50 releases; two VIP users are on personalised budgets
+   (one tighter, one looser) and ride the vectorised override path.
+3. The fleet-wide worst-case TPL matches what the per-user accountant
+   would say -- at a tiny fraction of the cost.
+4. The service restarts: checkpoint -> restore reproduces the exact
+   leakage state, and accounting continues seamlessly.
+
+Run:  python examples/fleet_accounting.py
+"""
+
+import tempfile
+import time
+
+import numpy as np
+
+from repro.core import TemporalPrivacyAccountant
+from repro.fleet import FleetAccountant, load_checkpoint, save_checkpoint
+from repro.markov import random_stochastic_matrix, two_state_matrix, uniform_matrix
+
+
+def main() -> None:
+    # --- 1. Three estimated correlation models, 30k users. --------------
+    models = {
+        "metropolis": two_state_matrix(0.8, 0.0),
+        "suburb": random_stochastic_matrix(3, seed=42),
+        "countryside": uniform_matrix(2),
+    }
+    cities = list(models)
+    fleet = FleetAccountant()
+    for user in range(30_000):
+        matrix = models[cities[user % 3]]
+        fleet.add_user(user, (matrix, matrix))
+    print(f"{fleet.n_users} users -> {fleet.n_cohorts} cohorts")
+
+    # --- 2. 50 releases; users 7 and 8 have personalised budgets. -------
+    start = time.perf_counter()
+    for t in range(50):
+        worst = fleet.add_release(0.1, overrides={7: 0.02, 8: 0.25})
+    elapsed = time.perf_counter() - start
+    print(
+        f"50 releases accounted in {elapsed * 1000:.1f} ms "
+        f"({fleet.n_users * 50 / elapsed:,.0f} user-steps/s)"
+    )
+    print(f"fleet-wide worst-case TPL: {worst:.6f}")
+    print(
+        "personalised users:  "
+        f"tight(7) max TPL {fleet.profile(7).max_tpl:.4f}   "
+        f"loose(8) max TPL {fleet.profile(8).max_tpl:.4f}"
+    )
+
+    # --- 3. Cross-check one user of each cohort against the scalar path.
+    reference = TemporalPrivacyAccountant(
+        {c: (models[c], models[c]) for c in cities}
+    )
+    for _ in range(50):
+        reference.add_release(0.1)
+    for i, city in enumerate(cities):
+        # Users 0/1/2 are default-schedule members of the three cohorts.
+        assert np.array_equal(
+            reference.profile(city).tpl, fleet.profile(i).tpl
+        )
+    print("per-user accountant reproduces every cohort's profile exactly")
+
+    # --- 4. Restart: checkpoint -> restore -> continue. -----------------
+    with tempfile.TemporaryDirectory() as ckpt:
+        save_checkpoint(fleet, ckpt)
+        restored = load_checkpoint(ckpt)
+    assert restored.max_tpl() == fleet.max_tpl()
+    fleet.add_release(0.1)
+    restored.add_release(0.1)
+    assert restored.max_tpl() == fleet.max_tpl()
+    print(
+        f"checkpoint round-trip exact; after one more release both report "
+        f"TPL {restored.max_tpl():.6f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,10 @@ Packages
 ``repro.lp``
     Generic LFP solvers (scipy/HiGHS, own simplex, Dinkelbach, brute
     force) -- the baselines of the paper's Fig. 5.
+``repro.fleet``
+    Population-scale accounting: cohort-vectorised BPL/FPL/TPL
+    recursions, shared Algorithm-1 solution cache, checkpointing and
+    batched release.
 ``repro.mechanisms``
     Laplace mechanism and the continuous release engine of Fig. 1.
 ``repro.data``
@@ -74,6 +78,13 @@ from .core import (
     temporal_privacy_leakage,
     user_level_leakage,
     w_event_leakage,
+)
+from .fleet import (
+    FleetAccountant,
+    FleetReleaseEngine,
+    SolutionCache,
+    load_checkpoint,
+    save_checkpoint,
 )
 from .markov import (
     MarkovChain,
@@ -130,6 +141,12 @@ __all__ = [
     "AlphaDPT",
     "EpsilonDP",
     "PrivacyLevel",
+    # fleet
+    "FleetAccountant",
+    "FleetReleaseEngine",
+    "SolutionCache",
+    "save_checkpoint",
+    "load_checkpoint",
     # markov
     "TransitionMatrix",
     "as_transition_matrix",

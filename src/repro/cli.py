@@ -106,6 +106,70 @@ def _cmd_experiments(args) -> int:
     return runner_main(argv)
 
 
+def _cmd_fleet(args) -> int:
+    import time
+
+    from .fleet import FleetAccountant, save_checkpoint
+    from .markov import random_stochastic_matrix
+
+    if args.users < 1 or args.cohorts < 1 or args.steps < 1:
+        raise SystemExit("--users, --cohorts and --steps must be >= 1")
+    if args.cohorts > args.users:
+        raise SystemExit("--cohorts cannot exceed --users")
+
+    models = [
+        random_stochastic_matrix(args.states, seed=args.seed + i)
+        for i in range(args.cohorts)
+    ]
+    fleet = FleetAccountant(alpha=args.alpha)
+
+    build_start = time.perf_counter()
+    for user in range(args.users):
+        matrix = models[user % args.cohorts]
+        fleet.add_user(user, (matrix, matrix))
+    build_elapsed = time.perf_counter() - build_start
+
+    worst = 0.0
+    account_start = time.perf_counter()
+    try:
+        for _ in range(args.steps):
+            worst = fleet.add_release(args.epsilon)
+    except ReproError as error:
+        print(f"release rejected: {error}", file=sys.stderr)
+        return 1
+    account_elapsed = time.perf_counter() - account_start
+
+    user_steps = args.users * args.steps
+    print(
+        f"fleet: {args.users} users in {fleet.n_cohorts} cohorts, "
+        f"{args.steps} releases of eps={args.epsilon:g} "
+        f"({args.states}-state models, seed={args.seed})"
+    )
+    print(f"worst-case TPL: {worst:.6f}")
+    if args.alpha is not None:
+        print(f"remaining alpha headroom: {fleet.remaining_alpha():.6f}")
+    print(
+        f"registration: {build_elapsed:.3f}s  "
+        f"accounting: {account_elapsed:.3f}s  "
+        f"throughput: {user_steps / max(account_elapsed, 1e-9):,.0f} "
+        f"user-steps/s"
+    )
+    stats = fleet.cache.stats()
+    print(
+        f"solution cache: {stats['hits']} hits / {stats['misses']} misses "
+        f"({stats['size']}/{stats['maxsize']} entries, "
+        f"{stats['evictions']} evictions)"
+    )
+    if args.checkpoint:
+        try:
+            save_checkpoint(fleet, args.checkpoint)
+        except OSError as error:
+            print(f"error: cannot write checkpoint: {error}", file=sys.stderr)
+            return 1
+        print(f"checkpoint written to {args.checkpoint}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -158,6 +222,26 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("names", nargs="*", help="experiment ids (default all)")
     experiments.add_argument("--quick", action="store_true")
     experiments.set_defaults(func=_cmd_experiments)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="simulate population-scale accounting (repro.fleet engine)",
+    )
+    fleet.add_argument("--users", type=int, default=100_000)
+    fleet.add_argument("--cohorts", type=int, default=8)
+    fleet.add_argument("--steps", type=int, default=100)
+    fleet.add_argument("--epsilon", type=float, default=0.1)
+    fleet.add_argument(
+        "--states", type=int, default=3, help="states per correlation model"
+    )
+    fleet.add_argument(
+        "--alpha", type=float, default=None, help="optional TPL bound"
+    )
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--checkpoint", help="directory to save the final engine state to"
+    )
+    fleet.set_defaults(func=_cmd_fleet)
 
     return parser
 

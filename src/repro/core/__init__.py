@@ -17,10 +17,15 @@ from .lfp import LfpProblem
 from .algorithm1 import (
     PairSolution,
     max_log_ratio,
+    max_log_ratio_batch,
     solve_lfp_algorithm1,
     solve_pair,
 )
-from .loss_functions import TemporalLossFunction
+from .loss_functions import (
+    TemporalLossFunction,
+    get_shared_solution_cache,
+    set_shared_solution_cache,
+)
 from .leakage import (
     LeakageProfile,
     backward_privacy_leakage,
@@ -51,9 +56,12 @@ __all__ = [
     "LfpProblem",
     "PairSolution",
     "max_log_ratio",
+    "max_log_ratio_batch",
     "solve_lfp_algorithm1",
     "solve_pair",
     "TemporalLossFunction",
+    "get_shared_solution_cache",
+    "set_shared_solution_cache",
     "LeakageProfile",
     "backward_privacy_leakage",
     "forward_privacy_leakage",

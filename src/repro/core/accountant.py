@@ -32,13 +32,13 @@ __all__ = ["TemporalPrivacyAccountant"]
 class _UserState:
     """Per-user incremental BPL plus lazily recomputed FPL."""
 
-    __slots__ = ("loss_b", "loss_f", "bpl", "_fpl_cache_len", "_fpl_cache")
+    __slots__ = ("loss_b", "loss_f", "bpl", "_fpl_cache_key", "_fpl_cache")
 
     def __init__(self, backward, forward) -> None:
         self.loss_b = TemporalLossFunction(backward) if backward is not None else None
         self.loss_f = TemporalLossFunction(forward) if forward is not None else None
         self.bpl: List[float] = []
-        self._fpl_cache_len = -1
+        self._fpl_cache_key: Optional[bytes] = None
         self._fpl_cache: Optional[np.ndarray] = None
 
     def extend_bpl(self, epsilon: float) -> None:
@@ -49,14 +49,18 @@ class _UserState:
         self.bpl.append(self.loss_b(previous) + epsilon)
 
     def fpl(self, epsilons: np.ndarray) -> np.ndarray:
-        if self._fpl_cache_len == epsilons.shape[0]:
+        # Key the memo on the *contents* of the budget vector, not its
+        # length: two same-length vectors with different values must not
+        # share an FPL series.
+        key = epsilons.tobytes()
+        if self._fpl_cache_key == key:
             return self._fpl_cache  # type: ignore[return-value]
         if self.loss_f is None:
             fpl = epsilons.copy()
         else:
             fpl = forward_privacy_leakage(self.loss_f, epsilons)
         self._fpl_cache = fpl
-        self._fpl_cache_len = epsilons.shape[0]
+        self._fpl_cache_key = key
         return fpl
 
 
@@ -136,7 +140,7 @@ class TemporalPrivacyAccountant:
             self._epsilons.pop()
             for state in self._users.values():
                 state.bpl.pop()
-                state._fpl_cache_len = -1
+                state._fpl_cache_key = None
             raise InvalidPrivacyParameterError(
                 f"release of eps={epsilon} would raise TPL to {worst:.6f} "
                 f"> alpha={self._alpha}"

@@ -37,7 +37,13 @@ from ..exceptions import InvalidPrivacyParameterError
 from ..markov.matrix import as_transition_matrix
 from .lfp import LfpProblem
 
-__all__ = ["PairSolution", "solve_pair", "solve_lfp_algorithm1", "max_log_ratio"]
+__all__ = [
+    "PairSolution",
+    "solve_pair",
+    "solve_lfp_algorithm1",
+    "max_log_ratio",
+    "max_log_ratio_batch",
+]
 
 
 @dataclass
@@ -205,3 +211,93 @@ def max_log_ratio(
         iterations=-1,  # batched: per-pair sweep count not tracked
     )
     return best_value, pair
+
+
+#: Soft cap on the ``alphas x pairs x n`` work arrays of
+#: :func:`max_log_ratio_batch`; larger inputs are processed in chunks.
+_BATCH_CHUNK_ELEMENTS = 4_000_000
+
+
+def max_log_ratio_batch(matrix, alphas) -> np.ndarray:
+    """Vectorised :func:`max_log_ratio` over a whole *vector* of alphas.
+
+    Evaluating the temporal loss function at ``A`` different incoming
+    leakage values runs the same deletion sweep as :func:`max_log_ratio`
+    on ``(A, pairs, n)`` arrays, so a fleet engine can advance the BPL/FPL
+    recursions of many users (or cohorts) in one numpy pass instead of
+    ``A`` Python round-trips.  Results match the scalar path to float
+    round-off (same subset-selection rule, same tie-breaking).
+
+    Parameters
+    ----------
+    matrix:
+        Transition matrix (``P_B`` for ``L_B``, ``P_F`` for ``L_F``).
+    alphas:
+        1-D array of incoming leakage values, each ``>= 0``.
+
+    Returns
+    -------
+    Array of the same shape with ``L(alpha)`` per entry.
+    """
+    alphas = np.asarray(alphas, dtype=float)
+    if alphas.ndim != 1:
+        raise ValueError("alphas must be a 1-D array")
+    if alphas.size == 0:
+        return np.zeros(0)
+    if np.any(alphas < 0) or not np.all(np.isfinite(alphas)):
+        raise InvalidPrivacyParameterError("all alphas must be finite and >= 0")
+    p = as_transition_matrix(matrix).array
+    n = p.shape[0]
+    out = np.zeros_like(alphas)
+    e_all = np.expm1(alphas)
+    nonzero = e_all > 0.0
+    if n == 1 or not nonzero.any():
+        return out
+
+    j_idx, k_idx = np.where(~np.eye(n, dtype=bool))
+    q_rows = p[j_idx]  # shape (pairs, n)
+    d_rows = p[k_idx]
+    base_mask = q_rows > d_rows  # Corollary 2 candidates
+    if not base_mask.any():
+        return out
+
+    work = np.flatnonzero(nonzero)
+    per_alpha = base_mask.size
+    chunk = max(1, _BATCH_CHUNK_ELEMENTS // per_alpha)
+    for lo in range(0, work.size, chunk):
+        sel = work[lo : lo + chunk]
+        out[sel] = _batch_sweep(q_rows, d_rows, base_mask, e_all[sel])
+    return out
+
+
+def _batch_sweep(
+    q_rows: np.ndarray,
+    d_rows: np.ndarray,
+    base_mask: np.ndarray,
+    e: np.ndarray,
+) -> np.ndarray:
+    """One chunk of :func:`max_log_ratio_batch`: the deletion sweep on
+    ``(A, pairs, n)`` arrays for ``A = len(e)`` strictly positive
+    ``e^alpha - 1`` values."""
+    a = e.shape[0]
+    mask = np.broadcast_to(base_mask, (a,) + base_mask.shape).copy()
+    active = mask.any(axis=2)  # (A, pairs)
+    while True:
+        q_sums = (q_rows[None, :, :] * mask).sum(axis=2)
+        d_sums = (d_rows[None, :, :] * mask).sum(axis=2)
+        numerator = q_sums * e[:, None] + 1.0
+        denominator = d_sums * e[:, None] + 1.0
+        # >= for the same float-tie robustness as in solve_pair.
+        keep = mask & (
+            q_rows[None, :, :] * denominator[:, :, None]
+            >= d_rows[None, :, :] * numerator[:, :, None]
+        )
+        changed = active & (keep.sum(axis=2) != mask.sum(axis=2))
+        if not changed.any():
+            break
+        mask = np.where(changed[:, :, None], keep, mask)
+        active = mask.any(axis=2)
+
+    values = np.log(numerator) - np.log(denominator)
+    values[~active] = 0.0
+    return np.maximum(values.max(axis=1), 0.0)

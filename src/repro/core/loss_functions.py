@@ -27,7 +27,38 @@ from ..exceptions import InvalidPrivacyParameterError
 from ..markov.matrix import TransitionMatrix, as_transition_matrix
 from .algorithm1 import PairSolution, max_log_ratio
 
-__all__ = ["TemporalLossFunction"]
+__all__ = [
+    "TemporalLossFunction",
+    "get_shared_solution_cache",
+    "set_shared_solution_cache",
+]
+
+#: Process-wide L2 cache consulted by every :class:`TemporalLossFunction`
+#: that was not given an explicit ``cache``.  Installed by
+#: :func:`set_shared_solution_cache` (e.g. with a
+#: :class:`repro.fleet.SolutionCache`); ``None`` disables the L2 layer.
+_SHARED_SOLUTION_CACHE = None
+
+
+def set_shared_solution_cache(cache):
+    """Install a process-wide solution cache (``get(key)``/``put(key,
+    value)`` duck type, keyed by ``(matrix_digest, alpha)``) and return the
+    previously installed one.
+
+    Lets every scalar ``L(alpha)`` evaluation in the process reuse
+    Algorithm-1 solves across loss-function instances bound to identical
+    matrices -- the common case in a population where many users share one
+    estimated correlation model.  Pass ``None`` to uninstall.
+    """
+    global _SHARED_SOLUTION_CACHE
+    previous = _SHARED_SOLUTION_CACHE
+    _SHARED_SOLUTION_CACHE = cache
+    return previous
+
+
+def get_shared_solution_cache():
+    """The currently installed process-wide solution cache (or ``None``)."""
+    return _SHARED_SOLUTION_CACHE
 
 
 class TemporalLossFunction:
@@ -44,9 +75,12 @@ class TemporalLossFunction:
     True
     """
 
-    def __init__(self, matrix) -> None:
+    def __init__(self, matrix, cache=None) -> None:
         self._matrix = as_transition_matrix(matrix)
         self._cache: Dict[float, Tuple[float, Optional[PairSolution]]] = {}
+        # Explicit L2 cache; when None the process-wide shared cache (if
+        # installed) is consulted at call time.
+        self._explicit_cache = cache
 
     @property
     def matrix(self) -> TransitionMatrix:
@@ -61,7 +95,19 @@ class TemporalLossFunction:
         key = round(float(alpha), 15)
         hit = self._cache.get(key)
         if hit is None:
-            hit = max_log_ratio(self._matrix, alpha, return_pair=True)
+            shared = (
+                self._explicit_cache
+                if self._explicit_cache is not None
+                else _SHARED_SOLUTION_CACHE
+            )
+            if shared is not None:
+                shared_key = (self._matrix.digest, key)
+                hit = shared.get(shared_key)
+                if hit is None:
+                    hit = max_log_ratio(self._matrix, alpha, return_pair=True)
+                    shared.put(shared_key, hit)
+            else:
+                hit = max_log_ratio(self._matrix, alpha, return_pair=True)
             self._cache[key] = hit
         return hit
 

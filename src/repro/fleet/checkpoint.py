@@ -1,0 +1,177 @@
+"""Checkpoint / restore for the fleet engine.
+
+A long-running release service must be able to restart without losing the
+leakage it has already accrued -- the TPL recursions are stateful, and
+"forgetting" past releases would silently under-count privacy loss.  A
+checkpoint is a directory holding:
+
+* ``arrays.npz`` -- every numeric series (budget vectors, BPL series,
+  correlation matrices) as exact float64 arrays;
+* ``manifest.json`` -- the structure: cohorts, groups, override members,
+  join times, the alpha bound and a format version.
+
+Restoring rebuilds a :class:`~repro.fleet.engine.FleetAccountant` whose
+leakage profiles are *bit-identical* to the live engine's (BPL series are
+restored verbatim; FPL is recomputed lazily from the same floats).
+
+User identifiers must be JSON-scalar (``str`` / ``int``) or tuples
+thereof; tuples round-trip like the state labels in :mod:`repro.io`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from ..markov.matrix import TransitionMatrix
+from .engine import FleetAccountant, _CohortState, _Group, _OverrideSeries
+from .solution_cache import SolutionCache
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+ARRAYS_NAME = "arrays.npz"
+
+PathLike = Union[str, Path]
+
+
+def _encode_user(user):
+    if isinstance(user, tuple):
+        return {"__tuple__": list(user)}
+    return user
+
+
+def _decode_user(payload):
+    if isinstance(payload, dict) and "__tuple__" in payload:
+        return tuple(payload["__tuple__"])
+    return payload
+
+
+def save_checkpoint(engine: FleetAccountant, path: PathLike) -> Path:
+    """Persist the full engine state under directory ``path`` (created if
+    missing).  Returns the directory path."""
+    directory = Path(path)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    arrays = {"epsilons": engine.epsilons}
+    cohorts = []
+    for i, (key, state) in enumerate(sorted(engine._states.items())):
+        payload = {"key": key, "backward": None, "forward": None}
+        for side in ("backward", "forward"):
+            matrix: Optional[TransitionMatrix] = getattr(state.cohort, side)
+            if matrix is not None:
+                array_key = f"c{i}_{side}"
+                arrays[array_key] = np.asarray(matrix.array)
+                payload[side] = {
+                    "array": array_key,
+                    "states": [_encode_user(s) for s in matrix.states],
+                }
+        groups = []
+        for j, group in enumerate(sorted(state.groups.values(), key=lambda g: g.start)):
+            array_key = f"c{i}_g{j}_bpl"
+            arrays[array_key] = np.asarray(group.bpl, dtype=float)
+            groups.append(
+                {
+                    "start": group.start,
+                    "members": [_encode_user(u) for u in group.members],
+                    "bpl": array_key,
+                }
+            )
+        payload["groups"] = groups
+        overrides = []
+        for k, (user, series) in enumerate(state.overrides.items()):
+            eps_key = f"c{i}_o{k}_eps"
+            bpl_key = f"c{i}_o{k}_bpl"
+            arrays[eps_key] = np.asarray(series.eps, dtype=float)
+            arrays[bpl_key] = np.asarray(series.bpl, dtype=float)
+            overrides.append(
+                {
+                    "user": _encode_user(user),
+                    "start": series.start,
+                    "eps": eps_key,
+                    "bpl": bpl_key,
+                }
+            )
+        payload["overrides"] = overrides
+        cohorts.append(payload)
+
+    manifest = {
+        "format": FORMAT_VERSION,
+        "kind": "fleet_checkpoint",
+        "alpha": engine.alpha,
+        "horizon": engine.horizon,
+        "n_users": engine.n_users,
+        "cohorts": cohorts,
+    }
+    np.savez(directory / ARRAYS_NAME, **arrays)
+    (directory / MANIFEST_NAME).write_text(
+        json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+    )
+    return directory
+
+
+def load_checkpoint(
+    path: PathLike, cache: Optional[SolutionCache] = None
+) -> FleetAccountant:
+    """Rebuild a :class:`FleetAccountant` from :func:`save_checkpoint`
+    output.  A fresh :class:`SolutionCache` is attached unless one is
+    supplied (caches are transparent state and are not checkpointed)."""
+    directory = Path(path)
+    manifest = json.loads(
+        (directory / MANIFEST_NAME).read_text(encoding="utf-8")
+    )
+    if manifest.get("kind") != "fleet_checkpoint":
+        raise ValueError(f"{directory} is not a fleet checkpoint")
+    if manifest.get("format") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint format {manifest.get('format')!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    with np.load(directory / ARRAYS_NAME) as arrays:
+        engine = FleetAccountant(alpha=manifest["alpha"], cache=cache)
+        engine._epsilons = [float(e) for e in arrays["epsilons"]]
+        for payload in manifest["cohorts"]:
+            pair = []
+            for side in ("backward", "forward"):
+                entry = payload[side]
+                if entry is None:
+                    pair.append(None)
+                else:
+                    states = [_decode_user(s) for s in entry["states"]]
+                    pair.append(
+                        TransitionMatrix(arrays[entry["array"]], states=states)
+                    )
+            backward, forward = pair
+            state: Optional[_CohortState] = None
+            for group_payload in payload["groups"]:
+                start = int(group_payload["start"])
+                group = _Group(start)
+                group.bpl = [float(v) for v in arrays[group_payload["bpl"]]]
+                for encoded in group_payload["members"]:
+                    user = _decode_user(encoded)
+                    cohort = engine._index.add(user, (backward, forward))
+                    if state is None:
+                        state = _CohortState(cohort, engine.cache)
+                        engine._states[cohort.key] = state
+                    group.members[user] = None
+                    engine._user_start[user] = start
+                state.groups[start] = group  # type: ignore[union-attr]
+            for override_payload in payload["overrides"]:
+                user = _decode_user(override_payload["user"])
+                cohort = engine._index.add(user, (backward, forward))
+                if state is None:
+                    state = _CohortState(cohort, engine.cache)
+                    engine._states[cohort.key] = state
+                start = int(override_payload["start"])
+                series = _OverrideSeries(
+                    start,
+                    [float(v) for v in arrays[override_payload["eps"]]],
+                    [float(v) for v in arrays[override_payload["bpl"]]],
+                )
+                state.overrides[user] = series
+                engine._user_start[user] = start
+    return engine

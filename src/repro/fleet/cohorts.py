@@ -1,0 +1,173 @@
+"""Grouping users into cohorts by shared correlation model.
+
+The paper's personalised analysis (Section III-D) allows one ``(P_B,
+P_F)`` pair per user, but in a real population correlation models are
+*estimated*, and one model serves many users (the paper itself fits one
+model per dataset).  The leakage recursions depend only on the model and
+the budget schedule -- never on the user's identity -- so users sharing a
+model share the entire recursion.  :class:`CohortIndex` maintains that
+grouping: a canonical content digest of the ``(P_B, P_F)`` pair keys each
+cohort, and add/remove/migrate keep the user -> cohort mapping consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, Optional, Tuple
+
+from ..core.adversary import AdversaryT
+from ..markov.matrix import TransitionMatrix, as_transition_matrix
+
+__all__ = ["correlation_digest", "normalise_pair", "Cohort", "CohortIndex"]
+
+#: Digest component representing "no correlation known" for one direction.
+_NONE_DIGEST = "none"
+
+
+def normalise_pair(correlations) -> Tuple[Optional[TransitionMatrix], Optional[TransitionMatrix]]:
+    """Coerce an ``AdversaryT`` / ``(P_B, P_F)`` tuple / lone matrix into a
+    validated ``(backward, forward)`` pair of ``TransitionMatrix | None``."""
+    if isinstance(correlations, AdversaryT):
+        return correlations.backward, correlations.forward
+    if isinstance(correlations, TransitionMatrix) or correlations is None:
+        raise TypeError(
+            "correlations must be a (P_B, P_F) pair or an AdversaryT; wrap "
+            "a single matrix as (P, P) explicitly"
+        )
+    backward, forward = correlations
+    backward = as_transition_matrix(backward) if backward is not None else None
+    forward = as_transition_matrix(forward) if forward is not None else None
+    if (
+        backward is not None
+        and forward is not None
+        and backward.n != forward.n
+    ):
+        raise ValueError("P_B and P_F must have matching state spaces")
+    return backward, forward
+
+
+def correlation_digest(backward, forward) -> str:
+    """Canonical digest of a ``(P_B, P_F)`` pair -- the cohort key.
+
+    Byte-identical pairs (probabilities and state labels) digest
+    identically in every process, so the key is stable across checkpoint /
+    restore and across machines.
+    """
+    b = backward.digest if backward is not None else _NONE_DIGEST
+    f = forward.digest if forward is not None else _NONE_DIGEST
+    return f"{b}:{f}"
+
+
+class Cohort:
+    """One correlation model and the set of users sharing it."""
+
+    __slots__ = ("key", "backward", "forward", "members")
+
+    def __init__(
+        self,
+        key: str,
+        backward: Optional[TransitionMatrix],
+        forward: Optional[TransitionMatrix],
+    ) -> None:
+        self.key = key
+        self.backward = backward
+        self.forward = forward
+        self.members: Dict[Hashable, None] = {}  # insertion-ordered set
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def __repr__(self) -> str:
+        return f"Cohort(key={self.key[:12]}..., members={self.size})"
+
+
+class CohortIndex:
+    """Bidirectional user <-> cohort mapping with add/remove/migrate.
+
+    Examples
+    --------
+    >>> from repro.markov import two_state_matrix, uniform_matrix
+    >>> index = CohortIndex()
+    >>> P = two_state_matrix(0.8, 0.0)
+    >>> _ = index.add("alice", (P, P))
+    >>> _ = index.add("bob", (P, P))
+    >>> index.cohort_of("alice") is index.cohort_of("bob")
+    True
+    >>> _ = index.migrate("bob", (uniform_matrix(2), None))
+    >>> index.n_cohorts
+    2
+    """
+
+    def __init__(self) -> None:
+        self._cohorts: Dict[str, Cohort] = {}
+        self._user_to_key: Dict[Hashable, str] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, user: Hashable, correlations) -> Cohort:
+        """Register ``user`` under the cohort of ``correlations`` (created
+        on first use).  Raises ``KeyError`` if the user already exists."""
+        if user in self._user_to_key:
+            raise KeyError(f"user {user!r} already registered")
+        backward, forward = normalise_pair(correlations)
+        key = correlation_digest(backward, forward)
+        cohort = self._cohorts.get(key)
+        if cohort is None:
+            cohort = Cohort(key, backward, forward)
+            self._cohorts[key] = cohort
+        cohort.members[user] = None
+        self._user_to_key[user] = key
+        return cohort
+
+    def remove(self, user: Hashable) -> Cohort:
+        """Deregister ``user``; empty cohorts are garbage-collected.
+        Returns the cohort the user left."""
+        key = self._user_to_key.pop(user, None)
+        if key is None:
+            raise KeyError(f"unknown user {user!r}")
+        cohort = self._cohorts[key]
+        del cohort.members[user]
+        if not cohort.members:
+            del self._cohorts[key]
+        return cohort
+
+    def migrate(self, user: Hashable, correlations) -> Tuple[Cohort, Cohort]:
+        """Move ``user`` to the cohort of ``correlations`` (e.g. after the
+        model was re-estimated).  Returns ``(old, new)`` cohorts."""
+        # Validate the destination before mutating: a bad pair must not
+        # leave the user silently deregistered.
+        pair = normalise_pair(correlations)
+        old = self.remove(user)
+        new = self.add(user, pair)
+        return old, new
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def cohort_of(self, user: Hashable) -> Cohort:
+        try:
+            return self._cohorts[self._user_to_key[user]]
+        except KeyError:
+            raise KeyError(f"unknown user {user!r}") from None
+
+    def __contains__(self, user: Hashable) -> bool:
+        return user in self._user_to_key
+
+    @property
+    def n_users(self) -> int:
+        return len(self._user_to_key)
+
+    @property
+    def n_cohorts(self) -> int:
+        return len(self._cohorts)
+
+    @property
+    def users(self) -> Iterator[Hashable]:
+        return iter(self._user_to_key)
+
+    def cohorts(self) -> Iterator[Cohort]:
+        return iter(self._cohorts.values())
+
+    def __repr__(self) -> str:
+        return f"CohortIndex(users={self.n_users}, cohorts={self.n_cohorts})"

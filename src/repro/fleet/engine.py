@@ -1,0 +1,566 @@
+"""Population-scale temporal-privacy accounting -- the fleet engine.
+
+:class:`~repro.core.accountant.TemporalPrivacyAccountant` materialises one
+Python object per user and loops over all of them at every release; at
+population scale that is O(users x T) Python work per query.  The leakage
+recursions of Eq. (13)/(15), however, depend only on the correlation model
+and the budget schedule -- so every user sharing a ``(P_B, P_F)`` pair
+*and* a budget schedule shares the entire BPL/FPL series.
+
+:class:`FleetAccountant` exploits that:
+
+* users are grouped into cohorts by a content digest of their correlation
+  pair (:mod:`repro.fleet.cohorts`);
+* each cohort runs **one** ``(T,)``-shaped recursion, broadcast over its
+  members -- O(cohorts x T) instead of O(users x T);
+* users with *per-user epsilon overrides* (personalised budgets) are
+  carried on a batched ``(members, T)`` array path driven by
+  :func:`repro.core.algorithm1.max_log_ratio_batch`;
+* all Algorithm-1 solves funnel through one bounded
+  :class:`~repro.fleet.solution_cache.SolutionCache`.
+
+The public query surface (``add_release`` / ``profile`` / ``max_tpl`` /
+``remaining_alpha`` / ``horizon`` / ``epsilons`` / ``users``) matches the
+per-user accountant and returns identical numbers for identical inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..core.algorithm1 import max_log_ratio_batch
+from ..core.leakage import (
+    LeakageProfile,
+    backward_privacy_leakage,
+    forward_privacy_leakage,
+)
+from ..core.loss_functions import TemporalLossFunction
+from ..exceptions import InvalidPrivacyParameterError
+from ..markov.matrix import TransitionMatrix
+from .cohorts import Cohort, CohortIndex, normalise_pair
+from .solution_cache import SolutionCache
+
+__all__ = ["FleetAccountant"]
+
+#: Alpha values are memoised at this rounding, matching the scalar
+#: :class:`TemporalLossFunction` cache key.
+_ALPHA_KEY_DIGITS = 15
+
+
+class _Group:
+    """All default-schedule members of one cohort that joined at the same
+    release index: they share one incremental BPL series."""
+
+    __slots__ = ("start", "members", "bpl", "_fpl_key", "_fpl")
+
+    def __init__(self, start: int) -> None:
+        self.start = start
+        self.members: Dict[Hashable, None] = {}
+        self.bpl: List[float] = []
+        self._fpl_key: Optional[bytes] = None
+        self._fpl: Optional[np.ndarray] = None
+
+
+class _OverrideSeries:
+    """One member with a personalised budget vector (its own epsilon at one
+    or more releases).  BPL is extended batched with the cohort's other
+    override members; FPL runs on the stacked ``(members, T)`` array."""
+
+    __slots__ = ("start", "eps", "bpl")
+
+    def __init__(self, start: int, eps: List[float], bpl: List[float]) -> None:
+        self.start = start
+        self.eps = eps
+        self.bpl = bpl
+
+
+class _CohortState:
+    """Accounting state attached to one :class:`~repro.fleet.cohorts.Cohort`."""
+
+    __slots__ = (
+        "cohort",
+        "loss_b",
+        "loss_f",
+        "groups",
+        "overrides",
+        "_override_fpl_key",
+        "_override_fpl",
+    )
+
+    def __init__(self, cohort: Cohort, cache: SolutionCache) -> None:
+        self.cohort = cohort
+        self.loss_b = (
+            TemporalLossFunction(cohort.backward, cache=cache)
+            if cohort.backward is not None
+            else None
+        )
+        self.loss_f = (
+            TemporalLossFunction(cohort.forward, cache=cache)
+            if cohort.forward is not None
+            else None
+        )
+        self.groups: Dict[int, _Group] = {}
+        self.overrides: Dict[Hashable, _OverrideSeries] = {}
+        self._override_fpl_key: Optional[bytes] = None
+        self._override_fpl: Optional[Dict[Hashable, np.ndarray]] = None
+
+
+class FleetAccountant:
+    """Vectorised multi-user temporal-privacy accountant.
+
+    Parameters
+    ----------
+    correlations:
+        Anything :class:`~repro.core.accountant.TemporalPrivacyAccountant`
+        accepts: one ``(P_B, P_F)`` pair (registered as user ``0``), an
+        ``AdversaryT``, or a mapping ``user -> pair / AdversaryT``.  May
+        also be ``None`` / empty to start with no users and populate via
+        :meth:`add_user`.
+    alpha:
+        Optional leakage bound; releases that would push any time point's
+        TPL above ``alpha`` are rejected with the state rolled back.
+    cache:
+        A :class:`SolutionCache` to share Algorithm-1 solves with other
+        engines / scalar accountants; a private one is created by default.
+
+    Examples
+    --------
+    >>> from repro.markov import two_state_matrix
+    >>> P = two_state_matrix(0.8, 0.0)
+    >>> fleet = FleetAccountant({u: (P, P) for u in range(100)})
+    >>> for _ in range(3):
+    ...     _ = fleet.add_release(0.1)
+    >>> fleet.horizon
+    3
+    >>> fleet.max_tpl() >= 0.1
+    True
+    """
+
+    def __init__(
+        self,
+        correlations=None,
+        alpha: Optional[float] = None,
+        cache: Optional[SolutionCache] = None,
+    ) -> None:
+        if alpha is not None and alpha <= 0:
+            raise InvalidPrivacyParameterError(
+                f"alpha must be > 0, got {alpha}"
+            )
+        self._alpha = alpha
+        self._cache = cache if cache is not None else SolutionCache()
+        self._index = CohortIndex()
+        self._states: Dict[str, _CohortState] = {}
+        self._user_start: Dict[Hashable, int] = {}
+        self._epsilons: List[float] = []
+        for user, pair in self._normalise(correlations).items():
+            self.add_user(user, pair)
+
+    @staticmethod
+    def _normalise(correlations) -> Mapping[Hashable, object]:
+        if correlations is None:
+            return {}
+        if isinstance(correlations, Mapping):
+            return dict(correlations)
+        return {0: correlations}
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def add_user(self, user: Hashable, correlations) -> None:
+        """Register ``user`` under ``correlations`` (a ``(P_B, P_F)`` pair
+        or ``AdversaryT``).  Users added mid-stream accrue leakage from
+        the *next* release onward."""
+        cohort = self._index.add(user, correlations)
+        state = self._states.get(cohort.key)
+        if state is None:
+            state = _CohortState(cohort, self._cache)
+            self._states[cohort.key] = state
+        start = self.horizon
+        self._user_start[user] = start
+        group = state.groups.get(start)
+        if group is None:
+            group = _Group(start)
+            state.groups[start] = group
+        group.members[user] = None
+
+    def remove_user(self, user: Hashable) -> None:
+        """Deregister ``user``; their past contribution to the fleet-wide
+        maximum is no longer tracked."""
+        cohort = self._index.remove(user)
+        state = self._states[cohort.key]
+        series = state.overrides.pop(user, None)
+        if series is None:
+            group = state.groups[self._user_start[user]]
+            del group.members[user]
+            if not group.members:
+                del state.groups[self._user_start[user]]
+        else:
+            state._override_fpl_key = None
+        del self._user_start[user]
+        if not cohort.members:
+            del self._states[cohort.key]
+
+    def migrate_user(self, user: Hashable, correlations) -> None:
+        """Move ``user`` to a new correlation model (e.g. after
+        re-estimation), re-evaluating their whole history under it.
+
+        The user's budget history (including any overrides) is preserved;
+        their BPL is recomputed from scratch under the new model.
+        """
+        # Validate the destination before mutating: a bad pair must not
+        # cost the user their accrued leakage history.
+        pair = normalise_pair(correlations)
+        start = self._user_start[user]
+        old_state = self._states[self._index.cohort_of(user).key]
+        series = old_state.overrides.get(user)
+        override_eps = list(series.eps) if series is not None else None
+        self.remove_user(user)
+
+        cohort = self._index.add(user, pair)
+        state = self._states.get(cohort.key)
+        if state is None:
+            state = _CohortState(cohort, self._cache)
+            self._states[cohort.key] = state
+        self._user_start[user] = start
+        if override_eps is not None:
+            bpl = self._recompute_bpl(state.loss_b, override_eps)
+            state.overrides[user] = _OverrideSeries(start, override_eps, bpl)
+            state._override_fpl_key = None
+        else:
+            group = state.groups.get(start)
+            if group is None:
+                group = _Group(start)
+                group.bpl = self._recompute_bpl(
+                    state.loss_b, self._epsilons[start:]
+                )
+                state.groups[start] = group
+            group.members[user] = None
+
+    @staticmethod
+    def _recompute_bpl(
+        loss_b: Optional[TemporalLossFunction], epsilons: Iterable[float]
+    ) -> List[float]:
+        epsilons = list(epsilons)
+        if not epsilons:
+            return []
+        return backward_privacy_leakage(loss_b, epsilons).tolist()
+
+    # ------------------------------------------------------------------
+    # Stream interface
+    # ------------------------------------------------------------------
+    def add_release(
+        self,
+        epsilon: float,
+        overrides: Optional[Mapping[Hashable, float]] = None,
+    ) -> float:
+        """Record one fleet-wide release with default budget ``epsilon``;
+        users listed in ``overrides`` spent their own budget instead
+        (personalised DP).  Returns the resulting worst-case TPL over all
+        users and time points; rejects (state unchanged) when an ``alpha``
+        bound would be violated."""
+        if epsilon < 0 or not np.isfinite(epsilon):
+            raise InvalidPrivacyParameterError(
+                f"epsilon must be finite and >= 0, got {epsilon}"
+            )
+        overrides = dict(overrides) if overrides else {}
+        for user, eps_u in overrides.items():
+            if user not in self._user_start:
+                raise KeyError(f"override for unknown user {user!r}")
+            if eps_u < 0 or not np.isfinite(eps_u):
+                raise InvalidPrivacyParameterError(
+                    f"override epsilon must be finite and >= 0, got {eps_u}"
+                )
+            self._ensure_override(user)
+
+        self._epsilons.append(float(epsilon))
+        for state in self._states.values():
+            self._extend_cohort(state, float(epsilon), overrides)
+
+        worst = self.max_tpl()
+        if self._alpha is not None and worst > self._alpha + 1e-12:
+            self._rollback_release()
+            raise InvalidPrivacyParameterError(
+                f"release of eps={epsilon} would raise TPL to {worst:.6f} "
+                f"> alpha={self._alpha}"
+            )
+        return worst
+
+    def add_releases(self, epsilons: Iterable[float]) -> float:
+        """Record many releases at once and return the final worst-case
+        TPL.  With an ``alpha`` bound this is equivalent to (but faster
+        than) repeated :meth:`add_release` because the fleet maximum TPL
+        is non-decreasing in the horizon -- except that on violation the
+        *whole batch* is rolled back."""
+        epsilons = [float(e) for e in epsilons]
+        for eps in epsilons:
+            if eps < 0 or not np.isfinite(eps):
+                raise InvalidPrivacyParameterError(
+                    f"epsilon must be finite and >= 0, got {eps}"
+                )
+        for eps in epsilons:
+            self._epsilons.append(eps)
+            for state in self._states.values():
+                self._extend_cohort(state, eps, {})
+        worst = self.max_tpl()
+        if self._alpha is not None and worst > self._alpha + 1e-12:
+            for _ in epsilons:
+                self._rollback_release()
+            raise InvalidPrivacyParameterError(
+                f"batch of {len(epsilons)} releases would raise TPL to "
+                f"{worst:.6f} > alpha={self._alpha}"
+            )
+        return worst
+
+    def _ensure_override(self, user: Hashable) -> None:
+        """Convert a default-schedule user into an override series (their
+        history so far equals the default schedule)."""
+        state = self._states[self._index.cohort_of(user).key]
+        if user in state.overrides:
+            return
+        start = self._user_start[user]
+        group = state.groups[start]
+        del group.members[user]
+        series = _OverrideSeries(
+            start, list(self._epsilons[start:]), list(group.bpl)
+        )
+        if not group.members:
+            del state.groups[start]
+        state.overrides[user] = series
+        state._override_fpl_key = None
+
+    def _extend_cohort(
+        self,
+        state: _CohortState,
+        epsilon: float,
+        overrides: Mapping[Hashable, float],
+    ) -> None:
+        # Default groups: one scalar loss evaluation each (memoised).
+        for group in state.groups.values():
+            previous = group.bpl[-1] if group.bpl else 0.0
+            increment = (
+                state.loss_b(previous) if state.loss_b is not None else 0.0
+            )
+            group.bpl.append(increment + epsilon)
+        # Override members: one batched loss evaluation for the cohort.
+        if state.overrides:
+            users = list(state.overrides)
+            previous = np.array(
+                [
+                    state.overrides[u].bpl[-1] if state.overrides[u].bpl else 0.0
+                    for u in users
+                ]
+            )
+            increments = self._loss_batch(state.loss_b, previous)
+            for i, user in enumerate(users):
+                series = state.overrides[user]
+                eps_u = float(overrides.get(user, epsilon))
+                series.eps.append(eps_u)
+                series.bpl.append(float(increments[i]) + eps_u)
+            state._override_fpl_key = None
+
+    def _rollback_release(self) -> None:
+        self._epsilons.pop()
+        for state in self._states.values():
+            for group in state.groups.values():
+                group.bpl.pop()
+                group._fpl_key = None
+            for series in state.overrides.values():
+                series.eps.pop()
+                series.bpl.pop()
+            state._override_fpl_key = None
+
+    # ------------------------------------------------------------------
+    # Batched loss evaluation (the (members, T) array path)
+    # ------------------------------------------------------------------
+    def _loss_batch(
+        self, loss: Optional[TemporalLossFunction], values: np.ndarray
+    ) -> np.ndarray:
+        """Evaluate ``L`` elementwise over ``values`` with deduplication
+        and LRU memoisation (namespaced so batch entries never collide
+        with the scalar ``(value, pair)`` entries)."""
+        if loss is None:
+            return np.zeros_like(values)
+        unique, inverse = np.unique(values, return_inverse=True)
+        results = np.empty_like(unique)
+        digest = loss.matrix.digest
+        missing: List[int] = []
+        for i, value in enumerate(unique):
+            key = (digest, round(float(value), _ALPHA_KEY_DIGITS), "batch")
+            hit = self._cache.get(key)
+            if hit is None:
+                missing.append(i)
+            else:
+                results[i] = hit  # type: ignore[assignment]
+        if missing:
+            computed = max_log_ratio_batch(loss.matrix, unique[missing])
+            for i, value in zip(missing, computed):
+                results[i] = value
+                key = (
+                    digest,
+                    round(float(unique[i]), _ALPHA_KEY_DIGITS),
+                    "batch",
+                )
+                self._cache.put(key, float(value))
+        return results[inverse]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def horizon(self) -> int:
+        """Number of releases recorded so far."""
+        return len(self._epsilons)
+
+    @property
+    def epsilons(self) -> np.ndarray:
+        """The fleet-wide default budget per release."""
+        return np.asarray(self._epsilons, dtype=float)
+
+    @property
+    def users(self) -> Iterable[Hashable]:
+        return self._index.users
+
+    @property
+    def n_users(self) -> int:
+        return self._index.n_users
+
+    @property
+    def n_cohorts(self) -> int:
+        return self._index.n_cohorts
+
+    @property
+    def alpha(self) -> Optional[float]:
+        return self._alpha
+
+    @property
+    def cache(self) -> SolutionCache:
+        """The Algorithm-1 solution cache backing this engine."""
+        return self._cache
+
+    def user_epsilons(self, user: Hashable) -> np.ndarray:
+        """The budget vector actually spent on ``user`` (default schedule
+        sliced at their join time, with any overrides applied)."""
+        state = self._states[self._index.cohort_of(user).key]
+        series = state.overrides.get(user)
+        if series is not None:
+            return np.asarray(series.eps, dtype=float)
+        return np.asarray(self._epsilons[self._user_start[user] :], dtype=float)
+
+    def profile(self, user: Optional[Hashable] = None) -> LeakageProfile:
+        """Leakage profile for one user (default: the single/first user);
+        identical to the per-user accountant's answer."""
+        if self.horizon == 0:
+            raise ValueError("no releases recorded yet")
+        user = self._resolve(user)
+        state = self._states[self._index.cohort_of(user).key]
+        series = state.overrides.get(user)
+        if series is not None:
+            eps = np.asarray(series.eps, dtype=float)
+            if eps.size == 0:
+                raise ValueError(f"no releases recorded for user {user!r} yet")
+            bpl = np.asarray(series.bpl, dtype=float)
+            fpl = self._override_fpl(state)[user]
+        else:
+            start = self._user_start[user]
+            group = state.groups[start]
+            eps = np.asarray(self._epsilons[start:], dtype=float)
+            if eps.size == 0:
+                raise ValueError(f"no releases recorded for user {user!r} yet")
+            bpl = np.asarray(group.bpl, dtype=float)
+            fpl = self._group_fpl(state, group, eps)
+        return LeakageProfile(epsilons=eps, bpl=bpl, fpl=fpl)
+
+    def max_tpl(self) -> float:
+        """Worst TPL over all users and time points (Eq. (3)) -- computed
+        per cohort, not per user."""
+        if self.horizon == 0:
+            return 0.0
+        worst = 0.0
+        for state in self._states.values():
+            for group in state.groups.values():
+                eps = np.asarray(self._epsilons[group.start :], dtype=float)
+                if eps.size == 0:
+                    continue
+                bpl = np.asarray(group.bpl, dtype=float)
+                fpl = self._group_fpl(state, group, eps)
+                worst = max(worst, float((bpl + fpl - eps).max()))
+            if state.overrides:
+                fpls = self._override_fpl(state)
+                for user, series in state.overrides.items():
+                    if not series.eps:
+                        continue
+                    eps = np.asarray(series.eps, dtype=float)
+                    bpl = np.asarray(series.bpl, dtype=float)
+                    worst = max(
+                        worst, float((bpl + fpls[user] - eps).max())
+                    )
+        return worst
+
+    def remaining_alpha(self) -> Optional[float]:
+        """Headroom to the configured ``alpha`` bound (``None`` if unset)."""
+        if self._alpha is None:
+            return None
+        return self._alpha - self.max_tpl()
+
+    def _resolve(self, user: Optional[Hashable]) -> Hashable:
+        if user is None:
+            if self._index.n_users == 1:
+                return next(iter(self._index.users))
+            raise ValueError("multiple users tracked; specify which one")
+        if user not in self._index:
+            raise KeyError(f"unknown user {user!r}")
+        return user
+
+    # ------------------------------------------------------------------
+    # FPL recomputation (lazy, cached per cohort)
+    # ------------------------------------------------------------------
+    def _group_fpl(
+        self, state: _CohortState, group: _Group, eps: np.ndarray
+    ) -> np.ndarray:
+        key = eps.tobytes()
+        if group._fpl_key == key:
+            return group._fpl  # type: ignore[return-value]
+        fpl = forward_privacy_leakage(state.loss_f, eps)
+        group._fpl = fpl
+        group._fpl_key = key
+        return fpl
+
+    def _override_fpl(self, state: _CohortState) -> Dict[Hashable, np.ndarray]:
+        """FPL series of every override member of one cohort, computed on
+        the stacked ``(members, T)`` budget array in one backward sweep
+        per distinct join time."""
+        users = list(state.overrides)
+        key = b"|".join(
+            np.asarray(state.overrides[u].eps, dtype=float).tobytes()
+            for u in users
+        )
+        if state._override_fpl_key == key and state._override_fpl is not None:
+            return state._override_fpl
+        out: Dict[Hashable, np.ndarray] = {}
+        by_start: Dict[int, List[Hashable]] = {}
+        for user in users:
+            by_start.setdefault(state.overrides[user].start, []).append(user)
+        for start, members in by_start.items():
+            eps_matrix = np.array(
+                [state.overrides[u].eps for u in members], dtype=float
+            )
+            horizon = eps_matrix.shape[1]
+            fpl_matrix = np.empty_like(eps_matrix)
+            alpha = np.zeros(len(members))
+            for t in range(horizon - 1, -1, -1):
+                alpha = self._loss_batch(state.loss_f, alpha) + eps_matrix[:, t]
+                fpl_matrix[:, t] = alpha
+            for i, user in enumerate(members):
+                out[user] = fpl_matrix[i]
+        state._override_fpl = out
+        state._override_fpl_key = key
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"FleetAccountant(users={self._index.n_users}, "
+            f"cohorts={self._index.n_cohorts}, releases={self.horizon}, "
+            f"alpha={self._alpha})"
+        )

@@ -13,6 +13,7 @@ library needs (stationary distribution, Bayesian time reversal, powers).
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
@@ -51,7 +52,7 @@ class TransitionMatrix:
     0.2
     """
 
-    __slots__ = ("_p", "_states", "_state_index")
+    __slots__ = ("_p", "_states", "_state_index", "_digest")
 
     def __init__(
         self,
@@ -80,6 +81,7 @@ class TransitionMatrix:
         if len(set(self._states)) != n:
             raise InvalidTransitionMatrixError("state labels must be unique")
         self._state_index = {s: i for i, s in enumerate(self._states)}
+        self._digest: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Basic container protocol
@@ -130,6 +132,20 @@ class TransitionMatrix:
     def __repr__(self) -> str:
         rows = np.array2string(self._p, precision=4, suppress_small=True)
         return f"TransitionMatrix(n={self.n}, states={self._states!r},\n{rows})"
+
+    @property
+    def digest(self) -> str:
+        """Canonical content digest of the matrix (probabilities + state
+        labels).  Two matrices share a digest iff they are byte-identical,
+        which makes it usable as a cache / cohort key across processes
+        (unlike :func:`hash`, which is salted per interpreter for strings)."""
+        if self._digest is None:
+            h = hashlib.sha256()
+            h.update(str(self.n).encode())
+            h.update(repr(self._states).encode())
+            h.update(np.ascontiguousarray(self._p).tobytes())
+            self._digest = h.hexdigest()
+        return self._digest
 
     # ------------------------------------------------------------------
     # Probability helpers

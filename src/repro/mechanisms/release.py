@@ -31,7 +31,29 @@ if TYPE_CHECKING:  # imported lazily to avoid a data <-> mechanisms cycle
 from .base import RngLike, as_rng
 from .laplace import LaplaceMechanism
 
-__all__ = ["ReleaseRecord", "ContinuousReleaseEngine"]
+__all__ = ["ReleaseRecord", "ContinuousReleaseEngine", "materialise_budgets"]
+
+
+def materialise_budgets(
+    budgets: Union[float, Sequence[float], BudgetAllocation], horizon: int
+) -> np.ndarray:
+    """Resolve a budget spec (scalar / vector / :class:`BudgetAllocation`)
+    into a validated per-time-point vector for ``horizon`` releases."""
+    if isinstance(budgets, BudgetAllocation):
+        return budgets.epsilons(horizon)
+    if np.isscalar(budgets):
+        eps = float(budgets)  # type: ignore[arg-type]
+        if eps <= 0:
+            raise InvalidPrivacyParameterError(f"budget must be > 0, got {eps}")
+        return np.full(horizon, eps)
+    eps = np.asarray(budgets, dtype=float)
+    if eps.shape != (horizon,):
+        raise ValueError(
+            f"budget vector has length {eps.shape[0]}, need {horizon}"
+        )
+    if np.any(eps <= 0):
+        raise InvalidPrivacyParameterError("all budgets must be > 0")
+    return eps
 
 
 @dataclass(frozen=True)
@@ -97,23 +119,7 @@ class ContinuousReleaseEngine:
         return self._accountant
 
     def _epsilons_for(self, horizon: int) -> np.ndarray:
-        if isinstance(self._budgets, BudgetAllocation):
-            return self._budgets.epsilons(horizon)
-        if np.isscalar(self._budgets):
-            eps = float(self._budgets)  # type: ignore[arg-type]
-            if eps <= 0:
-                raise InvalidPrivacyParameterError(
-                    f"budget must be > 0, got {eps}"
-                )
-            return np.full(horizon, eps)
-        eps = np.asarray(self._budgets, dtype=float)
-        if eps.shape != (horizon,):
-            raise ValueError(
-                f"budget vector has length {eps.shape[0]}, need {horizon}"
-            )
-        if np.any(eps <= 0):
-            raise InvalidPrivacyParameterError("all budgets must be > 0")
-        return eps
+        return materialise_budgets(self._budgets, horizon)
 
     def release_one(self, snapshot: np.ndarray, t: int, epsilon: float) -> ReleaseRecord:
         """Publish one snapshot under budget ``epsilon``."""

@@ -1,0 +1,54 @@
+"""Shared hypothesis strategies for the test-suite.
+
+Kept in a plain module (not ``conftest.py``) so test files can import the
+strategies explicitly -- ``from strategies import transition_matrices`` --
+without depending on which ``conftest`` module pytest happened to import
+first (the benchmark harness has its own ``benchmarks/conftest.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.markov import TransitionMatrix
+
+__all__ = ["stochastic_rows", "transition_matrices", "alphas"]
+
+
+@st.composite
+def stochastic_rows(draw, n: int):
+    """One probability row of length n (normalised, non-degenerate)."""
+    raw = draw(
+        hnp.arrays(
+            dtype=float,
+            shape=n,
+            elements=st.floats(0.0, 1.0, allow_nan=False),
+        )
+    )
+    total = raw.sum()
+    if total <= 0:
+        raw = np.full(n, 1.0)
+        total = float(n)
+    return raw / total
+
+
+@st.composite
+def transition_matrices(draw, min_n: int = 2, max_n: int = 6):
+    """Random row-stochastic matrices of modest size."""
+    n = draw(st.integers(min_n, max_n))
+    rows = [draw(stochastic_rows(n)) for _ in range(n)]
+    return TransitionMatrix(np.vstack(rows), validate=False)
+
+
+@st.composite
+def alphas(draw):
+    """Incoming leakage values spanning the regimes of Fig. 5(b)."""
+    return draw(
+        st.one_of(
+            st.floats(1e-4, 0.1),
+            st.floats(0.1, 2.0),
+            st.floats(2.0, 20.0),
+        )
+    )

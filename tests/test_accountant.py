@@ -112,6 +112,35 @@ class TestAlphaBound:
         assert TemporalPrivacyAccountant(correlations).remaining_alpha() is None
 
 
+class TestFplCache:
+    def test_same_length_different_values_not_stale(self, moderate_matrix):
+        """Regression: the FPL memo used to key on len(epsilons) only, so a
+        same-length but different-valued budget vector returned the stale
+        series."""
+        from repro.core.accountant import _UserState
+        from repro.core.leakage import forward_privacy_leakage
+
+        state = _UserState(moderate_matrix, moderate_matrix)
+        first = np.array([0.1, 0.2, 0.3])
+        second = np.array([0.3, 0.2, 0.1])
+        got_first = state.fpl(first)
+        assert got_first == pytest.approx(
+            forward_privacy_leakage(moderate_matrix, first)
+        )
+        got_second = state.fpl(second)
+        assert got_second == pytest.approx(
+            forward_privacy_leakage(moderate_matrix, second)
+        )
+        assert not np.allclose(got_first, got_second)
+
+    def test_cache_hit_returns_same_array(self, moderate_matrix):
+        from repro.core.accountant import _UserState
+
+        state = _UserState(moderate_matrix, moderate_matrix)
+        eps = np.array([0.1, 0.2])
+        assert state.fpl(eps) is state.fpl(eps.copy())
+
+
 class TestMultiUser:
     def test_max_over_users(self, moderate_matrix):
         uniform = uniform_matrix(2)

@@ -17,7 +17,7 @@ from repro.markov import (
     uniform_matrix,
 )
 
-from conftest import alphas, transition_matrices
+from strategies import alphas, transition_matrices
 
 
 class TestSolvePair:

@@ -114,3 +114,58 @@ class TestExperiments:
         out = capsys.readouterr().out
         assert code == 0
         assert "Figure 3" in out
+
+
+class TestFleet:
+    def test_simulation_reports_tpl_and_throughput(self, capsys):
+        code = main(
+            ["fleet", "--users", "500", "--cohorts", "4", "--steps", "10"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "worst-case TPL" in out
+        assert "user-steps/s" in out
+        assert "solution cache" in out
+
+    def test_alpha_bound_reported(self, capsys):
+        code = main(
+            [
+                "fleet", "--users", "50", "--steps", "5",
+                "--epsilon", "0.01", "--alpha", "10.0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "remaining alpha headroom" in out
+
+    def test_alpha_violation_is_an_error(self, capsys):
+        code = main(
+            [
+                "fleet", "--users", "50", "--steps", "50",
+                "--epsilon", "1.0", "--alpha", "0.5",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "release rejected" in captured.err
+
+    def test_checkpoint_written(self, tmp_path, capsys):
+        ckpt = tmp_path / "fleet-ckpt"
+        code = main(
+            [
+                "fleet", "--users", "100", "--steps", "5",
+                "--checkpoint", str(ckpt),
+            ]
+        )
+        assert code == 0
+        assert (ckpt / "manifest.json").exists()
+        assert (ckpt / "arrays.npz").exists()
+        from repro.fleet import load_checkpoint
+
+        restored = load_checkpoint(ckpt)
+        assert restored.horizon == 5
+        assert restored.n_users == 100
+
+    def test_rejects_bad_sizes(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--users", "2", "--cohorts", "5", "--steps", "1"])

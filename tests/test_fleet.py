@@ -1,0 +1,445 @@
+"""Tests for the repro.fleet population-scale accounting subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdversaryT,
+    TemporalLossFunction,
+    TemporalPrivacyAccountant,
+    get_shared_solution_cache,
+    max_log_ratio,
+    max_log_ratio_batch,
+    set_shared_solution_cache,
+    temporal_privacy_leakage,
+)
+from repro.exceptions import InvalidPrivacyParameterError
+from repro.fleet import (
+    CohortIndex,
+    FleetAccountant,
+    FleetReleaseEngine,
+    SolutionCache,
+    correlation_digest,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.markov import (
+    identity_matrix,
+    random_stochastic_matrix,
+    two_state_matrix,
+    uniform_matrix,
+)
+
+PARITY_ATOL = 1e-9
+
+
+@pytest.fixture
+def models():
+    return [
+        two_state_matrix(0.8, 0.0),
+        random_stochastic_matrix(3, seed=1),
+        random_stochastic_matrix(4, seed=2),
+        uniform_matrix(2),
+    ]
+
+
+@pytest.fixture
+def population(models):
+    """40 users spread over 6 distinct correlation pairs (incl. None)."""
+    pairs = [
+        (models[0], models[0]),
+        (models[1], models[1]),
+        (models[2], models[2]),
+        (models[3], models[3]),
+        (models[0], None),
+        (None, None),
+    ]
+    return {u: pairs[u % len(pairs)] for u in range(40)}
+
+
+# ---------------------------------------------------------------------------
+# Cohorts
+# ---------------------------------------------------------------------------
+class TestCohorts:
+    def test_digest_groups_identical_pairs(self, models):
+        a = correlation_digest(models[0], models[1])
+        b = correlation_digest(two_state_matrix(0.8, 0.0), models[1])
+        assert a == b
+        assert correlation_digest(models[0], None) != a
+        assert correlation_digest(None, models[1]) != a
+
+    def test_index_add_remove_migrate(self, models):
+        index = CohortIndex()
+        index.add("a", (models[0], models[0]))
+        index.add("b", (models[0], models[0]))
+        assert index.n_cohorts == 1
+        assert index.cohort_of("a") is index.cohort_of("b")
+        old, new = index.migrate("b", (models[1], models[1]))
+        assert index.n_cohorts == 2
+        assert old is not new
+        index.remove("a")
+        assert index.n_cohorts == 1  # empty cohort garbage-collected
+        with pytest.raises(KeyError):
+            index.remove("a")
+        with pytest.raises(KeyError):
+            index.add("b", (models[1], models[1]))  # duplicate
+
+    def test_adversary_input(self, models):
+        index = CohortIndex()
+        cohort = index.add("a", AdversaryT(models[0], models[3]))
+        assert cohort.backward is models[0]
+        assert cohort.forward is models[3]
+
+    def test_rejects_bare_matrix(self, models):
+        with pytest.raises(TypeError):
+            CohortIndex().add("a", models[0])
+
+
+# ---------------------------------------------------------------------------
+# Engine parity with the per-user accountant
+# ---------------------------------------------------------------------------
+class TestEngineParity:
+    def test_matches_per_user_accountant(self, population):
+        seed_acct = TemporalPrivacyAccountant(population)
+        fleet = FleetAccountant(population)
+        for eps in [0.1, 0.2, 0.05, 0.3, 0.15]:
+            worst_seed = seed_acct.add_release(eps)
+            worst_fleet = fleet.add_release(eps)
+            assert worst_fleet == pytest.approx(worst_seed, abs=PARITY_ATOL)
+        for user in population:
+            reference = seed_acct.profile(user)
+            profile = fleet.profile(user)
+            np.testing.assert_allclose(profile.bpl, reference.bpl, atol=PARITY_ATOL)
+            np.testing.assert_allclose(profile.fpl, reference.fpl, atol=PARITY_ATOL)
+            np.testing.assert_allclose(profile.tpl, reference.tpl, atol=PARITY_ATOL)
+        assert fleet.max_tpl() == pytest.approx(seed_acct.max_tpl(), abs=PARITY_ATOL)
+
+    def test_random_cohorts_parity(self):
+        rng = np.random.default_rng(99)
+        # Pairs drawn per state-space size so P_B and P_F always match.
+        pairs = []
+        for n in rng.integers(2, 6, size=5):
+            backward = random_stochastic_matrix(int(n), seed=int(n) * 7)
+            forward = random_stochastic_matrix(int(n), seed=int(n) * 13)
+            pairs.append((backward, forward))
+        population = {u: pairs[rng.integers(len(pairs))] for u in range(30)}
+        seed_acct = TemporalPrivacyAccountant(population)
+        fleet = FleetAccountant(population)
+        for eps in rng.uniform(0.01, 0.5, size=8):
+            seed_acct.add_release(float(eps))
+            fleet.add_release(float(eps))
+        for user in population:
+            np.testing.assert_allclose(
+                fleet.profile(user).tpl,
+                seed_acct.profile(user).tpl,
+                atol=PARITY_ATOL,
+            )
+
+    def test_single_pair_and_adversary_constructors(self, models):
+        pair = (models[0], models[0])
+        for correlations in (pair, AdversaryT(*pair)):
+            seed_acct = TemporalPrivacyAccountant(correlations)
+            fleet = FleetAccountant(correlations)
+            for _ in range(4):
+                seed_acct.add_release(0.1)
+                fleet.add_release(0.1)
+            np.testing.assert_allclose(
+                fleet.profile().tpl, seed_acct.profile().tpl, atol=PARITY_ATOL
+            )
+
+    def test_bulk_add_releases(self, population):
+        one_by_one = FleetAccountant(population)
+        bulk = FleetAccountant(population)
+        budgets = [0.1, 0.2, 0.05]
+        for eps in budgets:
+            one_by_one.add_release(eps)
+        assert bulk.add_releases(budgets) == pytest.approx(
+            one_by_one.max_tpl(), abs=0
+        )
+
+
+class TestEngineBehaviour:
+    def test_empty_engine(self):
+        fleet = FleetAccountant()
+        assert fleet.horizon == 0
+        assert fleet.max_tpl() == 0.0
+        assert fleet.n_users == 0
+
+    def test_profile_before_release_raises(self, models):
+        fleet = FleetAccountant((models[0], models[0]))
+        with pytest.raises(ValueError):
+            fleet.profile()
+
+    def test_rejects_bad_epsilon(self, models):
+        fleet = FleetAccountant((models[0], models[0]))
+        with pytest.raises(InvalidPrivacyParameterError):
+            fleet.add_release(-0.1)
+        with pytest.raises(InvalidPrivacyParameterError):
+            fleet.add_release(float("nan"))
+
+    def test_alpha_bound_and_rollback(self):
+        identity = identity_matrix(2)
+        fleet = FleetAccountant(
+            {u: (identity, identity) for u in range(5)}, alpha=0.25
+        )
+        fleet.add_release(0.1)
+        fleet.add_release(0.1)
+        with pytest.raises(InvalidPrivacyParameterError):
+            fleet.add_release(0.1)  # would be 0.3 > 0.25
+        assert fleet.horizon == 2
+        assert fleet.max_tpl() == pytest.approx(0.2)
+        fleet.add_release(0.05)  # smaller release still fits
+        assert fleet.max_tpl() <= 0.25 + 1e-12
+
+    def test_user_joining_mid_stream(self, models):
+        pair = (models[0], models[0])
+        fleet = FleetAccountant({"early": pair})
+        fleet.add_release(0.1)
+        fleet.add_release(0.1)
+        fleet.add_user("late", pair)
+        fleet.add_release(0.1)
+        assert fleet.profile("early").horizon == 3
+        late = fleet.profile("late")
+        assert late.horizon == 1
+        # The late joiner's single release is leakage eps (no history).
+        assert late.tpl[0] == pytest.approx(0.1)
+
+    def test_remove_user_drops_their_leakage(self, models):
+        strong = identity_matrix(2)
+        weak = uniform_matrix(2)
+        fleet = FleetAccountant({"hot": (strong, strong), "cold": (weak, weak)})
+        for _ in range(3):
+            fleet.add_release(0.1)
+        # identity correlation: BPL_t + FPL_t - eps_t == 0.3 at every t.
+        assert fleet.max_tpl() == pytest.approx(0.3)
+        fleet.remove_user("hot")
+        assert fleet.max_tpl() == pytest.approx(0.1)  # uniform: just eps
+        assert fleet.n_cohorts == 1
+
+    def test_migrate_user_recomputes_history(self, models):
+        strong = identity_matrix(2)
+        weak = uniform_matrix(2)
+        fleet = FleetAccountant({"u": (weak, weak), "other": (weak, weak)})
+        for _ in range(3):
+            fleet.add_release(0.1)
+        assert fleet.profile("u").max_tpl == pytest.approx(0.1)
+        fleet.migrate_user("u", (strong, strong))
+        expected = temporal_privacy_leakage(strong, strong, [0.1, 0.1, 0.1])
+        np.testing.assert_allclose(
+            fleet.profile("u").tpl, expected.tpl, atol=PARITY_ATOL
+        )
+        assert fleet.n_cohorts == 2
+
+    def test_failed_migrate_preserves_user(self, models):
+        """Regression: a bad destination pair must not deregister the user
+        or lose their leakage history."""
+        pair = (models[0], models[0])
+        fleet = FleetAccountant({"u": pair, "v": pair})
+        fleet.add_release(0.1, overrides={"u": 0.3})
+        before = fleet.profile("u").tpl.copy()
+        with pytest.raises(TypeError):
+            fleet.migrate_user("u", models[1])  # bare matrix: invalid
+        with pytest.raises(ValueError):
+            fleet.migrate_user("u", (models[0], models[1]))  # 2 vs 3 states
+        assert "u" in set(fleet.users)
+        np.testing.assert_array_equal(fleet.profile("u").tpl, before)
+
+    def test_failed_index_migrate_preserves_user(self, models):
+        index = CohortIndex()
+        index.add("a", (models[0], models[0]))
+        with pytest.raises(ValueError):
+            index.migrate("a", (models[0], models[1]))
+        assert "a" in index
+        assert index.n_cohorts == 1
+
+    def test_resolve_semantics_match_seed(self, population, models):
+        fleet = FleetAccountant(population)
+        fleet.add_release(0.1)
+        with pytest.raises(ValueError):
+            fleet.profile()  # ambiguous
+        with pytest.raises(KeyError):
+            fleet.profile("zzz")
+
+
+# ---------------------------------------------------------------------------
+# Per-user epsilon overrides -- the (members, T) array path
+# ---------------------------------------------------------------------------
+class TestOverrides:
+    def test_override_matches_offline_quantification(self, models):
+        pair = (models[1], models[1])
+        fleet = FleetAccountant({u: pair for u in range(6)})
+        schedule = [
+            (0.1, {0: 0.02}),
+            (0.2, {0: 0.05, 3: 0.4}),
+            (0.1, {}),
+            (0.3, {0: 0.01}),
+        ]
+        for eps, overrides in schedule:
+            fleet.add_release(eps, overrides=overrides)
+        for user in range(6):
+            eps_u = fleet.user_epsilons(user)
+            expected = temporal_privacy_leakage(*pair, eps_u)
+            np.testing.assert_allclose(
+                fleet.profile(user).tpl, expected.tpl, atol=PARITY_ATOL
+            )
+        # Override vectors recorded correctly.
+        np.testing.assert_allclose(
+            fleet.user_epsilons(0), [0.02, 0.05, 0.1, 0.01]
+        )
+        np.testing.assert_allclose(fleet.user_epsilons(1), [0.1, 0.2, 0.1, 0.3])
+
+    def test_max_tpl_includes_override_users(self, models):
+        pair = (models[0], models[0])
+        fleet = FleetAccountant({u: pair for u in range(3)})
+        fleet.add_release(0.1, overrides={0: 1.5})
+        assert fleet.max_tpl() == pytest.approx(1.5)
+
+    def test_override_unknown_user_rejected(self, models):
+        fleet = FleetAccountant((models[0], models[0]))
+        with pytest.raises(KeyError):
+            fleet.add_release(0.1, overrides={"ghost": 0.2})
+
+    def test_batch_loss_matches_scalar(self, models):
+        for matrix in models:
+            alphas = np.array([0.0, 1e-4, 0.05, 0.3, 1.0, 2.5, 10.0])
+            batched = max_log_ratio_batch(matrix, alphas)
+            scalar = np.array([max_log_ratio(matrix, a) for a in alphas])
+            np.testing.assert_allclose(batched, scalar, atol=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# Solution cache
+# ---------------------------------------------------------------------------
+class TestSolutionCache:
+    def test_hits_and_misses(self):
+        cache = SolutionCache(maxsize=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_lru_eviction_order(self):
+        cache = SolutionCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b is now LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.evictions == 1
+
+    def test_rejects_bad_maxsize(self):
+        with pytest.raises(ValueError):
+            SolutionCache(maxsize=0)
+
+    def test_shared_across_loss_functions(self, models):
+        cache = SolutionCache()
+        first = TemporalLossFunction(two_state_matrix(0.8, 0.0), cache=cache)
+        second = TemporalLossFunction(two_state_matrix(0.8, 0.0), cache=cache)
+        value = first(0.5)
+        before = cache.misses
+        assert second(0.5) == value  # L2 hit: byte-identical matrix
+        assert cache.misses == before
+        assert cache.hits >= 1
+
+    def test_install_serves_scalar_path(self, models):
+        cache = SolutionCache()
+        previous = cache.install()
+        try:
+            assert get_shared_solution_cache() is cache
+            loss = TemporalLossFunction(two_state_matrix(0.7, 0.1))
+            loss(0.3)
+            assert len(cache) == 1
+        finally:
+            set_shared_solution_cache(previous)
+
+    def test_engine_reuses_solves_across_cohorts(self, models):
+        # Two cohorts, identical backward matrix content: the second
+        # cohort's recursion hits the first one's solves.
+        P = two_state_matrix(0.8, 0.0)
+        P_copy = two_state_matrix(0.8, 0.0)
+        cache = SolutionCache()
+        fleet = FleetAccountant(
+            {"a": (P, P), "b": (P_copy, None)}, cache=cache
+        )
+        for _ in range(5):
+            fleet.add_release(0.1)
+        assert cache.hits > 0
+
+
+# ---------------------------------------------------------------------------
+# Checkpointing
+# ---------------------------------------------------------------------------
+class TestCheckpoint:
+    def test_round_trip_exact(self, population, tmp_path):
+        fleet = FleetAccountant(population, alpha=5.0)
+        for eps, overrides in [(0.1, {0: 0.02}), (0.2, {}), (0.15, {7: 0.3})]:
+            fleet.add_release(eps, overrides=overrides)
+        save_checkpoint(fleet, tmp_path / "ckpt")
+        restored = load_checkpoint(tmp_path / "ckpt")
+        assert restored.horizon == fleet.horizon
+        assert restored.alpha == fleet.alpha
+        assert set(restored.users) == set(fleet.users)
+        assert restored.max_tpl() == fleet.max_tpl()  # bit-identical
+        for user in population:
+            live = fleet.profile(user)
+            back = restored.profile(user)
+            assert np.array_equal(live.epsilons, back.epsilons)
+            assert np.array_equal(live.bpl, back.bpl)
+            assert np.array_equal(live.fpl, back.fpl)
+            assert np.array_equal(live.tpl, back.tpl)
+
+    def test_restored_engine_continues(self, population, tmp_path):
+        fleet = FleetAccountant(population)
+        for _ in range(3):
+            fleet.add_release(0.1)
+        save_checkpoint(fleet, tmp_path / "ckpt")
+        restored = load_checkpoint(tmp_path / "ckpt")
+        live_worst = fleet.add_release(0.2, overrides={1: 0.05})
+        back_worst = restored.add_release(0.2, overrides={1: 0.05})
+        assert back_worst == pytest.approx(live_worst, abs=PARITY_ATOL)
+        np.testing.assert_allclose(
+            restored.profile(1).tpl, fleet.profile(1).tpl, atol=PARITY_ATOL
+        )
+
+    def test_tuple_user_ids_round_trip(self, models, tmp_path):
+        pair = (models[0], models[0])
+        fleet = FleetAccountant({("tenant", 1): pair, ("tenant", 2): pair})
+        fleet.add_release(0.1)
+        save_checkpoint(fleet, tmp_path / "ckpt")
+        restored = load_checkpoint(tmp_path / "ckpt")
+        assert set(restored.users) == {("tenant", 1), ("tenant", 2)}
+
+    def test_rejects_foreign_directory(self, tmp_path):
+        (tmp_path / "manifest.json").write_text('{"kind": "other"}')
+        with pytest.raises(ValueError):
+            load_checkpoint(tmp_path)
+
+
+# ---------------------------------------------------------------------------
+# Batched release pipeline
+# ---------------------------------------------------------------------------
+class TestFleetRelease:
+    def test_release_feeds_accountant(self, models):
+        from repro.data import HistogramQuery, Trajectory, TrajectoryDataset
+
+        pair = (models[0], models[0])
+        fleet = FleetAccountant({u: pair for u in range(20)})
+        rng = np.random.default_rng(3)
+        dataset = TrajectoryDataset(
+            [Trajectory(u, rng.integers(0, 2, size=6)) for u in range(20)],
+            n_states=2,
+        )
+        engine = FleetReleaseEngine(
+            HistogramQuery(2), budgets=0.1, accountant=fleet, seed=0
+        )
+        records = engine.run(dataset)
+        assert len(records) == 6
+        assert fleet.horizon == 6
+        assert records[-1].max_tpl == pytest.approx(fleet.max_tpl())
+        # TPL grows as releases accumulate under correlation.
+        assert records[-1].max_tpl > records[0].max_tpl
+        for record in records:
+            assert record.true_answer.shape == (2,)
+            assert record.absolute_error >= 0.0

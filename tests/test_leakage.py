@@ -14,7 +14,7 @@ from repro.core import (
 from repro.exceptions import InvalidPrivacyParameterError
 from repro.markov import identity_matrix, two_state_matrix, uniform_matrix
 
-from conftest import transition_matrices
+from strategies import transition_matrices
 
 
 class TestBackward:

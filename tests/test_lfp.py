@@ -9,7 +9,7 @@ from hypothesis import given
 from repro.core import LfpProblem
 from repro.exceptions import InvalidPrivacyParameterError
 
-from conftest import stochastic_rows, transition_matrices
+from strategies import stochastic_rows, transition_matrices
 
 
 @pytest.fixture

@@ -22,7 +22,7 @@ from repro.lp import (
 from repro.lp.charnes_cooper import LinearProgram
 from repro.markov import random_stochastic_matrix
 
-from conftest import alphas, transition_matrices
+from strategies import alphas, transition_matrices
 
 
 def _problem(n=4, alpha=1.0, seed=0, rows=(0, 1)):

@@ -7,7 +7,7 @@ from hypothesis import given
 from repro.exceptions import InvalidTransitionMatrixError
 from repro.markov import TransitionMatrix, as_transition_matrix
 
-from conftest import transition_matrices
+from strategies import transition_matrices
 
 
 class TestValidation:
@@ -174,3 +174,22 @@ class TestCoercion:
     def test_as_transition_matrix_from_list(self):
         m = as_transition_matrix([[0.5, 0.5], [0.1, 0.9]])
         assert isinstance(m, TransitionMatrix)
+
+
+class TestDigest:
+    def test_identical_content_identical_digest(self):
+        a = TransitionMatrix([[0.8, 0.2], [0.0, 1.0]])
+        b = TransitionMatrix([[0.8, 0.2], [0.0, 1.0]])
+        assert a.digest == b.digest
+
+    def test_content_changes_digest(self):
+        a = TransitionMatrix([[0.8, 0.2], [0.0, 1.0]])
+        b = TransitionMatrix([[0.2, 0.8], [0.0, 1.0]])
+        c = TransitionMatrix([[0.8, 0.2], [0.0, 1.0]], states=("x", "y"))
+        assert len({a.digest, b.digest, c.digest}) == 3
+
+    def test_digest_is_stable_hex(self):
+        a = TransitionMatrix([[0.8, 0.2], [0.0, 1.0]])
+        assert a.digest == a.digest
+        assert len(a.digest) == 64
+        int(a.digest, 16)  # valid hex

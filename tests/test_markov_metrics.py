@@ -18,7 +18,7 @@ from repro.markov import (
     uniform_matrix,
 )
 
-from conftest import transition_matrices
+from strategies import transition_matrices
 
 
 class TestDobrushin:

@@ -23,7 +23,7 @@ from repro.core import (
 from repro.exceptions import UnboundedLeakageError
 from repro.markov import laplacian_smoothing, strongest_matrix
 
-from conftest import transition_matrices
+from strategies import transition_matrices
 
 budget_vectors = st.lists(
     st.floats(0.01, 1.0), min_size=2, max_size=8
