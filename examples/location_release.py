@@ -7,20 +7,23 @@ example:
 
 1. builds the paper's 5-location road network and simulates a population
    moving on it;
-2. publishes naive Lap(1/eps) histograms and *accounts* the temporal
-   privacy leakage online;
-3. converts the release to a bounded alpha-DP_T one with the
-   one-call converter and verifies the guarantee end to end.
+2. publishes naive Lap(1/eps) histograms through a
+   :class:`repro.service.ReleaseSession` and watches the accounted
+   temporal privacy leakage grow past the promise;
+3. reruns the stream under an Algorithm-3 budget allocation (with the
+   session's alpha bound as a belt-and-braces guard) and verifies the
+   alpha-DP_T guarantee end to end.
 
 Run:  python examples/location_release.py
 """
 
 import numpy as np
 
-from repro.core import TemporalPrivacyAccountant
-from repro.data import HistogramQuery, example1_network, generate_population
-from repro.mechanisms import ContinuousReleaseEngine, make_dpt_engine
 from repro.analysis import records_mae
+from repro.mechanisms import plan_dpt_release
+from repro.data import HistogramQuery, example1_network, generate_population
+from repro.markov import MarkovChain, laplacian_smoothing
+from repro.service import ReleaseSession, SessionConfig
 
 
 def main() -> None:
@@ -30,8 +33,6 @@ def main() -> None:
     # exactly Example 1's point.  Real adversaries hold an *estimated*,
     # slightly uncertain model, so we smooth the mobility matrix a bit;
     # the correlations stay strong but bounded budgets become possible.
-    from repro.markov import MarkovChain, laplacian_smoothing
-
     raw_chain = network.chain(stay_probability=0.2)
     chain = MarkovChain(laplacian_smoothing(raw_chain.forward, s=0.02))
     print(f"road network: {network}")
@@ -49,40 +50,42 @@ def main() -> None:
     epsilon = 0.5
 
     # --- naive release with online accounting ---------------------------
-    accountant = TemporalPrivacyAccountant(correlations)
-    engine = ContinuousReleaseEngine(
-        query=HistogramQuery(dataset.n_states),
+    naive = ReleaseSession(SessionConfig(
+        correlations=correlations,
         budgets=epsilon,
-        accountant=accountant,
+        query=HistogramQuery(dataset.n_states),
         seed=7,
-    )
-    records = engine.run(dataset)
+    ))
+    records = naive.run(dataset)
     print(f"\nnaive release at eps = {epsilon} per time point:")
     for record in records[:3]:
         print(
             f"  t={record.t}: true={record.true_answer.astype(int)} "
             f"noisy={np.round(record.noisy_answer, 1)} "
-            f"TPL-so-far={record.tpl:.3f}"
+            f"TPL-so-far={record.max_tpl:.3f}"
         )
     print("  ...")
-    profile = accountant.profile()
+    profile = naive.profile()
     print(
         f"  worst-case TPL after {dataset.horizon} releases: "
         f"{profile.max_tpl:.3f} (promised {epsilon})"
     )
     print(f"  naive MAE: {records_mae(records):.3f}")
 
-    # --- bounded release: one-call DP -> DP_T conversion ----------------
+    # --- bounded release: Algorithm 3 budgets + session alpha guard -----
     alpha = 1.0
-    dpt_engine = make_dpt_engine(
-        query=HistogramQuery(dataset.n_states),
+    plan = plan_dpt_release(correlations, alpha, method="quantified")
+    bounded = ReleaseSession(SessionConfig(
         correlations=correlations,
-        alpha=alpha,
-        method="quantified",
+        budgets=plan.allocation,
+        horizon=dataset.horizon,
+        query=HistogramQuery(dataset.n_states),
+        alpha=alpha * (1.0 + 1e-9),  # reject anything beyond the promise
+        alpha_mode="reject",
         seed=7,
-    )
-    dpt_records = dpt_engine.run(dataset)
-    dpt_profile = dpt_engine.accountant.profile()
+    ))
+    dpt_records = bounded.run(dataset)
+    dpt_profile = bounded.profile()
     print(f"\nbounded release at alpha = {alpha}-DP_T (Algorithm 3):")
     print(
         "  budgets:",
@@ -90,6 +93,7 @@ def main() -> None:
     )
     print(f"  worst-case TPL: {dpt_profile.max_tpl:.6f} <= {alpha}")
     print(f"  bounded MAE: {records_mae(dpt_records):.3f}")
+    assert all(r.status == "released" for r in dpt_records)
     assert dpt_profile.satisfies(alpha)
 
 

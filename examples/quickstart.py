@@ -8,6 +8,8 @@ This walks the paper's core story end to end:
 3. Theorem 5 tells us where it would end up for an infinite stream.
 4. Algorithm 3 re-allocates budgets so the leakage is capped at a chosen
    alpha, exactly.
+5. A ReleaseSession -- the library's production front door -- runs the
+   bounded schedule as a live service with the alpha promise enforced.
 
 Run:  python examples/quickstart.py
 """
@@ -15,11 +17,14 @@ Run:  python examples/quickstart.py
 import numpy as np
 
 from repro import (
+    ReleaseSession,
+    SessionConfig,
     allocate_quantified,
     leakage_supremum,
     temporal_privacy_leakage,
     two_state_matrix,
 )
+from repro.data import HistogramQuery
 
 
 def main() -> None:
@@ -59,6 +64,24 @@ def main() -> None:
     print("  TPL:    ", np.round(fixed.tpl, 4))
     assert fixed.satisfies(alpha)
     print(f"  -> every time point leaks exactly alpha = {alpha}")
+
+    # --- 4. Run it as a service: one session, structured events. --------
+    session = ReleaseSession(SessionConfig(
+        correlations=(correlation, correlation),
+        budgets=allocation,
+        horizon=horizon,
+        query=HistogramQuery(2),
+        alpha=alpha * (1.0 + 1e-9),  # reject anything beyond the promise
+        seed=0,
+    ))
+    rng = np.random.default_rng(3)
+    for _ in range(horizon):
+        event = session.ingest(rng.integers(0, 2, size=100))
+        assert event.status == "released"
+    print(
+        f"\nReleaseSession replayed the schedule: {session.horizon} events, "
+        f"worst-case TPL {session.max_tpl():.4f} <= alpha = {alpha}"
+    )
 
 
 if __name__ == "__main__":

@@ -30,8 +30,13 @@ Packages
     Population-scale accounting: cohort-vectorised BPL/FPL/TPL
     recursions, shared Algorithm-1 solution cache, checkpointing and
     batched release.
+``repro.service``
+    The unified session API: ``ReleaseSession`` + ``SessionConfig`` over
+    pluggable scalar/fleet accounting backends, structured release
+    events, alpha policies and async ingestion.
 ``repro.mechanisms``
-    Laplace mechanism and the continuous release engine of Fig. 1.
+    Laplace mechanism and the (deprecated) continuous release engine of
+    Fig. 1; superseded by ``repro.service``.
 ``repro.data``
     Synthetic populations, road networks, Geolife-like traces, queries.
 ``repro.analysis``
@@ -85,6 +90,14 @@ from .fleet import (
     SolutionCache,
     load_checkpoint,
     save_checkpoint,
+)
+from .service import (
+    AccountantBackend,
+    AlphaPolicy,
+    ReleaseEvent,
+    ReleaseSession,
+    SessionConfig,
+    make_backend,
 )
 from .markov import (
     MarkovChain,
@@ -147,6 +160,13 @@ __all__ = [
     "SolutionCache",
     "save_checkpoint",
     "load_checkpoint",
+    # service
+    "AccountantBackend",
+    "AlphaPolicy",
+    "ReleaseEvent",
+    "ReleaseSession",
+    "SessionConfig",
+    "make_backend",
     # markov
     "TransitionMatrix",
     "as_transition_matrix",

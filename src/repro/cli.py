@@ -1,6 +1,6 @@
-"""Command-line interface for auditing and planning releases.
+"""Command-line interface for auditing, planning and serving releases.
 
-Four subcommands cover the library's core workflows without writing any
+The subcommands cover the library's core workflows without writing any
 Python::
 
     python -m repro.cli quantify  -m P.json --epsilon 0.1 --horizon 10
@@ -8,6 +8,14 @@ Python::
     python -m repro.cli allocate  -m P.json --alpha 1.0 --horizon 10 \
                                   --method quantified -o allocation.json
     python -m repro.cli experiments fig3 fig7
+    python -m repro.cli release   -m P.json --users 1000 --steps 20 \
+                                  --epsilon 0.1 --alpha 1.0 --alpha-mode clamp
+    python -m repro.cli serve     -m P.json --users 100 --epsilon 0.1
+
+``release`` runs a full :class:`repro.service.ReleaseSession` over a
+synthetic population; ``serve`` is the streaming front door -- JSON
+snapshots in on stdin, structured release events out on stdout, ingested
+through the session's bounded async queue.
 
 ``-m/--matrix`` takes a JSON transition matrix (see :mod:`repro.io`);
 pass it twice to supply distinct backward and forward correlations, once
@@ -17,6 +25,8 @@ to use the same matrix for both.
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
 import sys
 from typing import List, Optional
 
@@ -170,6 +180,150 @@ def _cmd_fleet(args) -> int:
     return 0
 
 
+def _session_config(args, backward, forward, query, horizon=None):
+    from .service import SessionConfig
+
+    return SessionConfig(
+        correlations={u: (backward, forward) for u in range(args.users)},
+        budgets=args.epsilon,
+        query=query,
+        alpha=args.alpha,
+        alpha_mode=args.alpha_mode,
+        backend=args.backend,
+        horizon=horizon,
+        seed=args.seed,
+        checkpoint_dir=getattr(args, "checkpoint", None),
+        queue_maxsize=getattr(args, "queue_size", 64),
+    )
+
+
+def _print_session_summary(session) -> None:
+    summary = session.summary()
+    counts = ", ".join(
+        f"{status}={count}"
+        for status, count in sorted(summary["status_counts"].items())
+    )
+    print(
+        f"backend: {summary['backend']}  users: {summary['users']}  "
+        f"accounted releases: {summary['horizon']}"
+    )
+    print(f"events: {summary['events']} ({counts})")
+    print(f"worst-case TPL: {summary['max_tpl']:.6f}")
+    if summary["remaining_alpha"] is not None:
+        print(f"remaining alpha headroom: {summary['remaining_alpha']:.6f}")
+
+
+def _cmd_release(args) -> int:
+    from .data import HistogramQuery
+    from .data.synthetic import generate_population
+    from .markov import MarkovChain
+    from .service import ReleaseSession
+
+    if args.users < 1 or args.steps < 1:
+        raise SystemExit("--users and --steps must be >= 1")
+    backward, forward = _load_matrices(args.matrix)
+    chain = MarkovChain(forward)
+    dataset = generate_population(
+        chain, n_users=args.users, horizon=args.steps, seed=args.seed
+    )
+    session = ReleaseSession(
+        _session_config(
+            args, backward, forward, HistogramQuery(forward.n), args.steps
+        )
+    )
+    events = session.run(dataset)
+    for event in events:
+        line = (
+            f"t={event.t:<3d} status={event.status:<9s} "
+            f"eps={event.epsilon:<8.4f} max-TPL={event.max_tpl:.6f}"
+        )
+        if event.message:
+            line += f"  ({event.message})"
+        print(line)
+    _print_session_summary(session)
+    if args.checkpoint:
+        try:
+            path = session.checkpoint()
+        except OSError as error:
+            print(f"error: cannot write checkpoint: {error}", file=sys.stderr)
+            return 1
+        print(f"checkpoint written to {path}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(json.dumps(event.payload()) + "\n")
+        print(f"event log written to {args.output}")
+    return 0
+
+
+async def _serve_loop(session, stream, limit: Optional[int] = None) -> int:
+    """Drain JSON lines from ``stream`` through the session's async
+    ingestion queue, emitting one event payload per line."""
+    processed = 0
+    async with session:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                print(json.dumps({"error": f"bad JSON: {error}"}), flush=True)
+                continue
+            if isinstance(payload, list):
+                snapshot, epsilon, overrides = payload, None, None
+            elif isinstance(payload, dict):
+                snapshot = payload.get("snapshot")
+                epsilon = payload.get("epsilon")
+                overrides = {
+                    int(user): float(eps)
+                    for user, eps in (payload.get("overrides") or {}).items()
+                }
+            else:
+                print(
+                    json.dumps({"error": "expected a JSON array or object"}),
+                    flush=True,
+                )
+                continue
+            try:
+                event = await session.aingest(
+                    None if snapshot is None else np.asarray(snapshot, dtype=int),
+                    epsilon=epsilon,
+                    overrides=overrides or None,
+                )
+            except (ReproError, ValueError, KeyError) as error:
+                print(json.dumps({"error": str(error)}), flush=True)
+                continue
+            print(json.dumps(event.payload()), flush=True)
+            processed += 1
+            if limit is not None and processed >= limit:
+                break
+    return processed
+
+
+def _cmd_serve(args) -> int:
+    from .data import HistogramQuery
+    from .service import ReleaseSession
+
+    if args.users < 1:
+        raise SystemExit("--users must be >= 1")
+    backward, forward = _load_matrices(args.matrix)
+    session = ReleaseSession(
+        _session_config(args, backward, forward, HistogramQuery(forward.n))
+    )
+    processed = asyncio.run(
+        _serve_loop(session, sys.stdin, limit=args.max_steps)
+    )
+    summary = session.summary()
+    print(
+        f"served {processed} events ({summary['backend']} backend, "
+        f"{summary['users']} users); worst-case TPL "
+        f"{summary['max_tpl']:.6f}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -222,6 +376,65 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("names", nargs="*", help="experiment ids (default all)")
     experiments.add_argument("--quick", action="store_true")
     experiments.set_defaults(func=_cmd_experiments)
+
+    def add_session_args(p):
+        p.add_argument("--users", type=int, default=100)
+        p.add_argument("--epsilon", type=float, default=0.1)
+        p.add_argument(
+            "--alpha", type=float, default=None, help="optional TPL bound"
+        )
+        p.add_argument(
+            "--alpha-mode",
+            choices=("reject", "clamp", "warn"),
+            default="reject",
+            help="what to do when a release would break the alpha bound",
+        )
+        p.add_argument(
+            "--backend",
+            choices=("auto", "scalar", "fleet"),
+            default="auto",
+            help="accounting backend (auto = by population size)",
+        )
+        p.add_argument("--seed", type=int, default=0)
+
+    release = sub.add_parser(
+        "release",
+        help="run a ReleaseSession over a synthetic population",
+    )
+    add_matrix_arg(release)
+    add_session_args(release)
+    release.add_argument("--steps", type=int, default=20)
+    release.add_argument(
+        "--checkpoint", help="directory to save the final session state to"
+    )
+    release.add_argument(
+        "-o", "--output", help="write the event log as JSON lines"
+    )
+    release.set_defaults(func=_cmd_release)
+
+    serve = sub.add_parser(
+        "serve",
+        help="stream JSON snapshots from stdin through a ReleaseSession",
+    )
+    add_matrix_arg(serve)
+    add_session_args(serve)
+    serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=64,
+        help=(
+            "bound of the session's async ingestion queue; this CLI "
+            "submits one stdin line at a time, so the bound only matters "
+            "when the session is shared with concurrent producers"
+        ),
+    )
+    serve.add_argument(
+        "--max-steps",
+        type=int,
+        default=None,
+        help="stop after this many events (default: until EOF)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     fleet = sub.add_parser(
         "fleet",

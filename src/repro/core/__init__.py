@@ -38,7 +38,13 @@ from .supremum import (
     leakage_supremum,
     supremum_closed_form,
 )
-from .budget import BudgetAllocation, allocate_quantified, allocate_upper_bound
+from .budget import (
+    BudgetAllocation,
+    allocate_quantified,
+    allocate_upper_bound,
+    validate_epsilon,
+    validate_epsilons,
+)
 from .convergence import contraction_rate, time_to_fraction
 from .personalized import PersonalizedAllocation, allocate_personalized
 from .accountant import TemporalPrivacyAccountant
@@ -73,6 +79,8 @@ __all__ = [
     "BudgetAllocation",
     "allocate_quantified",
     "allocate_upper_bound",
+    "validate_epsilon",
+    "validate_epsilons",
     "PersonalizedAllocation",
     "allocate_personalized",
     "contraction_rate",

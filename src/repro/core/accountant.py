@@ -23,6 +23,7 @@ import numpy as np
 
 from ..exceptions import InvalidPrivacyParameterError
 from .adversary import AdversaryT
+from .budget import validate_epsilon
 from .leakage import LeakageProfile, forward_privacy_leakage
 from .loss_functions import TemporalLossFunction
 
@@ -34,9 +35,17 @@ class _UserState:
 
     __slots__ = ("loss_b", "loss_f", "bpl", "_fpl_cache_key", "_fpl_cache")
 
-    def __init__(self, backward, forward) -> None:
-        self.loss_b = TemporalLossFunction(backward) if backward is not None else None
-        self.loss_f = TemporalLossFunction(forward) if forward is not None else None
+    def __init__(self, backward, forward, cache=None) -> None:
+        self.loss_b = (
+            TemporalLossFunction(backward, cache=cache)
+            if backward is not None
+            else None
+        )
+        self.loss_f = (
+            TemporalLossFunction(forward, cache=cache)
+            if forward is not None
+            else None
+        )
         self.bpl: List[float] = []
         self._fpl_cache_key: Optional[bytes] = None
         self._fpl_cache: Optional[np.ndarray] = None
@@ -78,6 +87,11 @@ class TemporalPrivacyAccountant:
         Optional leakage bound; when set, :meth:`add_release` raises
         :class:`InvalidPrivacyParameterError` if the release would push
         any time point's TPL above ``alpha``.
+    cache:
+        Optional Algorithm-1 solution cache (``get``/``put`` duck type,
+        e.g. :class:`repro.fleet.SolutionCache`) threaded into every loss
+        function, so the scalar path can share solves with other
+        accountants without installing a process-wide cache.
 
     Examples
     --------
@@ -92,10 +106,12 @@ class TemporalPrivacyAccountant:
     True
     """
 
-    def __init__(self, correlations, alpha: Optional[float] = None) -> None:
+    def __init__(
+        self, correlations, alpha: Optional[float] = None, cache=None
+    ) -> None:
         self._users: Dict[Hashable, _UserState] = {}
         for user, pair in self._normalise(correlations).items():
-            self._users[user] = _UserState(*pair)
+            self._users[user] = _UserState(*pair, cache=cache)
         if not self._users:
             raise ValueError("at least one user correlation is required")
         if alpha is not None and alpha <= 0:
@@ -127,25 +143,33 @@ class TemporalPrivacyAccountant:
         When an ``alpha`` bound is configured the release is rejected
         (state unchanged) if it would violate the bound.
         """
-        if epsilon < 0 or not np.isfinite(epsilon):
-            raise InvalidPrivacyParameterError(
-                f"epsilon must be finite and >= 0, got {epsilon}"
-            )
-        self._epsilons.append(float(epsilon))
+        epsilon = validate_epsilon(epsilon)
+        self._epsilons.append(epsilon)
         for state in self._users.values():
             state.extend_bpl(epsilon)
         worst = self.max_tpl()
         if self._alpha is not None and worst > self._alpha + 1e-12:
             # Roll back: the release would break the alpha-DP_T promise.
-            self._epsilons.pop()
-            for state in self._users.values():
-                state.bpl.pop()
-                state._fpl_cache_key = None
+            self.rollback_last()
             raise InvalidPrivacyParameterError(
                 f"release of eps={epsilon} would raise TPL to {worst:.6f} "
                 f"> alpha={self._alpha}"
             )
         return worst
+
+    def rollback_last(self) -> None:
+        """Undo the most recent release, restoring the exact prior state.
+
+        Used internally for ``alpha``-bound enforcement and by the service
+        layer's clamp/reject policies (probe a release, inspect the
+        resulting TPL, roll it back).
+        """
+        if not self._epsilons:
+            raise ValueError("no releases to roll back")
+        self._epsilons.pop()
+        for state in self._users.values():
+            state.bpl.pop()
+            state._fpl_cache_key = None
 
     @property
     def horizon(self) -> int:
@@ -164,10 +188,14 @@ class TemporalPrivacyAccountant:
     # Queries
     # ------------------------------------------------------------------
     def profile(self, user: Optional[Hashable] = None) -> LeakageProfile:
-        """Leakage profile for one user (default: the single/first user)."""
-        if self.horizon == 0:
-            raise ValueError("no releases recorded yet")
+        """Leakage profile for one user (default: the single/first user).
+
+        Before any release this is :meth:`LeakageProfile.empty` (all series
+        empty, ``max_tpl == 0.0``), consistent with :meth:`max_tpl`.
+        """
         state = self._resolve(user)
+        if self.horizon == 0:
+            return LeakageProfile.empty()
         eps = self.epsilons
         bpl = np.asarray(state.bpl, dtype=float)
         fpl = state.fpl(eps)

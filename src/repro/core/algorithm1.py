@@ -249,7 +249,10 @@ def max_log_ratio_batch(matrix, alphas) -> np.ndarray:
     p = as_transition_matrix(matrix).array
     n = p.shape[0]
     out = np.zeros_like(alphas)
-    e_all = np.expm1(alphas)
+    # math.expm1 (C libm) rather than np.expm1 (SIMD): the two can differ
+    # in the last ulp, and this function's contract is bit-identical
+    # results with the scalar max_log_ratio path.
+    e_all = np.array([math.expm1(a) for a in alphas.tolist()])
     nonzero = e_all > 0.0
     if n == 1 or not nonzero.any():
         return out

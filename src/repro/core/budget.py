@@ -37,10 +37,82 @@ from ..markov.matrix import as_transition_matrix
 from .leakage import LeakageProfile, temporal_privacy_leakage
 from .loss_functions import TemporalLossFunction
 
-__all__ = ["BudgetAllocation", "allocate_upper_bound", "allocate_quantified"]
+__all__ = [
+    "BudgetAllocation",
+    "allocate_upper_bound",
+    "allocate_quantified",
+    "validate_epsilon",
+    "validate_epsilons",
+]
 
 _BISECT_TOL = 1e-12
 _BISECT_ITER = 200
+
+
+def validate_epsilon(
+    value, *, allow_zero: bool = True, name: str = "epsilon"
+) -> float:
+    """Validate one privacy budget and return it as a ``float``.
+
+    This is the single source of truth for epsilon validation across the
+    accountants, the release engines and the service layer.
+
+    Zero-budget semantics
+    ---------------------
+    ``epsilon == 0`` is a legal *accounting* input (the default): a
+    zero-budget release publishes nothing new about the snapshot, adds no
+    fresh leakage of its own, and can never increase TPL (``L(alpha) <=
+    alpha``, Remark 1) -- but it still occupies a time point and keeps the
+    BPL/FPL recursions well-defined.  It is an illegal *noise-calibration*
+    input (``allow_zero=False``): the Laplace scale ``1/epsilon`` diverges,
+    so publication paths must reject it.
+    """
+    try:
+        epsilon = float(value)
+    except (TypeError, ValueError):
+        raise InvalidPrivacyParameterError(
+            f"{name} must be a real number, got {value!r}"
+        ) from None
+    if not math.isfinite(epsilon) or epsilon < 0:
+        raise InvalidPrivacyParameterError(
+            f"{name} must be finite and >= 0, got {epsilon}"
+        )
+    if epsilon == 0 and not allow_zero:
+        raise InvalidPrivacyParameterError(
+            f"{name} must be > 0 to calibrate noise (Laplace scale "
+            "1/epsilon diverges at zero); zero budgets are only valid for "
+            "accounting"
+        )
+    return epsilon
+
+
+def validate_epsilons(
+    values,
+    horizon: Optional[int] = None,
+    *,
+    allow_zero: bool = True,
+    name: str = "budget",
+) -> np.ndarray:
+    """Validate a 1-D per-time-point budget vector (see
+    :func:`validate_epsilon` for the zero-budget semantics).  Checks the
+    length against ``horizon`` when given and returns a float array."""
+    eps = np.asarray(values, dtype=float)
+    if eps.ndim != 1:
+        raise ValueError(f"{name} vector must be 1-D, got shape {eps.shape}")
+    if horizon is not None and eps.shape != (horizon,):
+        raise ValueError(
+            f"{name} vector has length {eps.shape[0]}, need {horizon}"
+        )
+    if not np.all(np.isfinite(eps)) or np.any(eps < 0):
+        raise InvalidPrivacyParameterError(
+            f"all {name}s must be finite and >= 0"
+        )
+    if not allow_zero and np.any(eps == 0):
+        raise InvalidPrivacyParameterError(
+            f"all {name}s must be > 0 to calibrate noise; zero budgets are "
+            "only valid for accounting"
+        )
+    return eps
 
 
 @dataclass(frozen=True)

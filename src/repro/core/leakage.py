@@ -90,10 +90,22 @@ class LeakageProfile:
         """Number of time points ``T``."""
         return int(self.epsilons.shape[0])
 
+    @classmethod
+    def empty(cls) -> "LeakageProfile":
+        """The profile of a stream with no releases yet: all series empty,
+        ``max_tpl == 0.0``.  Both accountant backends return this for
+        ``horizon == 0`` so queries never have to special-case the start
+        of a stream."""
+        zero = np.zeros(0)
+        return cls(epsilons=zero, bpl=zero.copy(), fpl=zero.copy())
+
     @property
     def max_tpl(self) -> float:
         """The worst temporal privacy leakage over the horizon -- the
-        smallest ``alpha`` such that every release satisfies alpha-DP_T."""
+        smallest ``alpha`` such that every release satisfies alpha-DP_T.
+        ``0.0`` for the empty profile (nothing released, nothing leaked)."""
+        if self.tpl.size == 0:
+            return 0.0
         return float(self.tpl.max())
 
     def satisfies(self, alpha: float, rtol: float = 1e-9) -> bool:

@@ -21,7 +21,7 @@ from ..core.leakage import LeakageProfile
 from ..data.queries import HistogramQuery
 from ..data.roadnet import example1_dataset, example1_network
 from ..data.trajectory import TrajectoryDataset
-from ..mechanisms.release import ContinuousReleaseEngine, ReleaseRecord
+from ..service import ReleaseEvent, ReleaseSession, SessionConfig
 
 __all__ = ["Example1Result", "run", "format_table"]
 
@@ -30,7 +30,7 @@ __all__ = ["Example1Result", "run", "format_table"]
 class Example1Result:
     epsilon: float
     dataset: TrajectoryDataset
-    records: List[ReleaseRecord]
+    records: List[ReleaseEvent]
     profile: LeakageProfile
     identity_profile: LeakageProfile  # the "traffic congestion" extreme
 
@@ -43,15 +43,16 @@ def run(epsilon: float = 1.0, seed: int = 0) -> Example1Result:
     chain = network.chain(stay_probability=0.2)
     correlations = (chain.backward(), chain.forward)
 
-    accountant = TemporalPrivacyAccountant(correlations)
-    engine = ContinuousReleaseEngine(
-        query=HistogramQuery(dataset.n_states),
-        budgets=epsilon,
-        accountant=accountant,
-        seed=seed,
+    session = ReleaseSession(
+        SessionConfig(
+            correlations=correlations,
+            budgets=epsilon,
+            query=HistogramQuery(dataset.n_states),
+            seed=seed,
+        )
     )
-    records = engine.run(dataset)
-    profile = accountant.profile()
+    records = session.run(dataset)
+    profile = session.profile()
 
     # Extreme case of Example 1: counts frozen over time (identity chain).
     identity = np.eye(dataset.n_states)

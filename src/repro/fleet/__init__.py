@@ -17,7 +17,8 @@ BPL/FPL/TPL recursions (Eq. 13/15) across the population:
   (``.npz`` + JSON manifest) so a long-running release service can
   restart without forgetting accrued leakage.
 * :mod:`~repro.fleet.batch_release` -- :class:`FleetReleaseEngine`, the
-  batched counterpart of the Fig.-1 release pipeline.
+  batched counterpart of the Fig.-1 release pipeline (deprecated: use
+  :class:`repro.service.ReleaseSession` with the fleet backend).
 
 Quickstart
 ----------

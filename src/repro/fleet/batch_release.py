@@ -20,7 +20,7 @@ import numpy as np
 from ..core.budget import BudgetAllocation
 from ..mechanisms.base import RngLike, as_rng
 from ..mechanisms.laplace import LaplaceMechanism
-from ..mechanisms.release import materialise_budgets
+from ..mechanisms.release import materialise_budgets, warn_engine_deprecated
 from .engine import FleetAccountant
 
 if TYPE_CHECKING:  # avoid a data <-> fleet import cycle
@@ -62,6 +62,12 @@ class FleetReleaseRecord:
 class FleetReleaseEngine:
     """Publish noisy aggregates while accounting for an entire population.
 
+    .. deprecated::
+        Use :class:`repro.service.ReleaseSession` with a fleet backend
+        (``SessionConfig(backend="fleet")`` or automatic selection by
+        population size); this class is kept as a compatibility shim and
+        warns on construction.
+
     Parameters
     ----------
     query:
@@ -82,7 +88,10 @@ class FleetReleaseEngine:
         budgets: Union[float, Sequence[float], BudgetAllocation],
         accountant: FleetAccountant,
         seed: RngLike = None,
+        _warn_deprecated: bool = True,
     ) -> None:
+        if _warn_deprecated:
+            warn_engine_deprecated("FleetReleaseEngine")
         self._query = query
         self._budgets = budgets
         self._accountant = accountant

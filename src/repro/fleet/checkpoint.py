@@ -51,6 +51,13 @@ def _decode_user(payload):
     return payload
 
 
+# Public aliases: the service layer's scalar-backend checkpoint shares the
+# same JSON user-id encoding, so both checkpoint kinds round-trip the same
+# identifier types.
+encode_user_id = _encode_user
+decode_user_id = _decode_user
+
+
 def save_checkpoint(engine: FleetAccountant, path: PathLike) -> Path:
     """Persist the full engine state under directory ``path`` (created if
     missing).  Returns the directory path."""

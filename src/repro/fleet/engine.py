@@ -31,6 +31,7 @@ from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
 import numpy as np
 
 from ..core.algorithm1 import max_log_ratio_batch
+from ..core.budget import validate_epsilon
 from ..core.leakage import (
     LeakageProfile,
     backward_privacy_leakage,
@@ -260,27 +261,21 @@ class FleetAccountant:
         (personalised DP).  Returns the resulting worst-case TPL over all
         users and time points; rejects (state unchanged) when an ``alpha``
         bound would be violated."""
-        if epsilon < 0 or not np.isfinite(epsilon):
-            raise InvalidPrivacyParameterError(
-                f"epsilon must be finite and >= 0, got {epsilon}"
-            )
+        epsilon = validate_epsilon(epsilon)
         overrides = dict(overrides) if overrides else {}
         for user, eps_u in overrides.items():
             if user not in self._user_start:
                 raise KeyError(f"override for unknown user {user!r}")
-            if eps_u < 0 or not np.isfinite(eps_u):
-                raise InvalidPrivacyParameterError(
-                    f"override epsilon must be finite and >= 0, got {eps_u}"
-                )
+            validate_epsilon(eps_u, name="override epsilon")
             self._ensure_override(user)
 
-        self._epsilons.append(float(epsilon))
+        self._epsilons.append(epsilon)
         for state in self._states.values():
-            self._extend_cohort(state, float(epsilon), overrides)
+            self._extend_cohort(state, epsilon, overrides)
 
         worst = self.max_tpl()
         if self._alpha is not None and worst > self._alpha + 1e-12:
-            self._rollback_release()
+            self.rollback_last()
             raise InvalidPrivacyParameterError(
                 f"release of eps={epsilon} would raise TPL to {worst:.6f} "
                 f"> alpha={self._alpha}"
@@ -293,12 +288,7 @@ class FleetAccountant:
         than) repeated :meth:`add_release` because the fleet maximum TPL
         is non-decreasing in the horizon -- except that on violation the
         *whole batch* is rolled back."""
-        epsilons = [float(e) for e in epsilons]
-        for eps in epsilons:
-            if eps < 0 or not np.isfinite(eps):
-                raise InvalidPrivacyParameterError(
-                    f"epsilon must be finite and >= 0, got {eps}"
-                )
+        epsilons = [validate_epsilon(e) for e in epsilons]
         for eps in epsilons:
             self._epsilons.append(eps)
             for state in self._states.values():
@@ -306,7 +296,7 @@ class FleetAccountant:
         worst = self.max_tpl()
         if self._alpha is not None and worst > self._alpha + 1e-12:
             for _ in epsilons:
-                self._rollback_release()
+                self.rollback_last()
             raise InvalidPrivacyParameterError(
                 f"batch of {len(epsilons)} releases would raise TPL to "
                 f"{worst:.6f} > alpha={self._alpha}"
@@ -360,7 +350,13 @@ class FleetAccountant:
                 series.bpl.append(float(increments[i]) + eps_u)
             state._override_fpl_key = None
 
-    def _rollback_release(self) -> None:
+    def rollback_last(self) -> None:
+        """Undo the most recent release, restoring the exact prior state
+        (the mirror of :meth:`TemporalPrivacyAccountant.rollback_last`).
+        Used for ``alpha`` enforcement and by the service layer's
+        clamp/reject policies."""
+        if not self._epsilons:
+            raise ValueError("no releases to roll back")
         self._epsilons.pop()
         for state in self._states.values():
             for group in state.groups.values():
@@ -450,16 +446,21 @@ class FleetAccountant:
 
     def profile(self, user: Optional[Hashable] = None) -> LeakageProfile:
         """Leakage profile for one user (default: the single/first user);
-        identical to the per-user accountant's answer."""
-        if self.horizon == 0:
-            raise ValueError("no releases recorded yet")
+        identical to the per-user accountant's answer.
+
+        Before any release covering the user (empty stream, or a join
+        later than the last release) this is :meth:`LeakageProfile.empty`,
+        consistent with :meth:`max_tpl` returning ``0.0``.
+        """
         user = self._resolve(user)
+        if self.horizon == 0:
+            return LeakageProfile.empty()
         state = self._states[self._index.cohort_of(user).key]
         series = state.overrides.get(user)
         if series is not None:
             eps = np.asarray(series.eps, dtype=float)
             if eps.size == 0:
-                raise ValueError(f"no releases recorded for user {user!r} yet")
+                return LeakageProfile.empty()
             bpl = np.asarray(series.bpl, dtype=float)
             fpl = self._override_fpl(state)[user]
         else:
@@ -467,7 +468,7 @@ class FleetAccountant:
             group = state.groups[start]
             eps = np.asarray(self._epsilons[start:], dtype=float)
             if eps.size == 0:
-                raise ValueError(f"no releases recorded for user {user!r} yet")
+                return LeakageProfile.empty()
             bpl = np.asarray(group.bpl, dtype=float)
             fpl = self._group_fpl(state, group, eps)
         return LeakageProfile(epsilons=eps, bpl=bpl, fpl=fpl)

@@ -63,7 +63,12 @@ def solve_lfp_dinkelbach(
             raise SolverError("degenerate denominator in Dinkelbach step")
         new_lam = numerator / denominator
         f_value = numerator - lam * denominator
-        if f_value <= tol * max(1.0, abs(lam)):
+        # F is evaluated at magnitude ~ numerator, which e^alpha inflates
+        # at large alpha; an absolute tolerance can then be below float
+        # round-off and never trigger.  Converge on relative F, or on a
+        # lambda fixed point (Dinkelbach strictly increases lambda while
+        # suboptimal, so no progress means optimal).
+        if f_value <= tol * max(1.0, abs(lam), abs(numerator)) or new_lam <= lam:
             # F(lambda) == 0 up to tolerance: lambda is optimal.
             final = max(lam, new_lam)
             if final <= 0:

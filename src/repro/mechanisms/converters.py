@@ -100,7 +100,16 @@ def make_dpt_engine(
     The returned engine draws budgets from Algorithm 2/3 and (optionally)
     carries an accountant bound to ``alpha`` that would reject any release
     exceeding the promise -- belt and braces.
+
+    .. deprecated::
+        Build a :class:`repro.service.ReleaseSession` with
+        ``SessionConfig(budgets=plan_dpt_release(...).allocation,
+        alpha=alpha)`` instead; this helper warns on call and returns the
+        legacy engine.
     """
+    from .release import warn_engine_deprecated
+
+    warn_engine_deprecated("make_dpt_engine")
     plan = plan_dpt_release(correlations, alpha, method)
     accountant = None
     if with_accountant:
@@ -112,4 +121,5 @@ def make_dpt_engine(
         budgets=plan.allocation,
         accountant=accountant,
         seed=seed,
+        _warn_deprecated=False,
     )

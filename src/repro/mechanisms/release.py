@@ -1,5 +1,12 @@
 """The continuous aggregate release pipeline of Fig. 1.
 
+.. deprecated::
+    :class:`ContinuousReleaseEngine` is superseded by
+    :class:`repro.service.ReleaseSession`, which unifies the scalar and
+    fleet accounting paths behind one front door (see the README migration
+    guide).  The engine remains as a thin shim and emits a
+    :class:`DeprecationWarning` on construction.
+
 A trusted server holds a :class:`~repro.data.trajectory.TrajectoryDataset`
 (or any stream of snapshots), evaluates a query at each time point and
 publishes a noisy answer.  :class:`ContinuousReleaseEngine` wires together:
@@ -14,6 +21,7 @@ publishes a noisy answer.  :class:`ContinuousReleaseEngine` wires together:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Union
 
@@ -22,8 +30,7 @@ import numpy as np
 from typing import TYPE_CHECKING
 
 from ..core.accountant import TemporalPrivacyAccountant
-from ..core.budget import BudgetAllocation
-from ..exceptions import InvalidPrivacyParameterError
+from ..core.budget import BudgetAllocation, validate_epsilon, validate_epsilons
 
 if TYPE_CHECKING:  # imported lazily to avoid a data <-> mechanisms cycle
     from ..data.queries import SnapshotQuery
@@ -34,26 +41,38 @@ from .laplace import LaplaceMechanism
 __all__ = ["ReleaseRecord", "ContinuousReleaseEngine", "materialise_budgets"]
 
 
+def warn_engine_deprecated(name: str) -> None:
+    """Emit the shared engine deprecation warning, attributed to the
+    caller of the deprecated constructor."""
+    warnings.warn(
+        f"{name} is deprecated; use repro.service.ReleaseSession with a "
+        "SessionConfig instead (see the README migration guide)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def materialise_budgets(
-    budgets: Union[float, Sequence[float], BudgetAllocation], horizon: int
+    budgets: Union[float, Sequence[float], BudgetAllocation],
+    horizon: int,
+    *,
+    allow_zero: bool = False,
 ) -> np.ndarray:
     """Resolve a budget spec (scalar / vector / :class:`BudgetAllocation`)
-    into a validated per-time-point vector for ``horizon`` releases."""
+    into a validated per-time-point vector for ``horizon`` releases.
+
+    Validation goes through the shared validator in
+    :mod:`repro.core.budget`: by default zero budgets are rejected because
+    this vector calibrates Laplace noise; accounting-only callers (the
+    service layer) pass ``allow_zero=True`` and skip publication at
+    zero-budget time points.
+    """
     if isinstance(budgets, BudgetAllocation):
         return budgets.epsilons(horizon)
     if np.isscalar(budgets):
-        eps = float(budgets)  # type: ignore[arg-type]
-        if eps <= 0:
-            raise InvalidPrivacyParameterError(f"budget must be > 0, got {eps}")
+        eps = validate_epsilon(budgets, allow_zero=allow_zero, name="budget")
         return np.full(horizon, eps)
-    eps = np.asarray(budgets, dtype=float)
-    if eps.shape != (horizon,):
-        raise ValueError(
-            f"budget vector has length {eps.shape[0]}, need {horizon}"
-        )
-    if np.any(eps <= 0):
-        raise InvalidPrivacyParameterError("all budgets must be > 0")
-    return eps
+    return validate_epsilons(budgets, horizon, allow_zero=allow_zero)
 
 
 @dataclass(frozen=True)
@@ -88,6 +107,10 @@ class ReleaseRecord:
 class ContinuousReleaseEngine:
     """Publish noisy aggregates over a temporal database.
 
+    .. deprecated::
+        Use :class:`repro.service.ReleaseSession`; this class is kept as a
+        compatibility shim and warns on construction.
+
     Parameters
     ----------
     query:
@@ -108,7 +131,10 @@ class ContinuousReleaseEngine:
         budgets: Union[float, Sequence[float], BudgetAllocation],
         accountant: Optional[TemporalPrivacyAccountant] = None,
         seed: RngLike = None,
+        _warn_deprecated: bool = True,
     ) -> None:
+        if _warn_deprecated:
+            warn_engine_deprecated("ContinuousReleaseEngine")
         self._query = query
         self._budgets = budgets
         self._accountant = accountant

@@ -1,0 +1,90 @@
+"""repro.service -- the unified session API over scalar and fleet accounting.
+
+The library grew two implementations of the paper's release model: the
+scalar :class:`~repro.core.accountant.TemporalPrivacyAccountant` +
+``ContinuousReleaseEngine`` path and the population-scale
+:class:`~repro.fleet.engine.FleetAccountant` + ``FleetReleaseEngine``
+path, with diverging constructors and edge-case semantics.  This package
+is the single front door over both:
+
+* :class:`~repro.service.backends.AccountantBackend` -- the structural
+  protocol both engines satisfy, via
+  :class:`~repro.service.backends.ScalarAccountantBackend` and
+  :class:`~repro.service.backends.FleetAccountantBackend`; chosen
+  automatically by population size or pinned explicitly.
+* :class:`~repro.service.config.SessionConfig` -- declarative session
+  description: budget spec, :class:`~repro.service.config.AlphaPolicy`
+  (reject / clamp / warn), backend choice, solution-cache and checkpoint
+  cadence, async-queue bound.
+* :class:`~repro.service.session.ReleaseSession` -- ingests snapshots
+  (sync ``ingest`` or async ``aingest`` with bounded-queue backpressure)
+  and emits structured :class:`~repro.service.events.ReleaseEvent`\\ s.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro.data import HistogramQuery
+>>> from repro.markov import two_state_matrix
+>>> from repro.service import ReleaseSession, SessionConfig
+>>> P = two_state_matrix(0.8, 0.0)
+>>> session = ReleaseSession(SessionConfig(
+...     correlations={u: (P, P) for u in range(100)},
+...     budgets=0.1,
+...     query=HistogramQuery(2),
+...     alpha=1.0, alpha_mode="clamp",
+...     seed=0))
+>>> session.backend_name            # 100 users >= threshold -> fleet
+'fleet'
+>>> event = session.ingest(np.zeros(100, dtype=int))
+>>> event.status
+'released'
+>>> bool(event.max_tpl <= 1.0)
+True
+
+The deprecated engines (``ContinuousReleaseEngine``,
+``FleetReleaseEngine``, ``make_dpt_engine``) remain as thin shims that
+warn on construction; see the README migration guide.
+"""
+
+from .async_ingest import BoundedIngestQueue
+from .backends import (
+    DEFAULT_FLEET_THRESHOLD,
+    AccountantBackend,
+    FleetAccountantBackend,
+    ScalarAccountantBackend,
+    make_backend,
+    normalise_correlations,
+)
+from .config import ALPHA_MODES, AlphaPolicy, BudgetSchedule, SessionConfig
+from .events import (
+    ACCOUNTED,
+    CLAMPED,
+    EVENT_STATUSES,
+    REJECTED,
+    RELEASED,
+    WARNED,
+    ReleaseEvent,
+)
+from .session import ReleaseSession
+
+__all__ = [
+    "AccountantBackend",
+    "ScalarAccountantBackend",
+    "FleetAccountantBackend",
+    "make_backend",
+    "normalise_correlations",
+    "DEFAULT_FLEET_THRESHOLD",
+    "AlphaPolicy",
+    "BudgetSchedule",
+    "SessionConfig",
+    "ALPHA_MODES",
+    "ReleaseEvent",
+    "EVENT_STATUSES",
+    "RELEASED",
+    "ACCOUNTED",
+    "CLAMPED",
+    "WARNED",
+    "REJECTED",
+    "BoundedIngestQueue",
+    "ReleaseSession",
+]

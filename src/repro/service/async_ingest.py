@@ -1,0 +1,132 @@
+"""Bounded asynchronous ingestion with backpressure.
+
+The accounting recursions are strictly sequential -- FPL of every past
+time point depends on every later release -- so a release service cannot
+simply fan snapshots out to worker threads.  What it *can* do is decouple
+producers (request handlers, shard feeds) from the single accounting
+consumer: :class:`BoundedIngestQueue` is an ``asyncio`` FIFO with a hard
+bound.  ``await submit(...)`` parks the producer while the queue is full
+(backpressure) and resolves with that item's result once the drain task
+has processed it, in submission order.
+
+This is deliberately the seam for the ROADMAP's sharding work: a
+coordinator that partitions cohorts across processes replaces the inline
+``process`` callable with a scatter/gather step, and nothing upstream of
+the queue changes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Any, Callable, Optional
+
+__all__ = ["BoundedIngestQueue"]
+
+
+class BoundedIngestQueue:
+    """FIFO queue + single drain task in front of a sequential consumer.
+
+    Parameters
+    ----------
+    process:
+        Synchronous callable applied to each submitted item by the drain
+        task.  Exceptions it raises are delivered to the submitting
+        awaiter, not swallowed.
+    maxsize:
+        Queue bound; ``submit`` blocks (asynchronously) while the queue
+        holds this many unprocessed items.
+
+    Notes
+    -----
+    The queue binds to the running event loop on first ``submit`` and must
+    not be shared across loops.  ``close`` drains outstanding items before
+    stopping, so no submitted work is lost on shutdown.
+    """
+
+    def __init__(
+        self, process: Callable[[Any], Any], maxsize: int = 64
+    ) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self._process = process
+        self._maxsize = maxsize
+        self._queue: Optional[asyncio.Queue] = None
+        self._drain_task: Optional[asyncio.Task] = None
+        self._in_flight = 0  # submitters between entry and result delivery
+        self.submitted = 0
+        self.processed = 0
+        self.high_watermark = 0
+
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+    @property
+    def depth(self) -> int:
+        """Items currently queued (unprocessed)."""
+        return 0 if self._queue is None else self._queue.qsize()
+
+    async def submit(self, item: Any) -> Any:
+        """Enqueue ``item`` and wait for its result.
+
+        Applies backpressure: when the queue is full this parks until the
+        drain task frees a slot.  Results (or exceptions) are delivered
+        per item, in FIFO order.
+        """
+        self._ensure_started()
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._in_flight += 1
+        try:
+            await self._queue.put((item, future))
+            self.submitted += 1
+            self.high_watermark = max(
+                self.high_watermark, self._queue.qsize()
+            )
+            return await future
+        finally:
+            self._in_flight -= 1
+
+    async def close(self) -> None:
+        """Drain every outstanding item, then stop the drain task."""
+        if self._queue is None:
+            return
+        # join() alone can return while a producer is still parked inside
+        # put() (the drain's final get() frees the slot before the parked
+        # putter runs), so keep draining until no submitter is in flight
+        # -- otherwise cancelling the drain task would strand that
+        # producer on a future nobody will ever resolve.
+        while self._in_flight or not self._queue.empty():
+            await self._queue.join()
+            await asyncio.sleep(0)
+        assert self._drain_task is not None
+        self._drain_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._drain_task
+        self._queue = None
+        self._drain_task = None
+
+    def _ensure_started(self) -> None:
+        if self._queue is None:
+            self._queue = asyncio.Queue(maxsize=self._maxsize)
+            self._drain_task = asyncio.get_running_loop().create_task(
+                self._drain()
+            )
+
+    async def _drain(self) -> None:
+        assert self._queue is not None
+        while True:
+            item, future = await self._queue.get()
+            try:
+                result = self._process(item)
+            except BaseException as error:  # noqa: BLE001 -- relayed, not hidden
+                if not future.cancelled():
+                    future.set_exception(error)
+            else:
+                if not future.cancelled():
+                    future.set_result(result)
+            finally:
+                self.processed += 1
+                self._queue.task_done()

@@ -1,0 +1,373 @@
+"""Accountant backends: one protocol, two engines, automatic selection.
+
+The paper's release model is implemented twice in this library -- the
+scalar :class:`~repro.core.accountant.TemporalPrivacyAccountant` path
+(one object per user, simple and exact) and the cohort-vectorised
+:class:`~repro.fleet.engine.FleetAccountant` path (population scale).
+:class:`AccountantBackend` is the structural protocol the service layer
+programs against, and the two adapters here give both engines identical
+semantics:
+
+* the same stream interface (``add_release`` with per-user overrides,
+  ``rollback_last`` for probe-and-undo policies),
+* the same queries (``max_tpl``, ``profile`` returning
+  :meth:`~repro.core.leakage.LeakageProfile.empty` before any release),
+* the same checkpoint surface (``save`` / ``restore``).
+
+:func:`make_backend` picks the backend automatically by population size
+(``auto``), or honours an explicit choice.  Bit-identical results across
+the two backends are a hard guarantee, enforced by the property-based
+parity suite (``tests/test_service_parity.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    Mapping,
+    Optional,
+    Protocol,
+    runtime_checkable,
+)
+
+import numpy as np
+
+from ..core.accountant import TemporalPrivacyAccountant
+from ..core.adversary import AdversaryT
+from ..core.budget import validate_epsilon
+from ..core.leakage import LeakageProfile
+from ..fleet.checkpoint import (
+    decode_user_id,
+    encode_user_id,
+    load_checkpoint,
+    save_checkpoint,
+)
+from ..fleet.engine import FleetAccountant
+from ..fleet.solution_cache import SolutionCache
+
+__all__ = [
+    "AccountantBackend",
+    "ScalarAccountantBackend",
+    "FleetAccountantBackend",
+    "make_backend",
+    "normalise_correlations",
+    "DEFAULT_FLEET_THRESHOLD",
+]
+
+#: Population size at which ``backend="auto"`` switches from the per-user
+#: scalar path to the cohort-vectorised fleet path.  Below this the scalar
+#: path's constant factors win; above it the O(cohorts x T) recursions do.
+DEFAULT_FLEET_THRESHOLD = 64
+
+SCALAR_CHECKPOINT_KIND = "scalar_checkpoint"
+SCALAR_MANIFEST_NAME = "scalar_manifest.json"
+_SCALAR_FORMAT_VERSION = 1
+
+
+def normalise_correlations(correlations) -> Dict[Hashable, object]:
+    """Normalise any accepted correlation spec -- one ``(P_B, P_F)`` pair,
+    an :class:`AdversaryT`, or a mapping ``user -> pair / AdversaryT`` --
+    into a user mapping.  A bare pair registers as user ``0``, matching
+    both accountants' constructors."""
+    if correlations is None:
+        raise ValueError("at least one user correlation is required")
+    if isinstance(correlations, Mapping):
+        users = dict(correlations)
+        if not users:
+            raise ValueError("at least one user correlation is required")
+        return users
+    return {0: correlations}
+
+
+@runtime_checkable
+class AccountantBackend(Protocol):
+    """Structural protocol every accounting backend satisfies.
+
+    The service layer (:class:`~repro.service.session.ReleaseSession`)
+    talks only to this surface; scalar and fleet engines are
+    interchangeable behind it and must return bit-identical numbers for
+    identical inputs.
+    """
+
+    name: str
+    supports_checkpoint: bool
+
+    @property
+    def horizon(self) -> int: ...
+
+    @property
+    def epsilons(self) -> np.ndarray: ...
+
+    @property
+    def users(self) -> Iterable[Hashable]: ...
+
+    @property
+    def n_users(self) -> int: ...
+
+    def add_release(
+        self,
+        epsilon: float,
+        overrides: Optional[Mapping[Hashable, float]] = None,
+    ) -> float: ...
+
+    def rollback_last(self) -> None: ...
+
+    def max_tpl(self) -> float: ...
+
+    def profile(self, user: Optional[Hashable] = None) -> LeakageProfile: ...
+
+    def save(self, directory) -> Path: ...
+
+
+class ScalarAccountantBackend:
+    """The paper's per-user path behind the backend protocol.
+
+    One :class:`TemporalPrivacyAccountant` per user -- O(users x T) work,
+    but zero vectorisation subtleties, which makes it the reference
+    implementation the fleet backend is tested against.  Per-user budget
+    overrides (personalised DP) simply feed each user's accountant their
+    own epsilon.
+    """
+
+    name = "scalar"
+    supports_checkpoint = True
+
+    def __init__(self, correlations, cache: Optional[SolutionCache] = None) -> None:
+        users = normalise_correlations(correlations)
+        self._accountants: Dict[Hashable, TemporalPrivacyAccountant] = {
+            user: TemporalPrivacyAccountant({user: value}, cache=cache)
+            for user, value in users.items()
+        }
+        self._epsilons: list = []
+
+    # -- stream interface ----------------------------------------------
+    def add_release(
+        self,
+        epsilon: float,
+        overrides: Optional[Mapping[Hashable, float]] = None,
+    ) -> float:
+        epsilon = validate_epsilon(epsilon)
+        overrides = dict(overrides) if overrides else {}
+        for user, eps_u in overrides.items():
+            if user not in self._accountants:
+                raise KeyError(f"override for unknown user {user!r}")
+            validate_epsilon(eps_u, name="override epsilon")
+        for user, accountant in self._accountants.items():
+            accountant.add_release(overrides.get(user, epsilon))
+        self._epsilons.append(epsilon)
+        return self.max_tpl()
+
+    def rollback_last(self) -> None:
+        if not self._epsilons:
+            raise ValueError("no releases to roll back")
+        for accountant in self._accountants.values():
+            accountant.rollback_last()
+        self._epsilons.pop()
+
+    # -- queries --------------------------------------------------------
+    def max_tpl(self) -> float:
+        if not self._epsilons:
+            return 0.0
+        return max(a.max_tpl() for a in self._accountants.values())
+
+    def profile(self, user: Optional[Hashable] = None) -> LeakageProfile:
+        if user is None:
+            if len(self._accountants) != 1:
+                raise ValueError("multiple users tracked; specify which one")
+            user = next(iter(self._accountants))
+        try:
+            accountant = self._accountants[user]
+        except KeyError:
+            raise KeyError(f"unknown user {user!r}") from None
+        return accountant.profile(user)
+
+    @property
+    def horizon(self) -> int:
+        return len(self._epsilons)
+
+    @property
+    def epsilons(self) -> np.ndarray:
+        return np.asarray(self._epsilons, dtype=float)
+
+    @property
+    def users(self) -> Iterable[Hashable]:
+        return self._accountants.keys()
+
+    @property
+    def n_users(self) -> int:
+        return len(self._accountants)
+
+    def user_epsilons(self, user: Hashable) -> np.ndarray:
+        """The budget vector actually spent on ``user`` (overrides
+        applied) -- mirrors :meth:`FleetAccountant.user_epsilons`."""
+        return self._accountants[user].epsilons
+
+    # -- checkpointing --------------------------------------------------
+    def save(self, directory) -> Path:
+        """Persist the stream (default + per-user budget vectors) as a
+        JSON manifest.  Restoring replays the stream through fresh
+        accountants, which reproduces the leakage state bit-for-bit --
+        the recursions are deterministic in their inputs."""
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "format": _SCALAR_FORMAT_VERSION,
+            "kind": SCALAR_CHECKPOINT_KIND,
+            "default": [float(e) for e in self._epsilons],
+            "users": [
+                {
+                    "user": encode_user_id(user),
+                    "eps": accountant.epsilons.tolist(),
+                }
+                for user, accountant in self._accountants.items()
+            ],
+        }
+        (path / SCALAR_MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+        )
+        return path
+
+    @classmethod
+    def restore(
+        cls,
+        directory,
+        correlations,
+        cache: Optional[SolutionCache] = None,
+    ) -> "ScalarAccountantBackend":
+        """Rebuild a backend from :meth:`save` output.  ``correlations``
+        must describe the same user population (correlation models are
+        not serialised on the scalar path; they live in the session
+        config)."""
+        manifest = json.loads(
+            (Path(directory) / SCALAR_MANIFEST_NAME).read_text(
+                encoding="utf-8"
+            )
+        )
+        if manifest.get("kind") != SCALAR_CHECKPOINT_KIND:
+            raise ValueError(f"{directory} is not a scalar checkpoint")
+        if manifest.get("format") != _SCALAR_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported scalar checkpoint format "
+                f"{manifest.get('format')!r}"
+            )
+        backend = cls(correlations, cache=cache)
+        saved = {
+            decode_user_id(entry["user"]): entry["eps"]
+            for entry in manifest["users"]
+        }
+        if set(saved) != set(backend._accountants):
+            raise ValueError(
+                "checkpoint user population does not match the configured "
+                "correlations"
+            )
+        for user, eps_series in saved.items():
+            accountant = backend._accountants[user]
+            for eps in eps_series:
+                accountant.add_release(float(eps))
+        backend._epsilons = [float(e) for e in manifest["default"]]
+        return backend
+
+
+class FleetAccountantBackend:
+    """The cohort-vectorised population path behind the backend protocol."""
+
+    name = "fleet"
+    supports_checkpoint = True
+
+    def __init__(
+        self,
+        correlations,
+        cache: Optional[SolutionCache] = None,
+        *,
+        engine: Optional[FleetAccountant] = None,
+    ) -> None:
+        if engine is not None:
+            self._fleet = engine
+        else:
+            users = normalise_correlations(correlations)
+            self._fleet = FleetAccountant(users, cache=cache)
+
+    @property
+    def fleet(self) -> FleetAccountant:
+        """The wrapped engine (escape hatch for fleet-only features such
+        as ``migrate_user``)."""
+        return self._fleet
+
+    def add_release(
+        self,
+        epsilon: float,
+        overrides: Optional[Mapping[Hashable, float]] = None,
+    ) -> float:
+        return self._fleet.add_release(epsilon, overrides=overrides)
+
+    def rollback_last(self) -> None:
+        self._fleet.rollback_last()
+
+    def max_tpl(self) -> float:
+        return self._fleet.max_tpl()
+
+    def profile(self, user: Optional[Hashable] = None) -> LeakageProfile:
+        return self._fleet.profile(user)
+
+    @property
+    def horizon(self) -> int:
+        return self._fleet.horizon
+
+    @property
+    def epsilons(self) -> np.ndarray:
+        return self._fleet.epsilons
+
+    @property
+    def users(self) -> Iterable[Hashable]:
+        return self._fleet.users
+
+    @property
+    def n_users(self) -> int:
+        return self._fleet.n_users
+
+    def user_epsilons(self, user: Hashable) -> np.ndarray:
+        return self._fleet.user_epsilons(user)
+
+    def save(self, directory) -> Path:
+        return save_checkpoint(self._fleet, directory)
+
+    @classmethod
+    def restore(
+        cls,
+        directory,
+        correlations=None,
+        cache: Optional[SolutionCache] = None,
+    ) -> "FleetAccountantBackend":
+        """Rebuild a backend from a fleet checkpoint (correlation models
+        are serialised in the ``.npz``, so ``correlations`` is unused and
+        accepted only for signature symmetry with the scalar backend)."""
+        return cls(None, engine=load_checkpoint(directory, cache=cache))
+
+
+def make_backend(
+    correlations,
+    *,
+    backend: str = "auto",
+    fleet_threshold: int = DEFAULT_FLEET_THRESHOLD,
+    cache: Optional[SolutionCache] = None,
+) -> AccountantBackend:
+    """Build the accounting backend for a population.
+
+    ``backend="auto"`` (the default) selects by population size: scalar
+    below ``fleet_threshold`` users, fleet at or above it.  ``"scalar"``
+    and ``"fleet"`` force the choice.
+    """
+    users = normalise_correlations(correlations)
+    if backend == "auto":
+        backend = "fleet" if len(users) >= fleet_threshold else "scalar"
+    if backend == "scalar":
+        return ScalarAccountantBackend(users, cache=cache)
+    if backend == "fleet":
+        return FleetAccountantBackend(users, cache=cache)
+    raise ValueError(
+        f"backend must be 'auto', 'scalar' or 'fleet', got {backend!r}"
+    )

@@ -1,0 +1,141 @@
+"""Structured release events emitted by :class:`~repro.service.session.ReleaseSession`.
+
+Every ingest produces exactly one :class:`ReleaseEvent` describing what
+happened to that time point: whether an aggregate was published, under
+which (possibly clamped) budget, and where the fleet-wide worst-case TPL
+stands afterwards.  Events are plain frozen dataclasses with a JSON-safe
+:meth:`ReleaseEvent.payload`, so they can be logged, streamed over a wire
+(``repro serve``) or compared bit-for-bit across backends in the parity
+suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+import numpy as np
+
+__all__ = [
+    "ReleaseEvent",
+    "RELEASED",
+    "ACCOUNTED",
+    "CLAMPED",
+    "WARNED",
+    "REJECTED",
+    "EVENT_STATUSES",
+]
+
+#: The release was published under the requested budget.
+RELEASED = "released"
+#: Zero-budget time point: accounted (the recursions advance) but nothing
+#: was published -- the explicit zero-budget semantics of
+#: :func:`repro.core.budget.validate_epsilon`.
+ACCOUNTED = "accounted"
+#: The requested budget would have broken the alpha bound; the largest
+#: feasible fraction of it was spent instead (``alpha_mode="clamp"``).
+CLAMPED = "clamped"
+#: The alpha bound was exceeded but the release went through anyway
+#: (``alpha_mode="warn"``); a ``RuntimeWarning`` was emitted.
+WARNED = "warned"
+#: The release was refused and rolled back (``alpha_mode="reject"``);
+#: nothing was published and the accounting state is unchanged.
+REJECTED = "rejected"
+
+EVENT_STATUSES = (RELEASED, ACCOUNTED, CLAMPED, WARNED, REJECTED)
+
+
+@dataclass(frozen=True)
+class ReleaseEvent:
+    """One time point as seen by a release session.
+
+    Attributes
+    ----------
+    t:
+        1-based index of the time point this event targeted.  Rejected
+        events do not advance the accounting horizon, so the next attempt
+        reuses the same ``t``.
+    status:
+        One of :data:`EVENT_STATUSES`.
+    requested_epsilon:
+        The budget asked for (from the schedule or the ``ingest`` call).
+    epsilon:
+        The budget actually spent: equal to ``requested_epsilon`` for
+        released/warned events, smaller for clamped ones, ``0.0`` for
+        rejected ones.
+    overrides:
+        Per-user budgets actually applied (scaled together with
+        ``epsilon`` when clamped), or ``None``.
+    max_tpl:
+        Fleet-wide worst-case temporal privacy leakage *after* this event.
+    remaining_alpha:
+        Headroom to the configured bound (``None`` without a bound).
+    true_answer, noisy_answer:
+        Exact and perturbed query answers; ``None`` when nothing was
+        published (no query/snapshot, zero budget, or rejection).
+    backend:
+        Name of the accounting backend that processed the event
+        (``"scalar"`` or ``"fleet"``).
+    message:
+        Human-readable detail for clamped/warned/rejected events.
+    """
+
+    t: int
+    status: str
+    requested_epsilon: float
+    epsilon: float
+    max_tpl: float
+    backend: str
+    remaining_alpha: Optional[float] = None
+    overrides: Optional[Mapping[object, float]] = None
+    true_answer: Optional[np.ndarray] = None
+    noisy_answer: Optional[np.ndarray] = None
+    message: Optional[str] = None
+
+    @property
+    def published(self) -> bool:
+        """Whether a noisy aggregate left the server at this time point."""
+        return self.noisy_answer is not None
+
+    @property
+    def absolute_error(self) -> float:
+        """L1 error of the published answer (``0.0`` when unpublished)."""
+        if self.noisy_answer is None or self.true_answer is None:
+            return 0.0
+        return float(np.abs(self.noisy_answer - self.true_answer).sum())
+
+    def payload(self, *, include_true_answer: bool = False) -> dict:
+        """JSON-safe dict of this event (arrays as lists, user ids as
+        strings), used by ``repro serve`` and the parity suite.
+
+        The exact query answer is **redacted by default**: a payload is
+        what leaves the trusted server, and shipping ``true_answer``
+        alongside the noisy one would void the DP guarantee.  Pass
+        ``include_true_answer=True`` only for trusted-side diagnostics
+        (utility measurement, parity testing).
+        """
+        return {
+            "t": self.t,
+            "status": self.status,
+            "requested_epsilon": self.requested_epsilon,
+            "epsilon": self.epsilon,
+            "max_tpl": self.max_tpl,
+            "remaining_alpha": self.remaining_alpha,
+            "backend": self.backend,
+            "overrides": (
+                {str(user): eps for user, eps in self.overrides.items()}
+                if self.overrides
+                else None
+            ),
+            "true_answer": (
+                self.true_answer.tolist()
+                if include_true_answer and self.true_answer is not None
+                else None
+            ),
+            "noisy_answer": (
+                None
+                if self.noisy_answer is None
+                else self.noisy_answer.tolist()
+            ),
+            "message": self.message,
+        }

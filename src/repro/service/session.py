@@ -1,0 +1,434 @@
+"""The unified release session: one front door over both accounting paths.
+
+:class:`ReleaseSession` is the Fig.-1 pipeline as a long-lived service
+object.  It is configured declaratively (:class:`~repro.service.config.
+SessionConfig`), runs on either accounting backend (scalar or fleet,
+chosen automatically by population size), ingests snapshots one at a time
+-- synchronously via :meth:`ReleaseSession.ingest` or asynchronously with
+backpressure via :meth:`ReleaseSession.aingest` -- and emits one
+structured :class:`~repro.service.events.ReleaseEvent` per time point.
+
+Alpha enforcement is a *session* concern, not a backend concern: the
+backends expose ``add_release`` + ``rollback_last``, and the session
+implements the configured policy on top (reject / clamp / warn).  Clamp
+mode bisects the largest feasible fraction of the requested budget using
+probe-and-rollback, which is deterministic and therefore bit-identical
+across backends.
+"""
+
+from __future__ import annotations
+
+import warnings
+from pathlib import Path
+from typing import Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..core.budget import validate_epsilon
+from ..core.leakage import LeakageProfile
+from ..fleet.solution_cache import SolutionCache
+from ..mechanisms.base import as_rng
+from ..mechanisms.laplace import LaplaceMechanism
+from .async_ingest import BoundedIngestQueue
+from .backends import (
+    AccountantBackend,
+    FleetAccountantBackend,
+    ScalarAccountantBackend,
+    SCALAR_MANIFEST_NAME,
+    make_backend,
+)
+from .config import SessionConfig
+from .events import (
+    ACCOUNTED,
+    CLAMPED,
+    REJECTED,
+    RELEASED,
+    WARNED,
+    ReleaseEvent,
+)
+
+__all__ = ["ReleaseSession"]
+
+#: Absolute slack on alpha comparisons, matching the accountants' own
+#: rollback tolerance so the session and a bound accountant agree on what
+#: counts as a violation.
+_ALPHA_TOL = 1e-12
+
+
+class ReleaseSession:
+    """Ingest snapshots, publish noisy aggregates, account the leakage.
+
+    Parameters
+    ----------
+    config:
+        The declarative session description.
+    backend:
+        Optional pre-built :class:`AccountantBackend`; by default one is
+        constructed from the config (``auto`` selection by population
+        size).  Used by :meth:`restore` and by tests that need to inject
+        a specific backend instance.
+
+    Examples
+    --------
+    >>> from repro.data import HistogramQuery
+    >>> from repro.markov import two_state_matrix
+    >>> from repro.service import ReleaseSession, SessionConfig
+    >>> import numpy as np
+    >>> P = two_state_matrix(0.8, 0.0)
+    >>> session = ReleaseSession(SessionConfig(
+    ...     correlations=(P, P), budgets=0.1,
+    ...     query=HistogramQuery(2), seed=0))
+    >>> event = session.ingest(np.array([0, 1, 1]))
+    >>> event.status
+    'released'
+    >>> event.max_tpl >= 0.1
+    True
+    """
+
+    def __init__(
+        self,
+        config: SessionConfig,
+        *,
+        backend: Optional[AccountantBackend] = None,
+        cache: Optional[SolutionCache] = None,
+    ) -> None:
+        self._config = config
+        self._policy = config.alpha_policy()
+        self._schedule = config.budget_schedule()
+        if cache is None:
+            cache = (
+                SolutionCache(maxsize=config.cache_size)
+                if config.cache_size is not None
+                else SolutionCache()
+            )
+        self._cache = cache
+        if backend is None:
+            backend = make_backend(
+                config.user_correlations(),
+                backend=config.backend,
+                fleet_threshold=config.fleet_threshold,
+                cache=self._cache,
+            )
+        self._backend = backend
+        self._rng = as_rng(config.seed)
+        self._events: List[ReleaseEvent] = []
+        self._pump: Optional[BoundedIngestQueue] = None
+        self._last_checkpoint_horizon = backend.horizon
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        snapshot: Optional[np.ndarray] = None,
+        *,
+        epsilon: Optional[float] = None,
+        overrides: Optional[Mapping[object, float]] = None,
+    ) -> ReleaseEvent:
+        """Process one time point and return its event.
+
+        ``snapshot`` is the database column ``D^t`` (omit it for
+        accounting-only sessions); ``epsilon`` overrides the schedule for
+        this time point; ``overrides`` are per-user budgets (personalised
+        DP).  Publication happens only after the accounting policy admits
+        the release, so rejected time points never consume noise
+        randomness -- a property the cross-backend parity suite relies
+        on.
+        """
+        t = self._backend.horizon + 1
+        if epsilon is not None:
+            requested = validate_epsilon(epsilon)
+        else:
+            requested = self._schedule.epsilon_for(t)
+        overrides = dict(overrides) if overrides else None
+
+        true_answer = None
+        if self._config.query is not None and snapshot is not None:
+            true_answer = np.atleast_1d(self._config.query(snapshot))
+
+        applied, applied_overrides, worst, status, message = (
+            self._apply_policy(requested, overrides)
+        )
+
+        noisy_answer = None
+        if (
+            true_answer is not None
+            and status != REJECTED
+            and applied > 0.0
+        ):
+            mechanism = LaplaceMechanism(
+                applied, self._config.query.sensitivity
+            )
+            noisy_answer = mechanism.perturb(true_answer, self._rng)
+        elif status == RELEASED and applied == 0.0:
+            status = ACCOUNTED
+
+        alpha = self._policy.alpha
+        event = ReleaseEvent(
+            t=t,
+            status=status,
+            requested_epsilon=requested,
+            epsilon=applied,
+            max_tpl=worst,
+            backend=self._backend.name,
+            remaining_alpha=None if alpha is None else alpha - worst,
+            overrides=applied_overrides,
+            true_answer=true_answer,
+            noisy_answer=noisy_answer,
+            message=message,
+        )
+        self._events.append(event)
+        self._maybe_checkpoint()
+        return event
+
+    def run(self, dataset) -> List[ReleaseEvent]:
+        """Ingest every snapshot of a
+        :class:`~repro.data.trajectory.TrajectoryDataset` and return the
+        events of this call."""
+        return [
+            self.ingest(dataset.snapshot(t))
+            for t in range(1, dataset.horizon + 1)
+        ]
+
+    async def aingest(
+        self,
+        snapshot: Optional[np.ndarray] = None,
+        *,
+        epsilon: Optional[float] = None,
+        overrides: Optional[Mapping[object, float]] = None,
+    ) -> ReleaseEvent:
+        """Asynchronous :meth:`ingest` through the bounded session queue.
+
+        Concurrent producers are serialised in submission order; when the
+        queue is full (``SessionConfig.queue_maxsize``) submitters are
+        parked until the accounting consumer catches up -- the
+        backpressure seam future sharding plugs into.  Call
+        :meth:`aclose` (or use ``async with``) to drain on shutdown.
+        """
+        if self._pump is None:
+            self._pump = BoundedIngestQueue(
+                self._process_queued, maxsize=self._config.queue_maxsize
+            )
+        return await self._pump.submit((snapshot, epsilon, overrides))
+
+    def _process_queued(self, item) -> ReleaseEvent:
+        snapshot, epsilon, overrides = item
+        return self.ingest(snapshot, epsilon=epsilon, overrides=overrides)
+
+    async def aclose(self) -> None:
+        """Drain and stop the async ingestion queue (idempotent)."""
+        if self._pump is not None:
+            await self._pump.close()
+            self._pump = None
+
+    async def __aenter__(self) -> "ReleaseSession":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------
+    # Alpha policy
+    # ------------------------------------------------------------------
+    def _apply_policy(
+        self,
+        requested: float,
+        overrides: Optional[Mapping[object, float]],
+    ) -> Tuple[float, Optional[Mapping[object, float]], float, str, Optional[str]]:
+        """Apply one release under the configured alpha policy.
+
+        Returns ``(applied_epsilon, applied_overrides, max_tpl, status,
+        message)``; on return the backend state reflects the decision.
+        """
+        policy = self._policy
+        worst = self._backend.add_release(requested, overrides)
+        if policy.alpha is None or worst <= policy.alpha + _ALPHA_TOL:
+            return requested, overrides, worst, RELEASED, None
+        detail = (
+            f"release of eps={requested:g} raises worst-case TPL to "
+            f"{worst:.6f} > alpha={policy.alpha:g}"
+        )
+        if policy.mode == "warn":
+            # _apply_policy (1) <- ingest (2) <- ingest's caller (3).
+            warnings.warn(detail, RuntimeWarning, stacklevel=3)
+            return requested, overrides, worst, WARNED, detail
+        self._backend.rollback_last()
+        if policy.mode == "reject":
+            return 0.0, None, self._backend.max_tpl(), REJECTED, detail
+        # Clamp: largest feasible fraction of the requested budgets.
+        scale = self._clamp_scale(requested, overrides, policy.alpha)
+        applied = requested * scale
+        if applied <= 0.0:
+            message = detail + "; no positive fraction of it fits"
+            return 0.0, None, self._backend.max_tpl(), REJECTED, message
+        applied_overrides = (
+            {user: eps * scale for user, eps in overrides.items()}
+            if overrides
+            else None
+        )
+        worst = self._backend.add_release(applied, applied_overrides)
+        message = detail + f"; clamped to eps={applied:g}"
+        return applied, applied_overrides, worst, CLAMPED, message
+
+    def _clamp_scale(
+        self,
+        requested: float,
+        overrides: Optional[Mapping[object, float]],
+        alpha: float,
+    ) -> float:
+        """Bisect the largest scale in [0, 1] whose scaled release keeps
+        worst-case TPL within ``alpha``.
+
+        Each probe applies the scaled release, reads the resulting TPL and
+        rolls it back -- exact state restoration, deterministic probes,
+        hence bit-identical results across backends.  ``scale == 0`` is
+        always feasible: a zero-budget release can never raise TPL
+        (``L(alpha) <= alpha``), so the invariant maintained by
+        reject/clamp modes keeps the bracket valid.
+        """
+        lo, hi = 0.0, 1.0  # hi was just observed infeasible
+        while hi - lo > self._policy.clamp_resolution:
+            mid = 0.5 * (lo + hi)
+            scaled_overrides = (
+                {user: eps * mid for user, eps in overrides.items()}
+                if overrides
+                else None
+            )
+            worst = self._backend.add_release(
+                requested * mid, scaled_overrides
+            )
+            self._backend.rollback_last()
+            if worst <= alpha + _ALPHA_TOL:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> SessionConfig:
+        return self._config
+
+    @property
+    def backend(self) -> AccountantBackend:
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        return self._backend.name
+
+    @property
+    def cache(self) -> SolutionCache:
+        """The shared Algorithm-1 solution cache of this session."""
+        return self._cache
+
+    @property
+    def events(self) -> Tuple[ReleaseEvent, ...]:
+        """Every event emitted by this session object, oldest first."""
+        return tuple(self._events)
+
+    @property
+    def horizon(self) -> int:
+        """Accounted releases so far (rejected attempts excluded)."""
+        return self._backend.horizon
+
+    @property
+    def users(self) -> Iterable[object]:
+        return self._backend.users
+
+    def max_tpl(self) -> float:
+        return self._backend.max_tpl()
+
+    def remaining_alpha(self) -> Optional[float]:
+        if self._policy.alpha is None:
+            return None
+        return self._policy.alpha - self._backend.max_tpl()
+
+    def profile(self, user=None) -> LeakageProfile:
+        return self._backend.profile(user)
+
+    def summary(self) -> dict:
+        """Operational snapshot: backend, population, horizon, per-status
+        event counts, worst-case TPL and alpha headroom."""
+        counts: dict = {}
+        for event in self._events:
+            counts[event.status] = counts.get(event.status, 0) + 1
+        return {
+            "backend": self._backend.name,
+            "users": self._backend.n_users,
+            "horizon": self._backend.horizon,
+            "events": len(self._events),
+            "status_counts": counts,
+            "max_tpl": self._backend.max_tpl(),
+            "remaining_alpha": self.remaining_alpha(),
+        }
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self, directory=None) -> Path:
+        """Write a backend checkpoint to ``directory`` (default: the
+        configured ``checkpoint_dir``)."""
+        target = directory if directory is not None else self._config.checkpoint_dir
+        if target is None:
+            raise ValueError(
+                "no checkpoint directory: pass one or set "
+                "SessionConfig.checkpoint_dir"
+            )
+        path = self._backend.save(target)
+        self._last_checkpoint_horizon = self._backend.horizon
+        return path
+
+    def _maybe_checkpoint(self) -> None:
+        every = self._config.checkpoint_every
+        if every is None:
+            return
+        horizon = self._backend.horizon
+        if horizon - self._last_checkpoint_horizon >= every:
+            self.checkpoint()
+
+    @classmethod
+    def restore(cls, config: SessionConfig, directory) -> "ReleaseSession":
+        """Rebuild a session from a checkpoint written by either backend.
+
+        The accounting state (and therefore every leakage query) is
+        restored bit-for-bit; the event log is not checkpointed -- events
+        describe what *this process* emitted.  The backend kind is read
+        off the checkpoint; an explicit, conflicting
+        ``SessionConfig.backend`` is an error (checkpoints do not convert
+        between backends), while ``"auto"`` accepts whatever is on disk.
+        """
+        directory = Path(directory)
+        cache = (
+            SolutionCache(maxsize=config.cache_size)
+            if config.cache_size is not None
+            else SolutionCache()
+        )
+        kind = (
+            "scalar"
+            if (directory / SCALAR_MANIFEST_NAME).exists()
+            else "fleet"
+        )
+        if config.backend not in ("auto", kind):
+            raise ValueError(
+                f"checkpoint in {directory} was written by the {kind} "
+                f"backend but the config pins backend="
+                f"{config.backend!r}; checkpoints do not convert between "
+                "backends"
+            )
+        if kind == "scalar":
+            backend: AccountantBackend = ScalarAccountantBackend.restore(
+                directory, config.user_correlations(), cache=cache
+            )
+        else:
+            backend = FleetAccountantBackend.restore(directory, cache=cache)
+        return cls(config, backend=backend, cache=cache)
+
+    def __repr__(self) -> str:
+        return (
+            f"ReleaseSession(backend={self._backend.name!r}, "
+            f"users={self._backend.n_users}, horizon={self.horizon}, "
+            f"alpha={self._policy.alpha}, mode={self._policy.mode!r})"
+        )

@@ -64,9 +64,26 @@ class TestStreaming:
     def test_max_tpl_empty(self, correlations):
         assert TemporalPrivacyAccountant(correlations).max_tpl() == 0.0
 
-    def test_profile_empty_raises(self, correlations):
+    def test_profile_empty_is_well_defined(self, correlations):
+        """Before any release profile() and max_tpl() agree: an empty
+        LeakageProfile with max_tpl == 0.0 (not an exception)."""
+        profile = TemporalPrivacyAccountant(correlations).profile()
+        assert profile.horizon == 0
+        assert profile.max_tpl == 0.0
+        assert profile.epsilons.size == 0
+
+    def test_rollback_last_restores_state(self, correlations):
+        acct = TemporalPrivacyAccountant(correlations)
+        acct.add_release(0.1)
+        before = acct.profile().tpl.copy()
+        acct.add_release(0.3)
+        acct.rollback_last()
+        assert acct.horizon == 1
+        np.testing.assert_array_equal(acct.profile().tpl, before)
+
+    def test_rollback_last_empty_raises(self, correlations):
         with pytest.raises(ValueError):
-            TemporalPrivacyAccountant(correlations).profile()
+            TemporalPrivacyAccountant(correlations).rollback_last()
 
     def test_rejects_negative_epsilon(self, correlations):
         acct = TemporalPrivacyAccountant(correlations)

@@ -116,6 +116,109 @@ class TestExperiments:
         assert "Figure 3" in out
 
 
+class TestRelease:
+    def test_session_run_reports_events_and_summary(self, matrix_file, capsys):
+        code = main(
+            [
+                "release", "-m", matrix_file,
+                "--users", "20", "--steps", "5", "--epsilon", "0.2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("status=released") == 5
+        assert "backend: scalar" in out
+        assert "worst-case TPL" in out
+
+    def test_fleet_backend_and_alpha_clamp(self, matrix_file, capsys):
+        code = main(
+            [
+                "release", "-m", matrix_file,
+                "--users", "10", "--steps", "8", "--epsilon", "0.3",
+                "--alpha", "0.9", "--alpha-mode", "clamp",
+                "--backend", "fleet",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "backend: fleet" in out
+        assert "status=clamped" in out
+        assert "remaining alpha headroom" in out
+
+    def test_checkpoint_and_event_log(self, matrix_file, tmp_path, capsys):
+        ckpt = tmp_path / "session-ckpt"
+        log = tmp_path / "events.jsonl"
+        code = main(
+            [
+                "release", "-m", matrix_file,
+                "--users", "5", "--steps", "3",
+                "--checkpoint", str(ckpt), "-o", str(log),
+            ]
+        )
+        assert code == 0
+        assert (ckpt / "scalar_manifest.json").exists()
+        lines = log.read_text().strip().splitlines()
+        assert len(lines) == 3
+        assert json.loads(lines[0])["status"] == "released"
+
+    def test_rejects_bad_sizes(self, matrix_file):
+        with pytest.raises(SystemExit):
+            main(["release", "-m", matrix_file, "--users", "0"])
+
+
+class TestServe:
+    def _serve(self, matrix_file, monkeypatch, lines, extra=()):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines) + "\n"))
+        return main(
+            ["serve", "-m", matrix_file, "--users", "4", "--epsilon", "0.1"]
+            + list(extra)
+        )
+
+    def test_streams_events_for_json_lines(self, matrix_file, monkeypatch, capsys):
+        code = self._serve(
+            matrix_file,
+            monkeypatch,
+            [
+                "[0, 1, 0, 1]",
+                '{"snapshot": [1, 1, 1, 0], "epsilon": 0.05,'
+                ' "overrides": {"2": 0.01}}',
+            ],
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        events = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert [e["t"] for e in events] == [1, 2]
+        assert events[1]["epsilon"] == 0.05
+        assert events[1]["overrides"] == {"2": 0.01}
+        assert "served 2 events" in captured.err
+
+    def test_bad_lines_reported_not_fatal(self, matrix_file, monkeypatch, capsys):
+        code = self._serve(
+            matrix_file,
+            monkeypatch,
+            ["not json", '{"snapshot": [0, 0, 0, 0], "epsilon": -2}', "[0, 1, 0, 1]"],
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        lines = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert "error" in lines[0]
+        assert "error" in lines[1]
+        assert lines[2]["status"] == "released"
+
+    def test_max_steps_limits_the_stream(self, matrix_file, monkeypatch, capsys):
+        code = self._serve(
+            matrix_file,
+            monkeypatch,
+            ["[0, 0, 0, 0]"] * 5,
+            extra=["--max-steps", "2"],
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert len(captured.out.strip().splitlines()) == 2
+
+
 class TestFleet:
     def test_simulation_reports_tpl_and_throughput(self, capsys):
         code = main(

@@ -165,10 +165,32 @@ class TestEngineBehaviour:
         assert fleet.max_tpl() == 0.0
         assert fleet.n_users == 0
 
-    def test_profile_before_release_raises(self, models):
+    def test_profile_before_release_is_empty(self, models):
+        """Empty-state parity with max_tpl(): an empty LeakageProfile,
+        not an exception (same contract as the scalar accountant)."""
         fleet = FleetAccountant((models[0], models[0]))
+        profile = fleet.profile()
+        assert profile.horizon == 0
+        assert profile.max_tpl == 0.0
+
+    def test_profile_for_late_joiner_is_empty(self, models):
+        fleet = FleetAccountant({"early": (models[0], models[0])})
+        fleet.add_release(0.1)
+        fleet.add_user("late", (models[0], models[0]))
+        late = fleet.profile("late")
+        assert late.horizon == 0
+        assert late.max_tpl == 0.0
+
+    def test_rollback_last_restores_state(self, models):
+        fleet = FleetAccountant((models[0], models[0]))
+        fleet.add_release(0.1)
+        before = fleet.profile().tpl.copy()
+        fleet.add_release(0.3, overrides={0: 0.5})
+        fleet.rollback_last()
+        assert fleet.horizon == 1
+        np.testing.assert_array_equal(fleet.profile().tpl, before)
         with pytest.raises(ValueError):
-            fleet.profile()
+            FleetAccountant((models[0], models[0])).rollback_last()
 
     def test_rejects_bad_epsilon(self, models):
         fleet = FleetAccountant((models[0], models[0]))

@@ -1,0 +1,162 @@
+"""Tests for the async ingestion path (aingest + bounded queue)."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.data import HistogramQuery
+from repro.exceptions import InvalidPrivacyParameterError
+from repro.markov import two_state_matrix
+from repro.service import (
+    BoundedIngestQueue,
+    ReleaseSession,
+    SessionConfig,
+)
+
+
+@pytest.fixture
+def session():
+    m = two_state_matrix(0.8, 0.1)
+    return ReleaseSession(
+        SessionConfig(
+            correlations={u: (m, m) for u in range(4)},
+            budgets=0.1,
+            query=HistogramQuery(2),
+            queue_maxsize=3,
+            seed=0,
+        )
+    )
+
+
+class TestBoundedIngestQueue:
+    def test_fifo_results(self):
+        async def scenario():
+            queue = BoundedIngestQueue(lambda x: x * 2, maxsize=2)
+            results = await asyncio.gather(
+                *(queue.submit(i) for i in range(10))
+            )
+            await queue.close()
+            return results, queue
+
+        results, queue = asyncio.run(scenario())
+        assert results == [i * 2 for i in range(10)]
+        assert queue.submitted == queue.processed == 10
+
+    def test_backpressure_bounds_depth(self):
+        async def scenario():
+            queue = BoundedIngestQueue(lambda x: x, maxsize=2)
+            await asyncio.gather(*(queue.submit(i) for i in range(20)))
+            await queue.close()
+            return queue
+
+        queue = asyncio.run(scenario())
+        assert queue.high_watermark <= 2
+
+    def test_exceptions_reach_the_submitter(self):
+        def explode(item):
+            raise RuntimeError(f"boom {item}")
+
+        async def scenario():
+            queue = BoundedIngestQueue(explode, maxsize=2)
+            with pytest.raises(RuntimeError, match="boom 7"):
+                await queue.submit(7)
+            await queue.close()
+
+        asyncio.run(scenario())
+
+    def test_rejects_bad_maxsize(self):
+        with pytest.raises(ValueError):
+            BoundedIngestQueue(lambda x: x, maxsize=0)
+
+    def test_close_with_parked_producers_strands_nobody(self):
+        """Regression: close() racing producers parked in put() must not
+        cancel the drain task while their items are still unprocessed."""
+
+        async def scenario():
+            queue = BoundedIngestQueue(lambda x: x, maxsize=1)
+            producers = [
+                asyncio.create_task(queue.submit(i)) for i in range(8)
+            ]
+            await asyncio.sleep(0)  # let them pile up against the bound
+            await queue.close()
+            return await asyncio.wait_for(asyncio.gather(*producers), 5)
+
+        assert asyncio.run(scenario()) == list(range(8))
+
+    def test_close_is_idempotent(self):
+        async def scenario():
+            queue = BoundedIngestQueue(lambda x: x, maxsize=1)
+            await queue.close()  # never started
+            await queue.submit(1)
+            await queue.close()
+            await queue.close()
+
+        asyncio.run(scenario())
+
+
+class TestAingest:
+    def test_events_in_submission_order(self, session):
+        async def scenario():
+            async with session:
+                return await asyncio.gather(
+                    *(
+                        session.aingest(np.array([0, 1, 1, 0]))
+                        for _ in range(8)
+                    )
+                )
+
+        events = asyncio.run(scenario())
+        assert [e.t for e in events] == list(range(1, 9))
+        assert session.horizon == 8
+        # The accounting equals the synchronous path exactly.
+        assert events[-1].max_tpl == session.max_tpl()
+
+    def test_matches_sync_ingest_bitwise(self, session):
+        async def scenario(s):
+            async with s:
+                out = []
+                for t in range(5):
+                    out.append(
+                        await s.aingest(
+                            np.array([0, 1, 0, 1]),
+                            overrides={1: 0.05} if t == 2 else None,
+                        )
+                    )
+                return out
+
+        async_events = asyncio.run(scenario(session))
+
+        m = two_state_matrix(0.8, 0.1)
+        sync_session = ReleaseSession(
+            SessionConfig(
+                correlations={u: (m, m) for u in range(4)},
+                budgets=0.1,
+                query=HistogramQuery(2),
+                seed=0,
+            )
+        )
+        sync_events = [
+            sync_session.ingest(
+                np.array([0, 1, 0, 1]),
+                overrides={1: 0.05} if t == 2 else None,
+            )
+            for t in range(5)
+        ]
+        for a, b in zip(async_events, sync_events):
+            assert a.payload() == b.payload()
+
+    def test_validation_errors_propagate(self, session):
+        async def scenario():
+            async with session:
+                with pytest.raises(InvalidPrivacyParameterError):
+                    await session.aingest(np.array([0, 0, 0, 0]), epsilon=-1.0)
+                # The queue survives the failure and keeps processing.
+                return await session.aingest(np.array([0, 0, 0, 0]))
+
+        event = asyncio.run(scenario())
+        assert event.t == 1
+        assert session.horizon == 1
+
+    def test_aclose_without_aingest_is_noop(self, session):
+        asyncio.run(session.aclose())

@@ -1,0 +1,167 @@
+"""Property-based parity: scalar- and fleet-backed sessions are bit-identical.
+
+The acceptance bar of the service redesign: route identical streams --
+including per-user budget overrides and alpha-policy decisions -- through
+a scalar-backed and a fleet-backed :class:`ReleaseSession` and assert
+*bit-identical* TPL series and event payloads (everything except the
+backend label).  Noise is included in the comparison: both sessions make
+identical publish/reject decisions, so their RNG draw sequences match.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from strategies import transition_matrices
+
+from repro.data import HistogramQuery
+from repro.service import ReleaseSession, SessionConfig
+
+N_USERS = 5
+
+
+@st.composite
+def populations(draw):
+    """A small population over 1-3 distinct correlation pairs, with some
+    users facing one-sided or absent correlation knowledge."""
+    n_models = draw(st.integers(1, 3))
+    models = [draw(transition_matrices(min_n=2, max_n=4)) for _ in range(n_models)]
+    pairs = []
+    for m in models:
+        kind = draw(st.sampled_from(["both", "backward", "forward"]))
+        pairs.append(
+            (m if kind != "forward" else None, m if kind != "backward" else None)
+        )
+    pairs.append((None, None))  # the traditional-DP adversary
+    return {
+        u: pairs[draw(st.integers(0, len(pairs) - 1))] for u in range(N_USERS)
+    }
+
+
+@st.composite
+def streams(draw):
+    """3-6 time points of (epsilon, overrides) including zero budgets."""
+    horizon = draw(st.integers(3, 6))
+    steps = []
+    for _ in range(horizon):
+        epsilon = draw(
+            st.one_of(
+                st.just(0.0),
+                st.floats(0.01, 0.5, allow_nan=False),
+            )
+        )
+        users = draw(
+            st.lists(
+                st.integers(0, N_USERS - 1), unique=True, max_size=2
+            )
+        )
+        overrides = {
+            u: draw(st.floats(0.0, 0.8, allow_nan=False)) for u in users
+        }
+        steps.append((epsilon, overrides or None))
+    return steps
+
+
+@st.composite
+def alpha_policies(draw):
+    alpha = draw(st.one_of(st.none(), st.floats(0.05, 1.0, allow_nan=False)))
+    if alpha is None:
+        return None, "reject"
+    return alpha, draw(st.sampled_from(["reject", "clamp", "warn"]))
+
+
+def run_stream(backend, population, stream, alpha, mode, seed):
+    session = ReleaseSession(
+        SessionConfig(
+            correlations=population,
+            budgets=0.1,  # overridden per ingest
+            query=HistogramQuery(4),
+            alpha=alpha,
+            alpha_mode=mode,
+            backend=backend,
+            seed=seed,
+        )
+    )
+    rng = np.random.default_rng(seed)  # identical snapshots per backend
+    events = []
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        for epsilon, overrides in stream:
+            snapshot = rng.integers(0, 4, size=N_USERS)
+            events.append(
+                session.ingest(snapshot, epsilon=epsilon, overrides=overrides)
+            )
+    return session, events
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    population=populations(),
+    stream=streams(),
+    policy=alpha_policies(),
+    seed=st.integers(0, 2**16),
+)
+def test_backends_bit_identical(population, stream, policy, seed):
+    alpha, mode = policy
+    scalar, scalar_events = run_stream(
+        "scalar", population, stream, alpha, mode, seed
+    )
+    fleet, fleet_events = run_stream(
+        "fleet", population, stream, alpha, mode, seed
+    )
+
+    # Event payloads identical bit-for-bit, modulo the backend label
+    # (true answers included here: this is a trusted-side comparison).
+    for a, b in zip(scalar_events, fleet_events):
+        pa = a.payload(include_true_answer=True)
+        pb = b.payload(include_true_answer=True)
+        assert pa.pop("backend") == "scalar"
+        assert pb.pop("backend") == "fleet"
+        assert pa == pb
+
+    # Per-user leakage series identical bit-for-bit.
+    assert scalar.max_tpl() == fleet.max_tpl()
+    for user in population:
+        pa = scalar.profile(user)
+        pb = fleet.profile(user)
+        assert np.array_equal(pa.epsilons, pb.epsilons)
+        assert np.array_equal(pa.bpl, pb.bpl)
+        assert np.array_equal(pa.fpl, pb.fpl)
+        assert np.array_equal(pa.tpl, pb.tpl)
+
+
+@settings(max_examples=10, deadline=None)
+@given(stream=streams(), seed=st.integers(0, 2**16))
+def test_session_matches_legacy_accountant(stream, seed):
+    """The session's accounting (no alpha policy) equals driving the
+    scalar accountant by hand -- the redesign changed the front door, not
+    the numbers."""
+    from repro.core import TemporalPrivacyAccountant
+    from repro.markov import two_state_matrix
+
+    P = two_state_matrix(0.8, 0.1)
+    population = {u: (P, P) for u in range(N_USERS)}
+    session, events = run_stream(
+        "fleet", population, stream, None, "reject", seed
+    )
+    reference = TemporalPrivacyAccountant((P, P))
+    for epsilon, _ in stream:
+        reference.add_release(epsilon)
+    # User 0 never receives an override in this comparison only when the
+    # stream says so; compare a user that stayed on the default schedule.
+    defaults = [
+        u
+        for u in population
+        if not any((overrides or {}).get(u) is not None for _, overrides in stream)
+    ]
+    if defaults:
+        user = defaults[0]
+        assert np.array_equal(session.profile(user).tpl, reference.profile(0).tpl)
+    assert events[-1].max_tpl == session.max_tpl()
