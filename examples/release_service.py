@@ -5,15 +5,18 @@ The story:
 1. A service with 20,000 users (three estimated correlation models)
    configures a single :class:`~repro.service.SessionConfig`; the session
    picks the fleet backend automatically at that population size.
-2. It streams releases with a hard alpha bound in ``clamp`` mode: when
-   the requested budget would break the alpha-DP_T promise, the session
-   spends the largest feasible fraction instead of failing the publish.
+2. It streams releases **windowed** (``ingest_window``: one backend entry
+   per window of snapshots, one event per time point) with a hard alpha
+   bound in ``clamp`` mode: when the requested budget would break the
+   alpha-DP_T promise, the session spends the largest feasible fraction
+   instead of failing the publish.
 3. A tiny 3-user staging session with the *scalar* backend replays the
-   same stream and reproduces every number bit-for-bit -- backends are
-   interchangeable.
+   same stream **per event** and reproduces every number bit-for-bit --
+   backends and window sizes are both interchangeable.
 4. Producers feed the session concurrently through the bounded async
-   queue (``aingest``), and a checkpoint/restore round-trip carries the
-   leakage state across a simulated restart.
+   queue (``aingest``, backlogs drain as windows), and a
+   checkpoint/restore round-trip carries the leakage state across a
+   simulated restart.
 
 Run:  python examples/release_service.py
 """
@@ -25,7 +28,7 @@ import numpy as np
 
 from repro.data import HistogramQuery
 from repro.markov import random_stochastic_matrix, two_state_matrix, uniform_matrix
-from repro.service import ReleaseSession, SessionConfig
+from repro.service import ReleaseSession, ReleaseWindow, SessionConfig, WindowStep
 
 
 def make_config(n_users: int, backend: str = "auto") -> SessionConfig:
@@ -42,24 +45,45 @@ def make_config(n_users: int, backend: str = "auto") -> SessionConfig:
         alpha_mode="clamp",
         backend=backend,
         seed=9,
+        window_size=4,  # aingest backlogs drain four snapshots at a time
     )
 
 
-def drive(session: ReleaseSession, steps: int):
+def stream_steps(steps: int):
     rng = np.random.default_rng(1)
     return [
-        session.ingest(rng.integers(0, 2, size=50), overrides={7: 0.02})
+        WindowStep(snapshot=rng.integers(0, 2, size=50), overrides={7: 0.02})
         for _ in range(steps)
     ]
 
 
+def drive_windowed(session: ReleaseSession, steps: int, window: int = 4):
+    """Ingest the stream window-at-a-time: one backend entry per window,
+    still one event per time point."""
+    all_steps = stream_steps(steps)
+    events = []
+    for lo in range(0, steps, window):
+        events.extend(
+            session.ingest_window(ReleaseWindow(all_steps[lo : lo + window]))
+        )
+    return events
+
+
+def drive_per_event(session: ReleaseSession, steps: int):
+    """The same stream, one time point at a time."""
+    return [
+        session.ingest(step.snapshot, overrides=step.overrides)
+        for step in stream_steps(steps)
+    ]
+
+
 def main() -> None:
-    # --- 1+2. Production-scale session with a clamping alpha bound. -----
+    # --- 1+2. Production-scale windowed session, clamping alpha bound. --
     production = ReleaseSession(make_config(20_000))
     print(f"production session: {production}")
-    events = drive(production, 12)
+    events = drive_windowed(production, 12)  # 3 windows of 4 time points
     statuses = [e.status for e in events]
-    print(f"statuses: {statuses}")
+    print(f"statuses (windowed x4): {statuses}")
     clamped = [e for e in events if e.status == "clamped"]
     print(
         f"{len(clamped)} releases clamped; worst-case TPL "
@@ -69,13 +93,16 @@ def main() -> None:
     assert production.backend_name == "fleet"
     assert production.max_tpl() <= 1.5 + 1e-9
 
-    # --- 3. The scalar backend reproduces the numbers bit-for-bit. ------
+    # --- 3. Scalar backend, per-event: the numbers match bit-for-bit. ---
     staging = ReleaseSession(make_config(9, backend="scalar"))
-    staging_events = drive(staging, 12)
+    staging_events = drive_per_event(staging, 12)
     for a, b in zip(events, staging_events):
         assert a.epsilon == b.epsilon and a.status == b.status
     assert staging.profile(7).max_tpl == production.profile(7).max_tpl
-    print("scalar staging session reproduces budgets and statuses exactly")
+    print(
+        "scalar staging session (per-event) reproduces budgets and "
+        "statuses exactly"
+    )
 
     # --- 4a. Concurrent producers through the bounded async queue. ------
     # The budget is exhausted (TPL == alpha), so the ticks are zero-budget
@@ -91,9 +118,12 @@ def main() -> None:
     async_events = asyncio.run(produce(production, 10))
     assert [e.t for e in async_events] == list(range(13, 23))
     assert all(e.status == "accounted" for e in async_events)
+    queue_stats = production.summary()["queue"]
     print(
         f"async ingestion: {len(async_events)} zero-budget events in "
-        f"submission order, horizon now {production.horizon}"
+        f"submission order, horizon now {production.horizon} "
+        f"(queue depth high-water {queue_stats['high_watermark']}, "
+        f"largest drained window {queue_stats['batch_high_watermark']})"
     )
 
     # --- 4b. Checkpoint -> restore across a restart. --------------------

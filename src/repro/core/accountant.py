@@ -157,6 +157,31 @@ class TemporalPrivacyAccountant:
             )
         return worst
 
+    def add_window(self, epsilons: Iterable[float]) -> np.ndarray:
+        """Record a window of releases and return the per-step worst-case
+        TPL series -- element ``i`` is exactly what :meth:`add_release`
+        would have returned for step ``i``.
+
+        This is the *scalar windowed fallback*: a plain sequential loop
+        over :meth:`add_release`, kept as the reference the vectorised
+        :meth:`repro.fleet.engine.FleetAccountant.add_window` path is
+        tested against for bit-identical results.  With an ``alpha`` bound
+        a violating step rolls back the **whole window** (mirroring the
+        fleet engine's batch semantics), so a raised error leaves the
+        accountant exactly as it was.
+        """
+        epsilons = [validate_epsilon(e) for e in epsilons]
+        worsts = np.empty(len(epsilons))
+        applied = 0
+        try:
+            for i, epsilon in enumerate(epsilons):
+                worsts[i] = self.add_release(epsilon)
+                applied += 1
+        except InvalidPrivacyParameterError:
+            self.rollback(applied)
+            raise
+        return worsts
+
     def rollback_last(self) -> None:
         """Undo the most recent release, restoring the exact prior state.
 
@@ -170,6 +195,19 @@ class TemporalPrivacyAccountant:
         for state in self._users.values():
             state.bpl.pop()
             state._fpl_cache_key = None
+
+    def rollback(self, n: int = 1) -> None:
+        """Undo the ``n`` most recent releases (window-sized
+        :meth:`rollback_last`)."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        if n > len(self._epsilons):
+            raise ValueError(
+                f"cannot roll back {n} releases; only "
+                f"{len(self._epsilons)} recorded"
+            )
+        for _ in range(n):
+            self.rollback_last()
 
     @property
     def horizon(self) -> int:

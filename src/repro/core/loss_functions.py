@@ -92,7 +92,12 @@ class TemporalLossFunction:
             raise InvalidPrivacyParameterError(
                 f"alpha must be >= 0, got {alpha}"
             )
-        key = round(float(alpha), 15)
+        # The memo key is the *exact* float.  Rounding it (the historical
+        # key was round(alpha, 15)) conflates distinct alphas that agree
+        # to 15 digits, which makes the cached value depend on evaluation
+        # order -- observed as a last-ulp scalar-vs-fleet parity break
+        # when an override user's BPL and a default user's BPL collided.
+        key = float(alpha)
         hit = self._cache.get(key)
         if hit is None:
             shared = (

@@ -45,10 +45,6 @@ from .solution_cache import SolutionCache
 
 __all__ = ["FleetAccountant"]
 
-#: Alpha values are memoised at this rounding, matching the scalar
-#: :class:`TemporalLossFunction` cache key.
-_ALPHA_KEY_DIGITS = 15
-
 
 class _Group:
     """All default-schedule members of one cohort that joined at the same
@@ -303,6 +299,80 @@ class FleetAccountant:
             )
         return worst
 
+    def add_window(
+        self,
+        epsilons: Iterable[float],
+        overrides: Optional[
+            Iterable[Optional[Mapping[Hashable, float]]]
+        ] = None,
+    ) -> np.ndarray:
+        """Record ``K`` releases in one vectorised pass and return the
+        per-step worst-case TPL series.
+
+        Element ``i`` of the result is *bit-identical* to what the
+        ``i``-th of ``K`` sequential :meth:`add_release` calls would have
+        returned, but the FPL recomputation -- the per-event hot path,
+        one O(T) Python recursion per cohort per step -- collapses into a
+        single backward sweep per cohort over a stacked
+        ``(members, prefixes)`` array: every window step's prefix
+        recursion advances in lock-step through one batched loss
+        evaluation per time point (:meth:`_loss_batch`), so the Python
+        round-trips drop from O(K x T) to O(T + K) per cohort.
+
+        Parameters
+        ----------
+        epsilons:
+            Default budget per window step.
+        overrides:
+            Optional per-step override mappings (``user -> epsilon``,
+            or ``None``), aligned with ``epsilons``.
+
+        Raises
+        ------
+        InvalidPrivacyParameterError:
+            With an ``alpha`` bound, when any step of the window would
+            violate it; the **whole window** is rolled back first (same
+            batch semantics as :meth:`add_releases`).  Validation errors
+            are raised before any state is touched.
+        """
+        epsilons = [validate_epsilon(e) for e in epsilons]
+        if overrides is None:
+            per_step: List[Dict[Hashable, float]] = [{} for _ in epsilons]
+        else:
+            per_step = [dict(o) if o else {} for o in overrides]
+            if len(per_step) != len(epsilons):
+                raise ValueError(
+                    f"overrides cover {len(per_step)} steps but the window "
+                    f"has {len(epsilons)}"
+                )
+        for step in per_step:
+            for user, eps_u in step.items():
+                if user not in self._user_start:
+                    raise KeyError(f"override for unknown user {user!r}")
+                validate_epsilon(eps_u, name="override epsilon")
+        if not epsilons:
+            return np.zeros(0)
+
+        # Apply the window: BPL is inherently sequential in t, but each
+        # step is one memoised scalar evaluation per group plus one
+        # batched evaluation per cohort with overrides -- identical
+        # operations, in identical order, to K add_release calls.
+        for epsilon, step_overrides in zip(epsilons, per_step):
+            for user in step_overrides:
+                self._ensure_override(user)
+            self._epsilons.append(epsilon)
+            for state in self._states.values():
+                self._extend_cohort(state, epsilon, step_overrides)
+
+        worsts = self._window_worsts(len(epsilons))
+        if self._alpha is not None and float(worsts.max()) > self._alpha + 1e-12:
+            self.rollback(len(epsilons))
+            raise InvalidPrivacyParameterError(
+                f"window of {len(epsilons)} releases would raise TPL to "
+                f"{float(worsts.max()):.6f} > alpha={self._alpha}"
+            )
+        return worsts
+
     def _ensure_override(self, user: Hashable) -> None:
         """Convert a default-schedule user into an override series (their
         history so far equals the default schedule)."""
@@ -367,6 +437,19 @@ class FleetAccountant:
                 series.bpl.pop()
             state._override_fpl_key = None
 
+    def rollback(self, n: int = 1) -> None:
+        """Undo the ``n`` most recent releases (window-sized
+        :meth:`rollback_last`), restoring the exact prior state."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        if n > len(self._epsilons):
+            raise ValueError(
+                f"cannot roll back {n} releases; only "
+                f"{len(self._epsilons)} recorded"
+            )
+        for _ in range(n):
+            self.rollback_last()
+
     # ------------------------------------------------------------------
     # Batched loss evaluation (the (members, T) array path)
     # ------------------------------------------------------------------
@@ -382,8 +465,11 @@ class FleetAccountant:
         results = np.empty_like(unique)
         digest = loss.matrix.digest
         missing: List[int] = []
+        # Keys carry the *exact* float (matching the scalar loss memo):
+        # rounding conflated distinct alphas and made cached values
+        # depend on evaluation order.
         for i, value in enumerate(unique):
-            key = (digest, round(float(value), _ALPHA_KEY_DIGITS), "batch")
+            key = (digest, float(value), "batch")
             hit = self._cache.get(key)
             if hit is None:
                 missing.append(i)
@@ -393,12 +479,9 @@ class FleetAccountant:
             computed = max_log_ratio_batch(loss.matrix, unique[missing])
             for i, value in zip(missing, computed):
                 results[i] = value
-                key = (
-                    digest,
-                    round(float(unique[i]), _ALPHA_KEY_DIGITS),
-                    "batch",
+                self._cache.put(
+                    (digest, float(unique[i]), "batch"), float(value)
                 )
-                self._cache.put(key, float(value))
         return results[inverse]
 
     # ------------------------------------------------------------------
@@ -527,6 +610,111 @@ class FleetAccountant:
         group._fpl = fpl
         group._fpl_key = key
         return fpl
+
+    def _window_worsts(self, window: int) -> np.ndarray:
+        """Per-step worst-case TPL of the last ``window`` releases, for
+        all cohorts, computed after the whole window has been applied.
+
+        One :meth:`_prefix_sweep` per group / per override join time
+        replaces ``window`` separate O(T) FPL recursions; as a side
+        effect the sweeps leave every group's and override member's FPL
+        cache populated with the full-horizon series, so the next
+        :meth:`max_tpl` / :meth:`profile` query is free.
+        """
+        horizon = len(self._epsilons)
+        base_all = horizon - window
+        worsts = np.zeros(window)
+        eps_all = np.asarray(self._epsilons, dtype=float)
+        for state in self._states.values():
+            for group in state.groups.values():
+                eps = eps_all[group.start :]
+                if eps.size == 0:
+                    continue
+                bpl = np.asarray(group.bpl, dtype=float)
+                contrib, fpl_final = self._prefix_sweep(
+                    state,
+                    eps[None, :],
+                    bpl[None, :],
+                    base_all - group.start,
+                    window,
+                )
+                np.maximum(worsts, contrib, out=worsts)
+                group._fpl = fpl_final[0]
+                group._fpl_key = eps.tobytes()
+            if state.overrides:
+                out: Dict[Hashable, np.ndarray] = {}
+                by_start: Dict[int, List[Hashable]] = {}
+                for user, series in state.overrides.items():
+                    by_start.setdefault(series.start, []).append(user)
+                for start, members in by_start.items():
+                    eps_mat = np.array(
+                        [state.overrides[u].eps for u in members], dtype=float
+                    )
+                    if eps_mat.size == 0:
+                        for user in members:
+                            out[user] = np.zeros(0)
+                        continue
+                    bpl_mat = np.array(
+                        [state.overrides[u].bpl for u in members], dtype=float
+                    )
+                    contrib, fpl_final = self._prefix_sweep(
+                        state, eps_mat, bpl_mat, base_all - start, window
+                    )
+                    np.maximum(worsts, contrib, out=worsts)
+                    for i, user in enumerate(members):
+                        out[user] = fpl_final[i]
+                state._override_fpl = out
+                state._override_fpl_key = b"|".join(
+                    np.asarray(state.overrides[u].eps, dtype=float).tobytes()
+                    for u in state.overrides
+                )
+        return worsts
+
+    def _prefix_sweep(
+        self,
+        state: _CohortState,
+        eps_mat: np.ndarray,
+        bpl_mat: np.ndarray,
+        base: int,
+        window: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Worst-TPL contributions of ``R`` rows sharing one join time,
+        for every window prefix, in one backward sweep.
+
+        ``eps_mat`` / ``bpl_mat`` are ``(R, m)`` with ``m = base +
+        window``: ``base`` pre-window time points followed by the window
+        steps.  Prefix ``j`` (0-based) covers columns ``[0, base + j]``
+        -- the stream as it stood after window step ``j``.  All
+        ``window`` prefix-FPL recursions advance in lock-step: at each
+        time point ``t`` the active prefixes (``j >= t - base``) take one
+        batched loss evaluation together, so the sweep costs O(m)
+        batched calls instead of O(window x m) scalar ones while
+        performing the exact float operations of
+        :func:`~repro.core.leakage.forward_privacy_leakage` per prefix.
+
+        Returns ``(worsts, fpl_final)``: ``worsts[j]`` is the rows' max
+        of ``BPL_t + FPL_t^{(j)} - eps_t`` over covered ``t``;
+        ``fpl_final`` is the full-horizon ``(R, m)`` FPL series (the
+        last prefix), which callers store in the FPL caches.
+        """
+        rows, m = eps_mat.shape
+        alphas = np.zeros((rows, window))
+        worsts = np.zeros(window)
+        fpl_final = np.empty_like(eps_mat)
+        for t in range(m - 1, -1, -1):
+            first = max(0, t - base)  # first prefix covering time point t
+            active = alphas[:, first:]
+            stepped = (
+                self._loss_batch(state.loss_f, active.ravel()).reshape(
+                    active.shape
+                )
+                + eps_mat[:, t, None]
+            )
+            alphas[:, first:] = stepped
+            fpl_final[:, t] = alphas[:, window - 1]
+            tpl_t = bpl_mat[:, t, None] + stepped - eps_mat[:, t, None]
+            np.maximum(worsts[first:], tpl_t.max(axis=0), out=worsts[first:])
+        return worsts, fpl_final
 
     def _override_fpl(self, state: _CohortState) -> Dict[Hashable, np.ndarray]:
         """FPL series of every override member of one cohort, computed on

@@ -17,8 +17,15 @@ is the single front door over both:
   (reject / clamp / warn), backend choice, solution-cache and checkpoint
   cadence, async-queue bound.
 * :class:`~repro.service.session.ReleaseSession` -- ingests snapshots
-  (sync ``ingest`` or async ``aingest`` with bounded-queue backpressure)
-  and emits structured :class:`~repro.service.events.ReleaseEvent`\\ s.
+  (sync ``ingest``, batched ``ingest_window``, or async ``aingest`` with
+  bounded-queue backpressure and window coalescing) and emits structured
+  :class:`~repro.service.events.ReleaseEvent`\\ s.
+* :class:`~repro.service.window.ReleaseWindow` /
+  :class:`~repro.service.window.WindowResult` -- the batch-first
+  currency: the protocol's primary mutation is ``add_window``, which
+  applies a whole window per backend entry and reports the per-step
+  worst-TPL series bit-identically to per-event ingestion
+  (``add_release`` remains as a one-element-window wrapper).
 
 Quickstart
 ----------
@@ -46,7 +53,7 @@ The deprecated engines (``ContinuousReleaseEngine``,
 warn on construction; see the README migration guide.
 """
 
-from .async_ingest import BoundedIngestQueue
+from .async_ingest import BoundedIngestQueue, QueueClosed
 from .backends import (
     DEFAULT_FLEET_THRESHOLD,
     AccountantBackend,
@@ -66,8 +73,12 @@ from .events import (
     ReleaseEvent,
 )
 from .session import ReleaseSession
+from .window import ReleaseWindow, WindowResult, WindowStep
 
 __all__ = [
+    "ReleaseWindow",
+    "WindowStep",
+    "WindowResult",
     "AccountantBackend",
     "ScalarAccountantBackend",
     "FleetAccountantBackend",
@@ -86,5 +97,6 @@ __all__ = [
     "WARNED",
     "REJECTED",
     "BoundedIngestQueue",
+    "QueueClosed",
     "ReleaseSession",
 ]

@@ -1,4 +1,4 @@
-"""Bounded asynchronous ingestion with backpressure.
+"""Bounded asynchronous ingestion with backpressure and window coalescing.
 
 The accounting recursions are strictly sequential -- FPL of every past
 time point depends on every later release -- so a release service cannot
@@ -8,6 +8,14 @@ consumer: :class:`BoundedIngestQueue` is an ``asyncio`` FIFO with a hard
 bound.  ``await submit(...)`` parks the producer while the queue is full
 (backpressure) and resolves with that item's result once the drain task
 has processed it, in submission order.
+
+When a ``process_batch`` callable is configured, the drain task coalesces
+up to ``batch_size`` queued items per round and hands them over together
+-- the seam the windowed ingestion API
+(:meth:`~repro.service.session.ReleaseSession.ingest_window`) plugs into:
+whenever producers outpace the accounting consumer, the backlog is
+drained as one :class:`~repro.service.window.ReleaseWindow` instead of
+one backend round-trip per item.
 
 This is deliberately the seam for the ROADMAP's sharding work: a
 coordinator that partitions cohorts across processes replaces the inline
@@ -19,9 +27,19 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional
 
-__all__ = ["BoundedIngestQueue"]
+__all__ = ["BoundedIngestQueue", "QueueClosed"]
+
+
+class QueueClosed(RuntimeError):
+    """Raised by :meth:`BoundedIngestQueue.submit` calls that race an
+    in-progress :meth:`BoundedIngestQueue.close`.
+
+    Without this, a submission arriving while ``close()`` is tearing the
+    drain task down could enqueue an item nobody will ever process and
+    park its producer on a future nobody will ever resolve.
+    """
 
 
 class BoundedIngestQueue:
@@ -36,44 +54,91 @@ class BoundedIngestQueue:
     maxsize:
         Queue bound; ``submit`` blocks (asynchronously) while the queue
         holds this many unprocessed items.
+    batch_size:
+        Maximum number of queued items the drain task coalesces per
+        round when ``process_batch`` is given.
+    process_batch:
+        Optional synchronous callable receiving a *list* of items and
+        returning one result per item, in order.  When set it replaces
+        ``process`` for every drained round (including single-item ones)
+        so every item takes the same code path.  It must be atomic on
+        failure -- raise before mutating any state, as the session's
+        window validation does -- because when it raises, the round is
+        retried item by item through ``process`` so that one poisoned
+        submission fails alone instead of failing its whole batch.
 
     Notes
     -----
     The queue binds to the running event loop on first ``submit`` and must
     not be shared across loops.  ``close`` drains outstanding items before
-    stopping, so no submitted work is lost on shutdown.
+    stopping, so no submitted work is lost on shutdown; submissions that
+    arrive *while* ``close`` is in progress raise :class:`QueueClosed`
+    instead of being stranded.  ``high_watermark`` records the deepest
+    backlog observed and ``batch_high_watermark`` the largest coalesced
+    batch -- the two numbers operators use to size ``maxsize`` and the
+    session's ``window_size``.
     """
 
     def __init__(
-        self, process: Callable[[Any], Any], maxsize: int = 64
+        self,
+        process: Callable[[Any], Any],
+        maxsize: int = 64,
+        *,
+        batch_size: int = 1,
+        process_batch: Optional[Callable[[List[Any]], List[Any]]] = None,
     ) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self._process = process
+        self._process_batch = process_batch
         self._maxsize = maxsize
+        self._batch_size = batch_size
         self._queue: Optional[asyncio.Queue] = None
         self._drain_task: Optional[asyncio.Task] = None
         self._in_flight = 0  # submitters between entry and result delivery
+        self._closing = False
         self.submitted = 0
         self.processed = 0
         self.high_watermark = 0
+        self.batch_high_watermark = 0
 
     @property
     def maxsize(self) -> int:
         return self._maxsize
 
     @property
+    def batch_size(self) -> int:
+        return self._batch_size
+
+    @property
     def depth(self) -> int:
         """Items currently queued (unprocessed)."""
         return 0 if self._queue is None else self._queue.qsize()
+
+    def stats(self) -> dict:
+        """Operational counters, for session summaries and dashboards."""
+        return {
+            "maxsize": self._maxsize,
+            "batch_size": self._batch_size,
+            "depth": self.depth,
+            "submitted": self.submitted,
+            "processed": self.processed,
+            "high_watermark": self.high_watermark,
+            "batch_high_watermark": self.batch_high_watermark,
+        }
 
     async def submit(self, item: Any) -> Any:
         """Enqueue ``item`` and wait for its result.
 
         Applies backpressure: when the queue is full this parks until the
         drain task frees a slot.  Results (or exceptions) are delivered
-        per item, in FIFO order.
+        per item, in FIFO order.  Raises :class:`QueueClosed` when called
+        while :meth:`close` is in progress.
         """
+        if self._closing:
+            raise QueueClosed("queue is closing; submission rejected")
         self._ensure_started()
         assert self._queue is not None
         loop = asyncio.get_running_loop()
@@ -90,23 +155,33 @@ class BoundedIngestQueue:
             self._in_flight -= 1
 
     async def close(self) -> None:
-        """Drain every outstanding item, then stop the drain task."""
+        """Drain every outstanding item, then stop the drain task.
+
+        Idempotent; a fully closed queue restarts on the next
+        :meth:`submit`.  Producers already parked when ``close`` begins
+        are drained normally; *new* submissions racing the close raise
+        :class:`QueueClosed` rather than hanging on a dying queue.
+        """
         if self._queue is None:
             return
-        # join() alone can return while a producer is still parked inside
-        # put() (the drain's final get() frees the slot before the parked
-        # putter runs), so keep draining until no submitter is in flight
-        # -- otherwise cancelling the drain task would strand that
-        # producer on a future nobody will ever resolve.
-        while self._in_flight or not self._queue.empty():
-            await self._queue.join()
-            await asyncio.sleep(0)
-        assert self._drain_task is not None
-        self._drain_task.cancel()
-        with contextlib.suppress(asyncio.CancelledError):
-            await self._drain_task
-        self._queue = None
-        self._drain_task = None
+        self._closing = True
+        try:
+            # join() alone can return while a producer is still parked
+            # inside put() (the drain's final get() frees the slot before
+            # the parked putter runs), so keep draining until no submitter
+            # is in flight -- otherwise cancelling the drain task would
+            # strand that producer on a future nobody will ever resolve.
+            while self._in_flight or not self._queue.empty():
+                await self._queue.join()
+                await asyncio.sleep(0)
+            assert self._drain_task is not None
+            self._drain_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._drain_task
+            self._queue = None
+            self._drain_task = None
+        finally:
+            self._closing = False
 
     def _ensure_started(self) -> None:
         if self._queue is None:
@@ -115,18 +190,66 @@ class BoundedIngestQueue:
                 self._drain()
             )
 
+    def _next_batch(self, first) -> list:
+        """Coalesce up to ``batch_size`` queued entries, FIFO."""
+        assert self._queue is not None
+        batch = [first]
+        while len(batch) < self._batch_size:
+            try:
+                batch.append(self._queue.get_nowait())
+            except asyncio.QueueEmpty:
+                break
+        self.batch_high_watermark = max(
+            self.batch_high_watermark, len(batch)
+        )
+        return batch
+
+    def _finish(self, count: int) -> None:
+        assert self._queue is not None
+        for _ in range(count):
+            self.processed += 1
+            self._queue.task_done()
+
+    def _process_one(self, entry) -> None:
+        """Process a single ``(item, future)`` entry through ``process``,
+        delivering its result or exception to just that submitter."""
+        item, future = entry
+        try:
+            result = self._process(item)
+        except BaseException as error:  # noqa: BLE001 -- relayed, not hidden
+            if not future.cancelled():
+                future.set_exception(error)
+        else:
+            if not future.cancelled():
+                future.set_result(result)
+        finally:
+            self._finish(1)
+
     async def _drain(self) -> None:
         assert self._queue is not None
         while True:
-            item, future = await self._queue.get()
+            first = await self._queue.get()
+            if self._process_batch is None:
+                self._process_one(first)
+                continue
+            batch = self._next_batch(first)
             try:
-                result = self._process(item)
-            except BaseException as error:  # noqa: BLE001 -- relayed, not hidden
-                if not future.cancelled():
-                    future.set_exception(error)
+                results = self._process_batch([item for item, _ in batch])
+                if len(results) != len(batch):
+                    raise RuntimeError(
+                        f"process_batch returned {len(results)} results "
+                        f"for {len(batch)} items"
+                    )
+            except BaseException:  # noqa: BLE001 -- retried per item below
+                # process_batch raises before mutating state (its
+                # documented contract), so the whole round can be retried
+                # item by item: healthy submissions succeed exactly as
+                # they would have with batch_size=1, and only the
+                # poisoned one receives its exception.
+                for entry in batch:
+                    self._process_one(entry)
             else:
-                if not future.cancelled():
-                    future.set_result(result)
-            finally:
-                self.processed += 1
-                self._queue.task_done()
+                for (_, future), result in zip(batch, results):
+                    if not future.cancelled():
+                        future.set_result(result)
+                self._finish(len(batch))

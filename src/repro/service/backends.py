@@ -14,10 +14,17 @@ semantics:
   :meth:`~repro.core.leakage.LeakageProfile.empty` before any release),
 * the same checkpoint surface (``save`` / ``restore``).
 
+The protocol is **batch-first**: the primary mutation is ``add_window``,
+which applies a whole :class:`~repro.service.window.ReleaseWindow` of
+releases in one backend entry and reports the per-step worst-case TPL
+series (:class:`~repro.service.window.WindowResult`).  ``add_release`` is
+kept as a thin one-element-window wrapper for event-at-a-time callers.
+
 :func:`make_backend` picks the backend automatically by population size
 (``auto``), or honours an explicit choice.  Bit-identical results across
-the two backends are a hard guarantee, enforced by the property-based
-parity suite (``tests/test_service_parity.py``).
+the two backends -- *and* across windowed vs. per-event ingestion -- are
+a hard guarantee, enforced by the property-based parity suite
+(``tests/test_service_parity.py``).
 """
 
 from __future__ import annotations
@@ -48,6 +55,7 @@ from ..fleet.checkpoint import (
 )
 from ..fleet.engine import FleetAccountant
 from ..fleet.solution_cache import SolutionCache
+from .window import ReleaseWindow, WindowResult
 
 __all__ = [
     "AccountantBackend",
@@ -83,6 +91,25 @@ def normalise_correlations(correlations) -> Dict[Hashable, object]:
     return {0: correlations}
 
 
+def _resolved_steps(window: ReleaseWindow):
+    """Check a backend-bound window and yield its ``(epsilon, overrides)``
+    pairs.  Backends require every step's budget to be concrete -- the
+    session resolves its schedule before calling in."""
+    if not isinstance(window, ReleaseWindow):
+        raise TypeError(
+            f"add_window expects a ReleaseWindow, got {type(window).__name__}"
+        )
+    steps = []
+    for i, step in enumerate(window.steps):
+        if step.epsilon is None:
+            raise ValueError(
+                f"window step {i} has no budget; resolve the schedule "
+                "before handing the window to a backend"
+            )
+        steps.append((step.epsilon, step.overrides))
+    return steps
+
+
 @runtime_checkable
 class AccountantBackend(Protocol):
     """Structural protocol every accounting backend satisfies.
@@ -91,6 +118,14 @@ class AccountantBackend(Protocol):
     talks only to this surface; scalar and fleet engines are
     interchangeable behind it and must return bit-identical numbers for
     identical inputs.
+
+    ``add_window`` is the primary mutation: one backend entry applies a
+    whole window of releases and returns the per-step worst-case TPL
+    series, each element bit-identical to what the corresponding
+    ``add_release`` call would have returned.  ``add_release`` remains as
+    a one-element-window compatibility wrapper, and ``rollback(n)``
+    undoes the last ``n`` steps exactly (``rollback_last`` ==
+    ``rollback(1)``).
     """
 
     name: str
@@ -108,6 +143,8 @@ class AccountantBackend(Protocol):
     @property
     def n_users(self) -> int: ...
 
+    def add_window(self, window: ReleaseWindow) -> WindowResult: ...
+
     def add_release(
         self,
         epsilon: float,
@@ -115,6 +152,8 @@ class AccountantBackend(Protocol):
     ) -> float: ...
 
     def rollback_last(self) -> None: ...
+
+    def rollback(self, n: int = 1) -> None: ...
 
     def max_tpl(self) -> float: ...
 
@@ -145,28 +184,57 @@ class ScalarAccountantBackend:
         self._epsilons: list = []
 
     # -- stream interface ----------------------------------------------
+    def add_window(self, window: ReleaseWindow) -> WindowResult:
+        """Apply a window of releases step by step (the scalar engine has
+        nothing to vectorise across time) and report the per-step
+        worst-case TPL series.  All budgets are validated before any
+        accountant is touched, so a bad step leaves the state unchanged.
+        """
+        steps = []
+        for epsilon, overrides in _resolved_steps(window):
+            epsilon = validate_epsilon(epsilon)
+            overrides = dict(overrides) if overrides else {}
+            for user, eps_u in overrides.items():
+                if user not in self._accountants:
+                    raise KeyError(f"override for unknown user {user!r}")
+                validate_epsilon(eps_u, name="override epsilon")
+            steps.append((epsilon, overrides))
+        worsts = np.empty(len(steps))
+        for i, (epsilon, overrides) in enumerate(steps):
+            for user, accountant in self._accountants.items():
+                accountant.add_release(overrides.get(user, epsilon))
+            self._epsilons.append(epsilon)
+            worsts[i] = self.max_tpl()
+        return WindowResult(worsts)
+
     def add_release(
         self,
         epsilon: float,
         overrides: Optional[Mapping[Hashable, float]] = None,
     ) -> float:
-        epsilon = validate_epsilon(epsilon)
-        overrides = dict(overrides) if overrides else {}
-        for user, eps_u in overrides.items():
-            if user not in self._accountants:
-                raise KeyError(f"override for unknown user {user!r}")
-            validate_epsilon(eps_u, name="override epsilon")
-        for user, accountant in self._accountants.items():
-            accountant.add_release(overrides.get(user, epsilon))
-        self._epsilons.append(epsilon)
-        return self.max_tpl()
+        """One-element-window compatibility wrapper over
+        :meth:`add_window`."""
+        return self.add_window(
+            ReleaseWindow.single(epsilon=epsilon, overrides=overrides)
+        ).final_max_tpl
 
     def rollback_last(self) -> None:
-        if not self._epsilons:
-            raise ValueError("no releases to roll back")
-        for accountant in self._accountants.values():
-            accountant.rollback_last()
-        self._epsilons.pop()
+        self.rollback(1)
+
+    def rollback(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        if n > len(self._epsilons):
+            if not self._epsilons:
+                raise ValueError("no releases to roll back")
+            raise ValueError(
+                f"cannot roll back {n} releases; only "
+                f"{len(self._epsilons)} recorded"
+            )
+        for _ in range(n):
+            for accountant in self._accountants.values():
+                accountant.rollback_last()
+            self._epsilons.pop()
 
     # -- queries --------------------------------------------------------
     def max_tpl(self) -> float:
@@ -297,15 +365,33 @@ class FleetAccountantBackend:
         as ``migrate_user``)."""
         return self._fleet
 
+    def add_window(self, window: ReleaseWindow) -> WindowResult:
+        """Apply a window through the engine's vectorised multi-step
+        path (:meth:`FleetAccountant.add_window`)."""
+        steps = _resolved_steps(window)
+        return WindowResult(
+            self._fleet.add_window(
+                [epsilon for epsilon, _ in steps],
+                [overrides for _, overrides in steps],
+            )
+        )
+
     def add_release(
         self,
         epsilon: float,
         overrides: Optional[Mapping[Hashable, float]] = None,
     ) -> float:
-        return self._fleet.add_release(epsilon, overrides=overrides)
+        """One-element-window compatibility wrapper over
+        :meth:`add_window`."""
+        return self.add_window(
+            ReleaseWindow.single(epsilon=epsilon, overrides=overrides)
+        ).final_max_tpl
 
     def rollback_last(self) -> None:
         self._fleet.rollback_last()
+
+    def rollback(self, n: int = 1) -> None:
+        self._fleet.rollback(n)
 
     def max_tpl(self) -> float:
         return self._fleet.max_tpl()

@@ -181,6 +181,15 @@ class SessionConfig:
         ``checkpoint_every`` accounted releases.
     queue_maxsize:
         Bound of the async ingestion queue (backpressure threshold).
+    window_size:
+        Ingestion window: :meth:`~repro.service.session.ReleaseSession.run`
+        coalesces this many snapshots per backend entry, and queued
+        ``aingest`` submissions are drained in batches up to this size.
+        ``1`` (the default) is event-at-a-time ingestion.  Windowed and
+        per-event ingestion are bit-identical; larger windows amortise
+        the per-event Python overhead (see ``benchmarks/bench_window.py``).
+        With ``checkpoint_every``, cadence is evaluated at window
+        boundaries, so checkpoints land between windows.
     seed:
         Noise randomness (anything ``numpy.random.default_rng`` accepts).
     """
@@ -198,6 +207,7 @@ class SessionConfig:
     checkpoint_dir: Optional[Union[str, Path]] = None
     checkpoint_every: Optional[int] = None
     queue_maxsize: int = 64
+    window_size: int = 1
     seed: object = None
 
     def __post_init__(self) -> None:
@@ -216,6 +226,10 @@ class SessionConfig:
         if self.queue_maxsize < 1:
             raise ValueError(
                 f"queue_maxsize must be >= 1, got {self.queue_maxsize}"
+            )
+        if self.window_size < 1:
+            raise ValueError(
+                f"window_size must be >= 1, got {self.window_size}"
             )
         if self.checkpoint_every is not None:
             if self.checkpoint_every < 1:

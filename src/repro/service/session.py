@@ -3,17 +3,27 @@
 :class:`ReleaseSession` is the Fig.-1 pipeline as a long-lived service
 object.  It is configured declaratively (:class:`~repro.service.config.
 SessionConfig`), runs on either accounting backend (scalar or fleet,
-chosen automatically by population size), ingests snapshots one at a time
--- synchronously via :meth:`ReleaseSession.ingest` or asynchronously with
-backpressure via :meth:`ReleaseSession.aingest` -- and emits one
+chosen automatically by population size), and ingests snapshots either
+one at a time (:meth:`ReleaseSession.ingest`, or asynchronously with
+backpressure via :meth:`ReleaseSession.aingest`) or **windowed**
+(:meth:`ReleaseSession.ingest_window`): a whole
+:class:`~repro.service.window.ReleaseWindow` of snapshots enters the
+backend in one call, amortising backend entry, alpha probing, schedule
+resolution and checkpoint-cadence checks, while still emitting one
 structured :class:`~repro.service.events.ReleaseEvent` per time point.
+``ingest`` is the one-element window; windowed and per-event ingestion
+are bit-identical by construction (the parity suite enforces it).
 
 Alpha enforcement is a *session* concern, not a backend concern: the
-backends expose ``add_release`` + ``rollback_last``, and the session
-implements the configured policy on top (reject / clamp / warn).  Clamp
-mode bisects the largest feasible fraction of the requested budget using
+backends expose ``add_window`` + ``rollback``, and the session implements
+the configured policy on top (reject / clamp / warn).  The whole window
+is probed in one backend call; because the per-step worst-TPL series is
+non-decreasing, the first violating step is read straight off the result,
+the suffix from that step on is rolled back, and only the violating step
+itself is re-decided with the per-event policy (clamp mode bisects the
+largest feasible fraction of the requested budget using
 probe-and-rollback, which is deterministic and therefore bit-identical
-across backends.
+across backends and window sizes).
 """
 
 from __future__ import annotations
@@ -46,6 +56,7 @@ from .events import (
     WARNED,
     ReleaseEvent,
 )
+from .window import ReleaseWindow, WindowStep
 
 __all__ = ["ReleaseSession"]
 
@@ -113,6 +124,7 @@ class ReleaseSession:
         self._rng = as_rng(config.seed)
         self._events: List[ReleaseEvent] = []
         self._pump: Optional[BoundedIngestQueue] = None
+        self._queue_stats: Optional[dict] = None
         self._last_checkpoint_horizon = backend.horizon
 
     # ------------------------------------------------------------------
@@ -134,35 +146,173 @@ class ReleaseSession:
         the release, so rejected time points never consume noise
         randomness -- a property the cross-backend parity suite relies
         on.
+
+        This is the one-element window: ``ingest(x)`` ==
+        ``ingest_window([x])[0]``, bit for bit.
         """
-        t = self._backend.horizon + 1
-        if epsilon is not None:
-            requested = validate_epsilon(epsilon)
+        return self.ingest_window(
+            ReleaseWindow.single(
+                snapshot, epsilon=epsilon, overrides=overrides
+            )
+        )[0]
+
+    def ingest_window(
+        self,
+        window,
+        *,
+        epsilon: Optional[float] = None,
+        overrides: Optional[Mapping[object, float]] = None,
+    ) -> List[ReleaseEvent]:
+        """Process a window of time points and return one event per step.
+
+        ``window`` is a :class:`~repro.service.window.ReleaseWindow`, or
+        any iterable of snapshots which is stacked into one (``epsilon``
+        / ``overrides`` are then broadcast to every step; per-step specs
+        go on the :class:`~repro.service.window.WindowStep`\\ s instead).
+
+        The whole window enters the backend in one ``add_window`` call,
+        amortising backend entry, schedule resolution, alpha probing and
+        the checkpoint-cadence check across its steps; the events --
+        statuses, budgets, TPL numbers, noise draws -- are bit-identical
+        to ingesting the same steps one at a time.  When the alpha policy
+        interrupts the window (reject/clamp), the suffix is rolled back,
+        the violating step is re-decided by the per-event policy, and the
+        remainder continues as a fresh window, so mid-window rejections
+        reuse their time point exactly like per-event ingestion does.
+        With ``checkpoint_every`` set, cadence is evaluated once per
+        window, so checkpoints land on window boundaries.
+        """
+        if isinstance(window, ReleaseWindow):
+            if epsilon is not None or overrides is not None:
+                raise ValueError(
+                    "epsilon/overrides broadcast only applies when "
+                    "building a window from snapshots; put per-step specs "
+                    "on the WindowSteps instead"
+                )
         else:
-            requested = self._schedule.epsilon_for(t)
-        overrides = dict(overrides) if overrides else None
+            window = ReleaseWindow.from_snapshots(
+                window, epsilon=epsilon, overrides=overrides
+            )
+        events: List[ReleaseEvent] = []
+        steps = list(window.steps)
+        while steps:
+            steps = steps[self._ingest_chunk(steps, events) :]
+        self._maybe_checkpoint()
+        return events
 
-        true_answer = None
-        if self._config.query is not None and snapshot is not None:
-            true_answer = np.atleast_1d(self._config.query(snapshot))
+    def _ingest_chunk(
+        self, steps: List[WindowStep], events: List[ReleaseEvent]
+    ) -> int:
+        """Apply a maximal prefix of ``steps`` in one backend call.
 
-        applied, applied_overrides, worst, status, message = (
-            self._apply_policy(requested, overrides)
+        Emits events for every decided step -- all of them, or (when an
+        alpha violation interrupts reject/clamp mode) the clean prefix
+        plus the violating step -- and returns how many were consumed.
+        All budgets are validated before the backend is touched, so a bad
+        step leaves the session unchanged.
+        """
+        horizon = self._backend.horizon
+        requested: List[float] = []
+        for i, step in enumerate(steps):
+            if step.epsilon is not None:
+                requested.append(validate_epsilon(step.epsilon))
+            else:
+                requested.append(self._schedule.epsilon_for(horizon + i + 1))
+        overrides = [
+            dict(step.overrides) if step.overrides else None for step in steps
+        ]
+        # Evaluate queries before the accounting mutation (the per-event
+        # path always did): together with the backends' validate-first
+        # contract this keeps a failing chunk atomic -- no events, no
+        # state change -- which the async queue's per-item retry of a
+        # failed window relies on.
+        answers: List[Optional[np.ndarray]] = [
+            np.atleast_1d(self._config.query(step.snapshot))
+            if self._config.query is not None and step.snapshot is not None
+            else None
+            for step in steps
+        ]
+        result = self._backend.add_window(
+            ReleaseWindow(
+                WindowStep(epsilon=eps, overrides=ovr)
+                for eps, ovr in zip(requested, overrides)
+            )
         )
+        worsts = result.max_tpls
+        policy = self._policy
+        stop = len(steps)  # first step that needs the per-event policy
+        if policy.alpha is not None and policy.mode in ("reject", "clamp"):
+            violating = np.flatnonzero(worsts > policy.alpha + _ALPHA_TOL)
+            if violating.size:
+                # The per-step worst-TPL series is non-decreasing, so the
+                # prefix before the first violation is exactly what
+                # per-event ingestion would have admitted; everything from
+                # the violating step on is rolled back and re-decided.
+                stop = int(violating[0])
+                self._backend.rollback(len(steps) - stop)
+        for i in range(stop):
+            status, message = RELEASED, None
+            worst = float(worsts[i])
+            if policy.alpha is not None and worst > policy.alpha + _ALPHA_TOL:
+                # warn mode: the bound is exceeded but the release stands.
+                message = self._violation_detail(requested[i], worst)
+                warnings.warn(message, RuntimeWarning, stacklevel=4)
+                status = WARNED
+            events.append(
+                self._emit(
+                    t=horizon + i + 1,
+                    true_answer=answers[i],
+                    requested=requested[i],
+                    applied=requested[i],
+                    applied_overrides=overrides[i],
+                    worst=worst,
+                    status=status,
+                    message=message,
+                )
+            )
+        if stop == len(steps):
+            return stop
+        applied, applied_overrides, worst, status, message = (
+            self._apply_policy(requested[stop], overrides[stop])
+        )
+        events.append(
+            self._emit(
+                t=horizon + stop + 1,
+                true_answer=answers[stop],
+                requested=requested[stop],
+                applied=applied,
+                applied_overrides=applied_overrides,
+                worst=worst,
+                status=status,
+                message=message,
+            )
+        )
+        return stop + 1
 
+    def _emit(
+        self,
+        *,
+        t: int,
+        true_answer: Optional[np.ndarray],
+        requested: float,
+        applied: float,
+        applied_overrides: Optional[Mapping[object, float]],
+        worst: float,
+        status: str,
+        message: Optional[str],
+    ) -> ReleaseEvent:
+        """Publish (when admitted) and record the event of one decided
+        time point.  Noise is drawn here, in step order, only for
+        admitted positive-budget steps -- rejected time points never
+        consume randomness."""
         noisy_answer = None
-        if (
-            true_answer is not None
-            and status != REJECTED
-            and applied > 0.0
-        ):
+        if true_answer is not None and status != REJECTED and applied > 0.0:
             mechanism = LaplaceMechanism(
                 applied, self._config.query.sensitivity
             )
             noisy_answer = mechanism.perturb(true_answer, self._rng)
         elif status == RELEASED and applied == 0.0:
             status = ACCOUNTED
-
         alpha = self._policy.alpha
         event = ReleaseEvent(
             t=t,
@@ -178,17 +328,27 @@ class ReleaseSession:
             message=message,
         )
         self._events.append(event)
-        self._maybe_checkpoint()
         return event
 
     def run(self, dataset) -> List[ReleaseEvent]:
         """Ingest every snapshot of a
-        :class:`~repro.data.trajectory.TrajectoryDataset` and return the
-        events of this call."""
-        return [
-            self.ingest(dataset.snapshot(t))
-            for t in range(1, dataset.horizon + 1)
-        ]
+        :class:`~repro.data.trajectory.TrajectoryDataset`, coalescing
+        ``SessionConfig.window_size`` snapshots per backend entry, and
+        return the events of this call."""
+        size = self._config.window_size
+        events: List[ReleaseEvent] = []
+        # Materialise one window of snapshots at a time, not the whole
+        # horizon.
+        for lo in range(1, dataset.horizon + 1, size):
+            hi = min(lo + size, dataset.horizon + 1)
+            events.extend(
+                self.ingest_window(
+                    ReleaseWindow.from_snapshots(
+                        dataset.snapshot(t) for t in range(lo, hi)
+                    )
+                )
+            )
+        return events
 
     async def aingest(
         self,
@@ -202,12 +362,19 @@ class ReleaseSession:
         Concurrent producers are serialised in submission order; when the
         queue is full (``SessionConfig.queue_maxsize``) submitters are
         parked until the accounting consumer catches up -- the
-        backpressure seam future sharding plugs into.  Call
-        :meth:`aclose` (or use ``async with``) to drain on shutdown.
+        backpressure seam future sharding plugs into.  Whenever producers
+        outpace the consumer, the backlog is drained in windows of up to
+        ``SessionConfig.window_size`` submissions per backend entry
+        (results are still delivered per submitter and are bit-identical
+        to per-event draining).  Call :meth:`aclose` (or use ``async
+        with``) to drain on shutdown.
         """
         if self._pump is None:
             self._pump = BoundedIngestQueue(
-                self._process_queued, maxsize=self._config.queue_maxsize
+                self._process_queued,
+                maxsize=self._config.queue_maxsize,
+                batch_size=self._config.window_size,
+                process_batch=self._process_queued_window,
             )
         return await self._pump.submit((snapshot, epsilon, overrides))
 
@@ -215,10 +382,23 @@ class ReleaseSession:
         snapshot, epsilon, overrides = item
         return self.ingest(snapshot, epsilon=epsilon, overrides=overrides)
 
+    def _process_queued_window(self, items) -> List[ReleaseEvent]:
+        """Drain one coalesced batch of queued submissions as a window
+        (one event per submission, in submission order)."""
+        return self.ingest_window(
+            ReleaseWindow(
+                WindowStep(snapshot=snapshot, epsilon=epsilon, overrides=overrides)
+                for snapshot, epsilon, overrides in items
+            )
+        )
+
     async def aclose(self) -> None:
-        """Drain and stop the async ingestion queue (idempotent)."""
+        """Drain and stop the async ingestion queue (idempotent).  The
+        queue's final operational counters stay available through
+        :meth:`summary`."""
         if self._pump is not None:
             await self._pump.close()
+            self._queue_stats = self._pump.stats()
             self._pump = None
 
     async def __aenter__(self) -> "ReleaseSession":
@@ -235,23 +415,19 @@ class ReleaseSession:
         requested: float,
         overrides: Optional[Mapping[object, float]],
     ) -> Tuple[float, Optional[Mapping[object, float]], float, str, Optional[str]]:
-        """Apply one release under the configured alpha policy.
+        """Decide one alpha-violating step under reject/clamp.
 
         Returns ``(applied_epsilon, applied_overrides, max_tpl, status,
         message)``; on return the backend state reflects the decision.
+        Warn mode never reaches here -- a warned release stands as
+        applied, so :meth:`_ingest_chunk` handles it without rolling the
+        window back.
         """
         policy = self._policy
         worst = self._backend.add_release(requested, overrides)
         if policy.alpha is None or worst <= policy.alpha + _ALPHA_TOL:
             return requested, overrides, worst, RELEASED, None
-        detail = (
-            f"release of eps={requested:g} raises worst-case TPL to "
-            f"{worst:.6f} > alpha={policy.alpha:g}"
-        )
-        if policy.mode == "warn":
-            # _apply_policy (1) <- ingest (2) <- ingest's caller (3).
-            warnings.warn(detail, RuntimeWarning, stacklevel=3)
-            return requested, overrides, worst, WARNED, detail
+        detail = self._violation_detail(requested, worst)
         self._backend.rollback_last()
         if policy.mode == "reject":
             return 0.0, None, self._backend.max_tpl(), REJECTED, detail
@@ -269,6 +445,14 @@ class ReleaseSession:
         worst = self._backend.add_release(applied, applied_overrides)
         message = detail + f"; clamped to eps={applied:g}"
         return applied, applied_overrides, worst, CLAMPED, message
+
+    def _violation_detail(self, requested: float, worst: float) -> str:
+        """The human-readable alpha-violation message shared by every
+        policy mode (and therefore identical across window sizes)."""
+        return (
+            f"release of eps={requested:g} raises worst-case TPL to "
+            f"{worst:.6f} > alpha={self._policy.alpha:g}"
+        )
 
     def _clamp_scale(
         self,
@@ -351,10 +535,17 @@ class ReleaseSession:
 
     def summary(self) -> dict:
         """Operational snapshot: backend, population, horizon, per-status
-        event counts, worst-case TPL and alpha headroom."""
+        event counts, worst-case TPL, alpha headroom, and -- once
+        :meth:`aingest` has run -- the async queue's counters (depth
+        high-water mark, largest coalesced window), which operators use
+        to size ``window_size`` / ``queue_maxsize``."""
         counts: dict = {}
         for event in self._events:
             counts[event.status] = counts.get(event.status, 0) + 1
+        if self._pump is not None:
+            queue_stats: Optional[dict] = self._pump.stats()
+        else:
+            queue_stats = self._queue_stats
         return {
             "backend": self._backend.name,
             "users": self._backend.n_users,
@@ -363,6 +554,7 @@ class ReleaseSession:
             "status_counts": counts,
             "max_tpl": self._backend.max_tpl(),
             "remaining_alpha": self.remaining_alpha(),
+            "queue": queue_stats,
         }
 
     # ------------------------------------------------------------------

@@ -1,0 +1,156 @@
+"""Windowed ingestion value types: the batch-first accounting currency.
+
+The paper's BPL/FPL/TPL recursions are sequential per time point, but the
+*API* does not have to be: a :class:`ReleaseWindow` stacks ``T`` snapshots
+together with their per-step budget specs so one backend entry can advance
+the recursions over the whole window.  :class:`WindowResult` carries back
+the per-step fleet-wide worst-case TPL series -- exactly the numbers ``T``
+sequential ``add_release`` calls would have returned, bit for bit, which
+is what lets :class:`~repro.service.session.ReleaseSession` emit one
+:class:`~repro.service.events.ReleaseEvent` per step while paying the
+backend round-trip once per window.
+
+``add_release`` remains on the backend protocol as a thin one-element
+window wrapper, so event-at-a-time callers keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Mapping, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["WindowStep", "ReleaseWindow", "WindowResult"]
+
+
+@dataclass(frozen=True)
+class WindowStep:
+    """One time point inside a :class:`ReleaseWindow`.
+
+    Attributes
+    ----------
+    snapshot:
+        The database column ``D^t`` (``None`` for accounting-only steps).
+    epsilon:
+        Budget for this step; ``None`` defers to the session's schedule.
+        Backends require a resolved (concrete) value.
+    overrides:
+        Optional per-user budgets (personalised DP) for this step.
+    """
+
+    snapshot: Optional[np.ndarray] = None
+    epsilon: Optional[float] = None
+    overrides: Optional[Mapping[Hashable, float]] = None
+
+
+class ReleaseWindow:
+    """An immutable stack of :class:`WindowStep`\\ s ingested as one batch.
+
+    Windows are pure data: building one performs no validation beyond
+    non-emptiness, and the same window can be replayed through any backend.
+
+    Examples
+    --------
+    >>> window = ReleaseWindow.from_snapshots([None, None], epsilon=0.1)
+    >>> len(window)
+    2
+    >>> window.steps[0].epsilon
+    0.1
+    """
+
+    __slots__ = ("_steps",)
+
+    def __init__(self, steps: Iterable[WindowStep]) -> None:
+        steps = tuple(steps)
+        if not steps:
+            raise ValueError("a release window needs at least one step")
+        for step in steps:
+            if not isinstance(step, WindowStep):
+                raise TypeError(
+                    f"window steps must be WindowStep, got {type(step).__name__}"
+                )
+        self._steps = steps
+
+    @classmethod
+    def single(
+        cls,
+        snapshot: Optional[np.ndarray] = None,
+        *,
+        epsilon: Optional[float] = None,
+        overrides: Optional[Mapping[Hashable, float]] = None,
+    ) -> "ReleaseWindow":
+        """The one-element window behind every ``add_release`` wrapper."""
+        return cls(
+            (WindowStep(snapshot=snapshot, epsilon=epsilon, overrides=overrides),)
+        )
+
+    @classmethod
+    def from_snapshots(
+        cls,
+        snapshots: Iterable[Optional[np.ndarray]],
+        *,
+        epsilon: Optional[float] = None,
+        overrides: Optional[Mapping[Hashable, float]] = None,
+    ) -> "ReleaseWindow":
+        """Stack ``snapshots`` into a window, broadcasting one ``epsilon``
+        / ``overrides`` spec to every step (``None`` = session schedule)."""
+        return cls(
+            WindowStep(snapshot=s, epsilon=epsilon, overrides=overrides)
+            for s in snapshots
+        )
+
+    @property
+    def steps(self) -> Tuple[WindowStep, ...]:
+        return self._steps
+
+    @property
+    def epsilons(self) -> Tuple[Optional[float], ...]:
+        """Per-step budgets (``None`` entries await schedule resolution)."""
+        return tuple(step.epsilon for step in self._steps)
+
+    def is_resolved(self) -> bool:
+        """Whether every step carries a concrete budget (what backends
+        require; the session resolves its schedule before calling in)."""
+        return all(step.epsilon is not None for step in self._steps)
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def __iter__(self) -> Iterator[WindowStep]:
+        return iter(self._steps)
+
+    def __repr__(self) -> str:
+        return f"ReleaseWindow(steps={len(self._steps)})"
+
+
+@dataclass(frozen=True)
+class WindowResult:
+    """What a backend reports after applying one :class:`ReleaseWindow`.
+
+    Attributes
+    ----------
+    max_tpls:
+        Fleet-wide worst-case TPL *after each step* of the window --
+        element ``i`` equals what ``add_release`` would have returned for
+        step ``i``, bit for bit.  Non-decreasing (appending releases can
+        only grow leakage), which is what lets the session locate the
+        first alpha-violating step without re-probing the prefix.
+    """
+
+    max_tpls: np.ndarray
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.max_tpls, dtype=float)
+        arr.setflags(write=False)
+        object.__setattr__(self, "max_tpls", arr)
+
+    @property
+    def final_max_tpl(self) -> float:
+        """Worst-case TPL after the whole window."""
+        if self.max_tpls.size == 0:
+            return 0.0
+        return float(self.max_tpls[-1])
+
+    def __len__(self) -> int:
+        return int(self.max_tpls.shape[0])

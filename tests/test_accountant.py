@@ -98,6 +98,45 @@ class TestStreaming:
         assert acct.epsilons == pytest.approx([0.1, 0.2])
 
 
+class TestAddWindow:
+    """The scalar windowed fallback: a sequential loop whose per-step
+    worst-TPL series is the reference for the fleet engine's vectorised
+    add_window."""
+
+    def test_series_matches_sequential(self, correlations):
+        sequential = TemporalPrivacyAccountant(correlations)
+        windowed = TemporalPrivacyAccountant(correlations)
+        budgets = [0.1, 0.0, 0.3, 0.05]
+        worsts = [sequential.add_release(e) for e in budgets]
+        series = windowed.add_window(budgets)
+        assert series.tolist() == worsts
+        np.testing.assert_array_equal(
+            windowed.profile().tpl, sequential.profile().tpl
+        )
+
+    def test_alpha_violation_rolls_back_whole_window(self):
+        identity = identity_matrix(2)
+        acct = TemporalPrivacyAccountant((identity, identity), alpha=0.25)
+        acct.add_release(0.1)
+        with pytest.raises(InvalidPrivacyParameterError):
+            acct.add_window([0.1, 0.1])  # second step would reach 0.3
+        assert acct.horizon == 1
+        assert acct.max_tpl() == pytest.approx(0.1)
+
+    def test_rollback_n(self, correlations):
+        acct = TemporalPrivacyAccountant(correlations)
+        acct.add_release(0.1)
+        before = acct.profile().tpl.copy()
+        acct.add_window([0.2, 0.3])
+        acct.rollback(2)
+        assert acct.horizon == 1
+        np.testing.assert_array_equal(acct.profile().tpl, before)
+        with pytest.raises(ValueError):
+            acct.rollback(2)
+        with pytest.raises(ValueError):
+            acct.rollback(-1)
+
+
 class TestAlphaBound:
     def test_rejects_release_beyond_alpha(self):
         identity = identity_matrix(2)

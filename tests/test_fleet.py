@@ -158,6 +158,98 @@ class TestEngineParity:
         )
 
 
+class TestAddWindow:
+    """The vectorised multi-step path: K releases per engine entry, with
+    the per-step worst-TPL series bit-identical to K add_release calls."""
+
+    BUDGETS = [0.1, 0.0, 0.3, 0.05, 0.2]
+    OVERRIDES = [None, {3: 0.5}, None, {3: 0.0, 7: 0.25}, {1: 0.4}]
+
+    def test_per_step_series_matches_sequential(self, population):
+        sequential = FleetAccountant(population)
+        windowed = FleetAccountant(population)
+        worsts = [
+            sequential.add_release(eps, overrides=ovr)
+            for eps, ovr in zip(self.BUDGETS, self.OVERRIDES)
+        ]
+        series = windowed.add_window(self.BUDGETS, self.OVERRIDES)
+        assert series.tolist() == worsts
+        assert windowed.max_tpl() == sequential.max_tpl()
+        for user in population:
+            np.testing.assert_array_equal(
+                windowed.profile(user).fpl, sequential.profile(user).fpl
+            )
+            np.testing.assert_array_equal(
+                windowed.profile(user).bpl, sequential.profile(user).bpl
+            )
+
+    def test_window_after_window(self, population):
+        sequential = FleetAccountant(population)
+        windowed = FleetAccountant(population)
+        for eps, ovr in zip(self.BUDGETS, self.OVERRIDES):
+            sequential.add_release(eps, overrides=ovr)
+        windowed.add_window(self.BUDGETS[:2], self.OVERRIDES[:2])
+        series = windowed.add_window(self.BUDGETS[2:], self.OVERRIDES[2:])
+        assert series[-1] == sequential.max_tpl()
+        assert windowed.max_tpl() == sequential.max_tpl()
+
+    def test_empty_window_is_a_noop(self, population):
+        fleet = FleetAccountant(population)
+        assert fleet.add_window([]).shape == (0,)
+        assert fleet.horizon == 0
+
+    def test_validation_precedes_mutation(self, population):
+        fleet = FleetAccountant(population)
+        fleet.add_release(0.1)
+        with pytest.raises(InvalidPrivacyParameterError):
+            fleet.add_window([0.1, -1.0])
+        with pytest.raises(KeyError):
+            fleet.add_window([0.1, 0.1], [None, {"nobody": 0.1}])
+        with pytest.raises(ValueError, match="cover"):
+            fleet.add_window([0.1, 0.1], [None])
+        assert fleet.horizon == 1
+
+    def test_alpha_violation_rolls_back_whole_window(self):
+        identity = identity_matrix(2)
+        fleet = FleetAccountant(
+            {u: (identity, identity) for u in range(5)}, alpha=0.25
+        )
+        fleet.add_release(0.1)
+        with pytest.raises(InvalidPrivacyParameterError):
+            fleet.add_window([0.1, 0.1])  # step 2 would reach 0.3 > 0.25
+        assert fleet.horizon == 1
+        assert fleet.max_tpl() == pytest.approx(0.1)
+
+    def test_rollback_n(self, population):
+        fleet = FleetAccountant(population)
+        fleet.add_release(0.1, overrides={2: 0.3})
+        before = {u: fleet.profile(u).tpl.copy() for u in population}
+        fleet.add_window([0.2, 0.1], [None, {4: 0.05}])
+        fleet.rollback(2)
+        assert fleet.horizon == 1
+        for user in population:
+            np.testing.assert_array_equal(fleet.profile(user).tpl, before[user])
+        with pytest.raises(ValueError):
+            fleet.rollback(2)
+        with pytest.raises(ValueError):
+            fleet.rollback(-1)
+
+    def test_mid_stream_joiner_in_window(self, models):
+        pair = (models[1], models[1])
+        sequential = FleetAccountant({"early": pair})
+        windowed = FleetAccountant({"early": pair})
+        for fleet in (sequential, windowed):
+            fleet.add_release(0.1)
+            fleet.add_user("late", pair)
+        tail = [0.2, 0.1, 0.05]
+        worsts = [sequential.add_release(e) for e in tail]
+        series = windowed.add_window(tail)
+        assert series.tolist() == worsts
+        np.testing.assert_array_equal(
+            windowed.profile("late").tpl, sequential.profile("late").tpl
+        )
+
+
 class TestEngineBehaviour:
     def test_empty_engine(self):
         fleet = FleetAccountant()

@@ -175,10 +175,15 @@ class TestCrossSolverAgreement:
     )
     @settings(max_examples=15)
     def test_generic_lp_backends_agree_at_moderate_alpha(self, m, alpha):
+        # 1e-5, not 1e-6: the Charnes-Cooper LP carries coefficients of
+        # size e^alpha, and at alpha ~ 3-5 the generic solvers' vertex
+        # can already be ~2e-6 off the combinatorial optimum (hypothesis
+        # found such a pivot-sensitive instance); the degradation the
+        # paper reports at alpha >= 10 sets in gradually, not at a cliff.
         problem = LfpProblem(m.array[0], m.array[-1], alpha)
         oracle = solve_lfp_bruteforce(problem)
-        assert solve_lfp_scipy(problem) == pytest.approx(oracle, abs=1e-6)
-        assert solve_lfp_simplex(problem) == pytest.approx(oracle, abs=1e-6)
+        assert solve_lfp_scipy(problem) == pytest.approx(oracle, abs=1e-5)
+        assert solve_lfp_simplex(problem) == pytest.approx(oracle, abs=1e-5)
 
     def test_generic_backends_degrade_at_large_alpha(self):
         """Document the paper's lp_solve observation: at alpha >= 10 the

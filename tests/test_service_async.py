@@ -10,6 +10,7 @@ from repro.exceptions import InvalidPrivacyParameterError
 from repro.markov import two_state_matrix
 from repro.service import (
     BoundedIngestQueue,
+    QueueClosed,
     ReleaseSession,
     SessionConfig,
 )
@@ -94,6 +95,105 @@ class TestBoundedIngestQueue:
 
         asyncio.run(scenario())
 
+    def test_submit_racing_close_raises_queue_closed(self):
+        """A submission arriving while close() is tearing the queue down
+        raises QueueClosed instead of parking on a future nobody will
+        resolve (the old hang)."""
+
+        async def scenario():
+            queue = BoundedIngestQueue(lambda x: x, maxsize=1)
+            producers = [
+                asyncio.create_task(queue.submit(i)) for i in range(4)
+            ]
+            await asyncio.sleep(0)  # park them against the bound
+            closer = asyncio.create_task(queue.close())
+            await asyncio.sleep(0)  # close() is now in progress
+            with pytest.raises(QueueClosed):
+                await queue.submit(99)
+            await asyncio.wait_for(closer, 5)
+            # Producers parked before close() began all still complete.
+            return await asyncio.wait_for(asyncio.gather(*producers), 5)
+
+        assert asyncio.run(scenario()) == list(range(4))
+
+    def test_batch_draining_coalesces_and_keeps_order(self):
+        rounds = []
+
+        def process_batch(items):
+            rounds.append(len(items))
+            return [i * 2 for i in items]
+
+        async def scenario():
+            queue = BoundedIngestQueue(
+                lambda x: x,
+                maxsize=8,
+                batch_size=4,
+                process_batch=process_batch,
+            )
+            results = await asyncio.gather(
+                *(queue.submit(i) for i in range(10))
+            )
+            await queue.close()
+            return results, queue
+
+        results, queue = asyncio.run(scenario())
+        assert results == [i * 2 for i in range(10)]
+        assert sum(rounds) == 10
+        assert max(rounds) > 1  # backlog actually coalesced
+        assert queue.batch_high_watermark == max(rounds)
+        assert max(rounds) <= 4
+
+    def test_failed_batch_retries_per_item(self):
+        """A poisoned submission must fail alone: when process_batch
+        raises, the round is retried item by item so healthy submissions
+        get exactly the result they would have had with batch_size=1."""
+
+        def process_one(item):
+            if item == "bad":
+                raise RuntimeError("boom bad")
+            return item * 2
+
+        def process_batch(items):
+            if "bad" in items:
+                raise RuntimeError("boom batch")
+            return [process_one(i) for i in items]
+
+        async def scenario():
+            queue = BoundedIngestQueue(
+                process_one, maxsize=4, batch_size=4, process_batch=process_batch
+            )
+            results = await asyncio.gather(
+                queue.submit(1),
+                queue.submit("bad"),
+                queue.submit(3),
+                return_exceptions=True,
+            )
+            await queue.close()
+            return results, queue
+
+        results, queue = asyncio.run(scenario())
+        assert results[0] == 2
+        assert isinstance(results[1], RuntimeError)
+        assert str(results[1]) == "boom bad"
+        assert results[2] == 6
+        assert queue.processed == 3
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            BoundedIngestQueue(lambda x: x, batch_size=0)
+
+    def test_stats_snapshot(self):
+        async def scenario():
+            queue = BoundedIngestQueue(lambda x: x, maxsize=2)
+            await asyncio.gather(*(queue.submit(i) for i in range(5)))
+            await queue.close()
+            return queue.stats()
+
+        stats = asyncio.run(scenario())
+        assert stats["submitted"] == stats["processed"] == 5
+        assert stats["maxsize"] == 2
+        assert 1 <= stats["high_watermark"] <= 2
+
 
 class TestAingest:
     def test_events_in_submission_order(self, session):
@@ -160,3 +260,35 @@ class TestAingest:
 
     def test_aclose_without_aingest_is_noop(self, session):
         asyncio.run(session.aclose())
+
+    def test_poisoned_submission_fails_alone_in_coalesced_window(self):
+        """Regression for window coalescing: one invalid submission in a
+        drained window must not fail its batch-mates -- healthy
+        submissions are accounted exactly as with window_size=1."""
+        m = two_state_matrix(0.8, 0.1)
+        session = ReleaseSession(
+            SessionConfig(
+                correlations={u: (m, m) for u in range(4)},
+                budgets=0.1,
+                query=HistogramQuery(2),
+                window_size=4,
+                seed=0,
+            )
+        )
+
+        async def scenario():
+            async with session:
+                return await asyncio.gather(
+                    session.aingest(np.array([0, 1, 1, 0])),
+                    session.aingest(np.array([0, 0, 1, 0]), epsilon=-1.0),
+                    session.aingest(np.array([1, 1, 1, 0])),
+                    session.aingest(np.array([0, 1, 0, 0])),
+                    return_exceptions=True,
+                )
+
+        results = asyncio.run(scenario())
+        assert isinstance(results[1], InvalidPrivacyParameterError)
+        good = [results[0], results[2], results[3]]
+        assert [e.t for e in good] == [1, 2, 3]
+        assert all(e.status == "released" for e in good)
+        assert session.horizon == 3

@@ -6,6 +6,12 @@ a scalar-backed and a fleet-backed :class:`ReleaseSession` and assert
 *bit-identical* TPL series and event payloads (everything except the
 backend label).  Noise is included in the comparison: both sessions make
 identical publish/reject decisions, so their RNG draw sequences match.
+
+The windowed-ingestion redesign adds the second hard guarantee on top:
+feeding the same stream through :meth:`ReleaseSession.ingest_window` in
+windows of any size is bit-identical to per-event ingestion, on both
+backends, including zero budgets, per-user overrides and alpha decisions
+(reject / clamp / warn) landing mid-window.
 """
 
 import warnings
@@ -18,7 +24,12 @@ from hypothesis import strategies as st
 from strategies import transition_matrices
 
 from repro.data import HistogramQuery
-from repro.service import ReleaseSession, SessionConfig
+from repro.service import (
+    ReleaseSession,
+    ReleaseWindow,
+    SessionConfig,
+    WindowStep,
+)
 
 N_USERS = 5
 
@@ -132,6 +143,106 @@ def test_backends_bit_identical(population, stream, policy, seed):
         pa = scalar.profile(user)
         pb = fleet.profile(user)
         assert np.array_equal(pa.epsilons, pb.epsilons)
+        assert np.array_equal(pa.bpl, pb.bpl)
+        assert np.array_equal(pa.fpl, pb.fpl)
+        assert np.array_equal(pa.tpl, pb.tpl)
+
+
+def run_stream_windowed(backend, population, stream, alpha, mode, seed, size):
+    """The same stream as :func:`run_stream`, ingested through
+    ``ingest_window`` in windows of ``size`` steps."""
+    session = ReleaseSession(
+        SessionConfig(
+            correlations=population,
+            budgets=0.1,  # overridden per step
+            query=HistogramQuery(4),
+            alpha=alpha,
+            alpha_mode=mode,
+            backend=backend,
+            seed=seed,
+            window_size=size,
+        )
+    )
+    rng = np.random.default_rng(seed)  # identical snapshots per run
+    steps = [
+        WindowStep(
+            snapshot=rng.integers(0, 4, size=N_USERS),
+            epsilon=epsilon,
+            overrides=overrides,
+        )
+        for epsilon, overrides in stream
+    ]
+    events = []
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        for lo in range(0, len(steps), size):
+            events.extend(
+                session.ingest_window(ReleaseWindow(steps[lo : lo + size]))
+            )
+    return session, events
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    population=populations(),
+    stream=streams(),
+    policy=alpha_policies(),
+    seed=st.integers(0, 2**16),
+    size=st.integers(2, 6),
+)
+@pytest.mark.parametrize("backend", ["scalar", "fleet"])
+def test_windowed_matches_per_event(backend, population, stream, policy, seed, size):
+    """Windowed ingestion is bit-identical to per-event ingestion --
+    events (noise included), TPL series and alpha decisions -- even when
+    zero budgets, overrides or clamp/reject/warn decisions land
+    mid-window."""
+    alpha, mode = policy
+    per_event, event_stream = run_stream(
+        backend, population, stream, alpha, mode, seed
+    )
+    windowed, window_stream = run_stream_windowed(
+        backend, population, stream, alpha, mode, seed, size
+    )
+
+    assert len(event_stream) == len(window_stream)
+    for a, b in zip(event_stream, window_stream):
+        assert a.payload(include_true_answer=True) == b.payload(
+            include_true_answer=True
+        )
+
+    assert per_event.max_tpl() == windowed.max_tpl()
+    assert per_event.horizon == windowed.horizon
+    for user in population:
+        pa = per_event.profile(user)
+        pb = windowed.profile(user)
+        assert np.array_equal(pa.epsilons, pb.epsilons)
+        assert np.array_equal(pa.bpl, pb.bpl)
+        assert np.array_equal(pa.fpl, pb.fpl)
+        assert np.array_equal(pa.tpl, pb.tpl)
+
+
+def test_colliding_cache_keys_stay_bit_identical():
+    """Regression (hypothesis-found): this stream produces two BPL alphas
+    that agree to 15 digits but differ in the last ulps
+    (0.15029782511280618 from the override user, 0.1502978251128056 from
+    the default schedule).  The solution caches used to key on
+    round(alpha, 15), so whichever backend evaluated first poisoned the
+    entry for the other and the backends drifted apart in the last ulp.
+    Keys now carry the exact float."""
+    from repro.markov.matrix import TransitionMatrix
+
+    M = TransitionMatrix(np.array([[0.5, 0.5], [0.0, 1.0]]))
+    population = {u: (M, M) for u in range(N_USERS)}
+    stream = [(0.5, None), (0.0, {0: 1e-15}), (0.0, None), (0.0, None)]
+    scalar, _ = run_stream("scalar", population, stream, None, "reject", 0)
+    fleet, _ = run_stream("fleet", population, stream, None, "reject", 0)
+    for user in population:
+        pa = scalar.profile(user)
+        pb = fleet.profile(user)
         assert np.array_equal(pa.bpl, pb.bpl)
         assert np.array_equal(pa.fpl, pb.fpl)
         assert np.array_equal(pa.tpl, pb.tpl)

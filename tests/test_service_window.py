@@ -1,0 +1,323 @@
+"""Tests for the windowed ingestion API (ReleaseWindow / add_window /
+ingest_window) and for checkpoint/restore landing between windows."""
+
+import numpy as np
+import pytest
+
+from repro.data import HistogramQuery
+from repro.exceptions import InvalidPrivacyParameterError
+from repro.markov import random_stochastic_matrix, two_state_matrix
+from repro.service import (
+    FleetAccountantBackend,
+    ReleaseSession,
+    ReleaseWindow,
+    ScalarAccountantBackend,
+    SessionConfig,
+    WindowResult,
+    WindowStep,
+)
+
+BACKENDS = ("scalar", "fleet")
+
+
+@pytest.fixture
+def population():
+    P = two_state_matrix(0.8, 0.1)
+    Q = random_stochastic_matrix(3, seed=11)
+    return {u: ((P, P) if u % 2 else (Q, Q)) for u in range(5)}
+
+
+def make_session(population, backend, **kwargs):
+    kwargs.setdefault("budgets", 0.1)
+    kwargs.setdefault("seed", 3)
+    return ReleaseSession(
+        SessionConfig(correlations=population, backend=backend, **kwargs)
+    )
+
+
+STREAM = [
+    (None, None),
+    (0.3, {1: 0.5}),
+    (0.0, None),
+    (None, {0: 0.0, 3: 0.2}),
+    (0.05, None),
+    (None, None),
+    (0.2, {2: 0.4}),
+]
+
+
+def stream_steps():
+    return [
+        WindowStep(epsilon=eps, overrides=ovr) for eps, ovr in STREAM
+    ]
+
+
+class TestWindowTypes:
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError, match="at least one step"):
+            ReleaseWindow([])
+
+    def test_non_step_rejected(self):
+        with pytest.raises(TypeError, match="WindowStep"):
+            ReleaseWindow([0.1])
+
+    def test_single_and_broadcast(self):
+        window = ReleaseWindow.from_snapshots(
+            [None, None, None], epsilon=0.2, overrides={0: 0.1}
+        )
+        assert len(window) == 3
+        assert all(step.epsilon == 0.2 for step in window)
+        assert all(step.overrides == {0: 0.1} for step in window)
+        assert len(ReleaseWindow.single(epsilon=0.1)) == 1
+
+    def test_resolution_flag(self):
+        assert ReleaseWindow.single(epsilon=0.1).is_resolved()
+        assert not ReleaseWindow.single().is_resolved()
+
+    def test_result_final_and_len(self):
+        result = WindowResult(np.array([0.1, 0.3]))
+        assert result.final_max_tpl == 0.3
+        assert len(result) == 2
+        assert WindowResult(np.zeros(0)).final_max_tpl == 0.0
+
+
+class TestBackendAddWindow:
+    @pytest.mark.parametrize("cls", [ScalarAccountantBackend, FleetAccountantBackend])
+    def test_matches_sequential_add_release(self, population, cls):
+        windowed = cls(population)
+        sequential = cls(population)
+        window = ReleaseWindow(
+            WindowStep(epsilon=eps if eps is not None else 0.1, overrides=ovr)
+            for eps, ovr in STREAM
+        )
+        result = windowed.add_window(window)
+        worsts = [
+            sequential.add_release(
+                eps if eps is not None else 0.1, overrides=ovr
+            )
+            for eps, ovr in STREAM
+        ]
+        assert result.max_tpls.tolist() == worsts
+        assert windowed.max_tpl() == sequential.max_tpl()
+        for user in population:
+            assert np.array_equal(
+                windowed.profile(user).tpl, sequential.profile(user).tpl
+            )
+
+    @pytest.mark.parametrize("cls", [ScalarAccountantBackend, FleetAccountantBackend])
+    def test_unresolved_budget_rejected(self, population, cls):
+        backend = cls(population)
+        with pytest.raises(ValueError, match="no budget"):
+            backend.add_window(ReleaseWindow.single())
+        assert backend.horizon == 0
+
+    @pytest.mark.parametrize("cls", [ScalarAccountantBackend, FleetAccountantBackend])
+    def test_bad_step_leaves_state_unchanged(self, population, cls):
+        backend = cls(population)
+        backend.add_release(0.1)
+        bad = ReleaseWindow(
+            [
+                WindowStep(epsilon=0.1),
+                WindowStep(epsilon=0.1, overrides={"nobody": 0.2}),
+            ]
+        )
+        with pytest.raises(KeyError, match="unknown user"):
+            backend.add_window(bad)
+        with pytest.raises(InvalidPrivacyParameterError):
+            backend.add_window(
+                ReleaseWindow(
+                    [WindowStep(epsilon=0.1), WindowStep(epsilon=-1.0)]
+                )
+            )
+        assert backend.horizon == 1
+
+    @pytest.mark.parametrize("cls", [ScalarAccountantBackend, FleetAccountantBackend])
+    def test_rollback_n_restores_exactly(self, population, cls):
+        backend = cls(population)
+        backend.add_release(0.1, overrides={1: 0.3})
+        reference = {u: backend.profile(u) for u in population}
+        backend.add_window(
+            ReleaseWindow(
+                [WindowStep(epsilon=0.2), WindowStep(epsilon=0.3, overrides={2: 0.1})]
+            )
+        )
+        backend.rollback(2)
+        assert backend.horizon == 1
+        for user in population:
+            assert np.array_equal(
+                backend.profile(user).tpl, reference[user].tpl
+            )
+        with pytest.raises(ValueError):
+            backend.rollback(5)
+
+    def test_add_window_requires_release_window(self, population):
+        backend = ScalarAccountantBackend(population)
+        with pytest.raises(TypeError, match="ReleaseWindow"):
+            backend.add_window([WindowStep(epsilon=0.1)])
+
+
+class TestIngestWindow:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_one_event_per_step(self, population, backend):
+        session = make_session(population, backend)
+        events = session.ingest_window(ReleaseWindow(stream_steps()))
+        assert len(events) == len(STREAM)
+        assert [e.t for e in events] == list(range(1, len(STREAM) + 1))
+        assert events[-1].max_tpl == session.max_tpl()
+        # Zero-budget steps are accounted, not published.
+        assert events[2].status == "accounted"
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_snapshot_iterable_with_broadcast(self, population, backend):
+        session = make_session(
+            population, backend, query=HistogramQuery(3)
+        )
+        snaps = [np.array([0, 1, 2, 1, 0]), np.array([2, 2, 0, 1, 1])]
+        events = session.ingest_window(snaps, epsilon=0.2)
+        assert [e.epsilon for e in events] == [0.2, 0.2]
+        assert all(e.noisy_answer is not None for e in events)
+
+    def test_broadcast_kwargs_conflict_with_window(self, population):
+        session = make_session(population, "scalar")
+        with pytest.raises(ValueError, match="broadcast"):
+            session.ingest_window(
+                ReleaseWindow.single(epsilon=0.1), epsilon=0.2
+            )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_mid_window_rejection_reuses_time_point(self, population, backend):
+        session = make_session(
+            population, backend, alpha=0.35, alpha_mode="reject"
+        )
+        events = session.ingest_window(
+            ReleaseWindow.from_snapshots([None] * 6, epsilon=0.15)
+        )
+        statuses = [e.status for e in events]
+        assert statuses[:2] == ["released", "released"]
+        assert "rejected" in statuses[2:]
+        # A rejected step does not advance the horizon; the next step
+        # reuses its time point, exactly like per-event ingestion.
+        rejected = [e for e in events if e.status == "rejected"]
+        assert all(e.epsilon == 0.0 for e in rejected)
+        assert session.horizon == sum(s != "rejected" for s in statuses)
+        assert session.max_tpl() <= 0.35 + 1e-9
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_validation_error_leaves_session_unchanged(self, population, backend):
+        session = make_session(population, backend)
+        session.ingest()
+        with pytest.raises(InvalidPrivacyParameterError):
+            session.ingest_window(
+                ReleaseWindow(
+                    [WindowStep(epsilon=0.1), WindowStep(epsilon=-2.0)]
+                )
+            )
+        assert session.horizon == 1
+        assert len(session.events) == 1
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_run_coalesces_by_window_size(self, population, backend):
+        from repro.data.synthetic import generate_population
+        from repro.markov import MarkovChain
+
+        chain = MarkovChain(random_stochastic_matrix(3, seed=2))
+        dataset = generate_population(chain, n_users=5, horizon=10, seed=4)
+        per_event = make_session(population, backend, query=HistogramQuery(3))
+        windowed = make_session(
+            population, backend, query=HistogramQuery(3), window_size=4
+        )
+        events_a = per_event.run(dataset)
+        events_b = windowed.run(dataset)
+        assert len(events_a) == len(events_b) == 10
+        for a, b in zip(events_a, events_b):
+            assert a.payload(include_true_answer=True) == b.payload(
+                include_true_answer=True
+            )
+        assert per_event.max_tpl() == windowed.max_tpl()
+
+
+class TestCheckpointBetweenWindows:
+    """A session restored from a checkpoint taken between windows replays
+    to bit-identical state on both backend checkpoint formats (fleet
+    ``.npz``, scalar replay manifest)."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_restore_and_replay_bit_identical(
+        self, population, backend, tmp_path
+    ):
+        steps = stream_steps()
+        config = SessionConfig(
+            correlations=population,
+            budgets=0.1,
+            backend=backend,
+            seed=3,
+            window_size=3,
+        )
+        original = ReleaseSession(config)
+        head = original.ingest_window(ReleaseWindow(steps[:3]))
+        original.checkpoint(tmp_path)
+
+        restored = ReleaseSession.restore(config, tmp_path)
+        assert restored.backend_name == original.backend_name
+        assert restored.horizon == original.horizon
+        assert restored.max_tpl() == original.max_tpl()
+
+        tail_original = original.ingest_window(ReleaseWindow(steps[3:]))
+        tail_restored = restored.ingest_window(ReleaseWindow(steps[3:]))
+        assert len(head) == 3
+        for a, b in zip(tail_original, tail_restored):
+            assert a.payload() == b.payload()
+        assert restored.max_tpl() == original.max_tpl()
+        for user in population:
+            assert np.array_equal(
+                restored.profile(user).tpl, original.profile(user).tpl
+            )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_cadence_lands_on_window_boundaries(
+        self, population, backend, tmp_path
+    ):
+        session = make_session(
+            population,
+            backend,
+            checkpoint_dir=tmp_path,
+            checkpoint_every=3,
+            window_size=4,
+        )
+        session.ingest_window(
+            ReleaseWindow.from_snapshots([None] * 4, epsilon=0.1)
+        )
+        # The cadence (3) was crossed mid-window; the checkpoint is taken
+        # at the window boundary (horizon 4), not mid-window.
+        restored = ReleaseSession.restore(session.config, tmp_path)
+        assert restored.horizon == 4
+        assert restored.max_tpl() == session.max_tpl()
+
+
+class TestSummaryQueueStats:
+    def test_summary_without_queue(self, population):
+        session = make_session(population, "scalar")
+        assert session.summary()["queue"] is None
+
+    def test_summary_reports_queue_high_watermarks(self, population):
+        import asyncio
+
+        session = make_session(
+            population, "scalar", window_size=4, queue_maxsize=8
+        )
+
+        async def produce():
+            async with session:
+                return await asyncio.gather(
+                    *(session.aingest(epsilon=0.05) for _ in range(12))
+                )
+
+        events = asyncio.run(produce())
+        assert [e.t for e in events] == list(range(1, 13))
+        stats = session.summary()["queue"]
+        assert stats["submitted"] == stats["processed"] == 12
+        assert 1 <= stats["high_watermark"] <= 8
+        assert 1 <= stats["batch_high_watermark"] <= 4
+        # Concurrent producers outpace the consumer, so at least one
+        # drained batch coalesced more than one submission.
+        assert stats["batch_high_watermark"] > 1
