@@ -1,0 +1,219 @@
+"""Process-sharded vs. single-process fleet accounting throughput.
+
+Cohorts are mutually independent, so the fleet engine shards across
+worker processes with zero accuracy cost: the coordinator scatters each
+ingestion window to every shard and merges the per-step worst-TPL series
+by elementwise max (:mod:`repro.service.sharding`).  The numbers must
+not move at all -- every shard count produces a bit-identical max TPL
+(the sharding parity suite enforces the same property-based).
+
+The speedup is real parallelism, so it needs real cores: per window the
+coordinator exchanges a few hundred bytes with each shard while the
+shards run their cohorts' prefix sweeps concurrently.  The acceptance
+bar: >= 2x events/sec at 4 shards vs. the single-process fleet backend,
+window=64, 10^5 users -- *on a machine with >= 4 cores*.  ``cpu_count``
+is recorded in ``BENCH_shard.json`` so a floor miss on a smaller box is
+attributable; on a single core the sharded path can only pay IPC tax,
+and the harness-scale test gates its floor accordingly.
+
+Run standalone for the full-scale numbers::
+
+    PYTHONPATH=src python benchmarks/bench_shard.py --users 100000 --steps 256
+
+or as part of the benchmark harness::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_shard.py -s
+"""
+
+import argparse
+import json
+import os
+import time
+
+from repro.markov import random_stochastic_matrix
+from repro.service import ReleaseSession, ReleaseWindow, SessionConfig
+
+SHARD_COUNTS = (1, 2, 4)
+WINDOW = 64
+TARGET_SPEEDUP = 2.0  # at 4 shards, full scale, >= 4 cores
+# Harness-scale floor for CI: deliberately loose (it still catches a
+# sharded path that collapsed to serial or worse), because standard
+# runners have exactly 4 contended vCPUs and the harness workload is
+# small relative to IPC.
+CI_TARGET_SPEEDUP = 1.1
+JSON_PATH = "BENCH_shard.json"
+
+
+def _population(users: int, cohorts: int, states: int, seed: int):
+    models = [
+        random_stochastic_matrix(states, seed=seed + i) for i in range(cohorts)
+    ]
+    return {u: (models[u % cohorts], models[u % cohorts]) for u in range(users)}
+
+
+def run_sharded(population, steps: int, epsilon: float, window: int, shards: int):
+    """Time an accounting-only session ingesting ``steps`` time points in
+    windows of ``window`` on ``shards`` worker processes (1 = the
+    in-process fleet backend)."""
+    session = ReleaseSession(
+        SessionConfig(
+            correlations=population,
+            budgets=epsilon,
+            backend="fleet",
+            shards=shards,
+            window_size=window,
+        )
+    )
+    try:
+        start = time.perf_counter()
+        done = 0
+        while done < steps:
+            size = min(window, steps - done)
+            session.ingest_window(ReleaseWindow.from_snapshots([None] * size))
+            done += size
+        elapsed = time.perf_counter() - start
+        assert session.horizon == steps
+        shard_users = (
+            session.backend.shard_sizes() if shards > 1 else [len(population)]
+        )
+        return session.max_tpl(), elapsed, shard_users
+    finally:
+        session.close()
+
+
+def compare(
+    users: int = 100_000,
+    cohorts: int = 32,
+    steps: int = 256,
+    epsilon: float = 0.1,
+    states: int = 3,
+    seed: int = 0,
+    window: int = WINDOW,
+    shard_counts=SHARD_COUNTS,
+) -> dict:
+    """Run every shard count over the same stream and summarise."""
+    population = _population(users, cohorts, states, seed)
+    rows = []
+    baseline_tpl = None
+    baseline_rate = None
+    for shards in shard_counts:
+        tpl, elapsed, shard_users = run_sharded(
+            population, steps, epsilon, window, shards
+        )
+        rate = steps / max(elapsed, 1e-12)
+        if baseline_tpl is None:  # the first shard count is the baseline
+            baseline_tpl, baseline_rate = tpl, rate
+        rows.append(
+            {
+                "shards": shards,
+                "max_tpl": tpl,
+                "seconds": elapsed,
+                "events_per_second": rate,
+                "user_steps_per_second": rate * users,
+                "shard_users": shard_users,
+                "tpl_gap_vs_baseline": abs(tpl - baseline_tpl),
+                "speedup_vs_baseline": rate / baseline_rate,
+            }
+        )
+    return {
+        "users": users,
+        "cohorts": cohorts,
+        "steps": steps,
+        "epsilon": epsilon,
+        "window": window,
+        "cpu_count": os.cpu_count(),
+        "target_speedup_at_4_shards": TARGET_SPEEDUP,
+        "results": rows,
+    }
+
+
+def emit_json(summary: dict, path: str = JSON_PATH) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+def format_table(summary: dict) -> str:
+    lines = [
+        f"sharded vs single-process fleet accounting -- "
+        f"{summary['users']} users, {summary['cohorts']} cohorts, "
+        f"{summary['steps']} steps, window={summary['window']}, "
+        f"eps={summary['epsilon']:g}, {summary['cpu_count']} cpu(s)",
+        "  shards   events/s      speedup   max-TPL gap vs baseline",
+    ]
+    for row in summary["results"]:
+        lines.append(
+            f"  {row['shards']:<8d} {row['events_per_second']:<13,.1f} "
+            f"{row['speedup_vs_baseline']:<9.2f} "
+            f"{row['tpl_gap_vs_baseline']:.2e}"
+        )
+    lines.append(
+        f"  target: >= {TARGET_SPEEDUP:g}x at 4 shards on >= 4 cores, "
+        "bit-identical TPL at every shard count"
+    )
+    return "\n".join(lines)
+
+
+def test_shard_speedup_and_parity(show_table):
+    """Harness-scale comparison.  Bit-identical TPL is asserted
+    unconditionally; the throughput floor only where the hardware can
+    deliver one (parallel speedup needs cores -- on a 1-core runner the
+    sharded path can only pay IPC overhead)."""
+    summary = compare(users=2_000, cohorts=16, steps=128)
+    show_table(format_table(summary))
+    emit_json(summary)
+    for row in summary["results"]:
+        assert row["tpl_gap_vs_baseline"] == 0.0
+        assert sum(row["shard_users"]) == summary["users"]
+    cpus = os.cpu_count() or 1
+    if cpus >= 4:
+        best = max(
+            row["speedup_vs_baseline"]
+            for row in summary["results"]
+            if row["shards"] > 1
+        )
+        assert best >= CI_TARGET_SPEEDUP
+    else:
+        print(
+            f"  (speedup floor skipped: {cpus} cpu(s); parallel sharding "
+            "needs cores -- on this box the sharded rows only measure "
+            "IPC overhead)"
+        )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--users", type=int, default=100_000)
+    parser.add_argument("--cohorts", type=int, default=32)
+    parser.add_argument("--steps", type=int, default=256)
+    parser.add_argument("--epsilon", type=float, default=0.1)
+    parser.add_argument("--states", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--window", type=int, default=WINDOW)
+    parser.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=list(SHARD_COUNTS),
+        help="shard counts to compare (the first is the baseline)",
+    )
+    parser.add_argument("-o", "--output", default=JSON_PATH)
+    args = parser.parse_args()
+    summary = compare(
+        users=args.users,
+        cohorts=args.cohorts,
+        steps=args.steps,
+        epsilon=args.epsilon,
+        states=args.states,
+        seed=args.seed,
+        window=args.window,
+        shard_counts=tuple(args.shards),
+    )
+    print(format_table(summary))
+    path = emit_json(summary, args.output)
+    print(f"results written to {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,7 +15,12 @@ Python::
 ``release`` runs a full :class:`repro.service.ReleaseSession` over a
 synthetic population; ``serve`` is the streaming front door -- JSON
 snapshots in on stdin, structured release events out on stdout, ingested
-through the session's bounded async queue.
+through the session's bounded async queue.  A stdin line may be a bare
+snapshot array, an object (``{"snapshot": ..., "epsilon": ...,
+"overrides": {...}}``), or a client-side batch ``{"window": [step,
+...]}`` whose steps are accounted as one window.  ``--shards N`` on
+``release``/``serve`` partitions cohorts across N worker processes
+(bit-identical numbers, multi-core throughput).
 
 ``-m/--matrix`` takes a JSON transition matrix (see :mod:`repro.io`);
 pass it twice to supply distinct backward and forward correlations, once
@@ -183,19 +188,27 @@ def _cmd_fleet(args) -> int:
 def _session_config(args, backward, forward, query, horizon=None):
     from .service import SessionConfig
 
-    return SessionConfig(
-        correlations={u: (backward, forward) for u in range(args.users)},
-        budgets=args.epsilon,
-        query=query,
-        alpha=args.alpha,
-        alpha_mode=args.alpha_mode,
-        backend=args.backend,
-        horizon=horizon,
-        seed=args.seed,
-        checkpoint_dir=getattr(args, "checkpoint", None),
-        queue_maxsize=getattr(args, "queue_size", 64),
-        window_size=getattr(args, "window", 1),
-    )
+    try:
+        return SessionConfig(
+            correlations={u: (backward, forward) for u in range(args.users)},
+            budgets=args.epsilon,
+            query=query,
+            alpha=args.alpha,
+            alpha_mode=args.alpha_mode,
+            backend=args.backend,
+            shards=getattr(args, "shards", 1),
+            horizon=horizon,
+            seed=args.seed,
+            checkpoint_dir=getattr(args, "checkpoint", None),
+            queue_maxsize=getattr(args, "queue_size", 64),
+            window_size=getattr(args, "window", 1),
+        )
+    except ReproError:
+        raise  # printed as "error: ..." by main()
+    except ValueError as error:
+        # Config combinations argparse cannot express (e.g. --backend
+        # scalar with --shards 2) exit cleanly, not with a traceback.
+        raise SystemExit(f"error: {error}") from None
 
 
 def _print_session_summary(session) -> None:
@@ -232,29 +245,41 @@ def _cmd_release(args) -> int:
             args, backward, forward, HistogramQuery(forward.n), args.steps
         )
     )
-    events = session.run(dataset)
-    for event in events:
-        line = (
-            f"t={event.t:<3d} status={event.status:<9s} "
-            f"eps={event.epsilon:<8.4f} max-TPL={event.max_tpl:.6f}"
-        )
-        if event.message:
-            line += f"  ({event.message})"
-        print(line)
-    _print_session_summary(session)
-    if args.checkpoint:
-        try:
-            path = session.checkpoint()
-        except OSError as error:
-            print(f"error: cannot write checkpoint: {error}", file=sys.stderr)
-            return 1
-        print(f"checkpoint written to {path}")
-    if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            for event in events:
-                handle.write(json.dumps(event.payload()) + "\n")
-        print(f"event log written to {args.output}")
-    return 0
+    try:
+        events = session.run(dataset)
+        for event in events:
+            line = (
+                f"t={event.t:<3d} status={event.status:<9s} "
+                f"eps={event.epsilon:<8.4f} max-TPL={event.max_tpl:.6f}"
+            )
+            if event.message:
+                line += f"  ({event.message})"
+            print(line)
+        _print_session_summary(session)
+        if args.checkpoint:
+            try:
+                path = session.checkpoint()
+            except OSError as error:
+                print(
+                    f"error: cannot write checkpoint: {error}", file=sys.stderr
+                )
+                return 1
+            print(f"checkpoint written to {path}")
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                for event in events:
+                    handle.write(json.dumps(event.payload()) + "\n")
+            print(f"event log written to {args.output}")
+        return 0
+    finally:
+        session.close()
+
+
+def _error_payload(error: BaseException) -> str:
+    """The JSON error line for one failed submission.  The exception
+    class rides along: ``str(KeyError("5"))`` is just ``"'5'"``, which
+    serialised alone reads like a successful payload of nothing."""
+    return json.dumps({"error": f"{type(error).__name__}: {error}"})
 
 
 async def _serve_loop(session, stream, limit: Optional[int] = None) -> int:
@@ -263,11 +288,49 @@ async def _serve_loop(session, stream, limit: Optional[int] = None) -> int:
 
     Submissions are gathered ``SessionConfig.window_size`` at a time so
     the session's queue can drain them as one accounting window; with the
-    default window of 1 this is the per-line loop it always was.
+    default window of 1 this is the per-line loop it always was.  A
+    ``{"window": [...]}`` line is a client-side batch: its steps are
+    ingested as one window (:meth:`ReleaseSession.ingest_window`),
+    emitting one event payload per step, so the wire round-trip batches
+    along with the accounting.
     """
     processed = 0
     window = max(1, session.config.window_size)
     pending: List[tuple] = []
+    # JSON object keys are always strings; map them back to the session's
+    # real user ids (int, str, ...) instead of blindly coercing to int,
+    # which broke every session keyed by non-integer users.  Unknown keys
+    # pass through untouched so the backend's "unknown user" error names
+    # the offending id.
+    known_users = {str(user): user for user in session.users}
+
+    def decode_overrides(raw) -> Optional[dict]:
+        if raw is None:
+            return None
+        if not isinstance(raw, dict):
+            raise ValueError('"overrides" must be a JSON object')
+        overrides = {
+            known_users.get(user, user): float(eps)
+            for user, eps in raw.items()
+        }
+        return overrides or None
+
+    def decode_step(payload) -> tuple:
+        """One submission triple from a JSON array (bare snapshot) or
+        object (snapshot/epsilon/overrides)."""
+        if isinstance(payload, list):
+            snapshot, epsilon, overrides = payload, None, None
+        elif isinstance(payload, dict):
+            snapshot = payload.get("snapshot")
+            epsilon = payload.get("epsilon")
+            overrides = decode_overrides(payload.get("overrides"))
+        else:
+            raise ValueError("expected a JSON array or object")
+        return (
+            None if snapshot is None else np.asarray(snapshot, dtype=int),
+            epsilon,
+            overrides,
+        )
 
     async def flush() -> bool:
         """Ingest the pending submissions; True to keep serving."""
@@ -282,7 +345,7 @@ async def _serve_loop(session, stream, limit: Optional[int] = None) -> int:
         pending.clear()
         for result in results:
             if isinstance(result, (ReproError, ValueError, KeyError)):
-                print(json.dumps({"error": str(result)}), flush=True)
+                print(_error_payload(result), flush=True)
                 continue
             if isinstance(result, BaseException):
                 raise result
@@ -291,6 +354,26 @@ async def _serve_loop(session, stream, limit: Optional[int] = None) -> int:
             if limit is not None and processed >= limit:
                 return False
         return True
+
+    def ingest_windowed_line(entries) -> List:
+        """Apply one ``{"window": [...]}`` line as a single accounting
+        window (the queue is idle here: ``flush()`` ran first, so
+        submission order is preserved)."""
+        from .service import ReleaseWindow, WindowStep
+
+        if not isinstance(entries, list) or not entries:
+            raise ValueError('"window" must be a non-empty JSON array')
+        steps = []
+        for entry in entries:
+            snapshot, epsilon, overrides = decode_step(entry)
+            steps.append(
+                WindowStep(
+                    snapshot=snapshot, epsilon=epsilon, overrides=overrides
+                )
+            )
+        if limit is not None:
+            steps = steps[: max(1, limit - processed)]
+        return session.ingest_window(ReleaseWindow(steps))
 
     async with session:
         for line in stream:
@@ -302,28 +385,28 @@ async def _serve_loop(session, stream, limit: Optional[int] = None) -> int:
             except json.JSONDecodeError as error:
                 print(json.dumps({"error": f"bad JSON: {error}"}), flush=True)
                 continue
-            if isinstance(payload, list):
-                snapshot, epsilon, overrides = payload, None, None
-            elif isinstance(payload, dict):
-                snapshot = payload.get("snapshot")
-                epsilon = payload.get("epsilon")
-                overrides = {
-                    int(user): float(eps)
-                    for user, eps in (payload.get("overrides") or {}).items()
-                }
-            else:
-                print(
-                    json.dumps({"error": "expected a JSON array or object"}),
-                    flush=True,
-                )
+            if isinstance(payload, dict) and "window" in payload:
+                # Client-side batching: drain queued singles first so
+                # events stay in submission order, then ingest the whole
+                # line as one window.
+                if pending and not await flush():
+                    return processed
+                try:
+                    events = ingest_windowed_line(payload["window"])
+                except (ReproError, TypeError, ValueError, KeyError) as error:
+                    print(_error_payload(error), flush=True)
+                    continue
+                for event in events:
+                    print(json.dumps(event.payload()), flush=True)
+                    processed += 1
+                    if limit is not None and processed >= limit:
+                        return processed
                 continue
-            pending.append(
-                (
-                    None if snapshot is None else np.asarray(snapshot, dtype=int),
-                    epsilon,
-                    overrides or None,
-                )
-            )
+            try:
+                pending.append(decode_step(payload))
+            except (TypeError, ValueError) as error:
+                print(_error_payload(error), flush=True)
+                continue
             # Flush at the window bound -- early when a --max-steps limit
             # would land mid-window, so the limit stays exact.
             bound = window
@@ -347,17 +430,20 @@ def _cmd_serve(args) -> int:
     session = ReleaseSession(
         _session_config(args, backward, forward, HistogramQuery(forward.n))
     )
-    processed = asyncio.run(
-        _serve_loop(session, sys.stdin, limit=args.max_steps)
-    )
-    summary = session.summary()
-    print(
-        f"served {processed} events ({summary['backend']} backend, "
-        f"{summary['users']} users); worst-case TPL "
-        f"{summary['max_tpl']:.6f}",
-        file=sys.stderr,
-    )
-    return 0
+    try:
+        processed = asyncio.run(
+            _serve_loop(session, sys.stdin, limit=args.max_steps)
+        )
+        summary = session.summary()
+        print(
+            f"served {processed} events ({summary['backend']} backend, "
+            f"{summary['users']} users); worst-case TPL "
+            f"{summary['max_tpl']:.6f}",
+            file=sys.stderr,
+        )
+        return 0
+    finally:
+        session.close()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -430,6 +516,17 @@ def build_parser() -> argparse.ArgumentParser:
             choices=("auto", "scalar", "fleet"),
             default="auto",
             help="accounting backend (auto = by population size)",
+        )
+        p.add_argument(
+            "--shards",
+            type=int,
+            default=1,
+            metavar="N",
+            help=(
+                "partition cohorts across N worker processes "
+                "(fleet engine only; bit-identical to N=1, scales "
+                "accounting throughput with cores)"
+            ),
         )
         p.add_argument(
             "--window",

@@ -144,10 +144,22 @@ class TemporalPrivacyAccountant:
         (state unchanged) if it would violate the bound.
         """
         epsilon = validate_epsilon(epsilon)
+        start = len(self._epsilons)
         self._epsilons.append(epsilon)
-        for state in self._users.values():
-            state.extend_bpl(epsilon)
-        worst = self.max_tpl()
+        try:
+            for state in self._users.values():
+                state.extend_bpl(epsilon)
+            worst = self.max_tpl()
+        except BaseException:
+            # A solver fault (e.g. Dinkelbach non-convergence) must not
+            # leave a half-applied release behind: every mutation above
+            # is an append, so truncating back to the entry horizon
+            # restores the exact prior state.
+            del self._epsilons[start:]
+            for state in self._users.values():
+                del state.bpl[start:]
+                state._fpl_cache_key = None
+            raise
         if self._alpha is not None and worst > self._alpha + 1e-12:
             # Roll back: the release would break the alpha-DP_T promise.
             self.rollback_last()

@@ -265,11 +265,15 @@ class FleetAccountant:
             validate_epsilon(eps_u, name="override epsilon")
             self._ensure_override(user)
 
+        start = self.horizon
         self._epsilons.append(epsilon)
-        for state in self._states.values():
-            self._extend_cohort(state, epsilon, overrides)
-
-        worst = self.max_tpl()
+        try:
+            for state in self._states.values():
+                self._extend_cohort(state, epsilon, overrides)
+            worst = self.max_tpl()
+        except BaseException:
+            self._truncate_to(start)
+            raise
         if self._alpha is not None and worst > self._alpha + 1e-12:
             self.rollback_last()
             raise InvalidPrivacyParameterError(
@@ -285,11 +289,16 @@ class FleetAccountant:
         is non-decreasing in the horizon -- except that on violation the
         *whole batch* is rolled back."""
         epsilons = [validate_epsilon(e) for e in epsilons]
-        for eps in epsilons:
-            self._epsilons.append(eps)
-            for state in self._states.values():
-                self._extend_cohort(state, eps, {})
-        worst = self.max_tpl()
+        start = self.horizon
+        try:
+            for eps in epsilons:
+                self._epsilons.append(eps)
+                for state in self._states.values():
+                    self._extend_cohort(state, eps, {})
+            worst = self.max_tpl()
+        except BaseException:
+            self._truncate_to(start)
+            raise
         if self._alpha is not None and worst > self._alpha + 1e-12:
             for _ in epsilons:
                 self.rollback_last()
@@ -357,14 +366,18 @@ class FleetAccountant:
         # step is one memoised scalar evaluation per group plus one
         # batched evaluation per cohort with overrides -- identical
         # operations, in identical order, to K add_release calls.
-        for epsilon, step_overrides in zip(epsilons, per_step):
-            for user in step_overrides:
-                self._ensure_override(user)
-            self._epsilons.append(epsilon)
-            for state in self._states.values():
-                self._extend_cohort(state, epsilon, step_overrides)
-
-        worsts = self._window_worsts(len(epsilons))
+        start = self.horizon
+        try:
+            for epsilon, step_overrides in zip(epsilons, per_step):
+                for user in step_overrides:
+                    self._ensure_override(user)
+                self._epsilons.append(epsilon)
+                for state in self._states.values():
+                    self._extend_cohort(state, epsilon, step_overrides)
+            worsts = self._window_worsts(len(epsilons))
+        except BaseException:
+            self._truncate_to(start)
+            raise
         if self._alpha is not None and float(worsts.max()) > self._alpha + 1e-12:
             self.rollback(len(epsilons))
             raise InvalidPrivacyParameterError(
@@ -418,6 +431,31 @@ class FleetAccountant:
                 eps_u = float(overrides.get(user, epsilon))
                 series.eps.append(eps_u)
                 series.bpl.append(float(increments[i]) + eps_u)
+            state._override_fpl_key = None
+
+    def _truncate_to(self, horizon: int) -> None:
+        """Restore the exact accounting state at ``horizon`` after a
+        mid-mutation fault (e.g. a :class:`SolverError` from a loss
+        evaluation partway through a window).
+
+        Every mutation in the stream interface is an append -- to
+        ``_epsilons``, to group BPL series, to override eps/BPL series --
+        so truncating each series to its length at ``horizon`` is an
+        exact undo, even when the fault struck between cohorts of the
+        same step.  Override *conversions* performed by
+        :meth:`_ensure_override` are left in place: an override series
+        carrying the default schedule is numerically identical to group
+        membership (the parity suite pins the two paths bit-identical).
+        """
+        del self._epsilons[horizon:]
+        for state in self._states.values():
+            for group in state.groups.values():
+                del group.bpl[max(0, horizon - group.start) :]
+                group._fpl_key = None
+            for series in state.overrides.values():
+                keep = max(0, horizon - series.start)
+                del series.eps[keep:]
+                del series.bpl[keep:]
             state._override_fpl_key = None
 
     def rollback_last(self) -> None:

@@ -11,7 +11,11 @@ is the single front door over both:
   protocol both engines satisfy, via
   :class:`~repro.service.backends.ScalarAccountantBackend` and
   :class:`~repro.service.backends.FleetAccountantBackend`; chosen
-  automatically by population size or pinned explicitly.
+  automatically by population size or pinned explicitly.  With
+  ``SessionConfig(shards=N)`` the fleet path runs behind
+  :class:`~repro.service.sharding.ShardedFleetBackend`, which scatters
+  every window across N worker processes and gathers the per-step
+  worst-TPL series by elementwise max -- bit-identical, parallel.
 * :class:`~repro.service.config.SessionConfig` -- declarative session
   description: budget spec, :class:`~repro.service.config.AlphaPolicy`
   (reject / clamp / warn), backend choice, solution-cache and checkpoint
@@ -73,6 +77,7 @@ from .events import (
     ReleaseEvent,
 )
 from .session import ReleaseSession
+from .sharding import ShardedFleetBackend, shard_of_digest
 from .window import ReleaseWindow, WindowResult, WindowStep
 
 __all__ = [
@@ -82,6 +87,8 @@ __all__ = [
     "AccountantBackend",
     "ScalarAccountantBackend",
     "FleetAccountantBackend",
+    "ShardedFleetBackend",
+    "shard_of_digest",
     "make_backend",
     "normalise_correlations",
     "DEFAULT_FLEET_THRESHOLD",

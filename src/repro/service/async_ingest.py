@@ -17,10 +17,11 @@ whenever producers outpace the accounting consumer, the backlog is
 drained as one :class:`~repro.service.window.ReleaseWindow` instead of
 one backend round-trip per item.
 
-This is deliberately the seam for the ROADMAP's sharding work: a
-coordinator that partitions cohorts across processes replaces the inline
-``process`` callable with a scatter/gather step, and nothing upstream of
-the queue changes.
+This is deliberately the seam the sharding work plugs into: with
+``SessionConfig(shards=N)`` the windows drained here enter a
+:class:`~repro.service.sharding.ShardedFleetBackend`, whose coordinator
+scatters each one across worker processes and gathers the per-shard
+worst-TPL series -- nothing upstream of the queue changed.
 """
 
 from __future__ import annotations
@@ -69,14 +70,28 @@ class BoundedIngestQueue:
 
     Notes
     -----
-    The queue binds to the running event loop on first ``submit`` and must
-    not be shared across loops.  ``close`` drains outstanding items before
-    stopping, so no submitted work is lost on shutdown; submissions that
-    arrive *while* ``close`` is in progress raise :class:`QueueClosed`
-    instead of being stranded.  ``high_watermark`` records the deepest
-    backlog observed and ``batch_high_watermark`` the largest coalesced
-    batch -- the two numbers operators use to size ``maxsize`` and the
-    session's ``window_size``.
+    The queue binds to the running event loop on first ``submit`` and
+    must not be shared across loops: a ``submit`` from any other loop
+    raises ``RuntimeError`` immediately (the queue and its drain task
+    live on the owning loop, so a foreign-loop future would hang or
+    crash with ``attached to a different loop`` deep inside asyncio).
+    After ``close`` the binding is released and the next ``submit``
+    re-binds to its loop.
+
+    Entries whose submitter has gone away (the awaiting task was
+    cancelled) are *skipped*, not processed: charging the consumer --
+    for a release session, spending privacy budget -- on behalf of an
+    abandoned request would mutate state nobody observes, and any
+    exception it raised would vanish.  Skipped entries are excluded from
+    coalesced batches and counted in :meth:`stats` as ``cancelled``.
+
+    ``close`` drains outstanding items before stopping, so no submitted
+    work is lost on shutdown; submissions that arrive *while* ``close``
+    is in progress raise :class:`QueueClosed` instead of being stranded.
+    ``high_watermark`` records the deepest backlog observed and
+    ``batch_high_watermark`` the largest coalesced batch -- the two
+    numbers operators use to size ``maxsize`` and the session's
+    ``window_size``.
     """
 
     def __init__(
@@ -97,10 +112,12 @@ class BoundedIngestQueue:
         self._batch_size = batch_size
         self._queue: Optional[asyncio.Queue] = None
         self._drain_task: Optional[asyncio.Task] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._in_flight = 0  # submitters between entry and result delivery
         self._closing = False
         self.submitted = 0
         self.processed = 0
+        self.cancelled = 0
         self.high_watermark = 0
         self.batch_high_watermark = 0
 
@@ -118,13 +135,18 @@ class BoundedIngestQueue:
         return 0 if self._queue is None else self._queue.qsize()
 
     def stats(self) -> dict:
-        """Operational counters, for session summaries and dashboards."""
+        """Operational counters, for session summaries and dashboards.
+        ``processed`` counts entries actually handed to the consumer;
+        ``cancelled`` counts entries skipped because their submitter
+        abandoned them first (``submitted == processed + cancelled``
+        once fully drained)."""
         return {
             "maxsize": self._maxsize,
             "batch_size": self._batch_size,
             "depth": self.depth,
             "submitted": self.submitted,
             "processed": self.processed,
+            "cancelled": self.cancelled,
             "high_watermark": self.high_watermark,
             "batch_high_watermark": self.batch_high_watermark,
         }
@@ -139,9 +161,15 @@ class BoundedIngestQueue:
         """
         if self._closing:
             raise QueueClosed("queue is closing; submission rejected")
+        loop = asyncio.get_running_loop()
+        if self._queue is not None and loop is not self._loop:
+            raise RuntimeError(
+                "BoundedIngestQueue is bound to a different event loop; "
+                "it binds to the loop of its first submit -- create one "
+                "queue per loop (or close() it before reusing elsewhere)"
+            )
         self._ensure_started()
         assert self._queue is not None
-        loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self._in_flight += 1
         try:
@@ -180,15 +208,15 @@ class BoundedIngestQueue:
                 await self._drain_task
             self._queue = None
             self._drain_task = None
+            self._loop = None
         finally:
             self._closing = False
 
     def _ensure_started(self) -> None:
         if self._queue is None:
+            self._loop = asyncio.get_running_loop()
             self._queue = asyncio.Queue(maxsize=self._maxsize)
-            self._drain_task = asyncio.get_running_loop().create_task(
-                self._drain()
-            )
+            self._drain_task = self._loop.create_task(self._drain())
 
     def _next_batch(self, first) -> list:
         """Coalesce up to ``batch_size`` queued entries, FIFO."""
@@ -210,10 +238,28 @@ class BoundedIngestQueue:
             self.processed += 1
             self._queue.task_done()
 
+    def _skip_cancelled(self, count: int = 1) -> None:
+        """Account for entries dropped because their submitter abandoned
+        them: they are done as far as the queue is concerned, but the
+        consumer never saw them."""
+        assert self._queue is not None
+        for _ in range(count):
+            self.cancelled += 1
+            self._queue.task_done()
+
     def _process_one(self, entry) -> None:
         """Process a single ``(item, future)`` entry through ``process``,
-        delivering its result or exception to just that submitter."""
+        delivering its result or exception to just that submitter.
+
+        An entry whose submitter already cancelled is skipped *before*
+        the consumer runs: processing it anyway would mutate consumer
+        state (spend privacy budget) for a request nobody is waiting on,
+        and silently drop any exception it raised.
+        """
         item, future = entry
+        if future.cancelled():
+            self._skip_cancelled()
+            return
         try:
             result = self._process(item)
         except BaseException as error:  # noqa: BLE001 -- relayed, not hidden
@@ -233,12 +279,23 @@ class BoundedIngestQueue:
                 self._process_one(first)
                 continue
             batch = self._next_batch(first)
+            # Cancelled submitters never reach the consumer: their
+            # entries are excluded from the coalesced window up front
+            # (same skip as the per-item path).
+            live = []
+            for entry in batch:
+                if entry[1].cancelled():
+                    self._skip_cancelled()
+                else:
+                    live.append(entry)
+            if not live:
+                continue
             try:
-                results = self._process_batch([item for item, _ in batch])
-                if len(results) != len(batch):
+                results = self._process_batch([item for item, _ in live])
+                if len(results) != len(live):
                     raise RuntimeError(
                         f"process_batch returned {len(results)} results "
-                        f"for {len(batch)} items"
+                        f"for {len(live)} items"
                     )
             except BaseException:  # noqa: BLE001 -- retried per item below
                 # process_batch raises before mutating state (its
@@ -246,10 +303,10 @@ class BoundedIngestQueue:
                 # item by item: healthy submissions succeed exactly as
                 # they would have with batch_size=1, and only the
                 # poisoned one receives its exception.
-                for entry in batch:
+                for entry in live:
                     self._process_one(entry)
             else:
-                for (_, future), result in zip(batch, results):
+                for (_, future), result in zip(live, results):
                     if not future.cancelled():
                         future.set_result(result)
-                self._finish(len(batch))
+                self._finish(len(live))

@@ -200,11 +200,22 @@ class ScalarAccountantBackend:
                 validate_epsilon(eps_u, name="override epsilon")
             steps.append((epsilon, overrides))
         worsts = np.empty(len(steps))
-        for i, (epsilon, overrides) in enumerate(steps):
-            for user, accountant in self._accountants.items():
-                accountant.add_release(overrides.get(user, epsilon))
-            self._epsilons.append(epsilon)
-            worsts[i] = self.max_tpl()
+        start = len(self._epsilons)
+        try:
+            for i, (epsilon, overrides) in enumerate(steps):
+                for user, accountant in self._accountants.items():
+                    accountant.add_release(overrides.get(user, epsilon))
+                self._epsilons.append(epsilon)
+                worsts[i] = self.max_tpl()
+        except BaseException:
+            # A solver fault mid-window must not leave some users with
+            # an extra release: each accountant's add_release is atomic,
+            # so rolling every accountant back to the entry horizon is
+            # an exact undo.
+            for accountant in self._accountants.values():
+                accountant.rollback(accountant.horizon - start)
+            del self._epsilons[start:]
+            raise
         return WindowResult(worsts)
 
     def add_release(
@@ -440,19 +451,41 @@ def make_backend(
     backend: str = "auto",
     fleet_threshold: int = DEFAULT_FLEET_THRESHOLD,
     cache: Optional[SolutionCache] = None,
+    shards: int = 1,
 ) -> AccountantBackend:
     """Build the accounting backend for a population.
 
     ``backend="auto"`` (the default) selects by population size: scalar
     below ``fleet_threshold`` users, fleet at or above it.  ``"scalar"``
-    and ``"fleet"`` force the choice.
+    and ``"fleet"`` force the choice.  ``shards >= 2`` puts the fleet
+    path behind a process-sharded coordinator
+    (:class:`~repro.service.sharding.ShardedFleetBackend`, bit-identical
+    to the single-process fleet backend); sharding implies the fleet
+    path, so ``"auto"`` resolves to it and an explicit ``"scalar"`` is an
+    error.
     """
     users = normalise_correlations(correlations)
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
     if backend == "auto":
-        backend = "fleet" if len(users) >= fleet_threshold else "scalar"
+        backend = (
+            "fleet"
+            if shards > 1 or len(users) >= fleet_threshold
+            else "scalar"
+        )
     if backend == "scalar":
+        if shards > 1:
+            raise ValueError(
+                "sharded accounting runs on the fleet engine; "
+                "backend='scalar' cannot be combined with shards="
+                f"{shards}"
+            )
         return ScalarAccountantBackend(users, cache=cache)
     if backend == "fleet":
+        if shards > 1:
+            from .sharding import ShardedFleetBackend
+
+            return ShardedFleetBackend(users, shards=shards, cache=cache)
         return FleetAccountantBackend(users, cache=cache)
     raise ValueError(
         f"backend must be 'auto', 'scalar' or 'fleet', got {backend!r}"

@@ -167,6 +167,14 @@ class SessionConfig:
         The :class:`AlphaPolicy` (see there).
     backend:
         ``"auto"`` (by population size), ``"scalar"`` or ``"fleet"``.
+    shards:
+        Number of worker processes for the fleet path.  ``1`` (the
+        default) keeps accounting in-process; ``>= 2`` partitions
+        cohorts across that many processes behind a scatter/gather
+        coordinator (:class:`~repro.service.sharding.ShardedFleetBackend`,
+        bit-identical to the in-process fleet backend).  Sharding implies
+        the fleet engine, so it cannot be combined with
+        ``backend="scalar"``.
     fleet_threshold:
         Population size at which ``auto`` switches to the fleet backend.
     horizon:
@@ -176,6 +184,9 @@ class SessionConfig:
         Max entries of the shared Algorithm-1
         :class:`~repro.fleet.solution_cache.SolutionCache` threaded
         through whichever backend runs (``None`` = library default).
+        With ``shards >= 2`` caches cannot cross process boundaries;
+        each worker builds a *private* cache of this size, so the
+        memory bound is per process.
     checkpoint_dir, checkpoint_every:
         Write a backend checkpoint to ``checkpoint_dir`` after every
         ``checkpoint_every`` accounted releases.
@@ -201,6 +212,7 @@ class SessionConfig:
     alpha_mode: str = "reject"
     clamp_resolution: float = 1e-6
     backend: str = "auto"
+    shards: int = 1
     fleet_threshold: int = DEFAULT_FLEET_THRESHOLD
     horizon: Optional[int] = None
     cache_size: Optional[int] = None
@@ -218,6 +230,14 @@ class SessionConfig:
             raise ValueError(
                 "backend must be 'auto', 'scalar' or 'fleet', got "
                 f"{self.backend!r}"
+            )
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.shards > 1 and self.backend == "scalar":
+            raise ValueError(
+                "sharded accounting runs on the fleet engine; "
+                "backend='scalar' cannot be combined with shards="
+                f"{self.shards}"
             )
         if self.fleet_threshold < 1:
             raise ValueError(

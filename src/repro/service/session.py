@@ -119,6 +119,7 @@ class ReleaseSession:
                 backend=config.backend,
                 fleet_threshold=config.fleet_threshold,
                 cache=self._cache,
+                shards=config.shards,
             )
         self._backend = backend
         self._rng = as_rng(config.seed)
@@ -401,6 +402,15 @@ class ReleaseSession:
             self._queue_stats = self._pump.stats()
             self._pump = None
 
+    def close(self) -> None:
+        """Release backend resources (idempotent).  In-process backends
+        hold none; a sharded backend shuts its worker processes down, so
+        call this (or use the backend as a context manager) when a
+        sharded session is done."""
+        closer = getattr(self._backend, "close", None)
+        if closer is not None:
+            closer()
+
     async def __aenter__(self) -> "ReleaseSession":
         return self
 
@@ -583,36 +593,60 @@ class ReleaseSession:
 
     @classmethod
     def restore(cls, config: SessionConfig, directory) -> "ReleaseSession":
-        """Rebuild a session from a checkpoint written by either backend.
+        """Rebuild a session from a checkpoint written by any backend.
 
         The accounting state (and therefore every leakage query) is
         restored bit-for-bit; the event log is not checkpointed -- events
-        describe what *this process* emitted.  The backend kind is read
-        off the checkpoint; an explicit, conflicting
-        ``SessionConfig.backend`` is an error (checkpoints do not convert
-        between backends), while ``"auto"`` accepts whatever is on disk.
+        describe what *this process* emitted.  The backend kind (scalar,
+        fleet, or sharded fleet) is read off the checkpoint; an explicit,
+        conflicting ``SessionConfig.backend`` is an error (checkpoints do
+        not convert between backends), while ``"auto"`` accepts whatever
+        is on disk.  Sharded checkpoints restart their worker processes;
+        the checkpoint dictates the shard count, and a conflicting
+        ``SessionConfig.shards`` is an error (re-sharding a checkpoint is
+        not supported).
         """
+        from .sharding import SHARD_MANIFEST_NAME, ShardedFleetBackend
+
         directory = Path(directory)
         cache = (
             SolutionCache(maxsize=config.cache_size)
             if config.cache_size is not None
             else SolutionCache()
         )
-        kind = (
-            "scalar"
-            if (directory / SCALAR_MANIFEST_NAME).exists()
-            else "fleet"
-        )
-        if config.backend not in ("auto", kind):
+        if (directory / SCALAR_MANIFEST_NAME).exists():
+            kind = "scalar"
+        elif (directory / SHARD_MANIFEST_NAME).exists():
+            kind = "sharded"
+        else:
+            kind = "fleet"
+        # Sharding rides the fleet engine, so a sharded checkpoint
+        # satisfies a config pinned to "fleet" (and vice versa is an
+        # error handled below via the shards count).
+        pinned = config.backend
+        if pinned not in ("auto", "fleet" if kind == "sharded" else kind):
             raise ValueError(
                 f"checkpoint in {directory} was written by the {kind} "
                 f"backend but the config pins backend="
-                f"{config.backend!r}; checkpoints do not convert between "
+                f"{pinned!r}; checkpoints do not convert between "
                 "backends"
+            )
+        if kind != "sharded" and config.shards > 1:
+            raise ValueError(
+                f"checkpoint in {directory} was written by the "
+                f"single-process {kind} backend but the config requests "
+                f"shards={config.shards}; re-sharding a checkpoint is "
+                "not supported"
             )
         if kind == "scalar":
             backend: AccountantBackend = ScalarAccountantBackend.restore(
                 directory, config.user_correlations(), cache=cache
+            )
+        elif kind == "sharded":
+            backend = ShardedFleetBackend.restore(
+                directory,
+                cache=cache,
+                shards=config.shards if config.shards > 1 else None,
             )
         else:
             backend = FleetAccountantBackend.restore(directory, cache=cache)

@@ -1,0 +1,605 @@
+"""Sharded fleet accounting: cohorts scattered across worker processes.
+
+The paper's BPL/FPL/TPL recursions are strictly sequential *per user*,
+but cohorts (users sharing a ``(P_B, P_F)`` pair) are mutually
+independent: the fleet-wide worst-case TPL is a plain maximum over
+per-cohort contributions, and ``max`` is exact in floating point.  That
+makes the fleet engine shardable with **no accuracy cost**:
+
+* cohorts are partitioned across ``N`` worker processes by a stable hash
+  of their canonical correlation digest (:func:`shard_of_digest`), so the
+  same population always lands on the same shards -- across restarts,
+  across machines;
+* each worker owns a private :class:`~repro.fleet.engine.FleetAccountant`
+  over its cohorts and answers a tiny command protocol over a pipe;
+* the coordinator (:class:`ShardedFleetBackend`) implements the full
+  :class:`~repro.service.backends.AccountantBackend` protocol by
+  *scattering* every ``add_window`` to all shards and *gathering* the
+  per-shard per-step worst-TPL series, merged by elementwise ``max`` --
+  bit-identical to the single-process
+  :class:`~repro.service.backends.FleetAccountantBackend`, the same hard
+  guarantee the scalar/fleet and windowed/per-event parity suites already
+  enforce (``tests/test_service_sharding.py`` extends them).
+
+Per-user budget overrides are routed to the single shard owning that
+user's cohort; rollbacks (including the session's probe-and-rollback
+alpha clamping) broadcast to every shard, so the probe/undo dance stays
+exact.  Checkpoints are one directory holding a shard manifest plus one
+ordinary fleet checkpoint (``.npz`` + manifest) per shard, written and
+restored in parallel.
+
+This is the scatter/gather step the
+:class:`~repro.service.async_ingest.BoundedIngestQueue` behind
+:meth:`~repro.service.session.ReleaseSession.aingest` was designed to
+feed: nothing upstream of the queue changes, windows drained from the
+backlog simply fan out across processes.
+
+Worker processes are daemonic (they die with the coordinator) and are
+shut down deterministically by :meth:`ShardedFleetBackend.close` (also a
+context manager).  Shard workers build private
+:class:`~repro.fleet.solution_cache.SolutionCache` instances; caches are
+transparent state, so per-process caches do not affect the numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+from pathlib import Path
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional
+
+import numpy as np
+
+from ..core.budget import validate_epsilon
+from ..core.leakage import LeakageProfile
+from ..fleet.checkpoint import load_checkpoint, save_checkpoint
+from ..fleet.cohorts import correlation_digest, normalise_pair
+from ..fleet.engine import FleetAccountant
+from ..fleet.solution_cache import SolutionCache
+from .window import ReleaseWindow, WindowResult
+
+__all__ = [
+    "ShardedFleetBackend",
+    "shard_of_digest",
+    "SHARD_MANIFEST_NAME",
+    "SHARD_CHECKPOINT_KIND",
+]
+
+SHARD_MANIFEST_NAME = "shard_manifest.json"
+SHARD_CHECKPOINT_KIND = "sharded_fleet_checkpoint"
+_SHARD_FORMAT_VERSION = 1
+
+
+def shard_of_digest(digest: str, shards: int) -> int:
+    """Deterministic shard index of a cohort digest.
+
+    Uses a content hash rather than Python's salted ``hash()`` so the
+    cohort -> shard assignment is stable across processes, machines and
+    checkpoint/restore cycles -- a cohort's accounting state must always
+    find its way back to the shard that owns it.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    prefix = hashlib.sha256(digest.encode("utf-8")).digest()[:8]
+    return int.from_bytes(prefix, "big") % shards
+
+
+def _mp_context():
+    """Fork where available (cheap, Linux); the default context (spawn)
+    elsewhere.  Both work: worker arguments are picklable and the worker
+    entry point is module-level."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _shard_worker(conn, correlations, restore_dir, cache_maxsize) -> None:
+    """Worker-process entry point: one private engine, one command loop.
+
+    Commands arrive as ``(op, args)`` pairs; every command is answered
+    with ``("ok", result)`` or ``("error", exception)`` so the
+    coordinator can re-raise backend errors in the caller's process.
+    """
+    try:
+        cache = (
+            SolutionCache(maxsize=cache_maxsize)
+            if cache_maxsize is not None
+            else SolutionCache()
+        )
+        if restore_dir is not None:
+            engine = load_checkpoint(restore_dir, cache=cache)
+        else:
+            engine = FleetAccountant(correlations, cache=cache)
+    except BaseException as error:  # noqa: BLE001 -- relayed as handshake
+        # Setup failures (missing checkpoint dir, bad correlations)
+        # must reach the coordinator as the real exception, not as an
+        # opaque dead pipe.
+        try:
+            conn.send(("error", error))
+        finally:
+            conn.close()
+        return
+    conn.send(("ok", None))  # startup handshake: engine is ready
+    try:
+        while True:
+            try:
+                op, args = conn.recv()
+            except EOFError:
+                break
+            if op == "close":
+                try:
+                    conn.send(("ok", None))
+                except (BrokenPipeError, OSError):
+                    pass  # coordinator already hung up
+                break
+            try:
+                if op == "add_window":
+                    epsilons, overrides = args
+                    result = engine.add_window(epsilons, overrides)
+                elif op == "rollback":
+                    result = engine.rollback(args)
+                elif op == "max_tpl":
+                    result = engine.max_tpl()
+                elif op == "profile":
+                    result = engine.profile(args)
+                elif op == "user_epsilons":
+                    result = engine.user_epsilons(args)
+                elif op == "save":
+                    result = str(save_checkpoint(engine, args))
+                elif op == "cache_maxsize":
+                    result = engine.cache.maxsize
+                elif op == "describe":
+                    result = {
+                        "users": list(engine.users),
+                        "epsilons": [float(e) for e in engine.epsilons],
+                        "n_cohorts": engine.n_cohorts,
+                    }
+                else:  # pragma: no cover - protocol bug, not user error
+                    raise RuntimeError(f"unknown shard op {op!r}")
+            except BaseException as error:  # noqa: BLE001 -- relayed
+                reply = ("error", error)
+            else:
+                reply = ("ok", result)
+            try:
+                conn.send(reply)
+            except (BrokenPipeError, OSError):
+                break  # coordinator gone; nothing left to serve
+    finally:
+        conn.close()
+
+
+class ShardedFleetBackend:
+    """Cohort-sharded fleet accounting behind the backend protocol.
+
+    Parameters
+    ----------
+    correlations:
+        Anything :func:`~repro.service.backends.normalise_correlations`
+        accepts (the population must be non-empty).
+    shards:
+        Number of worker processes.  ``1`` is legal (useful for
+        debugging the process plumbing) but the single-process
+        :class:`~repro.service.backends.FleetAccountantBackend` is the
+        better choice there.
+    cache:
+        Solution caches are process-local, so the coordinator cannot
+        share this object with its workers; only its ``maxsize`` is
+        honoured -- each worker builds a private
+        :class:`SolutionCache` of that size, keeping the operator's
+        per-process memory bound.  Caches are transparent state -- they
+        never change the numbers.
+
+    Notes
+    -----
+    Bit-identical to :class:`FleetAccountantBackend` on identical
+    streams: each shard performs exactly the float operations the
+    single-process engine performs for its cohorts, and the per-step
+    worst-TPL merge is an elementwise ``max`` (exact).  A failed window
+    is atomic: all validation happens in the coordinator before any
+    shard is touched, and if a shard still fails mid-scatter the
+    already-applied shards are rolled back before the error is re-raised
+    (the async queue's per-item retry of a failed batch relies on this).
+    A shard *process* dying is unrecoverable -- its cohorts' state is
+    lost -- so any pipe failure closes the whole backend and raises;
+    restart from the last checkpoint.
+    """
+
+    name = "sharded"
+    supports_checkpoint = True
+
+    def __init__(
+        self,
+        correlations,
+        *,
+        shards: int = 2,
+        cache: Optional[SolutionCache] = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        # Import here: backends imports this module lazily (make_backend)
+        # and this module needs backends' normaliser -- a top-level import
+        # each way would be a cycle.
+        from .backends import normalise_correlations
+
+        users = normalise_correlations(correlations)
+        partitions: List[Dict[Hashable, object]] = [{} for _ in range(shards)]
+        self._user_shard: Dict[Hashable, int] = {}
+        for user, value in users.items():
+            pair = normalise_pair(value)
+            index = shard_of_digest(correlation_digest(*pair), shards)
+            partitions[index][user] = pair
+            self._user_shard[user] = index
+        self._epsilons: List[float] = []
+        self._conns: Optional[list] = None
+        self._procs: Optional[list] = None
+        maxsize = cache.maxsize if cache is not None else None
+        self._start_workers([(p, None, maxsize) for p in partitions])
+
+    # -- worker lifecycle ----------------------------------------------
+    def _start_workers(self, specs) -> None:
+        ctx = _mp_context()
+        conns, procs = [], []
+        try:
+            for correlations, restore_dir, cache_maxsize in specs:
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_shard_worker,
+                    args=(child, correlations, restore_dir, cache_maxsize),
+                    daemon=True,
+                )
+                proc.start()
+                child.close()
+                conns.append(parent)
+                procs.append(proc)
+        except BaseException:
+            for conn in conns:
+                conn.close()
+            for proc in procs:
+                proc.terminate()
+            raise
+        self._conns = conns
+        self._procs = procs
+        try:
+            # Startup handshake: every worker reports its engine built
+            # (or relays the real setup exception -- a missing shard
+            # checkpoint surfaces as its FileNotFoundError, not as an
+            # opaque dead pipe on the first command).
+            self._gather(range(len(conns)))
+        except BaseException:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        """Shut the worker processes down (idempotent).  A closed backend
+        answers no further queries; close it only when the session is
+        done with it."""
+        if self._conns is None:
+            return
+        for conn in self._conns:
+            try:
+                conn.send(("close", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for conn in self._conns:
+            try:
+                conn.recv()
+            except (EOFError, OSError):
+                pass
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=5)
+        self._conns = None
+        self._procs = None
+
+    def __enter__(self) -> "ShardedFleetBackend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- scatter/gather plumbing ---------------------------------------
+    def _require_open(self) -> None:
+        if self._conns is None:
+            raise RuntimeError("ShardedFleetBackend is closed")
+
+    def _fail(self, index: int, error: BaseException):
+        """A shard process died.  Its cohorts' accounting state is gone,
+        so the backend as a whole can no longer answer honestly -- and
+        surviving shards may hold unread replies that would desynchronise
+        the pipe protocol (a later query would read a stale answer).
+        Tear everything down and surface one clear error; every
+        subsequent call raises the explicit "closed" RuntimeError."""
+        self.close()
+        raise RuntimeError(
+            f"shard {index} terminated unexpectedly; backend closed"
+        ) from error
+
+    def _send(self, index: int, op, args=None) -> None:
+        try:
+            self._conns[index].send((op, args))
+        except (BrokenPipeError, OSError) as error:
+            self._fail(index, error)
+
+    def _recv(self, index: int):
+        try:
+            return self._conns[index].recv()
+        except (EOFError, OSError) as error:
+            self._fail(index, error)
+
+    def _gather(self, indices) -> list:
+        """Receive one reply per shard, re-raising the first *error
+        payload* only after every reply has been collected (no shard is
+        left with an unread response in its pipe).  A shard *dying*
+        mid-gather instead closes the whole backend (:meth:`_fail`), so
+        stale replies can never be misread later."""
+        outcomes = [self._recv(i) for i in indices]
+        for status, payload in outcomes:
+            if status == "error":
+                raise payload
+        return [payload for _, payload in outcomes]
+
+    def _broadcast(self, op, args=None) -> list:
+        self._require_open()
+        for index in range(len(self._conns)):
+            self._send(index, op, args)
+        return self._gather(range(len(self._conns)))
+
+    def _call(self, index: int, op, args=None):
+        self._require_open()
+        self._send(index, op, args)
+        return self._gather([index])[0]
+
+    # -- stream interface ----------------------------------------------
+    def add_window(self, window: ReleaseWindow) -> WindowResult:
+        """Scatter a window to every shard and merge the per-step worst
+        series by elementwise max.
+
+        Validation (budgets, override users, override budgets) happens
+        here, before any shard is touched, in exactly the order the
+        single-process engine validates -- identical errors, and a
+        failing window leaves every shard unchanged.
+        """
+        from .backends import _resolved_steps
+
+        self._require_open()
+        steps = _resolved_steps(window)
+        epsilons = [validate_epsilon(eps) for eps, _ in steps]
+        per_step = [dict(ovr) if ovr else {} for _, ovr in steps]
+        n_shards = len(self._conns)
+        split: List[List[Dict[Hashable, float]]] = [
+            [{} for _ in steps] for _ in range(n_shards)
+        ]
+        for i, step_overrides in enumerate(per_step):
+            for user, eps_u in step_overrides.items():
+                owner = self._user_shard.get(user)
+                if owner is None:
+                    raise KeyError(f"override for unknown user {user!r}")
+                validate_epsilon(eps_u, name="override epsilon")
+                split[owner][i][user] = eps_u
+        for index in range(n_shards):
+            self._send(index, "add_window", (epsilons, split[index]))
+        outcomes = [self._recv(i) for i in range(n_shards)]
+        errors = [payload for status, payload in outcomes if status == "error"]
+        if errors:
+            # Coordinator-side validation makes this unreachable for bad
+            # input; it guards against shard-side faults such as a
+            # SolverError mid-window.  The failing engine already unwound
+            # itself (FleetAccountant truncates a half-applied window),
+            # so rewinding the shards that applied restores the global
+            # pre-window state exactly.  (A shard *dying* is handled
+            # harder still: _send/_recv close the whole backend, since
+            # that shard's state is unrecoverable.)
+            for index, (status, _) in enumerate(outcomes):
+                if status == "ok":
+                    self._call(index, "rollback", len(epsilons))
+            raise errors[0]
+        self._epsilons.extend(epsilons)
+        merged = np.maximum.reduce([payload for _, payload in outcomes])
+        return WindowResult(merged)
+
+    def add_release(
+        self,
+        epsilon: float,
+        overrides: Optional[Mapping[Hashable, float]] = None,
+    ) -> float:
+        """One-element-window compatibility wrapper over
+        :meth:`add_window`."""
+        return self.add_window(
+            ReleaseWindow.single(epsilon=epsilon, overrides=overrides)
+        ).final_max_tpl
+
+    def rollback_last(self) -> None:
+        if not self._epsilons:
+            raise ValueError("no releases to roll back")
+        self.rollback(1)
+
+    def rollback(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        if n > len(self._epsilons):
+            raise ValueError(
+                f"cannot roll back {n} releases; only "
+                f"{len(self._epsilons)} recorded"
+            )
+        if n == 0:
+            return
+        self._broadcast("rollback", n)
+        del self._epsilons[len(self._epsilons) - n :]
+
+    # -- queries --------------------------------------------------------
+    def max_tpl(self) -> float:
+        """Worst TPL over all users and time points: the max over
+        per-shard maxima (exact -- ``max`` is associative in floats)."""
+        return max(self._broadcast("max_tpl"))
+
+    def profile(self, user: Optional[Hashable] = None) -> LeakageProfile:
+        if user is None:
+            if len(self._user_shard) != 1:
+                raise ValueError("multiple users tracked; specify which one")
+            user = next(iter(self._user_shard))
+        owner = self._user_shard.get(user)
+        if owner is None:
+            raise KeyError(f"unknown user {user!r}")
+        return self._call(owner, "profile", user)
+
+    def user_epsilons(self, user: Hashable) -> np.ndarray:
+        owner = self._user_shard.get(user)
+        if owner is None:
+            raise KeyError(f"unknown user {user!r}")
+        return self._call(owner, "user_epsilons", user)
+
+    @property
+    def horizon(self) -> int:
+        return len(self._epsilons)
+
+    @property
+    def epsilons(self) -> np.ndarray:
+        return np.asarray(self._epsilons, dtype=float)
+
+    @property
+    def users(self) -> Iterable[Hashable]:
+        return self._user_shard.keys()
+
+    @property
+    def n_users(self) -> int:
+        return len(self._user_shard)
+
+    @property
+    def n_shards(self) -> int:
+        self._require_open()
+        return len(self._conns)
+
+    def shard_of(self, user: Hashable) -> int:
+        """Which shard owns ``user``'s cohort (observability)."""
+        owner = self._user_shard.get(user)
+        if owner is None:
+            raise KeyError(f"unknown user {user!r}")
+        return owner
+
+    def shard_sizes(self) -> List[int]:
+        """Users per shard -- the balance operators watch when choosing
+        a shard count for a given cohort population."""
+        self._require_open()
+        sizes = [0] * len(self._conns)
+        for index in self._user_shard.values():
+            sizes[index] += 1
+        return sizes
+
+    # -- checkpointing --------------------------------------------------
+    def save(self, directory) -> Path:
+        """Write one fleet checkpoint per shard plus the shard manifest.
+
+        Shards persist in parallel (scatter the ``save``, then gather),
+        each an ordinary ``.npz`` + manifest fleet checkpoint under
+        ``shard_<i>/``.
+        """
+        self._require_open()
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        for index in range(len(self._conns)):
+            self._send(index, "save", str(path / f"shard_{index}"))
+        self._gather(range(len(self._conns)))
+        manifest = {
+            "format": _SHARD_FORMAT_VERSION,
+            "kind": SHARD_CHECKPOINT_KIND,
+            "shards": len(self._conns),
+            "horizon": self.horizon,
+            "n_users": len(self._user_shard),
+        }
+        (path / SHARD_MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+        )
+        return path
+
+    @classmethod
+    def restore(
+        cls,
+        directory,
+        correlations=None,
+        cache: Optional[SolutionCache] = None,
+        *,
+        shards: Optional[int] = None,
+    ) -> "ShardedFleetBackend":
+        """Rebuild a backend from :meth:`save` output.
+
+        Correlation models live in the per-shard ``.npz`` files, so
+        ``correlations`` is accepted only for signature symmetry;
+        ``cache`` contributes its ``maxsize`` to the workers' private
+        caches (as in the constructor).  The checkpoint dictates the
+        shard count; passing an explicit conflicting ``shards`` is an
+        error (cohort -> shard assignment is part of the persisted
+        state).
+        """
+        directory = Path(directory)
+        manifest = json.loads(
+            (directory / SHARD_MANIFEST_NAME).read_text(encoding="utf-8")
+        )
+        if manifest.get("kind") != SHARD_CHECKPOINT_KIND:
+            raise ValueError(f"{directory} is not a sharded fleet checkpoint")
+        if manifest.get("format") != _SHARD_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported sharded checkpoint format "
+                f"{manifest.get('format')!r}"
+            )
+        saved_shards = int(manifest["shards"])
+        if shards is not None and shards != saved_shards:
+            raise ValueError(
+                f"checkpoint in {directory} was written with "
+                f"{saved_shards} shards but the config requests {shards}; "
+                "re-sharding a checkpoint is not supported"
+            )
+        self = cls.__new__(cls)
+        self._conns = None
+        self._procs = None
+        maxsize = cache.maxsize if cache is not None else None
+        self._start_workers(
+            [
+                (None, str(directory / f"shard_{i}"), maxsize)
+                for i in range(saved_shards)
+            ]
+        )
+        self._user_shard = {}
+        descriptions = self._broadcast("describe")
+        for index, description in enumerate(descriptions):
+            for user in description["users"]:
+                self._user_shard[user] = index
+        # Every shard records the full default-budget series (windows are
+        # broadcast), so all copies must agree with each other and with
+        # the manifest -- a partially written checkpoint (one shard's
+        # save failed) must refuse to restore rather than merge phantom
+        # releases into the privacy numbers.
+        self._epsilons = [float(e) for e in descriptions[0]["epsilons"]]
+        for index, description in enumerate(descriptions[1:], start=1):
+            if [float(e) for e in description["epsilons"]] != self._epsilons:
+                self.close()
+                raise ValueError(
+                    f"corrupt sharded checkpoint: shard {index}'s budget "
+                    f"series disagrees with shard 0's (horizons "
+                    f"{len(description['epsilons'])} vs "
+                    f"{len(self._epsilons)}); the shards were not saved "
+                    "from the same state"
+                )
+        if len(self._epsilons) != int(manifest["horizon"]):
+            self.close()
+            raise ValueError(
+                f"corrupt sharded checkpoint: manifest horizon "
+                f"{manifest['horizon']} != shard horizon {len(self._epsilons)}"
+            )
+        return self
+
+    def __repr__(self) -> str:
+        shards = "closed" if self._conns is None else len(self._conns)
+        return (
+            f"ShardedFleetBackend(users={len(self._user_shard)}, "
+            f"shards={shards}, horizon={self.horizon})"
+        )

@@ -165,6 +165,19 @@ class TestRelease:
         with pytest.raises(SystemExit):
             main(["release", "-m", matrix_file, "--users", "0"])
 
+    def test_sharded_session(self, matrix_file, capsys):
+        code = main(
+            [
+                "release", "-m", matrix_file,
+                "--users", "12", "--steps", "4", "--epsilon", "0.2",
+                "--backend", "fleet", "--shards", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "backend: sharded" in out
+        assert out.count("status=released") == 4
+
 
 class TestServe:
     def _serve(self, matrix_file, monkeypatch, lines, extra=()):
@@ -217,6 +230,153 @@ class TestServe:
         captured = capsys.readouterr()
         assert code == 0
         assert len(captured.out.strip().splitlines()) == 2
+
+    def test_windowed_wire_line_batches_the_accounting(
+        self, matrix_file, monkeypatch, capsys
+    ):
+        """A {"window": [...]} line is ingested as one accounting window
+        (one event per step), mixing bare snapshots and object steps."""
+        code = self._serve(
+            matrix_file,
+            monkeypatch,
+            [
+                "[0, 1, 0, 1]",
+                '{"window": [[1, 1, 0, 0],'
+                ' {"snapshot": [0, 0, 1, 1], "epsilon": 0.05,'
+                ' "overrides": {"2": 0.01}},'
+                ' [1, 0, 1, 0]]}',
+            ],
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        events = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert [e["t"] for e in events] == [1, 2, 3, 4]
+        assert events[2]["epsilon"] == 0.05
+        assert events[2]["overrides"] == {"2": 0.01}
+        assert all(e["status"] == "released" for e in events)
+        assert "served 4 events" in captured.err
+
+    def test_windowed_wire_line_rejects_bad_windows(
+        self, matrix_file, monkeypatch, capsys
+    ):
+        code = self._serve(
+            matrix_file,
+            monkeypatch,
+            ['{"window": []}', '{"window": 3}', "[0, 1, 0, 1]"],
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        lines = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert "ValueError" in lines[0]["error"]
+        assert "ValueError" in lines[1]["error"]
+        assert lines[2]["status"] == "released"
+
+    def test_max_steps_truncates_a_windowed_line(
+        self, matrix_file, monkeypatch, capsys
+    ):
+        code = self._serve(
+            matrix_file,
+            monkeypatch,
+            ['{"window": [[0, 0, 0, 0], [0, 1, 0, 1], [1, 1, 1, 1]]}'],
+            extra=["--max-steps", "2"],
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert len(captured.out.strip().splitlines()) == 2
+
+    def test_malformed_overrides_value_is_not_fatal(
+        self, matrix_file, monkeypatch, capsys
+    ):
+        """A client sending overrides as an array (or any non-object)
+        must get an error line, not kill the serve loop."""
+        code = self._serve(
+            matrix_file,
+            monkeypatch,
+            [
+                '{"snapshot": [0, 0, 0, 0], "overrides": [1, 2]}',
+                '{"window": [{"snapshot": [0, 0, 1, 1], "overrides": "x"}]}',
+                "[0, 1, 0, 1]",
+            ],
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        lines = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert "ValueError" in lines[0]["error"]
+        assert "ValueError" in lines[1]["error"]
+        assert lines[2]["status"] == "released"
+
+    def test_error_payloads_name_the_exception_class(
+        self, matrix_file, monkeypatch, capsys
+    ):
+        """Regression: a KeyError used to serialise as its bare key
+        ({"error": "'5'"}), indistinguishable from data."""
+        code = self._serve(
+            matrix_file,
+            monkeypatch,
+            [
+                '{"snapshot": [0, 0, 0, 0], "overrides": {"99": 0.05}}',
+                '{"snapshot": [0, 0, 0, 0], "epsilon": -2}',
+            ],
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        lines = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert lines[0]["error"].startswith("KeyError:")
+        assert "99" in lines[0]["error"]
+        assert lines[1]["error"].startswith("InvalidPrivacyParameterError:")
+
+    def test_serve_preserves_non_integer_user_ids(self, monkeypatch, capsys):
+        """Regression: _serve_loop coerced override keys with int(user),
+        crashing (or silently corrupting) sessions keyed by non-integer
+        user ids.  Drive the loop directly with a string-keyed session."""
+        import asyncio
+        import io
+
+        import numpy as np
+
+        from repro.cli import _serve_loop
+        from repro.data import HistogramQuery
+        from repro.service import ReleaseSession, SessionConfig
+
+        m = two_state_matrix(0.8, 0.1)
+        session = ReleaseSession(
+            SessionConfig(
+                correlations={u: (m, m) for u in ("alice", "bob", "carol")},
+                budgets=0.1,
+                query=HistogramQuery(2),
+                seed=0,
+            )
+        )
+        stream = io.StringIO(
+            '{"snapshot": [0, 1, 1], "overrides": {"alice": 0.02}}\n'
+        )
+        processed = asyncio.run(_serve_loop(session, stream))
+        captured = capsys.readouterr()
+        assert processed == 1
+        event = json.loads(captured.out.strip())
+        assert event["status"] == "released"
+        assert event["overrides"] == {"alice": 0.02}
+        # The override really reached user "alice", type intact.
+        assert np.array_equal(
+            session.backend.user_epsilons("alice"), np.array([0.02])
+        )
+        assert np.array_equal(
+            session.backend.user_epsilons("bob"), np.array([0.1])
+        )
+
+    def test_sharded_serve(self, matrix_file, monkeypatch, capsys):
+        code = self._serve(
+            matrix_file,
+            monkeypatch,
+            ["[0, 1, 0, 1]", '{"window": [[1, 0, 0, 1], [0, 0, 1, 1]]}'],
+            extra=["--backend", "fleet", "--shards", "2"],
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        events = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert [e["t"] for e in events] == [1, 2, 3]
+        assert all(e["backend"] == "sharded" for e in events)
+        assert "served 3 events" in captured.err
 
 
 class TestFleet:

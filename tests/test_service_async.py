@@ -191,8 +191,110 @@ class TestBoundedIngestQueue:
 
         stats = asyncio.run(scenario())
         assert stats["submitted"] == stats["processed"] == 5
+        assert stats["cancelled"] == 0
         assert stats["maxsize"] == 2
         assert 1 <= stats["high_watermark"] <= 2
+
+    def test_cancelled_submission_is_never_processed(self):
+        """Regression: an entry whose submitter cancelled before the
+        drain task reached it used to be processed anyway -- charging
+        the consumer (privacy budget!) for an abandoned request and
+        silently dropping any exception it raised."""
+        calls = []
+
+        async def scenario():
+            queue = BoundedIngestQueue(
+                lambda x: calls.append(x) or x, maxsize=8
+            )
+            tasks = [asyncio.create_task(queue.submit(i)) for i in range(3)]
+            # One scheduler pass: the submits enqueue and park on their
+            # result futures, the drain task has not yet run.
+            await asyncio.sleep(0)
+            tasks[1].cancel()
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            await queue.close()
+            return results, queue
+
+        results, queue = asyncio.run(scenario())
+        assert results[0] == 0 and results[2] == 2
+        assert isinstance(results[1], asyncio.CancelledError)
+        assert calls == [0, 2]  # the cancelled item never hit the consumer
+        stats = queue.stats()
+        assert stats["cancelled"] == 1
+        assert stats["processed"] == 2
+        assert stats["submitted"] == 3
+
+    def test_cancelled_submissions_excluded_from_coalesced_windows(self):
+        """Regression (batch drain path): cancelled entries must not ride
+        into the coalesced window handed to process_batch."""
+        rounds = []
+
+        def process_batch(items):
+            rounds.append(list(items))
+            return [i * 2 for i in items]
+
+        async def scenario():
+            queue = BoundedIngestQueue(
+                lambda x: x * 2,
+                maxsize=8,
+                batch_size=4,
+                process_batch=process_batch,
+            )
+            tasks = [asyncio.create_task(queue.submit(i)) for i in range(4)]
+            await asyncio.sleep(0)
+            tasks[1].cancel()
+            tasks[2].cancel()
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            await queue.close()
+            return results, queue
+
+        results, queue = asyncio.run(scenario())
+        assert results[0] == 0 and results[3] == 6
+        assert all(
+            isinstance(results[i], asyncio.CancelledError) for i in (1, 2)
+        )
+        drained = [item for round_ in rounds for item in round_]
+        assert drained == [0, 3]  # cancelled items excluded from windows
+        stats = queue.stats()
+        assert stats["cancelled"] == 2
+        assert stats["processed"] == 2
+
+    def test_all_cancelled_batch_is_dropped_without_processing(self):
+        rounds = []
+
+        def process_batch(items):
+            rounds.append(list(items))
+            return list(items)
+
+        async def scenario():
+            queue = BoundedIngestQueue(
+                lambda x: x, maxsize=8, batch_size=4, process_batch=process_batch
+            )
+            tasks = [asyncio.create_task(queue.submit(i)) for i in range(3)]
+            await asyncio.sleep(0)
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            await queue.close()
+            return queue
+
+        queue = asyncio.run(scenario())
+        assert rounds == []
+        assert queue.stats()["cancelled"] == 3
+
+    def test_submit_from_a_second_loop_is_rejected(self):
+        """Regression: a queue bound to one event loop used to accept
+        submits from another, creating the result future on the wrong
+        loop (hangs, or 'attached to a different loop' crashes).  Now it
+        raises a clear RuntimeError; after close() the queue may re-bind
+        to a fresh loop."""
+        queue = BoundedIngestQueue(lambda x: x, maxsize=2)
+        assert asyncio.run(queue.submit(1)) == 1
+        with pytest.raises(RuntimeError, match="different event loop"):
+            asyncio.run(queue.submit(2))
+        asyncio.run(queue.close())
+        assert asyncio.run(queue.submit(3)) == 3  # fresh binding post-close
+        asyncio.run(queue.close())
 
 
 class TestAingest:

