@@ -1,0 +1,35 @@
+"""Shared plumbing for the ``benchmarks/bench_*.py`` scripts.
+
+Every benchmark here builds the same synthetic population shape (a few
+cohort transition models assigned round-robin to ``users`` users) and
+emits a ``BENCH_*.json`` summary.  This module keeps both in one place
+so the scripts measure, rather than re-implement, and so every emitted
+JSON carries the same environment block (``cpu_count``, ``python``,
+``git_sha``) via :func:`repro.obs.bench.emit_json` -- a regressed (or
+suspiciously good) number must be attributable to the box it ran on.
+"""
+
+from repro.markov import random_stochastic_matrix
+from repro.obs.bench import emit_json, environment_metadata, git_sha
+
+__all__ = [
+    "cohort_models",
+    "population",
+    "emit_json",
+    "environment_metadata",
+    "git_sha",
+]
+
+
+def cohort_models(cohorts: int, states: int, seed: int) -> list:
+    """One random row-stochastic transition matrix per cohort."""
+    return [
+        random_stochastic_matrix(states, seed=seed + i) for i in range(cohorts)
+    ]
+
+
+def population(users: int, cohorts: int, states: int, seed: int) -> dict:
+    """``user -> (prior_model, posterior_model)`` with users assigned to
+    cohorts round-robin -- the population shape every benchmark uses."""
+    models = cohort_models(cohorts, states, seed)
+    return {u: (models[u % cohorts], models[u % cohorts]) for u in range(users)}

@@ -29,18 +29,13 @@ or as part of the benchmark harness::
 import argparse
 import time
 
+from _harness import cohort_models, emit_json
 from repro.core import TemporalPrivacyAccountant
 from repro.fleet import FleetAccountant
-from repro.markov import random_stochastic_matrix
 
 PARITY_ATOL = 1e-9
 TARGET_SPEEDUP = 20.0
-
-
-def _cohort_models(n_cohorts: int, states: int, seed: int):
-    return [
-        random_stochastic_matrix(states, seed=seed + i) for i in range(n_cohorts)
-    ]
+JSON_PATH = "BENCH_fleet.json"
 
 
 def _assign(models, n_users: int):
@@ -78,7 +73,7 @@ def compare(
     exact_baseline: bool = False,
 ) -> dict:
     """Run both engines and return the comparison summary."""
-    models = _cohort_models(cohorts, states, seed)
+    models = cohort_models(cohorts, states, seed)
     fleet_tpl, fleet_seconds = run_fleet(models, users, steps, epsilon)
 
     if exact_baseline:
@@ -132,6 +127,7 @@ def test_fleet_speedup_and_parity(show_table):
     thresholds (>= 20x and identical max-TPL to 1e-9)."""
     result = compare(users=20_000, cohorts=4, steps=30)
     show_table(format_table(result))
+    emit_json(result, JSON_PATH)
     assert result["tpl_gap"] <= PARITY_ATOL
     assert result["speedup"] >= TARGET_SPEEDUP
 
@@ -164,6 +160,7 @@ def main() -> None:
         action="store_true",
         help="run the per-user baseline on the full population (slow!)",
     )
+    parser.add_argument("-o", "--output", default=JSON_PATH)
     args = parser.parse_args()
     result = compare(
         users=args.users,
@@ -176,6 +173,8 @@ def main() -> None:
         exact_baseline=args.exact_baseline,
     )
     print(format_table(result))
+    path = emit_json(result, args.output)
+    print(f"results written to {path}")
 
 
 if __name__ == "__main__":

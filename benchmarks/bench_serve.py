@@ -1,0 +1,55 @@
+"""Serve-path latency smoke: ``repro loadgen --smoke`` as a benchmark.
+
+The fleet/window/shard benchmarks measure accounting *throughput*; this
+one measures the serving path's *latency distribution* under an open-loop
+arrival process (:mod:`repro.obs.loadgen`): p50/p99/p999 ingest latency,
+offered vs. achieved rate, queue high-water marks and backpressure
+stalls, emitted to ``BENCH_serve.json``.
+
+Gating is deliberately minimal -- the run must complete every request
+without errors and produce non-empty percentiles.  Latency *floors* are
+reported but not asserted: wall-clock latency on a contended CI runner
+is noise, while "the loadgen can no longer drive the session at all" is
+a real regression.
+
+Run standalone (full knob set)::
+
+    PYTHONPATH=src python -m repro.cli loadgen --users 200 --rate 1000
+
+or as part of the benchmark harness::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve.py -s
+"""
+
+import json
+import subprocess
+import sys
+
+JSON_PATH = "BENCH_serve.json"
+
+
+def test_loadgen_smoke_completes_with_percentiles(show_table):
+    """Drive the CI preset through the real CLI entry point and gate on
+    completion + non-empty latency percentiles (exactly what the CLI's
+    own exit status enforces, re-asserted here on the emitted JSON)."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "loadgen", "--smoke", "-o", JSON_PATH],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    show_table(result.stdout.rstrip())
+    assert result.returncode == 0, result.stderr
+
+    with open(JSON_PATH, encoding="utf-8") as handle:
+        report = json.load(handle)
+    assert report["completed"] == report["count"] > 0
+    assert report["errors"] == 0
+    latency = report["latency_ms"]
+    for quantile in ("p50", "p99", "p999"):
+        assert latency[quantile] is not None
+        assert latency[quantile] > 0.0
+    assert report["offered_rate"] > 0
+    assert report["achieved_rate"] > 0
+    assert report["queue"]["high_watermark"] >= 1
+    assert report["environment"]["python"]

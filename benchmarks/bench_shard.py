@@ -26,11 +26,10 @@ or as part of the benchmark harness::
 """
 
 import argparse
-import json
 import os
 import time
 
-from repro.markov import random_stochastic_matrix
+from _harness import emit_json, population
 from repro.service import ReleaseSession, ReleaseWindow, SessionConfig
 
 SHARD_COUNTS = (1, 2, 4)
@@ -42,13 +41,6 @@ TARGET_SPEEDUP = 2.0  # at 4 shards, full scale, >= 4 cores
 # small relative to IPC.
 CI_TARGET_SPEEDUP = 1.1
 JSON_PATH = "BENCH_shard.json"
-
-
-def _population(users: int, cohorts: int, states: int, seed: int):
-    models = [
-        random_stochastic_matrix(states, seed=seed + i) for i in range(cohorts)
-    ]
-    return {u: (models[u % cohorts], models[u % cohorts]) for u in range(users)}
 
 
 def run_sharded(population, steps: int, epsilon: float, window: int, shards: int):
@@ -92,13 +84,13 @@ def compare(
     shard_counts=SHARD_COUNTS,
 ) -> dict:
     """Run every shard count over the same stream and summarise."""
-    population = _population(users, cohorts, states, seed)
+    pop = population(users, cohorts, states, seed)
     rows = []
     baseline_tpl = None
     baseline_rate = None
     for shards in shard_counts:
         tpl, elapsed, shard_users = run_sharded(
-            population, steps, epsilon, window, shards
+            pop, steps, epsilon, window, shards
         )
         rate = steps / max(elapsed, 1e-12)
         if baseline_tpl is None:  # the first shard count is the baseline
@@ -125,13 +117,6 @@ def compare(
         "target_speedup_at_4_shards": TARGET_SPEEDUP,
         "results": rows,
     }
-
-
-def emit_json(summary: dict, path: str = JSON_PATH) -> str:
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(summary, handle, indent=2)
-        handle.write("\n")
-    return path
 
 
 def format_table(summary: dict) -> str:
@@ -162,7 +147,7 @@ def test_shard_speedup_and_parity(show_table):
     sharded path can only pay IPC overhead)."""
     summary = compare(users=2_000, cohorts=16, steps=128)
     show_table(format_table(summary))
-    emit_json(summary)
+    emit_json(summary, JSON_PATH)
     for row in summary["results"]:
         assert row["tpl_gap_vs_baseline"] == 0.0
         assert sum(row["shard_users"]) == summary["users"]

@@ -22,22 +22,14 @@ or as part of the benchmark harness::
 """
 
 import argparse
-import json
 import time
 
-from repro.markov import random_stochastic_matrix
+from _harness import emit_json, population
 from repro.service import ReleaseSession, ReleaseWindow, SessionConfig
 
 WINDOW_SIZES = (1, 8, 64, 256)
 TARGET_SPEEDUP = 5.0
 JSON_PATH = "BENCH_window.json"
-
-
-def _population(users: int, cohorts: int, states: int, seed: int):
-    models = [
-        random_stochastic_matrix(states, seed=seed + i) for i in range(cohorts)
-    ]
-    return {u: (models[u % cohorts], models[u % cohorts]) for u in range(users)}
 
 
 def run_windowed(population, steps: int, epsilon: float, window: int):
@@ -77,12 +69,12 @@ def compare(
     windows=WINDOW_SIZES,
 ) -> dict:
     """Run every window size over the same stream and summarise."""
-    population = _population(users, cohorts, states, seed)
+    pop = population(users, cohorts, states, seed)
     rows = []
     baseline_tpl = None
     baseline_rate = None
     for window in windows:
-        tpl, elapsed = run_windowed(population, steps, epsilon, window)
+        tpl, elapsed = run_windowed(pop, steps, epsilon, window)
         rate = steps / max(elapsed, 1e-12)
         if window == 1:
             baseline_tpl, baseline_rate = tpl, rate
@@ -109,13 +101,6 @@ def compare(
         "target_speedup_at_64": TARGET_SPEEDUP,
         "results": rows,
     }
-
-
-def emit_json(summary: dict, path: str = JSON_PATH) -> str:
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(summary, handle, indent=2)
-        handle.write("\n")
-    return path
 
 
 def format_table(summary: dict) -> str:
@@ -145,7 +130,7 @@ def test_window_speedup_and_parity(show_table):
     thresholds (>= 5x at window=64, bit-identical max TPL everywhere)."""
     summary = compare(users=2_000, cohorts=8, steps=192, windows=(1, 8, 64))
     show_table(format_table(summary))
-    emit_json(summary)
+    emit_json(summary, JSON_PATH)
     for row in summary["results"]:
         assert row["tpl_gap_vs_window1"] == 0.0
     assert _row(summary, 64)["speedup_vs_window1"] >= TARGET_SPEEDUP

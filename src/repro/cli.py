@@ -33,6 +33,7 @@ import argparse
 import asyncio
 import json
 import sys
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -275,14 +276,53 @@ def _cmd_release(args) -> int:
         session.close()
 
 
-def _error_payload(error: BaseException) -> str:
+def _emit_stats_line(session, emitted: int) -> None:
+    """One periodic ``{"stats": ...}`` JSON line on stderr: operational
+    summary plus the registry snapshot (ring-buffer contents trimmed --
+    the stats stream reports levels and high-water marks, not history)."""
+    summary = session.summary()
+    metrics = summary.get("metrics") or {}
+    for value in metrics.values():
+        if isinstance(value, dict):
+            value.pop("recent", None)
+    stats = {
+        "emitted": emitted,
+        "backend": summary["backend"],
+        "horizon": summary["horizon"],
+        "max_tpl": summary["max_tpl"],
+        "status_counts": summary["status_counts"],
+        "queue": summary["queue"],
+        "metrics": metrics,
+    }
+    print(json.dumps({"stats": stats}), file=sys.stderr, flush=True)
+
+
+def _error_payload(
+    error: BaseException,
+    *,
+    seq: Optional[int] = None,
+    elapsed_ms: Optional[float] = None,
+) -> str:
     """The JSON error line for one failed submission.  The exception
     class rides along: ``str(KeyError("5"))`` is just ``"'5'"``, which
-    serialised alone reads like a successful payload of nothing."""
-    return json.dumps({"error": f"{type(error).__name__}: {error}"})
+    serialised alone reads like a successful payload of nothing.  ``seq``
+    and ``elapsed_ms`` carry the same correlation id / monotonic latency
+    as successful result lines."""
+    payload: dict = {"error": f"{type(error).__name__}: {error}"}
+    if seq is not None:
+        payload["seq"] = seq
+    if elapsed_ms is not None:
+        payload["elapsed_ms"] = elapsed_ms
+    return json.dumps(payload)
 
 
-async def _serve_loop(session, stream, limit: Optional[int] = None) -> int:
+async def _serve_loop(
+    session,
+    stream,
+    limit: Optional[int] = None,
+    *,
+    stats_interval: Optional[int] = None,
+) -> int:
     """Drain JSON lines from ``stream`` through the session's async
     ingestion queue, emitting one event payload per line.
 
@@ -293,10 +333,32 @@ async def _serve_loop(session, stream, limit: Optional[int] = None) -> int:
     ingested as one window (:meth:`ReleaseSession.ingest_window`),
     emitting one event payload per step, so the wire round-trip batches
     along with the accounting.
+
+    Every emitted line -- result or error -- carries a stable ``seq``
+    (one id per submitted step, assigned in input order, so clients can
+    correlate replies over the pipe) and ``elapsed_ms`` (monotonic time
+    from line receipt to emission).  With ``stats_interval=N`` a
+    ``{"stats": ...}`` JSON line goes to stderr every N emitted events --
+    stdout stays a pure event protocol.
     """
     processed = 0
+    emitted = 0  # result + error lines, for the stats cadence
+    next_seq = 0
     window = max(1, session.config.window_size)
-    pending: List[tuple] = []
+    pending: List[tuple] = []  # (seq, t_line, (snapshot, epsilon, overrides))
+
+    def take_seq() -> int:
+        nonlocal next_seq
+        seq = next_seq
+        next_seq += 1
+        return seq
+
+    def emit(line: str) -> None:
+        nonlocal emitted
+        print(line, flush=True)
+        emitted += 1
+        if stats_interval is not None and emitted % stats_interval == 0:
+            _emit_stats_line(session, emitted)
     # JSON object keys are always strings; map them back to the session's
     # real user ids (int, str, ...) instead of blindly coercing to int,
     # which broke every session keyed by non-integer users.  Unknown keys
@@ -338,18 +400,23 @@ async def _serve_loop(session, stream, limit: Optional[int] = None) -> int:
         results = await asyncio.gather(
             *(
                 session.aingest(snapshot, epsilon=epsilon, overrides=overrides)
-                for snapshot, epsilon, overrides in pending
+                for _, _, (snapshot, epsilon, overrides) in pending
             ),
             return_exceptions=True,
         )
+        entries = list(pending)
         pending.clear()
-        for result in results:
+        for (seq, t_line, _), result in zip(entries, results):
+            elapsed_ms = (time.perf_counter() - t_line) * 1000.0
             if isinstance(result, (ReproError, ValueError, KeyError)):
-                print(_error_payload(result), flush=True)
+                emit(_error_payload(result, seq=seq, elapsed_ms=elapsed_ms))
                 continue
             if isinstance(result, BaseException):
                 raise result
-            print(json.dumps(result.payload()), flush=True)
+            payload = result.payload()
+            payload["seq"] = seq
+            payload["elapsed_ms"] = elapsed_ms
+            emit(json.dumps(payload))
             processed += 1
             if limit is not None and processed >= limit:
                 return False
@@ -380,10 +447,20 @@ async def _serve_loop(session, stream, limit: Optional[int] = None) -> int:
             line = line.strip()
             if not line:
                 continue
+            t_line = time.perf_counter()
             try:
                 payload = json.loads(line)
             except json.JSONDecodeError as error:
-                print(json.dumps({"error": f"bad JSON: {error}"}), flush=True)
+                emit(
+                    json.dumps(
+                        {
+                            "error": f"bad JSON: {error}",
+                            "seq": take_seq(),
+                            "elapsed_ms": (time.perf_counter() - t_line)
+                            * 1000.0,
+                        }
+                    )
+                )
                 continue
             if isinstance(payload, dict) and "window" in payload:
                 # Client-side batching: drain queued singles first so
@@ -394,18 +471,37 @@ async def _serve_loop(session, stream, limit: Optional[int] = None) -> int:
                 try:
                     events = ingest_windowed_line(payload["window"])
                 except (ReproError, TypeError, ValueError, KeyError) as error:
-                    print(_error_payload(error), flush=True)
+                    emit(
+                        _error_payload(
+                            error,
+                            seq=take_seq(),
+                            elapsed_ms=(time.perf_counter() - t_line)
+                            * 1000.0,
+                        )
+                    )
                     continue
                 for event in events:
-                    print(json.dumps(event.payload()), flush=True)
+                    event_payload = event.payload()
+                    event_payload["seq"] = take_seq()
+                    event_payload["elapsed_ms"] = (
+                        time.perf_counter() - t_line
+                    ) * 1000.0
+                    emit(json.dumps(event_payload))
                     processed += 1
                     if limit is not None and processed >= limit:
                         return processed
                 continue
+            seq = take_seq()
             try:
-                pending.append(decode_step(payload))
+                pending.append((seq, t_line, decode_step(payload)))
             except (TypeError, ValueError) as error:
-                print(_error_payload(error), flush=True)
+                emit(
+                    _error_payload(
+                        error,
+                        seq=seq,
+                        elapsed_ms=(time.perf_counter() - t_line) * 1000.0,
+                    )
+                )
                 continue
             # Flush at the window bound -- early when a --max-steps limit
             # would land mid-window, so the limit stays exact.
@@ -422,17 +518,31 @@ async def _serve_loop(session, stream, limit: Optional[int] = None) -> int:
 
 def _cmd_serve(args) -> int:
     from .data import HistogramQuery
+    from .obs import MetricsRegistry, install_solver_metrics
     from .service import ReleaseSession
 
     if args.users < 1:
         raise SystemExit("--users must be >= 1")
+    stats_interval = getattr(args, "stats_interval", None)
+    if stats_interval is not None and stats_interval < 1:
+        raise SystemExit("--stats-interval must be >= 1")
     backward, forward = _load_matrices(args.matrix)
+    registry = MetricsRegistry() if stats_interval is not None else None
     session = ReleaseSession(
-        _session_config(args, backward, forward, HistogramQuery(forward.n))
+        _session_config(args, backward, forward, HistogramQuery(forward.n)),
+        registry=registry,
+    )
+    previous = (
+        install_solver_metrics(registry) if registry is not None else None
     )
     try:
         processed = asyncio.run(
-            _serve_loop(session, sys.stdin, limit=args.max_steps)
+            _serve_loop(
+                session,
+                sys.stdin,
+                limit=args.max_steps,
+                stats_interval=stats_interval,
+            )
         )
         summary = session.summary()
         print(
@@ -443,7 +553,85 @@ def _cmd_serve(args) -> int:
         )
         return 0
     finally:
+        if registry is not None:
+            install_solver_metrics(previous)
         session.close()
+
+
+def _cmd_loadgen(args) -> int:
+    import tempfile
+    from pathlib import Path
+
+    from .obs.loadgen import (
+        SCHEDULES,
+        emit_report,
+        format_report,
+        run_loadgen,
+    )
+
+    if args.smoke:
+        # The CI preset: small enough for the bench-smoke job, hot enough
+        # (offered rate far above what a cold session sustains) that the
+        # queue actually backs up and the percentiles mean something.
+        args.users, args.rate, args.count = 20, 2000.0, 200
+        args.window, args.queue_size = 4, 32
+    if args.rate <= 0 or args.count < 1 or args.users < 1:
+        raise SystemExit("--rate must be > 0, --count/--users >= 1")
+
+    correlations = None
+    matrix_path = None
+    tmp = None
+    if args.matrix:
+        backward, forward = _load_matrices(args.matrix)
+        correlations = {u: (backward, forward) for u in range(args.users)}
+        matrix_path = args.matrix[0]
+    elif args.target == "subprocess":
+        # The serve subprocess needs a matrix file; write the default
+        # synthetic model to a temp directory for the duration.
+        from .markov import two_state_matrix
+
+        tmp = tempfile.TemporaryDirectory(prefix="repro-loadgen-")
+        matrix_path = str(Path(tmp.name) / "matrix.json")
+        repro_io.save_json(two_state_matrix(0.8, 0.1), matrix_path)
+    try:
+        report = run_loadgen(
+            users=args.users,
+            rate=args.rate,
+            count=args.count,
+            schedule=args.schedule,
+            epsilon=args.epsilon,
+            window=args.window,
+            queue_size=args.queue_size,
+            backend=args.backend,
+            shards=args.shards,
+            seed=args.seed,
+            burst=args.burst,
+            burst_factor=args.burst_factor,
+            amplitude=args.amplitude,
+            target=args.target,
+            correlations=correlations,
+            matrix_path=matrix_path,
+        )
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+    print(format_report(report))
+    if args.output:
+        print(f"report written to {emit_report(report, args.output)}")
+    # Gate on completion and non-empty percentile output -- latency
+    # floors are recorded in the report but deliberately not gated on
+    # (shared CI boxes make wall-clock floors flaky).
+    if report["completed"] == 0 or report["latency_ms"]["p50"] is None:
+        print("error: loadgen completed no requests", file=sys.stderr)
+        return 1
+    if report["errors"]:
+        print(
+            f"error: {report['errors']} of {report['count']} requests "
+            "failed",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -579,7 +767,118 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="stop after this many events (default: until EOF)",
     )
+    serve.add_argument(
+        "--stats-interval",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "emit a {\"stats\": ...} JSON line on stderr every N emitted "
+            "events (turns on metrics collection; stdout stays a pure "
+            "event protocol)"
+        ),
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help=(
+            "open-loop latency load generator: drive a ReleaseSession "
+            "(or a serve subprocess) at an offered arrival rate and "
+            "report p50/p99/p999 ingest latency"
+        ),
+    )
+    loadgen.add_argument(
+        "-m",
+        "--matrix",
+        action="append",
+        default=None,
+        help=(
+            "JSON transition matrix (optional; default: a synthetic "
+            "two-state model)"
+        ),
+    )
+    loadgen.add_argument("--users", type=int, default=100)
+    loadgen.add_argument(
+        "--rate",
+        type=float,
+        default=500.0,
+        help="offered arrival rate, requests/second",
+    )
+    loadgen.add_argument(
+        "--count", type=int, default=500, help="total requests to submit"
+    )
+    loadgen.add_argument(
+        "--schedule",
+        choices=("constant", "bursty", "diurnal"),
+        default="constant",
+        help="arrival process shape (open loop, deterministic)",
+    )
+    loadgen.add_argument("--epsilon", type=float, default=0.1)
+    loadgen.add_argument(
+        "--window",
+        type=int,
+        default=8,
+        metavar="N",
+        help="session ingestion window (backlog drains N at a time)",
+    )
+    loadgen.add_argument(
+        "--queue-size",
+        type=int,
+        default=64,
+        help="bound of the session's async ingestion queue",
+    )
+    loadgen.add_argument(
+        "--backend", choices=("auto", "scalar", "fleet"), default="auto"
+    )
+    loadgen.add_argument("--shards", type=int, default=1, metavar="N")
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--burst",
+        type=int,
+        default=16,
+        help="bursty schedule: arrivals per burst",
+    )
+    loadgen.add_argument(
+        "--burst-factor",
+        type=float,
+        default=4.0,
+        help="bursty schedule: in-burst rate multiplier",
+    )
+    loadgen.add_argument(
+        "--amplitude",
+        type=float,
+        default=0.5,
+        help="diurnal schedule: rate modulation depth in [0, 1)",
+    )
+    loadgen.add_argument(
+        "--target",
+        choices=("inprocess", "subprocess"),
+        default="inprocess",
+        help=(
+            "inprocess drives a ReleaseSession through its async queue; "
+            "subprocess spawns `repro serve` and times replies over the "
+            "JSON-lines pipe by seq id"
+        ),
+    )
+    loadgen.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "run the small CI preset (overrides --users/--rate/--count/"
+            "--window/--queue-size)"
+        ),
+    )
+    loadgen.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_serve.json",
+        help=(
+            "write the report JSON here (default BENCH_serve.json; pass "
+            "an empty string to skip)"
+        ),
+    )
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     fleet = sub.add_parser(
         "fleet",

@@ -28,6 +28,7 @@ The implementations here are vectorised with numpy:
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -35,6 +36,7 @@ import numpy as np
 
 from ..exceptions import InvalidPrivacyParameterError
 from ..markov.matrix import as_transition_matrix
+from ..obs.instrument import solver_metrics
 from .lfp import LfpProblem
 
 __all__ = [
@@ -143,6 +145,30 @@ def max_log_ratio(
     """The temporal loss function of Eq. (23)/(24): the maximum of
     :func:`solve_pair` over all ordered row pairs of ``matrix``.
 
+    When a registry is installed via
+    :func:`repro.obs.instrument.install_solver_metrics`, each call counts
+    one ``solver.algorithm1.solves`` and its wall time lands in
+    ``solver.algorithm1.seconds``; the un-instrumented path (the default)
+    costs one module-global read and runs the identical float operations.
+    """
+    registry = solver_metrics()
+    if registry is None:
+        return _max_log_ratio_impl(matrix, alpha, return_pair)
+    start = time.perf_counter()
+    try:
+        return _max_log_ratio_impl(matrix, alpha, return_pair)
+    finally:
+        registry.histogram("solver.algorithm1.seconds").observe(
+            time.perf_counter() - start
+        )
+        registry.counter("solver.algorithm1.solves").inc()
+
+
+def _max_log_ratio_impl(
+    matrix, alpha: float, return_pair: bool = False
+) -> "float | Tuple[float, Optional[PairSolution]]":
+    """Uninstrumented :func:`max_log_ratio` body.
+
     This is lines 2 and 12 of Algorithm 1.  The sweep over row pairs is
     batched: all ``n (n-1)`` pairs run their deletion loops simultaneously
     on ``(pairs, n)`` numpy arrays, so a full ``n = 250`` matrix evaluates
@@ -220,6 +246,28 @@ _BATCH_CHUNK_ELEMENTS = 4_000_000
 
 def max_log_ratio_batch(matrix, alphas) -> np.ndarray:
     """Vectorised :func:`max_log_ratio` over a whole *vector* of alphas.
+    A batch of ``A`` alphas counts ``A`` towards
+    ``solver.algorithm1.solves`` when solver metrics are installed (see
+    :func:`max_log_ratio`) -- instrumented and per-alpha scalar calls
+    report comparable totals.
+    """
+    registry = solver_metrics()
+    if registry is None:
+        return _max_log_ratio_batch_impl(matrix, alphas)
+    start = time.perf_counter()
+    try:
+        return _max_log_ratio_batch_impl(matrix, alphas)
+    finally:
+        registry.histogram("solver.algorithm1.seconds").observe(
+            time.perf_counter() - start
+        )
+        registry.counter("solver.algorithm1.solves").inc(
+            int(np.asarray(alphas, dtype=float).size)
+        )
+
+
+def _max_log_ratio_batch_impl(matrix, alphas) -> np.ndarray:
+    """Uninstrumented :func:`max_log_ratio_batch` body.
 
     Evaluating the temporal loss function at ``A`` different incoming
     leakage values runs the same deletion sweep as :func:`max_log_ratio`

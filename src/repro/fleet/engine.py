@@ -40,6 +40,7 @@ from ..core.leakage import (
 from ..core.loss_functions import TemporalLossFunction
 from ..exceptions import InvalidPrivacyParameterError
 from ..markov.matrix import TransitionMatrix
+from ..obs.metrics import NULL_REGISTRY
 from .cohorts import Cohort, CohortIndex, normalise_pair
 from .solution_cache import SolutionCache
 
@@ -140,12 +141,14 @@ class FleetAccountant:
         correlations=None,
         alpha: Optional[float] = None,
         cache: Optional[SolutionCache] = None,
+        registry=None,
     ) -> None:
         if alpha is not None and alpha <= 0:
             raise InvalidPrivacyParameterError(
                 f"alpha must be > 0, got {alpha}"
             )
         self._alpha = alpha
+        self._registry = registry if registry is not None else NULL_REGISTRY
         self._cache = cache if cache is not None else SolutionCache()
         self._index = CohortIndex()
         self._states: Dict[str, _CohortState] = {}
@@ -374,7 +377,8 @@ class FleetAccountant:
                 self._epsilons.append(epsilon)
                 for state in self._states.values():
                     self._extend_cohort(state, epsilon, step_overrides)
-            worsts = self._window_worsts(len(epsilons))
+            with self._registry.span("fleet.window_worsts.seconds"):
+                worsts = self._window_worsts(len(epsilons))
         except BaseException:
             self._truncate_to(start)
             raise
@@ -555,6 +559,13 @@ class FleetAccountant:
     def cache(self) -> SolutionCache:
         """The Algorithm-1 solution cache backing this engine."""
         return self._cache
+
+    def instrument(self, registry) -> None:
+        """Attach a metrics registry after construction (checkpoint
+        restores build the engine before the owning session exists).
+        Instrumentation is pure observation -- it never changes a float
+        operation, which the metrics parity suite pins."""
+        self._registry = registry if registry is not None else NULL_REGISTRY
 
     def user_epsilons(self, user: Hashable) -> np.ndarray:
         """The budget vector actually spent on ``user`` (default schedule

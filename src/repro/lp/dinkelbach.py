@@ -18,12 +18,14 @@ in the test-suite, and a competitive baseline in the runtime benchmarks.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.lfp import LfpProblem
 from ..exceptions import SolverError
+from ..obs.instrument import solver_metrics
 
 __all__ = ["DinkelbachResult", "solve_lfp_dinkelbach"]
 
@@ -44,7 +46,34 @@ def solve_lfp_dinkelbach(
 
     Returns the optimal log-value together with the optimal two-level
     vertex (as a boolean mask of "high" variables).
+
+    When a registry is installed via
+    :func:`repro.obs.instrument.install_solver_metrics`, each call counts
+    one ``solver.dinkelbach.solves``, records its iteration count in
+    ``solver.dinkelbach.iterations`` and its wall time in
+    ``solver.dinkelbach.seconds``; un-instrumented calls (the default)
+    run the identical float operations.
     """
+    registry = solver_metrics()
+    if registry is None:
+        return _solve_lfp_dinkelbach_impl(problem, tol, max_iter)
+    start = time.perf_counter()
+    try:
+        result = _solve_lfp_dinkelbach_impl(problem, tol, max_iter)
+    finally:
+        registry.histogram("solver.dinkelbach.seconds").observe(
+            time.perf_counter() - start
+        )
+        registry.counter("solver.dinkelbach.solves").inc()
+    registry.histogram("solver.dinkelbach.iterations").observe(
+        result.iterations
+    )
+    return result
+
+
+def _solve_lfp_dinkelbach_impl(
+    problem: LfpProblem, tol: float = 1e-12, max_iter: int = 1_000
+) -> DinkelbachResult:
     q, d = problem.q, problem.d
     e = problem.ratio_bound - 1.0
 

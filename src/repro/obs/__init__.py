@@ -1,0 +1,56 @@
+"""repro.obs -- dependency-free observability for the serving stack.
+
+Three pieces:
+
+* :mod:`repro.obs.metrics` -- the substrate: :class:`MetricsRegistry`
+  (counters, gauges, fixed-bucket latency histograms with exact
+  p50/p99/p999 readout, ring-buffer timeseries) plus the span/timer API
+  and a Prometheus-style text exposition.  :data:`NULL_REGISTRY` is the
+  zero-cost default every layer runs on when un-instrumented.
+* :mod:`repro.obs.instrument` -- the process-wide hook the ``lp`` /
+  Algorithm-1 solvers report through (they have no session to receive a
+  registry from).
+* :mod:`repro.obs.loadgen` -- the open-loop arrival driver behind
+  ``repro loadgen``: constant / bursty / diurnal schedules against a
+  live :class:`~repro.service.session.ReleaseSession` (or a ``repro
+  serve`` subprocess), reporting p50/p99/p999 ingest latency, offered
+  vs. achieved rate, queue high-water marks and backpressure stalls.
+  Imported lazily (it pulls in the service layer); use
+  ``from repro.obs.loadgen import run_loadgen``.
+
+Everything a layer records is surfaced through
+``ReleaseSession.summary()["metrics"]``, the ``repro serve
+--stats-interval N`` periodic stats line, and
+:meth:`MetricsRegistry.to_prometheus`.
+"""
+
+from .bench import emit_json, environment_metadata, git_sha
+from .instrument import install_solver_metrics, solver_metrics
+from .metrics import (
+    DEFAULT_BUCKETS,
+    DEFAULT_RESERVOIR,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Timeseries,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timeseries",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_RESERVOIR",
+    "install_solver_metrics",
+    "solver_metrics",
+    "environment_metadata",
+    "git_sha",
+    "emit_json",
+]

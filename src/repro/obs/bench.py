@@ -1,0 +1,61 @@
+"""Shared benchmark-result plumbing: environment metadata + JSON emission.
+
+Every ``BENCH_*.json`` this repo emits -- the fleet/window/shard
+benchmarks under ``benchmarks/`` and the ``repro loadgen`` latency
+instrument -- records the same environment block, so a regressed (or
+suspiciously good) number is attributable to the box it ran on:
+
+* ``cpu_count`` -- parallel speedups need cores;
+* ``python`` -- interpreter version;
+* ``git_sha`` -- the exact tree measured (``None`` outside a checkout).
+
+Lives in ``repro.obs`` rather than ``benchmarks/`` so in-package callers
+(``repro loadgen``) can use it without importing the benchmark scripts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+from typing import Optional
+
+__all__ = ["git_sha", "environment_metadata", "emit_json"]
+
+
+def git_sha() -> Optional[str]:
+    """The short commit hash of the current checkout, or ``None`` when
+    not in a git repository (installed wheels, bare containers)."""
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if result.returncode != 0:
+        return None
+    return result.stdout.strip() or None
+
+
+def environment_metadata() -> dict:
+    """The environment block recorded in every ``BENCH_*.json``."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "git_sha": git_sha(),
+    }
+
+
+def emit_json(summary: dict, path: str) -> str:
+    """Write ``summary`` (plus the environment block, if absent) as
+    indented JSON to ``path`` and return the path."""
+    if "environment" not in summary:
+        summary = {**summary, "environment": environment_metadata()}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2)
+        handle.write("\n")
+    return path

@@ -1,0 +1,50 @@
+"""Process-wide solver instrumentation hook.
+
+The Algorithm-1 and Dinkelbach solvers sit below every accounting layer
+and have no session to hand them a registry, so they follow the same
+process-wide hook pattern as
+:func:`repro.core.loss_functions.set_shared_solution_cache`: a session
+(or the CLI, or a test) installs a :class:`~repro.obs.metrics.
+MetricsRegistry` via :func:`install_solver_metrics`, and the solvers
+check :func:`solver_metrics` per call -- ``None`` (the default) costs one
+module-global read, so un-instrumented solves stay on their exact hot
+path.
+
+Installed metrics:
+
+* ``solver.algorithm1.solves`` / ``solver.algorithm1.seconds`` -- one
+  count per alpha evaluated (a batch of ``A`` alphas counts ``A``) and
+  wall time per :func:`~repro.core.algorithm1.max_log_ratio` /
+  :func:`~repro.core.algorithm1.max_log_ratio_batch` entry;
+* ``solver.dinkelbach.solves`` / ``solver.dinkelbach.iterations`` /
+  ``solver.dinkelbach.seconds`` -- per
+  :func:`~repro.lp.dinkelbach.solve_lfp_dinkelbach` call.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .metrics import MetricsRegistry
+
+__all__ = ["install_solver_metrics", "solver_metrics"]
+
+_SOLVER_REGISTRY: Optional[MetricsRegistry] = None
+
+
+def install_solver_metrics(
+    registry: Optional[MetricsRegistry],
+) -> Optional[MetricsRegistry]:
+    """Install ``registry`` as the process-wide solver metrics sink
+    (``None`` uninstalls).  Returns the previously installed registry so
+    callers can restore it -- instrumentation is process-global, so
+    scoped users (tests, the CLI) should restore on exit."""
+    global _SOLVER_REGISTRY
+    previous = _SOLVER_REGISTRY
+    _SOLVER_REGISTRY = registry
+    return previous
+
+
+def solver_metrics() -> Optional[MetricsRegistry]:
+    """The currently installed solver metrics registry, or ``None``."""
+    return _SOLVER_REGISTRY

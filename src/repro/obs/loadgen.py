@@ -1,0 +1,418 @@
+"""Open-loop load generation against a release session -- the latency
+instrument behind ``repro loadgen``.
+
+Offline benchmarks measure events/sec; operators care about the latency
+*distribution under load*.  This module drives a
+:class:`~repro.service.session.ReleaseSession` (in-process, through its
+bounded async queue) or a ``repro serve`` subprocess with an **open-loop**
+arrival process: every request has a scheduled arrival time derived from
+the offered rate alone, independent of how fast earlier requests
+completed, so a slow consumer builds a real backlog instead of silently
+throttling the generator (the closed-loop trap that hides queueing
+collapse).  Latency is measured from the *scheduled* arrival to
+completion, which charges coordinated omission to the server, not the
+client.
+
+Three deterministic arrival schedules (:func:`arrival_offsets`):
+
+* ``constant`` -- evenly spaced at the offered rate;
+* ``bursty`` -- groups of ``burst`` arrivals at ``burst_factor`` times
+  the offered rate, separated by idle gaps that preserve the average;
+* ``diurnal`` -- a sinusoidal instantaneous rate (one full period over
+  the run by default), the shape of daily traffic.
+
+The report carries p50/p99/p999 ingest latency, offered vs. achieved
+rate, queue depth high-water marks and backpressure stalls, plus the full
+metrics snapshot of the instrumented session; :func:`emit_report` writes
+it as ``BENCH_serve.json`` through the shared bench harness
+(:mod:`repro.obs.bench`), which stamps ``cpu_count`` / Python version /
+git SHA.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import sys
+import time
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .bench import emit_json
+from .instrument import install_solver_metrics
+from .metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "SCHEDULES",
+    "arrival_offsets",
+    "run_loadgen",
+    "emit_report",
+    "format_report",
+    "DEFAULT_JSON_PATH",
+]
+
+SCHEDULES = ("constant", "bursty", "diurnal")
+DEFAULT_JSON_PATH = "BENCH_serve.json"
+
+
+def arrival_offsets(
+    schedule: str,
+    rate: float,
+    count: int,
+    *,
+    burst: int = 16,
+    burst_factor: float = 4.0,
+    amplitude: float = 0.5,
+    period: Optional[float] = None,
+) -> List[float]:
+    """Deterministic arrival times (seconds from start) for ``count``
+    requests at an average offered ``rate``.
+
+    ``bursty`` sends groups of ``burst`` requests at ``burst_factor x
+    rate`` with idle gaps preserving the average rate; ``diurnal`` steps
+    through a sinusoidal instantaneous rate ``rate * (1 + amplitude *
+    sin(2 pi t / period))`` (default period: one full cycle over the
+    run).  All schedules are pure functions of their arguments --
+    replayable, seed-free.
+    """
+    if schedule not in SCHEDULES:
+        raise ValueError(f"schedule must be one of {SCHEDULES}, got {schedule!r}")
+    if rate <= 0:
+        raise ValueError(f"rate must be > 0, got {rate}")
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if schedule == "constant":
+        return [i / rate for i in range(count)]
+    if schedule == "bursty":
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        if burst_factor <= 1.0:
+            raise ValueError(
+                f"burst_factor must be > 1, got {burst_factor}"
+            )
+        # Group g occupies [g * burst/rate, ...): burst arrivals at the
+        # inflated rate, then idle until the next group -- the group
+        # cadence alone fixes the average at ``rate``.
+        return [
+            (i // burst) * (burst / rate) + (i % burst) / (rate * burst_factor)
+            for i in range(count)
+        ]
+    # diurnal
+    if not 0.0 <= amplitude < 1.0:
+        raise ValueError(f"amplitude must be in [0, 1), got {amplitude}")
+    if period is None:
+        period = count / rate
+    if period <= 0:
+        raise ValueError(f"period must be > 0, got {period}")
+    offsets = []
+    t = 0.0
+    for _ in range(count):
+        offsets.append(t)
+        instantaneous = rate * (
+            1.0 + amplitude * math.sin(2.0 * math.pi * t / period)
+        )
+        t += 1.0 / instantaneous
+    return offsets
+
+
+def _build_session(
+    *,
+    users: int,
+    epsilon: float,
+    window: int,
+    queue_size: int,
+    backend: str,
+    shards: int,
+    seed: int,
+    correlations=None,
+    registry: Optional[MetricsRegistry] = None,
+):
+    """An instrumented session over a synthetic two-state population
+    (or explicit ``correlations``)."""
+    from ..data import HistogramQuery
+    from ..markov import two_state_matrix
+    from ..service import ReleaseSession, SessionConfig
+
+    if correlations is None:
+        matrix = two_state_matrix(0.8, 0.1)
+        correlations = {u: (matrix, matrix) for u in range(users)}
+        n_states = 2
+    else:
+        pair = next(iter(correlations.values()))
+        n_states = (pair[0] or pair[1]).n
+    config = SessionConfig(
+        correlations=correlations,
+        budgets=epsilon,
+        query=HistogramQuery(n_states),
+        backend=backend,
+        shards=shards,
+        queue_maxsize=queue_size,
+        window_size=window,
+        seed=seed,
+    )
+    return ReleaseSession(config, registry=registry), n_states
+
+
+async def _drive_session(
+    session, offsets: List[float], snapshots: np.ndarray
+) -> Tuple[List[float], int, float]:
+    """Submit one ``aingest`` per scheduled arrival (open loop) and
+    return ``(latencies, errors, makespan)`` -- latency measured from the
+    scheduled arrival, makespan from the first scheduled arrival to the
+    last completion."""
+    latencies: List[float] = []
+    errors = 0
+    start = time.perf_counter()
+
+    async def one(i: int) -> None:
+        nonlocal errors
+        scheduled = start + offsets[i]
+        delay = scheduled - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        try:
+            await session.aingest(snapshots[i])
+        except Exception:
+            errors += 1
+            return
+        latencies.append(time.perf_counter() - scheduled)
+
+    async with session:
+        await asyncio.gather(*(one(i) for i in range(len(offsets))))
+    return latencies, errors, time.perf_counter() - start
+
+
+async def _drive_subprocess(
+    argv: List[str], offsets: List[float], lines: List[str]
+) -> Tuple[List[float], int, float]:
+    """Pace ``lines`` into a ``repro serve`` subprocess at the scheduled
+    arrivals and time each reply by its ``seq`` field (replies are in
+    submission order, so ``seq`` = input index)."""
+    proc = await asyncio.create_subprocess_exec(
+        *argv,
+        stdin=asyncio.subprocess.PIPE,
+        stdout=asyncio.subprocess.PIPE,
+        stderr=asyncio.subprocess.DEVNULL,
+    )
+    assert proc.stdin is not None and proc.stdout is not None
+    latencies: List[float] = []
+    errors = 0
+    start = time.perf_counter()
+    scheduled = [start + off for off in offsets]
+
+    async def write() -> None:
+        for i, line in enumerate(lines):
+            delay = scheduled[i] - time.perf_counter()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            proc.stdin.write(line.encode() + b"\n")
+            await proc.stdin.drain()
+        proc.stdin.close()
+
+    async def read() -> None:
+        nonlocal errors
+        while True:
+            raw = await proc.stdout.readline()
+            if not raw:
+                break
+            now = time.perf_counter()
+            try:
+                payload = json.loads(raw)
+            except json.JSONDecodeError:
+                errors += 1
+                continue
+            seq = payload.get("seq")
+            if not isinstance(seq, int) or not 0 <= seq < len(scheduled):
+                errors += 1
+                continue
+            if "error" in payload:
+                errors += 1
+                continue
+            latencies.append(now - scheduled[seq])
+
+    try:
+        await asyncio.gather(write(), read())
+    finally:
+        await proc.wait()
+    return latencies, errors, time.perf_counter() - start
+
+
+def run_loadgen(
+    *,
+    users: int = 100,
+    rate: float = 500.0,
+    count: int = 500,
+    schedule: str = "constant",
+    epsilon: float = 0.1,
+    window: int = 8,
+    queue_size: int = 64,
+    backend: str = "auto",
+    shards: int = 1,
+    seed: int = 0,
+    burst: int = 16,
+    burst_factor: float = 4.0,
+    amplitude: float = 0.5,
+    target: str = "inprocess",
+    correlations=None,
+    matrix_path: Optional[str] = None,
+) -> dict:
+    """Run one load-generation pass and return the report dict.
+
+    ``target="inprocess"`` drives an instrumented
+    :class:`~repro.service.session.ReleaseSession` through its bounded
+    async queue (latency includes queue wait and backpressure parking);
+    ``target="subprocess"`` spawns ``repro serve`` and times replies over
+    the JSON-lines pipe by their ``seq`` ids (latency additionally
+    includes wire + process-scheduling cost).  Solver metrics are
+    installed for the duration of an in-process run.
+    """
+    if target not in ("inprocess", "subprocess"):
+        raise ValueError(
+            f"target must be 'inprocess' or 'subprocess', got {target!r}"
+        )
+    offsets = arrival_offsets(
+        schedule,
+        rate,
+        count,
+        burst=burst,
+        burst_factor=burst_factor,
+        amplitude=amplitude,
+    )
+    registry = MetricsRegistry()
+    queue_summary = None
+    if target == "inprocess":
+        session, n_states = _build_session(
+            users=users,
+            epsilon=epsilon,
+            window=window,
+            queue_size=queue_size,
+            backend=backend,
+            shards=shards,
+            seed=seed,
+            correlations=correlations,
+            registry=registry,
+        )
+        rng = np.random.default_rng(seed)
+        snapshots = rng.integers(0, n_states, size=(count, users))
+        previous = install_solver_metrics(registry)
+        try:
+            latencies, errors, makespan = asyncio.run(
+                _drive_session(session, offsets, snapshots)
+            )
+        finally:
+            install_solver_metrics(previous)
+            session.close()
+        summary = session.summary()
+        queue_summary = summary["queue"]
+        backend_name = summary["backend"]
+        metrics = summary["metrics"]
+    else:
+        if matrix_path is None:
+            raise ValueError("subprocess target requires matrix_path")
+        rng = np.random.default_rng(seed)
+        snapshots = rng.integers(0, 2, size=(count, users))
+        lines = [json.dumps(s.tolist()) for s in snapshots]
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "-m",
+            matrix_path,
+            "--users",
+            str(users),
+            "--epsilon",
+            str(epsilon),
+            "--window",
+            str(window),
+            "--queue-size",
+            str(queue_size),
+            "--backend",
+            backend,
+            "--shards",
+            str(shards),
+            "--seed",
+            str(seed),
+        ]
+        latencies, errors, makespan = asyncio.run(
+            _drive_subprocess(argv, offsets, lines)
+        )
+        backend_name = backend
+        metrics = None
+
+    hist = Histogram()
+    for latency in latencies:
+        hist.observe(latency)
+    latency_ms = {
+        key: (None if value is None else value * 1000.0)
+        for key, value in hist.snapshot().items()
+        if key != "count"
+    }
+    stalls = registry.counter("queue.backpressure_stalls").value
+    return {
+        "target": target,
+        "schedule": schedule,
+        "backend": backend_name,
+        "users": users,
+        "count": count,
+        "window": window,
+        "queue_size": queue_size,
+        "shards": shards,
+        "seed": seed,
+        "offered_rate": rate,
+        "achieved_rate": len(latencies) / max(makespan, 1e-12),
+        "duration_seconds": makespan,
+        "completed": len(latencies),
+        "errors": errors,
+        "latency_ms": latency_ms,
+        "queue": queue_summary,
+        "backpressure_stalls": stalls,
+        "metrics": metrics,
+    }
+
+
+def format_report(report: dict) -> str:
+    lat = report["latency_ms"]
+
+    def ms(key: str) -> str:
+        value = lat.get(key)
+        return "n/a" if value is None else f"{value:.2f}ms"
+
+    lines = [
+        f"loadgen -- {report['schedule']} schedule, "
+        f"{report['count']} requests at {report['offered_rate']:g}/s "
+        f"offered, {report['users']} users, {report['backend']} backend "
+        f"({report['target']})",
+        f"  latency     p50 {ms('p50')}   p99 {ms('p99')}   "
+        f"p999 {ms('p999')}   max {ms('max')}",
+        f"  rate        offered {report['offered_rate']:,.1f}/s   "
+        f"achieved {report['achieved_rate']:,.1f}/s",
+        f"  completed   {report['completed']}/{report['count']} "
+        f"({report['errors']} errors)",
+    ]
+    queue = report.get("queue")
+    if queue:
+        lines.append(
+            f"  queue       depth high-water {queue['high_watermark']} "
+            f"(bound {queue['maxsize']}), largest window "
+            f"{queue['batch_high_watermark']}, "
+            f"{report['backpressure_stalls']} backpressure stalls"
+        )
+    return "\n".join(lines)
+
+
+def emit_report(report: dict, path: str = DEFAULT_JSON_PATH) -> str:
+    """Write the report (with environment metadata) as ``path``."""
+    slim = dict(report)
+    # The full metrics snapshot carries ring buffers; keep the JSON
+    # artifact focused on the SLO numbers plus headline metrics.
+    metrics = slim.pop("metrics", None)
+    if metrics is not None:
+        slim["metrics"] = {
+            key: value
+            for key, value in metrics.items()
+            if not key.startswith("queue.depth")
+        }
+    return emit_json(slim, path)

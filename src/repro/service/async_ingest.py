@@ -28,7 +28,10 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import time
 from typing import Any, Callable, List, Optional
+
+from ..obs.metrics import NULL_REGISTRY
 
 __all__ = ["BoundedIngestQueue", "QueueClosed"]
 
@@ -101,6 +104,7 @@ class BoundedIngestQueue:
         *,
         batch_size: int = 1,
         process_batch: Optional[Callable[[List[Any]], List[Any]]] = None,
+        registry=None,
     ) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
@@ -108,6 +112,7 @@ class BoundedIngestQueue:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self._process = process
         self._process_batch = process_batch
+        self._registry = registry if registry is not None else NULL_REGISTRY
         self._maxsize = maxsize
         self._batch_size = batch_size
         self._queue: Optional[asyncio.Queue] = None
@@ -172,12 +177,18 @@ class BoundedIngestQueue:
         assert self._queue is not None
         future: asyncio.Future = loop.create_future()
         self._in_flight += 1
+        registry = self._registry
+        if registry.enabled and self._queue.full():
+            registry.counter("queue.backpressure_stalls").inc()
         try:
-            await self._queue.put((item, future))
+            t0 = time.perf_counter() if registry.enabled else 0.0
+            await self._queue.put((item, future, t0))
             self.submitted += 1
             self.high_watermark = max(
                 self.high_watermark, self._queue.qsize()
             )
+            if registry.enabled:
+                registry.timeseries("queue.depth").record(self._queue.qsize())
             return await future
         finally:
             self._in_flight -= 1
@@ -243,20 +254,33 @@ class BoundedIngestQueue:
         them: they are done as far as the queue is concerned, but the
         consumer never saw them."""
         assert self._queue is not None
+        self._registry.counter("queue.cancelled").inc(count)
         for _ in range(count):
             self.cancelled += 1
             self._queue.task_done()
 
+    def _observe_wait(self, entries) -> None:
+        """Record how long each entry sat queued before reaching the
+        consumer (only meaningful -- and only measured -- when a real
+        registry stamped the submission)."""
+        if not self._registry.enabled:
+            return
+        now = time.perf_counter()
+        waits = self._registry.histogram("queue.wait.seconds")
+        for entry in entries:
+            waits.observe(now - entry[2])
+
     def _process_one(self, entry) -> None:
-        """Process a single ``(item, future)`` entry through ``process``,
-        delivering its result or exception to just that submitter.
+        """Process a single ``(item, future, t0)`` entry through
+        ``process``, delivering its result or exception to just that
+        submitter.
 
         An entry whose submitter already cancelled is skipped *before*
         the consumer runs: processing it anyway would mutate consumer
         state (spend privacy budget) for a request nobody is waiting on,
         and silently drop any exception it raised.
         """
-        item, future = entry
+        item, future, _ = entry
         if future.cancelled():
             self._skip_cancelled()
             return
@@ -276,6 +300,8 @@ class BoundedIngestQueue:
         while True:
             first = await self._queue.get()
             if self._process_batch is None:
+                if not first[1].cancelled():
+                    self._observe_wait([first])
                 self._process_one(first)
                 continue
             batch = self._next_batch(first)
@@ -290,8 +316,9 @@ class BoundedIngestQueue:
                     live.append(entry)
             if not live:
                 continue
+            self._observe_wait(live)
             try:
-                results = self._process_batch([item for item, _ in live])
+                results = self._process_batch([entry[0] for entry in live])
                 if len(results) != len(live):
                     raise RuntimeError(
                         f"process_batch returned {len(results)} results "
@@ -306,7 +333,7 @@ class BoundedIngestQueue:
                 for entry in live:
                     self._process_one(entry)
             else:
-                for (_, future), result in zip(live, results):
-                    if not future.cancelled():
-                        future.set_result(result)
+                for entry, result in zip(live, results):
+                    if not entry[1].cancelled():
+                        entry[1].set_result(result)
                 self._finish(len(live))

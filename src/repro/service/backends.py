@@ -55,6 +55,7 @@ from ..fleet.checkpoint import (
 )
 from ..fleet.engine import FleetAccountant
 from ..fleet.solution_cache import SolutionCache
+from ..obs.metrics import NULL_REGISTRY
 from .window import ReleaseWindow, WindowResult
 
 __all__ = [
@@ -175,8 +176,14 @@ class ScalarAccountantBackend:
     name = "scalar"
     supports_checkpoint = True
 
-    def __init__(self, correlations, cache: Optional[SolutionCache] = None) -> None:
+    def __init__(
+        self,
+        correlations,
+        cache: Optional[SolutionCache] = None,
+        registry=None,
+    ) -> None:
         users = normalise_correlations(correlations)
+        self._registry = registry if registry is not None else NULL_REGISTRY
         self._accountants: Dict[Hashable, TemporalPrivacyAccountant] = {
             user: TemporalPrivacyAccountant({user: value}, cache=cache)
             for user, value in users.items()
@@ -190,6 +197,14 @@ class ScalarAccountantBackend:
         worst-case TPL series.  All budgets are validated before any
         accountant is touched, so a bad step leaves the state unchanged.
         """
+        with self._registry.span("backend.add_window.seconds", backend=self.name):
+            result = self._add_window(window)
+        self._registry.counter("backend.steps", backend=self.name).inc(
+            len(result.max_tpls)
+        )
+        return result
+
+    def _add_window(self, window: ReleaseWindow) -> WindowResult:
         steps = []
         for epsilon, overrides in _resolved_steps(window):
             epsilon = validate_epsilon(epsilon)
@@ -316,6 +331,7 @@ class ScalarAccountantBackend:
         directory,
         correlations,
         cache: Optional[SolutionCache] = None,
+        registry=None,
     ) -> "ScalarAccountantBackend":
         """Rebuild a backend from :meth:`save` output.  ``correlations``
         must describe the same user population (correlation models are
@@ -333,7 +349,7 @@ class ScalarAccountantBackend:
                 f"unsupported scalar checkpoint format "
                 f"{manifest.get('format')!r}"
             )
-        backend = cls(correlations, cache=cache)
+        backend = cls(correlations, cache=cache, registry=registry)
         saved = {
             decode_user_id(entry["user"]): entry["eps"]
             for entry in manifest["users"]
@@ -363,12 +379,16 @@ class FleetAccountantBackend:
         cache: Optional[SolutionCache] = None,
         *,
         engine: Optional[FleetAccountant] = None,
+        registry=None,
     ) -> None:
+        self._registry = registry if registry is not None else NULL_REGISTRY
         if engine is not None:
             self._fleet = engine
+            if registry is not None:
+                engine.instrument(registry)
         else:
             users = normalise_correlations(correlations)
-            self._fleet = FleetAccountant(users, cache=cache)
+            self._fleet = FleetAccountant(users, cache=cache, registry=registry)
 
     @property
     def fleet(self) -> FleetAccountant:
@@ -380,12 +400,15 @@ class FleetAccountantBackend:
         """Apply a window through the engine's vectorised multi-step
         path (:meth:`FleetAccountant.add_window`)."""
         steps = _resolved_steps(window)
-        return WindowResult(
-            self._fleet.add_window(
-                [epsilon for epsilon, _ in steps],
-                [overrides for _, overrides in steps],
+        with self._registry.span("backend.add_window.seconds", backend=self.name):
+            result = WindowResult(
+                self._fleet.add_window(
+                    [epsilon for epsilon, _ in steps],
+                    [overrides for _, overrides in steps],
+                )
             )
-        )
+        self._registry.counter("backend.steps", backend=self.name).inc(len(steps))
+        return result
 
     def add_release(
         self,
@@ -438,11 +461,16 @@ class FleetAccountantBackend:
         directory,
         correlations=None,
         cache: Optional[SolutionCache] = None,
+        registry=None,
     ) -> "FleetAccountantBackend":
         """Rebuild a backend from a fleet checkpoint (correlation models
         are serialised in the ``.npz``, so ``correlations`` is unused and
         accepted only for signature symmetry with the scalar backend)."""
-        return cls(None, engine=load_checkpoint(directory, cache=cache))
+        return cls(
+            None,
+            engine=load_checkpoint(directory, cache=cache),
+            registry=registry,
+        )
 
 
 def make_backend(
@@ -452,6 +480,7 @@ def make_backend(
     fleet_threshold: int = DEFAULT_FLEET_THRESHOLD,
     cache: Optional[SolutionCache] = None,
     shards: int = 1,
+    registry=None,
 ) -> AccountantBackend:
     """Build the accounting backend for a population.
 
@@ -480,13 +509,15 @@ def make_backend(
                 "backend='scalar' cannot be combined with shards="
                 f"{shards}"
             )
-        return ScalarAccountantBackend(users, cache=cache)
+        return ScalarAccountantBackend(users, cache=cache, registry=registry)
     if backend == "fleet":
         if shards > 1:
             from .sharding import ShardedFleetBackend
 
-            return ShardedFleetBackend(users, shards=shards, cache=cache)
-        return FleetAccountantBackend(users, cache=cache)
+            return ShardedFleetBackend(
+                users, shards=shards, cache=cache, registry=registry
+            )
+        return FleetAccountantBackend(users, cache=cache, registry=registry)
     raise ValueError(
         f"backend must be 'auto', 'scalar' or 'fleet', got {backend!r}"
     )

@@ -39,6 +39,7 @@ from ..core.leakage import LeakageProfile
 from ..fleet.solution_cache import SolutionCache
 from ..mechanisms.base import as_rng
 from ..mechanisms.laplace import LaplaceMechanism
+from ..obs.metrics import NULL_REGISTRY
 from .async_ingest import BoundedIngestQueue
 from .backends import (
     AccountantBackend,
@@ -78,6 +79,16 @@ class ReleaseSession:
         constructed from the config (``auto`` selection by population
         size).  Used by :meth:`restore` and by tests that need to inject
         a specific backend instance.
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.  By default
+        the session (and every layer below it) runs on the no-op
+        :data:`~repro.obs.metrics.NULL_REGISTRY`; passing a real registry
+        turns on per-ingest/per-window latency histograms, per-status
+        event counters, alpha probe/rollback counts, queue depth
+        timeseries and backend timings, surfaced through
+        ``summary()["metrics"]``.  Instrumentation never changes a float
+        operation or RNG draw (the metrics parity suite pins events,
+        noise and TPL series bit-identical either way).
 
     Examples
     --------
@@ -102,10 +113,12 @@ class ReleaseSession:
         *,
         backend: Optional[AccountantBackend] = None,
         cache: Optional[SolutionCache] = None,
+        registry=None,
     ) -> None:
         self._config = config
         self._policy = config.alpha_policy()
         self._schedule = config.budget_schedule()
+        self._registry = registry if registry is not None else NULL_REGISTRY
         if cache is None:
             cache = (
                 SolutionCache(maxsize=config.cache_size)
@@ -113,6 +126,7 @@ class ReleaseSession:
                 else SolutionCache()
             )
         self._cache = cache
+        self._registry.gauge_fn("session.cache", self._cache.stats)
         if backend is None:
             backend = make_backend(
                 config.user_correlations(),
@@ -120,6 +134,7 @@ class ReleaseSession:
                 fleet_threshold=config.fleet_threshold,
                 cache=self._cache,
                 shards=config.shards,
+                registry=registry,
             )
         self._backend = backend
         self._rng = as_rng(config.seed)
@@ -151,11 +166,12 @@ class ReleaseSession:
         This is the one-element window: ``ingest(x)`` ==
         ``ingest_window([x])[0]``, bit for bit.
         """
-        return self.ingest_window(
-            ReleaseWindow.single(
-                snapshot, epsilon=epsilon, overrides=overrides
-            )
-        )[0]
+        with self._registry.span("session.ingest.seconds"):
+            return self.ingest_window(
+                ReleaseWindow.single(
+                    snapshot, epsilon=epsilon, overrides=overrides
+                )
+            )[0]
 
     def ingest_window(
         self,
@@ -196,8 +212,9 @@ class ReleaseSession:
             )
         events: List[ReleaseEvent] = []
         steps = list(window.steps)
-        while steps:
-            steps = steps[self._ingest_chunk(steps, events) :]
+        with self._registry.span("session.window.seconds"):
+            while steps:
+                steps = steps[self._ingest_chunk(steps, events) :]
         self._maybe_checkpoint()
         return events
 
@@ -251,6 +268,7 @@ class ReleaseSession:
                 # the violating step on is rolled back and re-decided.
                 stop = int(violating[0])
                 self._backend.rollback(len(steps) - stop)
+                self._registry.counter("session.alpha.rollbacks").inc()
         for i in range(stop):
             status, message = RELEASED, None
             worst = float(worsts[i])
@@ -329,6 +347,7 @@ class ReleaseSession:
             message=message,
         )
         self._events.append(event)
+        self._registry.counter("session.events", status=status).inc()
         return event
 
     def run(self, dataset) -> List[ReleaseEvent]:
@@ -376,6 +395,7 @@ class ReleaseSession:
                 maxsize=self._config.queue_maxsize,
                 batch_size=self._config.window_size,
                 process_batch=self._process_queued_window,
+                registry=self._registry,
             )
         return await self._pump.submit((snapshot, epsilon, overrides))
 
@@ -439,6 +459,7 @@ class ReleaseSession:
             return requested, overrides, worst, RELEASED, None
         detail = self._violation_detail(requested, worst)
         self._backend.rollback_last()
+        self._registry.counter("session.alpha.rollbacks").inc()
         if policy.mode == "reject":
             return 0.0, None, self._backend.max_tpl(), REJECTED, detail
         # Clamp: largest feasible fraction of the requested budgets.
@@ -492,6 +513,7 @@ class ReleaseSession:
                 requested * mid, scaled_overrides
             )
             self._backend.rollback_last()
+            self._registry.counter("session.alpha.probes").inc()
             if worst <= alpha + _ALPHA_TOL:
                 lo = mid
             else:
@@ -517,6 +539,12 @@ class ReleaseSession:
     def cache(self) -> SolutionCache:
         """The shared Algorithm-1 solution cache of this session."""
         return self._cache
+
+    @property
+    def registry(self):
+        """The metrics registry this session reports into (the no-op
+        :data:`~repro.obs.metrics.NULL_REGISTRY` unless one was passed)."""
+        return self._registry
 
     @property
     def events(self) -> Tuple[ReleaseEvent, ...]:
@@ -548,7 +576,10 @@ class ReleaseSession:
         event counts, worst-case TPL, alpha headroom, and -- once
         :meth:`aingest` has run -- the async queue's counters (depth
         high-water mark, largest coalesced window), which operators use
-        to size ``window_size`` / ``queue_maxsize``."""
+        to size ``window_size`` / ``queue_maxsize``.  ``"metrics"`` is
+        the registry snapshot -- latency histograms, per-status event
+        counters, backend timings -- and is ``{}`` on an un-instrumented
+        session."""
         counts: dict = {}
         for event in self._events:
             counts[event.status] = counts.get(event.status, 0) + 1
@@ -565,6 +596,7 @@ class ReleaseSession:
             "max_tpl": self._backend.max_tpl(),
             "remaining_alpha": self.remaining_alpha(),
             "queue": queue_stats,
+            "metrics": self._registry.snapshot(),
         }
 
     # ------------------------------------------------------------------
@@ -592,7 +624,9 @@ class ReleaseSession:
             self.checkpoint()
 
     @classmethod
-    def restore(cls, config: SessionConfig, directory) -> "ReleaseSession":
+    def restore(
+        cls, config: SessionConfig, directory, *, registry=None
+    ) -> "ReleaseSession":
         """Rebuild a session from a checkpoint written by any backend.
 
         The accounting state (and therefore every leakage query) is
@@ -640,17 +674,23 @@ class ReleaseSession:
             )
         if kind == "scalar":
             backend: AccountantBackend = ScalarAccountantBackend.restore(
-                directory, config.user_correlations(), cache=cache
+                directory,
+                config.user_correlations(),
+                cache=cache,
+                registry=registry,
             )
         elif kind == "sharded":
             backend = ShardedFleetBackend.restore(
                 directory,
                 cache=cache,
                 shards=config.shards if config.shards > 1 else None,
+                registry=registry,
             )
         else:
-            backend = FleetAccountantBackend.restore(directory, cache=cache)
-        return cls(config, backend=backend, cache=cache)
+            backend = FleetAccountantBackend.restore(
+                directory, cache=cache, registry=registry
+            )
+        return cls(config, backend=backend, cache=cache, registry=registry)
 
     def __repr__(self) -> str:
         return (

@@ -46,6 +46,7 @@ from __future__ import annotations
 import hashlib
 import json
 import multiprocessing
+import time
 from pathlib import Path
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional
 
@@ -57,6 +58,7 @@ from ..fleet.checkpoint import load_checkpoint, save_checkpoint
 from ..fleet.cohorts import correlation_digest, normalise_pair
 from ..fleet.engine import FleetAccountant
 from ..fleet.solution_cache import SolutionCache
+from ..obs.metrics import NULL_REGISTRY
 from .window import ReleaseWindow, WindowResult
 
 __all__ = [
@@ -214,9 +216,11 @@ class ShardedFleetBackend:
         *,
         shards: int = 2,
         cache: Optional[SolutionCache] = None,
+        registry=None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
+        self._registry = registry if registry is not None else NULL_REGISTRY
         # Import here: backends imports this module lazily (make_backend)
         # and this module needs backends' normaliser -- a top-level import
         # each way would be a cycle.
@@ -369,6 +373,16 @@ class ShardedFleetBackend:
         single-process engine validates -- identical errors, and a
         failing window leaves every shard unchanged.
         """
+        with self._registry.span(
+            "backend.add_window.seconds", backend=self.name
+        ):
+            result = self._add_window(window)
+        self._registry.counter("backend.steps", backend=self.name).inc(
+            len(result.max_tpls)
+        )
+        return result
+
+    def _add_window(self, window: ReleaseWindow) -> WindowResult:
         from .backends import _resolved_steps
 
         self._require_open()
@@ -386,9 +400,24 @@ class ShardedFleetBackend:
                     raise KeyError(f"override for unknown user {user!r}")
                 validate_epsilon(eps_u, name="override epsilon")
                 split[owner][i][user] = eps_u
+        registry = self._registry
+        t0 = time.perf_counter() if registry.enabled else 0.0
         for index in range(n_shards):
             self._send(index, "add_window", (epsilons, split[index]))
-        outcomes = [self._recv(i) for i in range(n_shards)]
+        if registry.enabled:
+            registry.histogram("shard.scatter.seconds").observe(
+                time.perf_counter() - t0
+            )
+        outcomes = []
+        for i in range(n_shards):
+            outcomes.append(self._recv(i))
+            if registry.enabled:
+                # Round-trip from scatter start to this shard's reply;
+                # shard i's reply waits on shards < i being read first,
+                # so the slowest shard dominates every later label.
+                registry.histogram("shard.rpc.seconds", shard=i).observe(
+                    time.perf_counter() - t0
+                )
         errors = [payload for status, payload in outcomes if status == "error"]
         if errors:
             # Coordinator-side validation makes this unreachable for bad
@@ -404,7 +433,8 @@ class ShardedFleetBackend:
                     self._call(index, "rollback", len(epsilons))
             raise errors[0]
         self._epsilons.extend(epsilons)
-        merged = np.maximum.reduce([payload for _, payload in outcomes])
+        with registry.span("shard.merge.seconds"):
+            merged = np.maximum.reduce([payload for _, payload in outcomes])
         return WindowResult(merged)
 
     def add_release(
@@ -529,6 +559,7 @@ class ShardedFleetBackend:
         cache: Optional[SolutionCache] = None,
         *,
         shards: Optional[int] = None,
+        registry=None,
     ) -> "ShardedFleetBackend":
         """Rebuild a backend from :meth:`save` output.
 
@@ -559,6 +590,7 @@ class ShardedFleetBackend:
                 "re-sharding a checkpoint is not supported"
             )
         self = cls.__new__(cls)
+        self._registry = registry if registry is not None else NULL_REGISTRY
         self._conns = None
         self._procs = None
         maxsize = cache.maxsize if cache is not None else None

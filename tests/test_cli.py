@@ -378,6 +378,100 @@ class TestServe:
         assert all(e["backend"] == "sharded" for e in events)
         assert "served 3 events" in captured.err
 
+    def test_serve_lines_carry_seq_and_elapsed_ms(
+        self, matrix_file, monkeypatch, capsys
+    ):
+        """Every emitted line -- result, error, windowed step -- carries a
+        stable per-request ``seq`` (input order) and a monotonic-clock
+        ``elapsed_ms``, so clients can correlate replies over the pipe
+        without trusting arrival order."""
+        code = self._serve(
+            matrix_file,
+            monkeypatch,
+            [
+                "[0, 1, 0, 1]",
+                "not json",
+                '{"window": [[1, 1, 0, 0], [1, 0, 1, 0]]}',
+                '{"snapshot": [0, 0, 0, 0], "epsilon": -2}',
+            ],
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        lines = [json.loads(line) for line in captured.out.strip().splitlines()]
+        # 1 event + 1 bad-JSON error + 2 windowed events + 1 bad-epsilon
+        # error, seq assigned per submitted step in input order.
+        assert [line["seq"] for line in lines] == [0, 1, 2, 3, 4]
+        assert "error" in lines[1]
+        assert "error" in lines[4]
+        assert [line.get("t") for line in lines] == [1, None, 2, 3, None]
+        for line in lines:
+            assert line["elapsed_ms"] >= 0.0
+
+    def test_serve_stats_interval_emits_stats_lines_on_stderr(
+        self, matrix_file, monkeypatch, capsys
+    ):
+        code = self._serve(
+            matrix_file,
+            monkeypatch,
+            ["[0, 1, 0, 1]"] * 5,
+            extra=["--stats-interval", "2"],
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        # stdout stays a pure event protocol.
+        events = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert [e["t"] for e in events] == [1, 2, 3, 4, 5]
+        stats = [
+            json.loads(line)["stats"]
+            for line in captured.err.strip().splitlines()
+            if line.startswith('{"stats"')
+        ]
+        assert [s["emitted"] for s in stats] == [2, 4]
+        for s in stats:
+            assert s["horizon"] == s["emitted"]
+            # aingest drains through the windowed batch path.
+            assert "session.window.seconds" in s["metrics"]
+            # Ring-buffer readings are pruned from the wire format.
+            assert "recent" not in s["metrics"]["queue.depth"]
+
+    def test_serve_rejects_bad_stats_interval(self, matrix_file, monkeypatch):
+        with pytest.raises(SystemExit):
+            self._serve(
+                matrix_file, monkeypatch, ["[0, 0, 0, 0]"],
+                extra=["--stats-interval", "0"],
+            )
+
+
+class TestLoadgen:
+    def test_smoke_preset_emits_report_and_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_serve.json"
+        code = main(["loadgen", "--smoke", "-o", str(out)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "latency" in captured.out
+        assert "p999" in captured.out
+        report = json.loads(out.read_text())
+        assert report["completed"] == report["count"] == 200
+        assert report["errors"] == 0
+        assert report["latency_ms"]["p50"] is not None
+        assert report["queue"]["high_watermark"] >= 1
+        assert report["environment"]["python"]
+
+    def test_empty_output_skips_json(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            [
+                "loadgen", "--users", "3", "--rate", "5000", "--count", "20",
+                "--window", "4", "--queue-size", "8", "-o", "",
+            ]
+        )
+        assert code == 0
+        assert not (tmp_path / "BENCH_serve.json").exists()
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(SystemExit):
+            main(["loadgen", "--rate", "0"])
+
 
 class TestFleet:
     def test_simulation_reports_tpl_and_throughput(self, capsys):
