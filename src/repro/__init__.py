@@ -86,7 +86,6 @@ from .core import (
 )
 from .fleet import (
     FleetAccountant,
-    FleetReleaseEngine,
     SolutionCache,
     load_checkpoint,
     save_checkpoint,
@@ -156,7 +155,6 @@ __all__ = [
     "PrivacyLevel",
     # fleet
     "FleetAccountant",
-    "FleetReleaseEngine",
     "SolutionCache",
     "save_checkpoint",
     "load_checkpoint",

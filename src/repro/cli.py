@@ -201,6 +201,9 @@ def _session_config(args, backward, forward, query, horizon=None):
             horizon=horizon,
             seed=args.seed,
             checkpoint_dir=getattr(args, "checkpoint", None),
+            wal_dir=getattr(args, "wal_dir", None),
+            wal_fsync=getattr(args, "wal_fsync", "always"),
+            wal_compact_every=getattr(args, "wal_compact_every", None),
             queue_maxsize=getattr(args, "queue_size", 64),
             window_size=getattr(args, "window", 1),
         )
@@ -210,6 +213,25 @@ def _session_config(args, backward, forward, query, horizon=None):
         # Config combinations argparse cannot express (e.g. --backend
         # scalar with --shards 2) exit cleanly, not with a traceback.
         raise SystemExit(f"error: {error}") from None
+
+
+def _build_session(config, registry=None):
+    """Construct (or recover) the session a config describes: a
+    ``--wal-dir`` that already holds a write-ahead log means "continue
+    that history", so the session is rebuilt from it instead of started
+    fresh."""
+    from .durability import is_wal_dir
+    from .service import ReleaseSession
+
+    if config.wal_dir is not None and is_wal_dir(config.wal_dir):
+        session = ReleaseSession.recover(config, registry=registry)
+        print(
+            f"recovered {session.horizon} accounted releases from WAL "
+            f"{config.wal_dir}",
+            file=sys.stderr,
+        )
+        return session
+    return ReleaseSession(config, registry=registry)
 
 
 def _print_session_summary(session) -> None:
@@ -232,7 +254,6 @@ def _cmd_release(args) -> int:
     from .data import HistogramQuery
     from .data.synthetic import generate_population
     from .markov import MarkovChain
-    from .service import ReleaseSession
 
     if args.users < 1 or args.steps < 1:
         raise SystemExit("--users and --steps must be >= 1")
@@ -241,9 +262,16 @@ def _cmd_release(args) -> int:
     dataset = generate_population(
         chain, n_users=args.users, horizon=args.steps, seed=args.seed
     )
-    session = ReleaseSession(
+    from .durability import is_wal_dir
+
+    # A recovered run continues past the original horizon, so leave the
+    # (constant) budget schedule open-ended instead of declaring one.
+    declared = args.steps
+    if args.wal_dir is not None and is_wal_dir(args.wal_dir):
+        declared = None
+    session = _build_session(
         _session_config(
-            args, backward, forward, HistogramQuery(forward.n), args.steps
+            args, backward, forward, HistogramQuery(forward.n), declared
         )
     )
     try:
@@ -519,7 +547,6 @@ async def _serve_loop(
 def _cmd_serve(args) -> int:
     from .data import HistogramQuery
     from .obs import MetricsRegistry, install_solver_metrics
-    from .service import ReleaseSession
 
     if args.users < 1:
         raise SystemExit("--users must be >= 1")
@@ -528,7 +555,7 @@ def _cmd_serve(args) -> int:
         raise SystemExit("--stats-interval must be >= 1")
     backward, forward = _load_matrices(args.matrix)
     registry = MetricsRegistry() if stats_interval is not None else None
-    session = ReleaseSession(
+    session = _build_session(
         _session_config(args, backward, forward, HistogramQuery(forward.n)),
         registry=registry,
     )
@@ -608,6 +635,7 @@ def _cmd_loadgen(args) -> int:
             burst=args.burst,
             burst_factor=args.burst_factor,
             amplitude=args.amplitude,
+            backlog=args.backlog,
             target=args.target,
             correlations=correlations,
             matrix_path=matrix_path,
@@ -631,7 +659,111 @@ def _cmd_loadgen(args) -> int:
             file=sys.stderr,
         )
         return 1
+    if (
+        args.schedule == "adversarial"
+        and args.target == "inprocess"
+        and not report["backpressure_stalls"]
+    ):
+        # The whole point of the adversarial schedule is to overrun the
+        # queue bound; zero stalls means backpressure never engaged.
+        print(
+            "error: adversarial schedule produced no backpressure stalls",
+            file=sys.stderr,
+        )
+        return 1
     return 0
+
+
+def _wal_session(args):
+    """Recover a session from the WAL named by the positional argument
+    (the config must match the run that wrote the log -- same matrix,
+    users, budgets, alpha policy and seed, or the replay diverges)."""
+    from .data import HistogramQuery
+    from .service import ReleaseSession
+
+    backward, forward = _load_matrices(args.matrix)
+    config = _session_config(args, backward, forward, HistogramQuery(forward.n))
+    try:
+        return ReleaseSession.recover(config, args.directory)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}") from error
+
+
+def _cmd_wal_inspect(args) -> int:
+    from .durability import inspect_wal
+
+    try:
+        summary = inspect_wal(args.directory)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}") from error
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(
+        f"WAL {summary['directory']}: format {summary['format']}, "
+        f"{summary['partitions']} partition(s), segment {summary['segment']}"
+    )
+    snapshot = summary["snapshot"] or "(none)"
+    print(
+        f"snapshot: {snapshot} at horizon {summary['snapshot_horizon']} "
+        f"({summary['base_records']} record(s) folded)"
+    )
+    print(
+        f"tail: {summary['tail_records']} intact record(s), "
+        f"{sum(f['bytes'] for f in summary['files'])} bytes"
+    )
+    for entry in summary["files"]:
+        torn = "  TORN TAIL" if entry["torn_tail"] else ""
+        print(
+            f"  p{entry['partition']}: {entry['file']}  "
+            f"{entry['records']} record(s), {entry['bytes']} bytes{torn}"
+        )
+    if summary["torn"]:
+        print(
+            "torn tail detected: recovery will truncate to the last "
+            "record intact in every partition"
+        )
+    return 0
+
+
+def _cmd_wal_recover(args) -> int:
+    session = _wal_session(args)
+    try:
+        _print_session_summary(session)
+        if args.checkpoint:
+            print(f"checkpoint written to {session.checkpoint(args.checkpoint)}")
+        return 0
+    finally:
+        session.close()
+
+
+def _cmd_wal_compact(args) -> int:
+    session = _wal_session(args)
+    try:
+        snapshot = session.compact_wal()
+        print(f"log folded into snapshot {snapshot}")
+        _print_session_summary(session)
+        return 0
+    finally:
+        session.close()
+
+
+def _cmd_wal_reshard(args) -> int:
+    if args.shards < 2:
+        raise SystemExit(
+            "--shards must be >= 2 (a single-process restore does not "
+            "need resharding: recover with shards=1)"
+        )
+    session = _wal_session(args)  # recovery re-shards and compacts in place
+    try:
+        print(
+            f"WAL resharded to {session.backend.n_shards} worker(s); "
+            f"shard populations: {session.backend.shard_sizes()}"
+        )
+        _print_session_summary(session)
+        return 0
+    finally:
+        session.close()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -730,12 +862,45 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--seed", type=int, default=0)
 
+    def add_wal_args(p):
+        p.add_argument(
+            "--wal-dir",
+            default=None,
+            help=(
+                "write-ahead log directory: every ingested window becomes "
+                "durable before it is accounted, and a directory that "
+                "already holds a log is recovered from (snapshot + tail "
+                "replay, bit-identical) instead of started fresh"
+            ),
+        )
+        p.add_argument(
+            "--wal-fsync",
+            choices=("always", "never"),
+            default="always",
+            help=(
+                "fsync policy: 'always' makes every append durable before "
+                "the ingest returns; 'never' leaves flushing to the OS "
+                "(process crashes stay safe, power loss may cost the tail)"
+            ),
+        )
+        p.add_argument(
+            "--wal-compact-every",
+            type=int,
+            default=None,
+            metavar="N",
+            help=(
+                "fold the log into a backend snapshot every N accounted "
+                "releases (keeps recovery time and log size flat)"
+            ),
+        )
+
     release = sub.add_parser(
         "release",
         help="run a ReleaseSession over a synthetic population",
     )
     add_matrix_arg(release)
     add_session_args(release)
+    add_wal_args(release)
     release.add_argument("--steps", type=int, default=20)
     release.add_argument(
         "--checkpoint", help="directory to save the final session state to"
@@ -751,6 +916,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_matrix_arg(serve)
     add_session_args(serve)
+    add_wal_args(serve)
     serve.add_argument(
         "--queue-size",
         type=int,
@@ -810,9 +976,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.add_argument(
         "--schedule",
-        choices=("constant", "bursty", "diurnal"),
+        choices=("constant", "bursty", "diurnal", "adversarial"),
         default="constant",
-        help="arrival process shape (open loop, deterministic)",
+        help=(
+            "arrival process shape (open loop, deterministic); "
+            "'adversarial' dumps whole volleys at one instant to overrun "
+            "the queue bound and exercise backpressure stalls"
+        ),
     )
     loadgen.add_argument("--epsilon", type=float, default=0.1)
     loadgen.add_argument(
@@ -852,6 +1022,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="diurnal schedule: rate modulation depth in [0, 1)",
     )
     loadgen.add_argument(
+        "--backlog",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "adversarial schedule: arrivals per volley (default: twice "
+            "the queue bound, guaranteeing backpressure)"
+        ),
+    )
+    loadgen.add_argument(
         "--target",
         choices=("inprocess", "subprocess"),
         default="inprocess",
@@ -879,6 +1059,66 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     loadgen.set_defaults(func=_cmd_loadgen)
+
+    wal = sub.add_parser(
+        "wal",
+        help="inspect and operate on write-ahead release logs",
+    )
+    walsub = wal.add_subparsers(dest="wal_command", required=True)
+
+    wal_inspect = walsub.add_parser(
+        "inspect",
+        help=(
+            "summarise a WAL directory: manifest, per-partition record "
+            "counts, torn tails (read-only)"
+        ),
+    )
+    wal_inspect.add_argument("directory", help="WAL directory")
+    wal_inspect.add_argument(
+        "--json", action="store_true", help="print the raw summary as JSON"
+    )
+    wal_inspect.set_defaults(func=_cmd_wal_inspect)
+
+    def add_wal_op_args(p):
+        p.add_argument("directory", help="WAL directory")
+        add_matrix_arg(p)
+        add_session_args(p)
+
+    wal_recover = walsub.add_parser(
+        "recover",
+        help=(
+            "rebuild the session a WAL records (repairing torn tails, "
+            "replaying the tail) and print its summary"
+        ),
+    )
+    add_wal_op_args(wal_recover)
+    wal_recover.add_argument(
+        "--checkpoint",
+        default=None,
+        help="also write a plain checkpoint of the recovered state here",
+    )
+    wal_recover.set_defaults(func=_cmd_wal_recover)
+
+    wal_compact = walsub.add_parser(
+        "compact",
+        help=(
+            "recover the session and fold the log tail into a fresh "
+            "snapshot (atomic manifest swap)"
+        ),
+    )
+    add_wal_op_args(wal_compact)
+    wal_compact.set_defaults(func=_cmd_wal_compact)
+
+    wal_reshard = walsub.add_parser(
+        "reshard",
+        help=(
+            "recover the session onto --shards N worker processes "
+            "(re-sharding the snapshot by cohort content-hash, replaying "
+            "the tail) and rewrite the log in place for the new layout"
+        ),
+    )
+    add_wal_op_args(wal_reshard)
+    wal_reshard.set_defaults(func=_cmd_wal_reshard)
 
     fleet = sub.add_parser(
         "fleet",

@@ -1,0 +1,47 @@
+"""Durability for release sessions: write-ahead log, compaction, re-sharding.
+
+Full ``.npz`` snapshots scale with horizon; a crash between checkpoints
+loses every window since the last one.  This package makes persistence
+cost flat in horizon and recovery exact:
+
+* :mod:`~repro.durability.wal` -- a CRC-framed, length-prefixed
+  append-only log of :class:`~repro.service.window.ReleaseWindow`
+  records, one partition per shard, with torn-tail detection and repair;
+* :mod:`~repro.durability.compact` -- periodic compaction that folds the
+  log prefix into the existing backend checkpoint formats and atomically
+  swaps the WAL manifest;
+* :mod:`~repro.durability.reshard` -- checkpoint-level re-sharding:
+  redistributing a fleet or sharded-fleet checkpoint across a different
+  shard count by the same content-hash placement the live coordinator
+  uses.
+
+Crash recovery (:meth:`repro.service.session.ReleaseSession.recover`) is
+load-snapshot + replay-tail and is bit-identical to an uninterrupted run:
+the log records *requested* windows before any mutation, and replay
+re-ingests them through the same session machinery (same schedule
+resolution, alpha probing, rollback bisection and noise draws).
+"""
+
+from .compact import compact_wal
+from .reshard import reshard_checkpoint
+from .wal import (
+    FSYNC_MODES,
+    WAL_MANIFEST_NAME,
+    WriteAheadLog,
+    decode_window,
+    encode_window,
+    inspect_wal,
+    is_wal_dir,
+)
+
+__all__ = [
+    "FSYNC_MODES",
+    "WAL_MANIFEST_NAME",
+    "WriteAheadLog",
+    "compact_wal",
+    "decode_window",
+    "encode_window",
+    "inspect_wal",
+    "is_wal_dir",
+    "reshard_checkpoint",
+]

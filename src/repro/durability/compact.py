@@ -1,0 +1,104 @@
+"""Fold a WAL's segment tail into a backend snapshot, atomically.
+
+Compaction keeps recovery fast and the log short: the backend state (a
+checkpoint in the existing ``.npz`` / manifest formats) replaces the
+record prefix it already accounts for, and fresh segments start the next
+tail.  The protocol is ordered so that a crash at *any* point leaves the
+directory recoverable by :meth:`~repro.durability.wal.WriteAheadLog.
+open`'s repair sweep:
+
+1. write the new snapshot to ``<name>.tmp`` and rename it into place
+   (a half-written snapshot is never referenced by any manifest);
+2. create the next segment files (headers only, fsynced);
+3. atomically swap ``wal_manifest.json`` (write-temp + rename) to point
+   at the new snapshot and segments -- **the commit point**;
+4. best-effort delete the superseded segments and snapshot.
+
+Before the swap the old manifest still describes a complete log (old
+snapshot + old segments); after it, the new one does.  Files written by
+steps 1-2 of an interrupted compaction are unreferenced orphans and the
+repair sweep deletes them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Optional
+
+from .wal import (
+    _remove_tree,
+    _segment_name,
+    _snapshot_name,
+    _write_header,
+    _write_manifest,
+)
+
+__all__ = ["compact_wal"]
+
+
+def compact_wal(
+    wal,
+    save_backend: Callable[[Path], object],
+    *,
+    horizon: int,
+    rng_state=None,
+    partitions: Optional[int] = None,
+) -> Path:
+    """Fold ``wal``'s active segments into a fresh snapshot.
+
+    ``save_backend`` is called with the snapshot directory to write
+    (``backend.save`` for any of the three backends); ``horizon`` is the
+    accounted horizon the snapshot captures and ``rng_state`` the
+    serialised noise-RNG state at that point, both stored in the manifest
+    so recovery resumes noise draws exactly where the snapshot left off.
+    ``partitions`` re-partitions the fresh segments (used when recovery
+    re-sharded the backend, so future appends split by the new shard
+    map); by default the layout is kept.
+
+    Returns the new snapshot directory.
+    """
+    directory: Path = wal.directory
+    manifest = dict(wal._manifest)
+    old_seq = int(manifest["segment"])
+    old_partitions = int(manifest["partitions"])
+    new_partitions = old_partitions if partitions is None else int(partitions)
+    if new_partitions < 1:
+        raise ValueError(f"partitions must be >= 1, got {new_partitions}")
+    seq = old_seq + 1
+    folded = wal.tail_count
+
+    # 1. Snapshot to a temp name, rename into place.
+    snapshot = directory / _snapshot_name(seq)
+    tmp = directory / (_snapshot_name(seq) + ".tmp")
+    _remove_tree(tmp)
+    save_backend(tmp)
+    _remove_tree(snapshot)
+    import os
+
+    os.replace(tmp, snapshot)
+
+    # 2. Fresh segments for the next tail.
+    wal._close_writers()
+    for partition in range(new_partitions):
+        _write_header(directory / _segment_name(seq, partition))
+
+    # 3. Commit: atomic manifest swap.
+    new_manifest = dict(
+        manifest,
+        partitions=new_partitions,
+        segment=seq,
+        snapshot=_snapshot_name(seq),
+        snapshot_horizon=int(horizon),
+        base_records=int(manifest["base_records"]) + folded,
+        rng_state=rng_state,
+    )
+    _write_manifest(directory, new_manifest)
+    wal._manifest = new_manifest
+    wal._tail_count = 0
+
+    # 4. Best-effort cleanup of the superseded generation.
+    for partition in range(old_partitions):
+        _remove_tree(directory / _segment_name(old_seq, partition))
+    if manifest.get("snapshot"):
+        _remove_tree(directory / manifest["snapshot"])
+    return snapshot

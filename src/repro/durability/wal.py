@@ -1,0 +1,640 @@
+"""CRC-framed append-only log of release windows, with torn-tail repair.
+
+A WAL directory holds:
+
+* ``wal_manifest.json`` -- partitions (one log file per shard), the
+  active segment sequence number, the latest compaction snapshot (name,
+  horizon, serialised noise-RNG state) and how many records it folded;
+* ``segment-<seq>-p<partition>.log`` -- the active segment of each
+  partition: a 12-byte header (``REPROWAL`` magic + format version),
+  then records framed ``[length u32 LE][crc32 u32 LE][JSON payload]``;
+* ``snapshot-<seq>/`` -- the backend checkpoint the current segments are
+  a tail of (absent until the first compaction).
+
+Every append writes one frame to *every* partition (partition 0 carries
+the snapshots and budgets, partition ``i`` only its shard's per-user
+overrides), so partitions stay in lockstep and a torn tail is repaired
+by truncating all of them to the longest common record count.  Torn
+means *anything* wrong at the tail -- a short frame, a CRC mismatch,
+undecodable JSON -- mirroring the torn-checkpoint refusal precedent, but
+here the tail is garbage by construction (the crash interrupted the
+append before the ingest mutated anything) so truncation is the exact
+repair, not data loss.
+
+The records are the *requested* windows, appended before any accounting
+mutation: replaying them through the same session machinery reproduces
+schedule resolution, alpha probing, clamp bisection and noise draws bit
+for bit, which is what makes recovery and log-replay re-sharding exact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from ..fleet.checkpoint import decode_user_id, encode_user_id
+from ..obs.metrics import NULL_REGISTRY
+from ..service.window import ReleaseWindow, WindowStep
+
+__all__ = [
+    "FSYNC_MODES",
+    "WAL_MANIFEST_NAME",
+    "WAL_FORMAT_VERSION",
+    "WriteAheadLog",
+    "encode_window",
+    "decode_window",
+    "inspect_wal",
+    "is_wal_dir",
+]
+
+#: ``always`` fsyncs every append (a completed ``ingest`` survives power
+#: loss); ``never`` leaves flushing to the OS (process crashes are still
+#: safe -- the page cache survives them -- only power loss can cost the
+#: un-synced tail, and repair truncates it cleanly).
+FSYNC_MODES = ("always", "never")
+
+WAL_MANIFEST_NAME = "wal_manifest.json"
+WAL_FORMAT_VERSION = 1
+WAL_KIND = "release_wal"
+
+_MAGIC = b"REPROWAL"
+_HEADER = _MAGIC + struct.pack("<I", WAL_FORMAT_VERSION)
+_FRAME = struct.Struct("<II")  # payload length, crc32(payload)
+#: Upper bound on a single frame's declared payload length; anything
+#: larger is treated as a torn/corrupt frame rather than an allocation.
+_MAX_RECORD_BYTES = 1 << 30
+
+
+# ----------------------------------------------------------------------
+# Window <-> JSON record codec
+# ----------------------------------------------------------------------
+def encode_window(window: ReleaseWindow) -> dict:
+    """A JSON-safe record of one requested window.
+
+    Snapshots round-trip as ``(nested list, dtype string)``; budgets as
+    JSON floats (``repr`` shortest round-trip is exact for float64);
+    ``None`` budgets stay ``None`` -- the session's schedule re-resolves
+    them at replay against the identical horizon, so the resolved value
+    is identical too.
+    """
+    steps = []
+    for step in window.steps:
+        payload: dict = {}
+        if step.snapshot is not None:
+            array = np.asarray(step.snapshot)
+            payload["snapshot"] = array.tolist()
+            payload["dtype"] = array.dtype.str
+        if step.epsilon is not None:
+            payload["epsilon"] = float(step.epsilon)
+        if step.overrides:
+            payload["overrides"] = [
+                [encode_user_id(user), float(eps)]
+                for user, eps in step.overrides.items()
+            ]
+        steps.append(payload)
+    return {"steps": steps}
+
+
+def decode_window(record: dict) -> ReleaseWindow:
+    """Inverse of :func:`encode_window`."""
+    steps = []
+    for payload in record["steps"]:
+        snapshot = None
+        if "snapshot" in payload:
+            snapshot = np.array(
+                payload["snapshot"], dtype=np.dtype(payload["dtype"])
+            )
+        overrides = None
+        if "overrides" in payload:
+            overrides = {
+                decode_user_id(user): float(eps)
+                for user, eps in payload["overrides"]
+            }
+        steps.append(
+            WindowStep(
+                snapshot=snapshot,
+                epsilon=payload.get("epsilon"),
+                overrides=overrides,
+            )
+        )
+    return ReleaseWindow(steps)
+
+
+def split_record(
+    record: dict,
+    partitions: int,
+    owner_of: Callable[[Hashable], int],
+) -> List[dict]:
+    """Split one encoded record across ``partitions`` log files.
+
+    Partition 0 keeps everything except foreign overrides; partition
+    ``i > 0`` gets skeleton steps carrying only the overrides its shard
+    owns.  Users the backend does not know (``owner_of`` maps them to 0)
+    ride partition 0 so replay re-raises the original unknown-user error.
+    """
+    if partitions <= 1:
+        return [record]
+    parts = [{"steps": []} for _ in range(partitions)]
+    for payload in record["steps"]:
+        shards: List[dict] = [{} for _ in range(partitions)]
+        for key, value in payload.items():
+            if key != "overrides":
+                shards[0][key] = value
+        for user, eps in payload.get("overrides", ()):
+            owner = owner_of(decode_user_id(user))
+            shards[owner].setdefault("overrides", []).append([user, eps])
+        for part, shard_payload in zip(parts, shards):
+            part["steps"].append(shard_payload)
+    return parts
+
+
+def merge_records(parts: List[dict]) -> dict:
+    """Inverse of :func:`split_record`.
+
+    Overrides merge in partition order, which may differ from the
+    original insertion order; that is harmless -- override accounting is
+    per-user and the worst-TPL merge is an exact elementwise max, so the
+    replayed floats are identical.
+    """
+    if len(parts) == 1:
+        return parts[0]
+    merged = {"steps": []}
+    for payloads in zip(*(part["steps"] for part in parts)):
+        combined = dict(payloads[0])
+        overrides = [
+            pair for payload in payloads for pair in payload.get("overrides", ())
+        ]
+        if overrides:
+            combined["overrides"] = overrides
+        merged["steps"].append(combined)
+    return merged
+
+
+# ----------------------------------------------------------------------
+# RNG state codec (PCG64 state is JSON-safe ints; legacy bit generators
+# carry ndarrays)
+# ----------------------------------------------------------------------
+def encode_rng_state(state):
+    if isinstance(state, dict):
+        return {k: encode_rng_state(v) for k, v in state.items()}
+    if isinstance(state, np.ndarray):
+        return {"__ndarray__": state.tolist(), "dtype": state.dtype.str}
+    if isinstance(state, (np.integer,)):
+        return int(state)
+    return state
+
+
+def decode_rng_state(payload):
+    if isinstance(payload, dict):
+        if "__ndarray__" in payload:
+            return np.array(
+                payload["__ndarray__"], dtype=np.dtype(payload["dtype"])
+            )
+        return {k: decode_rng_state(v) for k, v in payload.items()}
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Segment-level framing
+# ----------------------------------------------------------------------
+def _frame(payload: bytes) -> bytes:
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _segment_name(seq: int, partition: int) -> str:
+    return f"segment-{seq:06d}-p{partition}.log"
+
+
+def _snapshot_name(seq: int) -> str:
+    return f"snapshot-{seq:06d}"
+
+
+def _scan_segment(path: Path) -> Tuple[List[dict], List[int], bool]:
+    """Read every intact record of a segment.
+
+    Returns ``(records, end_offsets, torn)`` where ``end_offsets[i]`` is
+    the byte offset just past record ``i - 1`` (``end_offsets[0]`` is the
+    header) -- the truncation points repair uses -- and ``torn`` reports
+    whether trailing garbage was found after the last intact record.
+    """
+    data = path.read_bytes()
+    if len(data) < len(_HEADER) or data[: len(_MAGIC)] != _MAGIC:
+        raise ValueError(f"{path} is not a WAL segment")
+    (version,) = struct.unpack_from("<I", data, len(_MAGIC))
+    if version != WAL_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported WAL segment format {version} in {path} "
+            f"(this build reads version {WAL_FORMAT_VERSION})"
+        )
+    records: List[dict] = []
+    offsets = [len(_HEADER)]
+    pos = len(_HEADER)
+    torn = False
+    while pos < len(data):
+        if pos + _FRAME.size > len(data):
+            torn = True
+            break
+        length, crc = _FRAME.unpack_from(data, pos)
+        if length > _MAX_RECORD_BYTES or pos + _FRAME.size + length > len(data):
+            torn = True
+            break
+        payload = data[pos + _FRAME.size : pos + _FRAME.size + length]
+        if zlib.crc32(payload) != crc:
+            torn = True
+            break
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            torn = True
+            break
+        pos += _FRAME.size + length
+        records.append(record)
+        offsets.append(pos)
+    return records, offsets, torn
+
+
+def _write_header(path: Path) -> None:
+    with open(path, "wb") as handle:
+        handle.write(_HEADER)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Persist directory entries (renames, creations) -- best effort on
+    platforms without directory fsync."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-specific
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-specific
+        pass
+    finally:
+        os.close(fd)
+
+
+def _read_manifest(directory: Path) -> dict:
+    path = directory / WAL_MANIFEST_NAME
+    if not path.exists():
+        raise ValueError(f"{directory} does not hold a write-ahead log")
+    try:
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as error:
+        raise ValueError(
+            f"torn or corrupt WAL manifest in {directory}; refusing to open"
+        ) from error
+    if manifest.get("kind") != WAL_KIND:
+        raise ValueError(f"{directory} does not hold a write-ahead log")
+    if manifest.get("format") != WAL_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported WAL format {manifest.get('format')!r} in "
+            f"{directory} (this build reads version {WAL_FORMAT_VERSION})"
+        )
+    return manifest
+
+
+def _write_manifest(directory: Path, manifest: dict) -> None:
+    """Atomic manifest swap: write-to-temp, fsync, rename.  The rename is
+    the commit point of every compaction."""
+    tmp = directory / (WAL_MANIFEST_NAME + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, directory / WAL_MANIFEST_NAME)
+    _fsync_dir(directory)
+
+
+def is_wal_dir(directory) -> bool:
+    """Whether ``directory`` holds a WAL (cheap: manifest presence)."""
+    return (Path(directory) / WAL_MANIFEST_NAME).exists()
+
+
+class WriteAheadLog:
+    """One WAL directory: partitioned segments plus a compaction snapshot.
+
+    Use :meth:`create` for a fresh log or :meth:`open` for an existing
+    one (which repairs torn tails and sweeps files orphaned by an
+    interrupted compaction before returning).
+    """
+
+    def __init__(
+        self, directory, manifest: dict, *, fsync: str = "always", registry=None
+    ) -> None:
+        if fsync not in FSYNC_MODES:
+            raise ValueError(
+                f"fsync mode must be one of {FSYNC_MODES}, got {fsync!r}"
+            )
+        self._directory = Path(directory)
+        self._manifest = manifest
+        self._fsync = fsync
+        self._registry = registry if registry is not None else NULL_REGISTRY
+        self._writers: Dict[int, object] = {}
+        self._tail_count = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls, directory, *, partitions: int = 1, fsync: str = "always", registry=None
+    ) -> "WriteAheadLog":
+        """Start a fresh log at ``directory`` (created if missing).
+
+        Refuses a directory that already holds a WAL: continuing an
+        existing log is :meth:`open` / ``ReleaseSession.recover``, and
+        silently restarting one would shadow the history it records.
+        """
+        if partitions < 1:
+            raise ValueError(f"partitions must be >= 1, got {partitions}")
+        directory = Path(directory)
+        if is_wal_dir(directory):
+            raise ValueError(
+                f"{directory} already holds a write-ahead log; recover from "
+                "it (ReleaseSession.recover / repro wal recover) instead of "
+                "starting a fresh one"
+            )
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "format": WAL_FORMAT_VERSION,
+            "kind": WAL_KIND,
+            "partitions": partitions,
+            "segment": 0,
+            "snapshot": None,
+            "snapshot_horizon": 0,
+            "base_records": 0,
+            "rng_state": None,
+        }
+        for partition in range(partitions):
+            _write_header(directory / _segment_name(0, partition))
+        _write_manifest(directory, manifest)
+        return cls(directory, manifest, fsync=fsync, registry=registry)
+
+    @classmethod
+    def open(
+        cls, directory, *, fsync: str = "always", registry=None
+    ) -> "WriteAheadLog":
+        """Open an existing log, repairing torn tails and sweeping
+        compaction orphans first."""
+        directory = Path(directory)
+        manifest = _read_manifest(directory)
+        wal = cls(directory, manifest, fsync=fsync, registry=registry)
+        wal.repair()
+        return wal
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    @property
+    def partitions(self) -> int:
+        return int(self._manifest["partitions"])
+
+    @property
+    def tail_count(self) -> int:
+        """Intact records in the active segments (since the last
+        compaction)."""
+        return self._tail_count
+
+    @property
+    def base_records(self) -> int:
+        """Records folded into the snapshot by past compactions."""
+        return int(self._manifest["base_records"])
+
+    @property
+    def snapshot_path(self) -> Optional[Path]:
+        name = self._manifest.get("snapshot")
+        return self._directory / name if name else None
+
+    @property
+    def snapshot_horizon(self) -> int:
+        return int(self._manifest.get("snapshot_horizon") or 0)
+
+    @property
+    def rng_state(self):
+        """The serialised noise-RNG state captured at the last compaction
+        (``None`` before the first one)."""
+        return self._manifest.get("rng_state")
+
+    def _segment_paths(self) -> List[Path]:
+        seq = int(self._manifest["segment"])
+        return [
+            self._directory / _segment_name(seq, partition)
+            for partition in range(self.partitions)
+        ]
+
+    def size_bytes(self) -> int:
+        """Bytes in the active segments (what the next compaction folds)."""
+        total = 0
+        for path in self._segment_paths():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    # ------------------------------------------------------------------
+    # Repair
+    # ------------------------------------------------------------------
+    def repair(self) -> int:
+        """Truncate torn tails to the longest common record count and
+        delete files orphaned by an interrupted compaction.  Returns the
+        number of intact tail records."""
+        scans = [_scan_segment(path) for path in self._segment_paths()]
+        common = min(len(records) for records, _, _ in scans)
+        for path, (records, offsets, torn) in zip(self._segment_paths(), scans):
+            keep = offsets[common]
+            if torn or len(records) > common:
+                with open(path, "rb+") as handle:
+                    handle.truncate(keep)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+        self._tail_count = common
+        live = {path.name for path in self._segment_paths()}
+        if self._manifest.get("snapshot"):
+            live.add(self._manifest["snapshot"])
+        for child in sorted(self._directory.iterdir()):
+            name = child.name
+            if name in live or name == WAL_MANIFEST_NAME:
+                continue
+            if name.startswith("segment-") or name.startswith("snapshot-"):
+                _remove_tree(child)
+        return common
+
+    # ------------------------------------------------------------------
+    # Appending / reading
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        window: ReleaseWindow,
+        *,
+        owner_of: Optional[Callable[[Hashable], int]] = None,
+    ) -> None:
+        """Frame one requested window into every partition and (under
+        ``fsync="always"``) make it durable before returning."""
+        if self._closed:
+            raise ValueError("write-ahead log is closed")
+        record = encode_window(window)
+        parts = split_record(record, self.partitions, owner_of or (lambda user: 0))
+        with self._registry.span("wal.append.seconds"):
+            handles = []
+            for partition, part in enumerate(parts):
+                payload = json.dumps(
+                    part, separators=(",", ":"), ensure_ascii=False
+                ).encode("utf-8")
+                handle = self._writer(partition)
+                handle.write(_frame(payload))
+                handles.append(handle)
+            for handle in handles:
+                handle.flush()
+            if self._fsync == "always":
+                for handle in handles:
+                    os.fsync(handle.fileno())
+                self._registry.counter("wal.fsyncs").inc(len(handles))
+        self._tail_count += 1
+
+    def _writer(self, partition: int):
+        handle = self._writers.get(partition)
+        if handle is None:
+            handle = open(self._segment_paths()[partition], "ab")
+            self._writers[partition] = handle
+        return handle
+
+    def tail_records(self) -> List[dict]:
+        """Every intact record of the active segments, merged across
+        partitions, oldest first."""
+        scans = [_scan_segment(path)[0] for path in self._segment_paths()]
+        common = min(len(records) for records in scans)
+        return [
+            merge_records([records[i] for records in scans])
+            for i in range(common)
+        ]
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def compact(
+        self,
+        save_backend: Callable[[Path], object],
+        *,
+        horizon: int,
+        rng_state=None,
+        partitions: Optional[int] = None,
+    ) -> Path:
+        """Fold the active segments into a fresh snapshot; see
+        :func:`repro.durability.compact.compact_wal`."""
+        from .compact import compact_wal
+
+        return compact_wal(
+            self,
+            save_backend,
+            horizon=horizon,
+            rng_state=rng_state,
+            partitions=partitions,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush and close the segment writers (idempotent)."""
+        for handle in self._writers.values():
+            try:
+                handle.flush()
+                if self._fsync == "always":
+                    os.fsync(handle.fileno())
+            finally:
+                handle.close()
+        self._writers = {}
+        self._closed = True
+
+    def _close_writers(self) -> None:
+        """Release open segment handles without closing the log (used by
+        compaction before it switches to fresh segments)."""
+        for handle in self._writers.values():
+            handle.close()
+        self._writers = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteAheadLog(dir={str(self._directory)!r}, "
+            f"partitions={self.partitions}, tail={self._tail_count}, "
+            f"base={self.base_records}, fsync={self._fsync!r})"
+        )
+
+
+def _remove_tree(path: Path) -> None:
+    import shutil
+
+    if path.is_dir():
+        shutil.rmtree(path, ignore_errors=True)
+    else:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+
+def inspect_wal(directory) -> dict:
+    """Read-only summary of a WAL directory (the ``repro wal inspect``
+    payload): manifest fields, per-partition record counts and byte
+    sizes, and whether any partition carries a torn tail."""
+    directory = Path(directory)
+    manifest = _read_manifest(directory)
+    seq = int(manifest["segment"])
+    files = []
+    counts = []
+    for partition in range(int(manifest["partitions"])):
+        path = directory / _segment_name(seq, partition)
+        if not path.exists():
+            files.append(
+                {
+                    "partition": partition,
+                    "file": path.name,
+                    "records": 0,
+                    "bytes": 0,
+                    "torn_tail": True,
+                }
+            )
+            counts.append(0)
+            continue
+        records, _, torn = _scan_segment(path)
+        files.append(
+            {
+                "partition": partition,
+                "file": path.name,
+                "records": len(records),
+                "bytes": path.stat().st_size,
+                "torn_tail": torn,
+            }
+        )
+        counts.append(len(records))
+    intact = min(counts) if counts else 0
+    return {
+        "directory": str(directory),
+        "format": manifest["format"],
+        "partitions": manifest["partitions"],
+        "segment": seq,
+        "snapshot": manifest.get("snapshot"),
+        "snapshot_horizon": manifest.get("snapshot_horizon") or 0,
+        "base_records": manifest.get("base_records") or 0,
+        "tail_records": intact,
+        "total_records": int(manifest.get("base_records") or 0) + intact,
+        "torn": any(entry["torn_tail"] for entry in files)
+        or any(count != intact for count in counts),
+        "rng_state_saved": manifest.get("rng_state") is not None,
+        "files": files,
+    }

@@ -16,9 +16,9 @@ BPL/FPL/TPL recursions (Eq. 13/15) across the population:
 * :mod:`~repro.fleet.checkpoint` -- save/restore the full engine state
   (``.npz`` + JSON manifest) so a long-running release service can
   restart without forgetting accrued leakage.
-* :mod:`~repro.fleet.batch_release` -- :class:`FleetReleaseEngine`, the
-  batched counterpart of the Fig.-1 release pipeline (deprecated: use
-  :class:`repro.service.ReleaseSession` with the fleet backend).
+
+The batched release pipeline itself lives in
+:class:`repro.service.ReleaseSession` with ``backend="fleet"``.
 
 Quickstart
 ----------
@@ -57,7 +57,6 @@ From the command line::
     repro fleet --users 100000 --cohorts 8 --steps 100 --epsilon 0.1
 """
 
-from .batch_release import FleetReleaseEngine, FleetReleaseRecord
 from .checkpoint import load_checkpoint, save_checkpoint
 from .cohorts import Cohort, CohortIndex, correlation_digest
 from .engine import FleetAccountant
@@ -68,8 +67,6 @@ __all__ = [
     "CohortIndex",
     "correlation_digest",
     "FleetAccountant",
-    "FleetReleaseEngine",
-    "FleetReleaseRecord",
     "SolutionCache",
     "save_checkpoint",
     "load_checkpoint",

@@ -1,6 +1,5 @@
-"""DP-mechanism substrate: Laplace mechanism, sensitivities, the
-continuous release engine of Fig. 1 and the DP -> alpha-DP_T converters
-of Section V."""
+"""DP-mechanism substrate: Laplace mechanism, sensitivities, release
+value types and the DP -> alpha-DP_T budget converters of Section V."""
 
 from .base import Mechanism, as_rng
 from .laplace import LaplaceMechanism, laplace_log_density
@@ -9,8 +8,8 @@ from .sensitivity import (
     count_sensitivity,
     histogram_sensitivity,
 )
-from .release import ContinuousReleaseEngine, ReleaseRecord
-from .converters import DptReleasePlan, make_dpt_engine, plan_dpt_release
+from .release import ReleaseRecord
+from .converters import DptReleasePlan, plan_dpt_release
 from .sampling import (
     front_loaded_schedule,
     max_budget_with_skips,
@@ -26,10 +25,8 @@ __all__ = [
     "NeighborhoodKind",
     "count_sensitivity",
     "histogram_sensitivity",
-    "ContinuousReleaseEngine",
     "ReleaseRecord",
     "DptReleasePlan",
-    "make_dpt_engine",
     "plan_dpt_release",
     "periodic_schedule",
     "front_loaded_schedule",

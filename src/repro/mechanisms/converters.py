@@ -1,14 +1,11 @@
 """Converters: wrap a traditional DP release into an alpha-DP_T one.
 
 Section V's promise is that *any* existing DP mechanism can be converted
-to satisfy alpha-DP_T by re-allocating its privacy budgets.  The two
-converters here package Algorithms 2/3 with the release machinery:
-
-* :func:`make_dpt_engine` -- build a
-  :class:`~repro.mechanisms.release.ContinuousReleaseEngine` whose budget
-  schedule guarantees alpha-DP_T against the given correlations.
-* :class:`DptReleasePlan` -- the schedule itself plus verification
-  helpers, for callers with their own release loop.
+to satisfy alpha-DP_T by re-allocating its privacy budgets.
+:class:`DptReleasePlan` packages the Algorithm 2/3 schedule with
+verification helpers; feed ``plan.allocation`` to
+``SessionConfig(budgets=...)`` to run it through
+:class:`repro.service.ReleaseSession`.
 """
 
 from __future__ import annotations
@@ -18,17 +15,14 @@ from typing import Optional
 
 import numpy as np
 
-from ..core.accountant import TemporalPrivacyAccountant
 from ..core.budget import (
     BudgetAllocation,
     allocate_quantified,
     allocate_upper_bound,
 )
 from ..core.leakage import LeakageProfile
-from .base import RngLike
-from .release import ContinuousReleaseEngine
 
-__all__ = ["DptReleasePlan", "plan_dpt_release", "make_dpt_engine"]
+__all__ = ["DptReleasePlan", "plan_dpt_release"]
 
 
 @dataclass(frozen=True)
@@ -85,41 +79,3 @@ def plan_dpt_release(
             f"method must be 'quantified' or 'upper_bound', got {method!r}"
         )
     return DptReleasePlan(allocation=allocation, correlations=correlations, alpha=alpha)
-
-
-def make_dpt_engine(
-    query: "SnapshotQuery",
-    correlations,
-    alpha: float,
-    method: str = "quantified",
-    with_accountant: bool = True,
-    seed: RngLike = None,
-) -> ContinuousReleaseEngine:
-    """One-call converter: a release engine satisfying alpha-DP_T.
-
-    The returned engine draws budgets from Algorithm 2/3 and (optionally)
-    carries an accountant bound to ``alpha`` that would reject any release
-    exceeding the promise -- belt and braces.
-
-    .. deprecated::
-        Build a :class:`repro.service.ReleaseSession` with
-        ``SessionConfig(budgets=plan_dpt_release(...).allocation,
-        alpha=alpha)`` instead; this helper warns on call and returns the
-        legacy engine.
-    """
-    from .release import warn_engine_deprecated
-
-    warn_engine_deprecated("make_dpt_engine")
-    plan = plan_dpt_release(correlations, alpha, method)
-    accountant = None
-    if with_accountant:
-        accountant = TemporalPrivacyAccountant(
-            correlations, alpha=alpha * (1.0 + 1e-9)
-        )
-    return ContinuousReleaseEngine(
-        query=query,
-        budgets=plan.allocation,
-        accountant=accountant,
-        seed=seed,
-        _warn_deprecated=False,
-    )

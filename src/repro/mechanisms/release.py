@@ -1,55 +1,23 @@
-"""The continuous aggregate release pipeline of Fig. 1.
+"""Release-pipeline value types and budget materialisation.
 
-.. deprecated::
-    :class:`ContinuousReleaseEngine` is superseded by
-    :class:`repro.service.ReleaseSession`, which unifies the scalar and
-    fleet accounting paths behind one front door (see the README migration
-    guide).  The engine remains as a thin shim and emits a
-    :class:`DeprecationWarning` on construction.
-
-A trusted server holds a :class:`~repro.data.trajectory.TrajectoryDataset`
-(or any stream of snapshots), evaluates a query at each time point and
-publishes a noisy answer.  :class:`ContinuousReleaseEngine` wires together:
-
-* a :class:`~repro.data.queries.SnapshotQuery` (what is released),
-* a budget schedule -- constant, explicit per-time vector, or a
-  :class:`~repro.core.budget.BudgetAllocation` from Algorithms 2/3,
-* the Laplace mechanism calibrated to the query's sensitivity,
-* an optional :class:`~repro.core.accountant.TemporalPrivacyAccountant`
-  that tracks the temporal privacy leakage of what has been published.
+The continuous release pipeline of Fig. 1 lives in
+:class:`repro.service.ReleaseSession`, which unifies the scalar and fleet
+accounting paths behind one front door.  This module keeps the pieces
+that outlived the old per-query engines: :class:`ReleaseRecord` (the
+published-time-point record the experiment scripts consume) and
+:func:`materialise_budgets` (the shared budget-spec resolver).
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from typing import TYPE_CHECKING
-
-from ..core.accountant import TemporalPrivacyAccountant
 from ..core.budget import BudgetAllocation, validate_epsilon, validate_epsilons
 
-if TYPE_CHECKING:  # imported lazily to avoid a data <-> mechanisms cycle
-    from ..data.queries import SnapshotQuery
-    from ..data.trajectory import TrajectoryDataset
-from .base import RngLike, as_rng
-from .laplace import LaplaceMechanism
-
-__all__ = ["ReleaseRecord", "ContinuousReleaseEngine", "materialise_budgets"]
-
-
-def warn_engine_deprecated(name: str) -> None:
-    """Emit the shared engine deprecation warning, attributed to the
-    caller of the deprecated constructor."""
-    warnings.warn(
-        f"{name} is deprecated; use repro.service.ReleaseSession with a "
-        "SessionConfig instead (see the README migration guide)",
-        DeprecationWarning,
-        stacklevel=3,
-    )
+__all__ = ["ReleaseRecord", "materialise_budgets"]
 
 
 def materialise_budgets(
@@ -102,73 +70,3 @@ class ReleaseRecord:
     def absolute_error(self) -> float:
         """L1 error of this release (utility measure)."""
         return float(np.abs(self.noisy_answer - self.true_answer).sum())
-
-
-class ContinuousReleaseEngine:
-    """Publish noisy aggregates over a temporal database.
-
-    .. deprecated::
-        Use :class:`repro.service.ReleaseSession`; this class is kept as a
-        compatibility shim and warns on construction.
-
-    Parameters
-    ----------
-    query:
-        The per-snapshot query (histogram / count).
-    budgets:
-        One of: a positive scalar (uniform budgets), a sequence of
-        per-time budgets, or a :class:`BudgetAllocation` (materialised for
-        the dataset horizon at :meth:`run` time).
-    accountant:
-        Optional temporal-privacy accountant updated at every release.
-    seed:
-        Noise randomness.
-    """
-
-    def __init__(
-        self,
-        query: "SnapshotQuery",
-        budgets: Union[float, Sequence[float], BudgetAllocation],
-        accountant: Optional[TemporalPrivacyAccountant] = None,
-        seed: RngLike = None,
-        _warn_deprecated: bool = True,
-    ) -> None:
-        if _warn_deprecated:
-            warn_engine_deprecated("ContinuousReleaseEngine")
-        self._query = query
-        self._budgets = budgets
-        self._accountant = accountant
-        self._rng = as_rng(seed)
-
-    @property
-    def accountant(self) -> Optional[TemporalPrivacyAccountant]:
-        return self._accountant
-
-    def _epsilons_for(self, horizon: int) -> np.ndarray:
-        return materialise_budgets(self._budgets, horizon)
-
-    def release_one(self, snapshot: np.ndarray, t: int, epsilon: float) -> ReleaseRecord:
-        """Publish one snapshot under budget ``epsilon``."""
-        true_answer = np.atleast_1d(self._query(snapshot))
-        mechanism = LaplaceMechanism(epsilon, self._query.sensitivity)
-        noisy = mechanism.perturb(true_answer, self._rng)
-        tpl = None
-        if self._accountant is not None:
-            tpl = self._accountant.add_release(epsilon)
-        return ReleaseRecord(
-            t=t,
-            epsilon=epsilon,
-            true_answer=true_answer,
-            noisy_answer=noisy,
-            tpl=tpl,
-        )
-
-    def stream(self, dataset: "TrajectoryDataset") -> Iterator[ReleaseRecord]:
-        """Yield one :class:`ReleaseRecord` per time point of ``dataset``."""
-        epsilons = self._epsilons_for(dataset.horizon)
-        for t in range(1, dataset.horizon + 1):
-            yield self.release_one(dataset.snapshot(t), t, float(epsilons[t - 1]))
-
-    def run(self, dataset: "TrajectoryDataset") -> List[ReleaseRecord]:
-        """Release the whole dataset and return all records."""
-        return list(self.stream(dataset))

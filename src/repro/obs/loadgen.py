@@ -13,13 +13,16 @@ collapse).  Latency is measured from the *scheduled* arrival to
 completion, which charges coordinated omission to the server, not the
 client.
 
-Three deterministic arrival schedules (:func:`arrival_offsets`):
+Four deterministic arrival schedules (:func:`arrival_offsets`):
 
 * ``constant`` -- evenly spaced at the offered rate;
 * ``bursty`` -- groups of ``burst`` arrivals at ``burst_factor`` times
   the offered rate, separated by idle gaps that preserve the average;
 * ``diurnal`` -- a sinusoidal instantaneous rate (one full period over
-  the run by default), the shape of daily traffic.
+  the run by default), the shape of daily traffic;
+* ``adversarial`` -- whole volleys of ``backlog`` arrivals at a single
+  instant (default: twice the queue bound), deliberately overrunning the
+  ingestion queue so every volley parks producers on backpressure.
 
 The report carries p50/p99/p999 ingest latency, offered vs. achieved
 rate, queue depth high-water marks and backpressure stalls, plus the full
@@ -53,7 +56,7 @@ __all__ = [
     "DEFAULT_JSON_PATH",
 ]
 
-SCHEDULES = ("constant", "bursty", "diurnal")
+SCHEDULES = ("constant", "bursty", "diurnal", "adversarial")
 DEFAULT_JSON_PATH = "BENCH_serve.json"
 
 
@@ -66,6 +69,7 @@ def arrival_offsets(
     burst_factor: float = 4.0,
     amplitude: float = 0.5,
     period: Optional[float] = None,
+    backlog: int = 128,
 ) -> List[float]:
     """Deterministic arrival times (seconds from start) for ``count``
     requests at an average offered ``rate``.
@@ -74,8 +78,12 @@ def arrival_offsets(
     rate`` with idle gaps preserving the average rate; ``diurnal`` steps
     through a sinusoidal instantaneous rate ``rate * (1 + amplitude *
     sin(2 pi t / period))`` (default period: one full cycle over the
-    run).  All schedules are pure functions of their arguments --
-    replayable, seed-free.
+    run); ``adversarial`` dumps whole volleys of ``backlog`` arrivals at
+    a single instant with idle gaps preserving the average rate -- pick
+    ``backlog`` above the ingestion queue bound and every volley *must*
+    stall on backpressure, which is the point: it exercises the parking /
+    wake path the gentler schedules may never hit.  All schedules are
+    pure functions of their arguments -- replayable, seed-free.
     """
     if schedule not in SCHEDULES:
         raise ValueError(f"schedule must be one of {SCHEDULES}, got {schedule!r}")
@@ -99,6 +107,13 @@ def arrival_offsets(
             (i // burst) * (burst / rate) + (i % burst) / (rate * burst_factor)
             for i in range(count)
         ]
+    if schedule == "adversarial":
+        if backlog < 2:
+            raise ValueError(f"backlog must be >= 2, got {backlog}")
+        # Volley v lands whole at t = v * backlog/rate: an instantaneous
+        # overrun of any queue bound < backlog, with the volley cadence
+        # preserving the average rate.
+        return [(i // backlog) * (backlog / rate) for i in range(count)]
     # diurnal
     if not 0.0 <= amplitude < 1.0:
         raise ValueError(f"amplitude must be in [0, 1), got {amplitude}")
@@ -254,6 +269,7 @@ def run_loadgen(
     burst: int = 16,
     burst_factor: float = 4.0,
     amplitude: float = 0.5,
+    backlog: Optional[int] = None,
     target: str = "inprocess",
     correlations=None,
     matrix_path: Optional[str] = None,
@@ -272,6 +288,10 @@ def run_loadgen(
         raise ValueError(
             f"target must be 'inprocess' or 'subprocess', got {target!r}"
         )
+    if backlog is None:
+        # Twice the queue bound: every adversarial volley must park
+        # producers on backpressure.
+        backlog = 2 * queue_size
     offsets = arrival_offsets(
         schedule,
         rate,
@@ -279,6 +299,7 @@ def run_loadgen(
         burst=burst,
         burst_factor=burst_factor,
         amplitude=amplitude,
+        backlog=backlog,
     )
     registry = MetricsRegistry()
     queue_summary = None
@@ -362,6 +383,7 @@ def run_loadgen(
         "shards": shards,
         "seed": seed,
         "offered_rate": rate,
+        "backlog": backlog if schedule == "adversarial" else None,
         "achieved_rate": len(latencies) / max(makespan, 1e-12),
         "duration_seconds": makespan,
         "completed": len(latencies),

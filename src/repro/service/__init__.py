@@ -1,9 +1,8 @@
 """repro.service -- the unified session API over scalar and fleet accounting.
 
 The library grew two implementations of the paper's release model: the
-scalar :class:`~repro.core.accountant.TemporalPrivacyAccountant` +
-``ContinuousReleaseEngine`` path and the population-scale
-:class:`~repro.fleet.engine.FleetAccountant` + ``FleetReleaseEngine``
+scalar :class:`~repro.core.accountant.TemporalPrivacyAccountant` path
+and the population-scale :class:`~repro.fleet.engine.FleetAccountant`
 path, with diverging constructors and edge-case semantics.  This package
 is the single front door over both:
 
@@ -52,9 +51,9 @@ Quickstart
 >>> bool(event.max_tpl <= 1.0)
 True
 
-The deprecated engines (``ContinuousReleaseEngine``,
-``FleetReleaseEngine``, ``make_dpt_engine``) remain as thin shims that
-warn on construction; see the README migration guide.
+Sessions configured with ``wal_dir`` additionally keep a write-ahead
+log of every accepted window (see :mod:`repro.durability`), enabling
+crash recovery and log-replay re-sharding.
 """
 
 from .async_ingest import BoundedIngestQueue, QueueClosed

@@ -190,6 +190,18 @@ class SessionConfig:
     checkpoint_dir, checkpoint_every:
         Write a backend checkpoint to ``checkpoint_dir`` after every
         ``checkpoint_every`` accounted releases.
+    wal_dir, wal_fsync, wal_compact_every:
+        Durability policy (:mod:`repro.durability`).  With ``wal_dir``
+        set, every ingested window is appended to a write-ahead log
+        there *before* any accounting mutation, so a crash loses nothing
+        (:meth:`~repro.service.session.ReleaseSession.recover` replays
+        the tail bit-identically).  ``wal_fsync`` is ``"always"`` (every
+        append is durable before ``ingest`` returns) or ``"never"``
+        (leave flushing to the OS -- process crashes are still safe,
+        power loss may cost the un-synced tail).  ``wal_compact_every``
+        folds the log into a backend snapshot every that many accounted
+        releases, keeping both recovery time and log size flat in
+        horizon.
     queue_maxsize:
         Bound of the async ingestion queue (backpressure threshold).
     window_size:
@@ -218,6 +230,9 @@ class SessionConfig:
     cache_size: Optional[int] = None
     checkpoint_dir: Optional[Union[str, Path]] = None
     checkpoint_every: Optional[int] = None
+    wal_dir: Optional[Union[str, Path]] = None
+    wal_fsync: str = "always"
+    wal_compact_every: Optional[int] = None
     queue_maxsize: int = 64
     window_size: int = 1
     seed: object = None
@@ -261,6 +276,19 @@ class SessionConfig:
                 raise ValueError(
                     "checkpoint_every requires checkpoint_dir"
                 )
+        if self.wal_fsync not in ("always", "never"):
+            raise ValueError(
+                "wal_fsync must be 'always' or 'never', got "
+                f"{self.wal_fsync!r}"
+            )
+        if self.wal_compact_every is not None:
+            if self.wal_compact_every < 1:
+                raise ValueError(
+                    "wal_compact_every must be >= 1, got "
+                    f"{self.wal_compact_every}"
+                )
+            if self.wal_dir is None:
+                raise ValueError("wal_compact_every requires wal_dir")
         if self.cache_size is not None and self.cache_size < 1:
             raise ValueError(
                 f"cache_size must be >= 1, got {self.cache_size}"

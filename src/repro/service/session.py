@@ -114,6 +114,7 @@ class ReleaseSession:
         backend: Optional[AccountantBackend] = None,
         cache: Optional[SolutionCache] = None,
         registry=None,
+        wal=None,
     ) -> None:
         self._config = config
         self._policy = config.alpha_policy()
@@ -142,6 +143,22 @@ class ReleaseSession:
         self._pump: Optional[BoundedIngestQueue] = None
         self._queue_stats: Optional[dict] = None
         self._last_checkpoint_horizon = backend.horizon
+        self._last_compact_horizon = backend.horizon
+        self._replaying = False
+        self._wal = None
+        if wal is not None:
+            self._attach_wal(wal)
+        elif config.wal_dir is not None:
+            from ..durability.wal import WriteAheadLog
+
+            self._attach_wal(
+                WriteAheadLog.create(
+                    config.wal_dir,
+                    partitions=getattr(backend, "n_shards", 1),
+                    fsync=config.wal_fsync,
+                    registry=self._registry,
+                )
+            )
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -210,12 +227,20 @@ class ReleaseSession:
             window = ReleaseWindow.from_snapshots(
                 window, epsilon=epsilon, overrides=overrides
             )
+        if self._wal is not None and not self._replaying:
+            # Write-ahead: the *requested* window becomes durable before
+            # any accounting mutation, so after a crash the log either
+            # contains the window (replay redoes it exactly) or the
+            # mutation never happened.
+            self._wal.append(window, owner_of=self._wal_owner)
         events: List[ReleaseEvent] = []
         steps = list(window.steps)
         with self._registry.span("session.window.seconds"):
             while steps:
                 steps = steps[self._ingest_chunk(steps, events) :]
-        self._maybe_checkpoint()
+        if not self._replaying:
+            self._maybe_checkpoint()
+            self._maybe_compact()
         return events
 
     def _ingest_chunk(
@@ -423,10 +448,12 @@ class ReleaseSession:
             self._pump = None
 
     def close(self) -> None:
-        """Release backend resources (idempotent).  In-process backends
-        hold none; a sharded backend shuts its worker processes down, so
-        call this (or use the backend as a context manager) when a
-        sharded session is done."""
+        """Release backend resources and flush the write-ahead log
+        (idempotent).  In-process backends hold none; a sharded backend
+        shuts its worker processes down, so call this (or use the
+        backend as a context manager) when a sharded session is done."""
+        if self._wal is not None:
+            self._wal.close()
         closer = getattr(self._backend, "close", None)
         if closer is not None:
             closer()
@@ -623,6 +650,138 @@ class ReleaseSession:
         if horizon - self._last_checkpoint_horizon >= every:
             self.checkpoint()
 
+    # ------------------------------------------------------------------
+    # Durability (write-ahead log)
+    # ------------------------------------------------------------------
+    @property
+    def wal(self):
+        """The attached :class:`~repro.durability.wal.WriteAheadLog`
+        (``None`` unless ``SessionConfig.wal_dir`` is set or the session
+        was built by :meth:`recover`)."""
+        return self._wal
+
+    def _attach_wal(self, wal) -> None:
+        self._wal = wal
+        self._registry.gauge_fn("wal.log_bytes", wal.size_bytes)
+
+    def _wal_owner(self, user) -> int:
+        """Which log partition records ``user``'s overrides (the owning
+        shard for a sharded backend, partition 0 otherwise -- including
+        unknown users, so replay re-raises the original error)."""
+        owners = getattr(self._backend, "_user_shard", None)
+        if owners is None:
+            return 0
+        return owners.get(user, 0)
+
+    def compact_wal(self) -> Path:
+        """Fold the log's tail into a fresh backend snapshot (atomic
+        manifest swap; see :mod:`repro.durability.compact`), capturing
+        the noise-RNG state so recovery resumes draws exactly.  Returns
+        the snapshot directory."""
+        if self._wal is None:
+            raise ValueError(
+                "no write-ahead log attached: set SessionConfig.wal_dir"
+            )
+        from ..durability.wal import encode_rng_state
+
+        with self._registry.span("wal.compact.seconds"):
+            snapshot = self._wal.compact(
+                self._backend.save,
+                horizon=self._backend.horizon,
+                rng_state=encode_rng_state(self._rng.bit_generator.state),
+                partitions=getattr(self._backend, "n_shards", 1),
+            )
+        self._last_compact_horizon = self._backend.horizon
+        return snapshot
+
+    def _maybe_compact(self) -> None:
+        every = self._config.wal_compact_every
+        if every is None or self._wal is None:
+            return
+        if self._backend.horizon - self._last_compact_horizon >= every:
+            self.compact_wal()
+
+    def _replay(self, records) -> int:
+        """Re-ingest decoded WAL records through the ordinary ingestion
+        path (appends and cadence suppressed).  Replay reproduces the
+        original run bit for bit -- including its failures: a window the
+        original rejected with an error re-raises identically and is
+        skipped, leaving the same state behind."""
+        from ..durability.wal import decode_window
+
+        self._replaying = True
+        try:
+            replayed = 0
+            for record in records:
+                try:
+                    self.ingest_window(decode_window(record))
+                except Exception:
+                    # The original ingest failed the same way after the
+                    # append; the backends' validate-first contract means
+                    # it mutated nothing then, so skipping mutates
+                    # nothing now.
+                    self._registry.counter("wal.replay_errors").inc()
+                else:
+                    replayed += 1
+        finally:
+            self._replaying = False
+        self._registry.counter("wal.replayed_windows").inc(replayed)
+        return replayed
+
+    @classmethod
+    def recover(
+        cls, config: SessionConfig, wal_dir=None, *, registry=None
+    ) -> "ReleaseSession":
+        """Rebuild a session from its write-ahead log.
+
+        Opens the log (repairing any torn tail), restores the latest
+        compaction snapshot if one exists -- re-sharding it first when
+        ``config.shards`` asks for a different worker count -- resumes
+        the noise RNG from the snapshot's recorded state, and replays
+        the tail records through the ordinary ingestion path.  The
+        result is bit-identical to the uninterrupted run: same events,
+        same noise draws, same TPL series, same alpha decisions (the
+        crash-recovery parity suite enforces this on all three
+        backends).  The log stays attached, so the recovered session
+        keeps appending where the crashed one stopped.
+        """
+        from ..durability.wal import WriteAheadLog, decode_rng_state
+
+        directory = wal_dir if wal_dir is not None else config.wal_dir
+        if directory is None:
+            raise ValueError(
+                "no WAL directory: pass one or set SessionConfig.wal_dir"
+            )
+        wal = WriteAheadLog.open(
+            directory, fsync=config.wal_fsync, registry=registry
+        )
+        records = wal.tail_records()
+        cache = (
+            SolutionCache(maxsize=config.cache_size)
+            if config.cache_size is not None
+            else SolutionCache()
+        )
+        if wal.snapshot_path is not None:
+            backend = cls._restore_backend(
+                config, wal.snapshot_path, cache=cache, registry=registry
+            )
+            session = cls(
+                config, backend=backend, cache=cache, registry=registry, wal=wal
+            )
+            if wal.rng_state is not None:
+                session._rng.bit_generator.state = decode_rng_state(
+                    wal.rng_state
+                )
+            session._last_compact_horizon = wal.snapshot_horizon
+        else:
+            session = cls(config, cache=cache, registry=registry, wal=wal)
+        session._replay(records)
+        if wal.partitions != getattr(session._backend, "n_shards", 1):
+            # Recovery re-sharded the backend; rewrite the log for the
+            # new partition layout so future appends split correctly.
+            session.compact_wal()
+        return session
+
     @classmethod
     def restore(
         cls, config: SessionConfig, directory, *, registry=None
@@ -635,19 +794,37 @@ class ReleaseSession:
         fleet, or sharded fleet) is read off the checkpoint; an explicit,
         conflicting ``SessionConfig.backend`` is an error (checkpoints do
         not convert between backends), while ``"auto"`` accepts whatever
-        is on disk.  Sharded checkpoints restart their worker processes;
-        the checkpoint dictates the shard count, and a conflicting
-        ``SessionConfig.shards`` is an error (re-sharding a checkpoint is
-        not supported).
+        is on disk.  Fleet and sharded checkpoints may be restored at a
+        *different* ``config.shards``: the checkpoint is resharded by
+        cohort content-hash first (:func:`~repro.durability.reshard.
+        reshard_checkpoint`), bit-identically.  Scalar checkpoints cannot
+        be sharded.  When ``directory`` holds a write-ahead log rather
+        than a bare checkpoint, this delegates to :meth:`recover`.
         """
-        from .sharding import SHARD_MANIFEST_NAME, ShardedFleetBackend
+        from ..durability.wal import is_wal_dir
 
         directory = Path(directory)
+        if is_wal_dir(directory):
+            return cls.recover(config, directory, registry=registry)
         cache = (
             SolutionCache(maxsize=config.cache_size)
             if config.cache_size is not None
             else SolutionCache()
         )
+        backend = cls._restore_backend(
+            config, directory, cache=cache, registry=registry
+        )
+        return cls(config, backend=backend, cache=cache, registry=registry)
+
+    @classmethod
+    def _restore_backend(
+        cls, config: SessionConfig, directory, *, cache, registry
+    ) -> AccountantBackend:
+        """Build the backend a checkpoint describes, resharding fleet /
+        sharded checkpoints when ``config.shards`` conflicts."""
+        from .sharding import SHARD_MANIFEST_NAME, ShardedFleetBackend
+
+        directory = Path(directory)
         if (directory / SCALAR_MANIFEST_NAME).exists():
             kind = "scalar"
         elif (directory / SHARD_MANIFEST_NAME).exists():
@@ -665,32 +842,70 @@ class ReleaseSession:
                 f"{pinned!r}; checkpoints do not convert between "
                 "backends"
             )
-        if kind != "sharded" and config.shards > 1:
-            raise ValueError(
-                f"checkpoint in {directory} was written by the "
-                f"single-process {kind} backend but the config requests "
-                f"shards={config.shards}; re-sharding a checkpoint is "
-                "not supported"
-            )
         if kind == "scalar":
-            backend: AccountantBackend = ScalarAccountantBackend.restore(
+            if config.shards > 1:
+                raise ValueError(
+                    f"checkpoint in {directory} was written by the scalar "
+                    f"backend but the config requests shards="
+                    f"{config.shards}; scalar checkpoints cannot be "
+                    "sharded (restore through the fleet backend instead)"
+                )
+            return ScalarAccountantBackend.restore(
                 directory,
                 config.user_correlations(),
                 cache=cache,
                 registry=registry,
             )
-        elif kind == "sharded":
-            backend = ShardedFleetBackend.restore(
+        if kind == "sharded":
+            import json
+
+            try:
+                manifest = json.loads(
+                    (directory / SHARD_MANIFEST_NAME).read_text(
+                        encoding="utf-8"
+                    )
+                )
+            except ValueError as error:
+                raise ValueError(
+                    f"torn or corrupt shard manifest in {directory}; "
+                    "refusing to restore"
+                ) from error
+            saved = int(manifest.get("shards", 0))
+            if config.shards > 1 and config.shards != saved:
+                return cls._restore_resharded(
+                    directory, config.shards, cache=cache, registry=registry
+                )
+            return ShardedFleetBackend.restore(
                 directory,
                 cache=cache,
                 shards=config.shards if config.shards > 1 else None,
                 registry=registry,
             )
-        else:
-            backend = FleetAccountantBackend.restore(
-                directory, cache=cache, registry=registry
+        if config.shards > 1:
+            return cls._restore_resharded(
+                directory, config.shards, cache=cache, registry=registry
             )
-        return cls(config, backend=backend, cache=cache, registry=registry)
+        return FleetAccountantBackend.restore(
+            directory, cache=cache, registry=registry
+        )
+
+    @classmethod
+    def _restore_resharded(
+        cls, directory, shards: int, *, cache, registry
+    ) -> AccountantBackend:
+        """Reshard a checkpoint into a scratch directory and restore the
+        sharded backend from it (workers load their shard during
+        ``restore``, so the scratch copy is deleted before returning)."""
+        import tempfile
+
+        from ..durability.reshard import reshard_checkpoint
+        from .sharding import ShardedFleetBackend
+
+        with tempfile.TemporaryDirectory(prefix="repro-reshard-") as scratch:
+            reshard_checkpoint(directory, scratch, shards)
+            return ShardedFleetBackend.restore(
+                scratch, cache=cache, registry=registry
+            )
 
     def __repr__(self) -> str:
         return (

@@ -526,3 +526,145 @@ class TestFleet:
     def test_rejects_bad_sizes(self, capsys):
         with pytest.raises(SystemExit):
             main(["fleet", "--users", "2", "--cohorts", "5", "--steps", "1"])
+
+
+class TestLoadgenAdversarial:
+    def test_adversarial_schedule_reports_stalls(self, capsys):
+        code = main(
+            [
+                "loadgen", "--users", "5", "--rate", "5000",
+                "--count", "80", "--window", "4", "--queue-size", "8",
+                "--schedule", "adversarial", "-o", "",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "adversarial schedule" in out
+        assert "backpressure stalls" in out
+
+    def test_adversarial_without_stalls_is_an_error(self, capsys):
+        # A backlog far below the queue bound never overruns it: the
+        # schedule is adversarial in name only and the gate rejects it.
+        code = main(
+            [
+                "loadgen", "--users", "5", "--rate", "5000",
+                "--count", "40", "--window", "4", "--queue-size", "64",
+                "--schedule", "adversarial", "--backlog", "4", "-o", "",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "no backpressure stalls" in captured.err
+
+
+class TestWalCli:
+    def release_args(self, matrix_file, wal_dir, steps=8, extra=()):
+        return [
+            "release", "-m", matrix_file, "--users", "20",
+            "--steps", str(steps), "--epsilon", "0.1",
+            "--backend", "fleet", "--wal-dir", str(wal_dir), *extra,
+        ]
+
+    def session_args(self, matrix_file):
+        return [
+            "-m", matrix_file, "--users", "20", "--epsilon", "0.1",
+            "--backend", "fleet",
+        ]
+
+    def test_release_writes_wal_and_inspect_reads_it(
+        self, matrix_file, tmp_path, capsys
+    ):
+        wal_dir = tmp_path / "wal"
+        assert main(self.release_args(matrix_file, wal_dir)) == 0
+        capsys.readouterr()
+        assert main(["wal", "inspect", str(wal_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "8 intact record(s)" in out
+        assert main(["wal", "inspect", str(wal_dir), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["tail_records"] == 8
+        assert summary["torn"] is False
+
+    def test_release_recovers_from_existing_wal(
+        self, matrix_file, tmp_path, capsys
+    ):
+        wal_dir = tmp_path / "wal"
+        assert main(self.release_args(matrix_file, wal_dir, steps=5)) == 0
+        capsys.readouterr()
+        assert main(self.release_args(matrix_file, wal_dir, steps=3)) == 0
+        captured = capsys.readouterr()
+        assert "recovered 5 accounted releases" in captured.err
+        main(["wal", "inspect", str(wal_dir), "--json"])
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["total_records"] == 8
+
+    def test_wal_recover_writes_checkpoint(
+        self, matrix_file, tmp_path, capsys
+    ):
+        wal_dir = tmp_path / "wal"
+        ckpt = tmp_path / "ckpt"
+        main(self.release_args(matrix_file, wal_dir))
+        capsys.readouterr()
+        code = main(
+            [
+                "wal", "recover", str(wal_dir),
+                *self.session_args(matrix_file),
+                "--checkpoint", str(ckpt),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "checkpoint written" in out
+        from repro.fleet import load_checkpoint
+
+        assert load_checkpoint(ckpt).horizon == 8
+
+    def test_wal_compact_folds_the_tail(self, matrix_file, tmp_path, capsys):
+        wal_dir = tmp_path / "wal"
+        main(self.release_args(matrix_file, wal_dir))
+        capsys.readouterr()
+        code = main(
+            ["wal", "compact", str(wal_dir), *self.session_args(matrix_file)]
+        )
+        assert code == 0
+        assert "log folded into snapshot" in capsys.readouterr().out
+        main(["wal", "inspect", str(wal_dir), "--json"])
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["tail_records"] == 0
+        assert summary["base_records"] == 8
+        assert summary["snapshot_horizon"] == 8
+
+    def test_wal_reshard_changes_worker_count(
+        self, matrix_file, tmp_path, capsys
+    ):
+        wal_dir = tmp_path / "wal"
+        main(self.release_args(matrix_file, wal_dir))
+        capsys.readouterr()
+        code = main(
+            [
+                "wal", "reshard", str(wal_dir),
+                *self.session_args(matrix_file), "--shards", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "resharded to 2 worker(s)" in out
+        # The log was rewritten for the new layout: two partitions.
+        main(["wal", "inspect", str(wal_dir), "--json"])
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["partitions"] == 2
+
+    def test_wal_reshard_rejects_single_shard(self, matrix_file, tmp_path):
+        wal_dir = tmp_path / "wal"
+        main(self.release_args(matrix_file, wal_dir))
+        with pytest.raises(SystemExit, match="must be >= 2"):
+            main(
+                [
+                    "wal", "reshard", str(wal_dir),
+                    *self.session_args(matrix_file), "--shards", "1",
+                ]
+            )
+
+    def test_wal_inspect_rejects_non_wal_directory(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["wal", "inspect", str(tmp_path)])

@@ -17,7 +17,6 @@ from repro.exceptions import InvalidPrivacyParameterError
 from repro.fleet import (
     CohortIndex,
     FleetAccountant,
-    FleetReleaseEngine,
     SolutionCache,
     correlation_digest,
     load_checkpoint,
@@ -532,28 +531,31 @@ class TestCheckpoint:
 
 
 # ---------------------------------------------------------------------------
-# Batched release pipeline
+# Batched release pipeline (through the service front door)
 # ---------------------------------------------------------------------------
 class TestFleetRelease:
     def test_release_feeds_accountant(self, models):
-        from repro.data import HistogramQuery, Trajectory, TrajectoryDataset
+        from repro.data import HistogramQuery
+        from repro.service import ReleaseSession, SessionConfig
 
         pair = (models[0], models[0])
-        fleet = FleetAccountant({u: pair for u in range(20)})
         rng = np.random.default_rng(3)
-        dataset = TrajectoryDataset(
-            [Trajectory(u, rng.integers(0, 2, size=6)) for u in range(20)],
-            n_states=2,
+        session = ReleaseSession(
+            SessionConfig(
+                correlations={u: pair for u in range(20)},
+                budgets=0.1,
+                query=HistogramQuery(2),
+                backend="fleet",
+                seed=0,
+            )
         )
-        engine = FleetReleaseEngine(
-            HistogramQuery(2), budgets=0.1, accountant=fleet, seed=0
-        )
-        records = engine.run(dataset)
-        assert len(records) == 6
-        assert fleet.horizon == 6
-        assert records[-1].max_tpl == pytest.approx(fleet.max_tpl())
+        for _ in range(6):
+            session.ingest(rng.integers(0, 2, size=20))
+        events = session.events
+        assert len(events) == 6
+        assert session.backend.horizon == 6
+        assert events[-1].max_tpl == pytest.approx(session.backend.max_tpl())
         # TPL grows as releases accumulate under correlation.
-        assert records[-1].max_tpl > records[0].max_tpl
-        for record in records:
-            assert record.true_answer.shape == (2,)
-            assert record.absolute_error >= 0.0
+        assert events[-1].max_tpl > events[0].max_tpl
+        for event in events:
+            assert event.noisy_answer.shape == (2,)

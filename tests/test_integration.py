@@ -27,7 +27,8 @@ from repro.markov import (
     mle_transition_matrix,
     two_state_matrix,
 )
-from repro.mechanisms import make_dpt_engine, plan_dpt_release
+from repro.mechanisms import plan_dpt_release
+from repro.service import ReleaseSession, SessionConfig
 
 
 class TestGeolifePipeline:
@@ -57,22 +58,26 @@ class TestGeolifePipeline:
     def test_bounded_release_end_to_end(self, pipeline):
         dataset, backward, forward = pipeline
         alpha = 1.5
-        engine = make_dpt_engine(
-            HistogramQuery(dataset.n_states),
-            (backward, forward),
-            alpha=alpha,
-            seed=0,
+        plan = plan_dpt_release((backward, forward), alpha=alpha)
+        session = ReleaseSession(
+            SessionConfig(
+                correlations={
+                    traj.user_id: (backward, forward)
+                    for traj in dataset.trajectories
+                },
+                budgets=plan.allocation,
+                horizon=20,
+                query=HistogramQuery(dataset.n_states),
+                alpha=alpha,
+                alpha_mode="clamp",
+                seed=0,
+            )
         )
         # Release a 20-step window of the dataset.
-        records = [
-            engine.release_one(dataset.snapshot(t), t, eps)
-            for t, eps in zip(
-                range(1, 21), engine._epsilons_for(20)
-            )
-        ]
-        assert len(records) == 20
-        assert engine.accountant.max_tpl() <= alpha * (1 + 1e-6)
-        assert records_mae(records) > 0.0
+        events = [session.ingest(dataset.snapshot(t)) for t in range(1, 21)]
+        assert len(events) == 20
+        assert session.backend.max_tpl() <= alpha * (1 + 1e-6)
+        assert records_mae(events) > 0.0
 
 
 class TestEstimateThenAudit:

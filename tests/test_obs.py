@@ -309,6 +309,37 @@ def test_arrival_offsets_validation():
         arrival_offsets("diurnal", 100.0, 5, amplitude=1.0)
     with pytest.raises(ValueError):
         arrival_offsets("diurnal", 100.0, 5, period=0.0)
+    with pytest.raises(ValueError):
+        arrival_offsets("adversarial", 100.0, 5, backlog=1)
+
+
+def test_arrival_offsets_adversarial_dumps_whole_volleys():
+    rate, count, backlog = 100.0, 40, 16
+    offsets = arrival_offsets("adversarial", rate, count, backlog=backlog)
+    # Every arrival in a volley lands at the same instant...
+    for volley in range(count // backlog):
+        chunk = offsets[volley * backlog : (volley + 1) * backlog]
+        assert chunk == [volley * backlog / rate] * len(chunk)
+    # ...and the volley cadence preserves the average offered rate.
+    assert offsets[backlog] - offsets[0] == pytest.approx(backlog / rate)
+
+
+def test_run_loadgen_adversarial_engages_backpressure():
+    report = run_loadgen(
+        users=5,
+        rate=5000.0,
+        count=120,
+        schedule="adversarial",
+        window=4,
+        queue_size=16,
+        seed=0,
+    )
+    assert report["completed"] == 120
+    assert report["errors"] == 0
+    # The default backlog (2x the queue bound) overruns the queue on
+    # every volley, so producers must have parked on backpressure.
+    assert report["backlog"] == 32
+    assert report["backpressure_stalls"] > 0
 
 
 def test_run_loadgen_inprocess_report_shape():

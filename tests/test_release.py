@@ -1,17 +1,16 @@
-"""Tests for the continuous release engine and the DP -> DP_T converters."""
+"""Tests for the release value types, budget materialisation and the
+DP -> DP_T converters."""
 
 import numpy as np
 import pytest
 
-from repro.core import TemporalPrivacyAccountant, allocate_quantified
+from repro.core import allocate_quantified
 from repro.data import HistogramQuery, generate_population
 from repro.exceptions import InvalidPrivacyParameterError
 from repro.markov import MarkovChain, two_state_matrix
-from repro.mechanisms import (
-    ContinuousReleaseEngine,
-    make_dpt_engine,
-    plan_dpt_release,
-)
+from repro.mechanisms import ReleaseRecord, plan_dpt_release
+from repro.mechanisms.release import materialise_budgets
+from repro.service import ReleaseSession, SessionConfig
 
 
 @pytest.fixture
@@ -27,75 +26,49 @@ def correlations():
     return (chain.backward(), chain.forward)
 
 
-class TestEngine:
-    def test_scalar_budget_stream(self, dataset):
-        engine = ContinuousReleaseEngine(
-            HistogramQuery(dataset.n_states), budgets=0.5, seed=1
-        )
-        records = engine.run(dataset)
-        assert len(records) == 6
-        assert all(r.epsilon == 0.5 for r in records)
-        assert records[0].true_answer.sum() == pytest.approx(40)
+class TestMaterialiseBudgets:
+    def test_scalar_budget(self):
+        eps = materialise_budgets(0.5, 6)
+        assert eps.shape == (6,)
+        assert np.all(eps == 0.5)
 
-    def test_vector_budget(self, dataset):
+    def test_vector_budget(self):
         budgets = np.linspace(0.1, 0.6, 6)
-        engine = ContinuousReleaseEngine(
-            HistogramQuery(dataset.n_states), budgets=budgets, seed=1
-        )
-        records = engine.run(dataset)
-        assert [r.epsilon for r in records] == pytest.approx(budgets)
+        assert materialise_budgets(budgets, 6) == pytest.approx(budgets)
 
-    def test_vector_budget_wrong_length(self, dataset):
-        engine = ContinuousReleaseEngine(
-            HistogramQuery(dataset.n_states), budgets=[0.1, 0.2]
-        )
+    def test_vector_budget_wrong_length(self):
         with pytest.raises(ValueError):
-            engine.run(dataset)
+            materialise_budgets([0.1, 0.2], 6)
 
-    def test_rejects_nonpositive_budget(self, dataset):
-        engine = ContinuousReleaseEngine(
-            HistogramQuery(dataset.n_states), budgets=-0.5
-        )
+    def test_rejects_nonpositive_budget(self):
         with pytest.raises(InvalidPrivacyParameterError):
-            engine.run(dataset)
+            materialise_budgets(-0.5, 6)
 
-    def test_allocation_budget(self, dataset, correlations):
+    def test_allocation_budget(self, correlations):
         allocation = allocate_quantified(correlations, 1.0)
-        engine = ContinuousReleaseEngine(
-            HistogramQuery(dataset.n_states), budgets=allocation, seed=1
+        eps = materialise_budgets(allocation, 6)
+        assert eps[0] == pytest.approx(allocation.epsilon_first)
+        assert eps[-1] == pytest.approx(allocation.epsilon_last)
+
+
+class TestReleaseRecord:
+    def test_absolute_error_is_l1(self):
+        record = ReleaseRecord(
+            t=1,
+            epsilon=0.5,
+            true_answer=np.array([1.0, 2.0]),
+            noisy_answer=np.array([1.5, 1.0]),
         )
-        records = engine.run(dataset)
-        assert records[0].epsilon == pytest.approx(allocation.epsilon_first)
-        assert records[-1].epsilon == pytest.approx(allocation.epsilon_last)
+        assert record.absolute_error == pytest.approx(1.5)
 
-    def test_accountant_tracks_tpl(self, dataset, correlations):
-        accountant = TemporalPrivacyAccountant(correlations)
-        engine = ContinuousReleaseEngine(
-            HistogramQuery(dataset.n_states),
-            budgets=0.3,
-            accountant=accountant,
-            seed=1,
+    def test_tpl_defaults_to_none(self):
+        record = ReleaseRecord(
+            t=1,
+            epsilon=0.5,
+            true_answer=np.zeros(2),
+            noisy_answer=np.zeros(2),
         )
-        records = engine.run(dataset)
-        assert all(r.tpl is not None for r in records)
-        # The final record's TPL equals the accountant's current worst.
-        assert records[-1].tpl == pytest.approx(accountant.max_tpl())
-
-    def test_noise_actually_added(self, dataset):
-        engine = ContinuousReleaseEngine(
-            HistogramQuery(dataset.n_states), budgets=0.5, seed=1
-        )
-        record = engine.run(dataset)[0]
-        assert record.absolute_error > 0.0
-
-    def test_reproducible_with_seed(self, dataset):
-        def noisy():
-            engine = ContinuousReleaseEngine(
-                HistogramQuery(dataset.n_states), budgets=0.5, seed=9
-            )
-            return engine.run(dataset)[0].noisy_answer
-
-        assert np.array_equal(noisy(), noisy())
+        assert record.tpl is None
 
 
 class TestConverters:
@@ -124,24 +97,20 @@ class TestConverters:
         strong_profile = plan.allocation.profile(10, *correlations)
         assert worst.max_tpl == pytest.approx(strong_profile.max_tpl)
 
-    def test_make_dpt_engine_end_to_end(self, dataset, correlations):
-        engine = make_dpt_engine(
-            HistogramQuery(dataset.n_states),
-            correlations,
-            alpha=1.0,
-            seed=2,
+    def test_plan_drives_session_end_to_end(self, dataset, correlations):
+        plan = plan_dpt_release(correlations, alpha=1.0)
+        session = ReleaseSession(
+            SessionConfig(
+                correlations={u: correlations for u in range(dataset.n_users)},
+                budgets=plan.allocation,
+                horizon=dataset.horizon,
+                query=HistogramQuery(dataset.n_states),
+                alpha=1.0,
+                alpha_mode="clamp",
+                seed=2,
+            )
         )
-        records = engine.run(dataset)
-        assert len(records) == dataset.horizon
-        assert engine.accountant is not None
-        assert engine.accountant.max_tpl() <= 1.0 + 1e-6
-
-    def test_make_dpt_engine_without_accountant(self, dataset, correlations):
-        engine = make_dpt_engine(
-            HistogramQuery(dataset.n_states),
-            correlations,
-            alpha=1.0,
-            with_accountant=False,
-        )
-        assert engine.accountant is None
-        engine.run(dataset)
+        for t in range(1, dataset.horizon + 1):
+            event = session.ingest(dataset.snapshot(t))
+            assert event.max_tpl <= 1.0 + 1e-6
+        assert len(session.events) == dataset.horizon

@@ -433,33 +433,22 @@ class TestSessionCheckpoint:
 
 
 # ---------------------------------------------------------------------------
-# Deprecation shims
+# Removed deprecation shims
 # ---------------------------------------------------------------------------
-class TestDeprecationShims:
-    def test_continuous_release_engine_warns(self, query):
-        from repro.mechanisms import ContinuousReleaseEngine
+class TestRemovedShims:
+    def test_legacy_engines_are_gone(self):
+        import repro
+        import repro.fleet
+        import repro.mechanisms
 
-        with pytest.warns(DeprecationWarning, match="ReleaseSession"):
-            ContinuousReleaseEngine(query, budgets=0.1)
+        assert not hasattr(repro, "FleetReleaseEngine")
+        assert not hasattr(repro.fleet, "FleetReleaseEngine")
+        assert not hasattr(repro.mechanisms, "ContinuousReleaseEngine")
+        assert not hasattr(repro.mechanisms, "make_dpt_engine")
 
-    def test_fleet_release_engine_warns(self, pair, query):
-        from repro.fleet import FleetAccountant, FleetReleaseEngine
-
-        with pytest.warns(DeprecationWarning, match="ReleaseSession"):
-            FleetReleaseEngine(
-                query, budgets=0.1, accountant=FleetAccountant(pair)
-            )
-
-    def test_make_dpt_engine_warns_once_at_the_entry_point(self, pair, query):
-        from repro.mechanisms import make_dpt_engine
-
-        with pytest.warns(DeprecationWarning) as captured:
-            make_dpt_engine(query, pair, alpha=1.0)
-        assert len(captured) == 1  # the inner engine does not double-warn
-
-    def test_legacy_entry_points_still_import(self):
-        from repro import FleetReleaseEngine  # noqa: F401
-        from repro.mechanisms import ContinuousReleaseEngine  # noqa: F401
+    def test_surviving_entry_points_still_import(self):
+        from repro.mechanisms import DptReleasePlan  # noqa: F401
+        from repro.mechanisms import plan_dpt_release  # noqa: F401
         from repro.mechanisms.release import materialise_budgets
 
         np.testing.assert_allclose(

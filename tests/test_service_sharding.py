@@ -351,20 +351,19 @@ class TestBackendLifecycle:
         finally:
             restored.close()
 
-    @pytest.mark.parametrize("backend", ["scalar", "fleet"])
-    def test_restore_rejects_resharding_single_process_checkpoints(
-        self, population, tmp_path, backend
+    def test_restore_rejects_resharding_scalar_checkpoints(
+        self, population, tmp_path
     ):
-        """Asking for shards on a scalar *or* fleet checkpoint is the
-        same misconfiguration and must error the same way (the scalar
-        path used to ignore it silently)."""
+        """Scalar checkpoints replay from their manifest and have no
+        cohort structure to shard -- asking for shards on one is still a
+        refused misconfiguration."""
         config = SessionConfig(
-            correlations=population, budgets=0.1, backend=backend
+            correlations=population, budgets=0.1, backend="scalar"
         )
         session = ReleaseSession(config)
         session.ingest()
         session.checkpoint(tmp_path)
-        with pytest.raises(ValueError, match="re-sharding"):
+        with pytest.raises(ValueError, match="cannot be sharded"):
             ReleaseSession.restore(
                 SessionConfig(
                     correlations=population,
@@ -373,6 +372,29 @@ class TestBackendLifecycle:
                 ),
                 tmp_path,
             )
+
+    def test_restore_reshards_fleet_checkpoints(self, population, tmp_path):
+        """A fleet checkpoint restored at ``shards=2`` is resharded by
+        cohort content-hash (this used to raise): same users, same
+        horizon, bit-identical leakage."""
+        config = SessionConfig(
+            correlations=population, budgets=0.1, backend="fleet"
+        )
+        session = ReleaseSession(config)
+        session.ingest()
+        session.checkpoint(tmp_path)
+        restored = ReleaseSession.restore(
+            SessionConfig(correlations=population, budgets=0.1, shards=2),
+            tmp_path,
+        )
+        try:
+            assert restored.backend_name == "sharded"
+            assert restored.backend.n_shards == 2
+            assert restored.horizon == session.horizon
+            assert restored.max_tpl() == session.max_tpl()
+            assert set(restored.users) == set(session.users)
+        finally:
+            restored.close()
 
     def test_cache_size_bounds_each_worker_cache(self, population):
         """SessionConfig.cache_size must reach the worker processes: each
