@@ -1,0 +1,270 @@
+"""Socket vs. pipe shard RPC overhead, and serve-over-TCP throughput.
+
+Two questions the network tier must answer with numbers:
+
+1. **What does the framed socket transport cost per window?**  The
+   coordinator exchanges the same RPC with each shard either over a
+   multiprocessing pipe or a length-prefixed CRC-checked TCP frame
+   (:mod:`repro.net.frames`).  Both carry pickled payloads; the socket
+   adds checksumming and kernel TCP on top of the pipe's plain
+   byte channel.  The accounting answers must not move at all -- the
+   max-TPL gap is asserted to be exactly zero -- and the socket path
+   must stay within a sane factor of pipe throughput (the parity suite
+   enforces bit-identity property-based; this file puts a floor under
+   the cost).
+
+2. **How many requests/sec does the TCP front door serve?**  An
+   in-process :class:`~repro.net.server.ReproServer` is driven by the
+   loadgen TCP client at window=64 and must complete every request with
+   non-empty latency percentiles.
+
+Run standalone for full-scale numbers::
+
+    PYTHONPATH=src python benchmarks/bench_net.py --users 20000 --steps 256
+
+or as part of the benchmark harness::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_net.py -s
+"""
+
+import argparse
+import asyncio
+import os
+import time
+
+from _harness import emit_json, population
+from repro.net.server import ReproServer
+from repro.obs.loadgen import run_loadgen
+from repro.service import ReleaseSession, ReleaseWindow, SessionConfig
+
+WINDOW = 64
+SHARDS = 2
+# The socket transport re-buys the pipe's work plus CRC + TCP; at
+# harness scale (tiny windows, loopback) the floor is deliberately
+# loose -- it catches a transport that collapsed (accidental
+# per-byte writes, sync handshakes per op), not honest overhead.
+CI_MIN_SOCKET_RATIO = 0.2
+JSON_PATH = "BENCH_net.json"
+
+
+def run_transport(population, steps, epsilon, window, transport):
+    """Time a sharded accounting session on one shard transport."""
+    session = ReleaseSession(
+        SessionConfig(
+            correlations=population,
+            budgets=epsilon,
+            backend="fleet",
+            shards=SHARDS,
+            shard_transport=transport,
+            window_size=window,
+        )
+    )
+    try:
+        start = time.perf_counter()
+        done = 0
+        while done < steps:
+            size = min(window, steps - done)
+            session.ingest_window(ReleaseWindow.from_snapshots([None] * size))
+            done += size
+        elapsed = time.perf_counter() - start
+        assert session.horizon == steps
+        return session.max_tpl(), elapsed
+    finally:
+        session.close()
+
+
+def serve_throughput(users, count, window, rate, seed):
+    """Requests/sec through a real ReproServer on loopback, driven by
+    the loadgen TCP client.  The server's event loop runs in a
+    background thread because ``run_loadgen`` owns the foreground loop
+    for the client side."""
+    import threading
+
+    from repro.markov import two_state_matrix
+
+    matrix = two_state_matrix(0.8, 0.1)
+    config = SessionConfig(
+        correlations={u: (matrix, matrix) for u in range(users)},
+        budgets=0.1,
+        window_size=window,
+        queue_maxsize=2 * window,
+        seed=seed,
+    )
+    server = ReproServer(config)
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+
+    def on_loop(coroutine, timeout=60):
+        return asyncio.run_coroutine_threadsafe(coroutine, loop).result(
+            timeout
+        )
+
+    try:
+        host, port = on_loop(server.start("127.0.0.1", 0))
+        report = run_loadgen(
+            users=users,
+            rate=rate,
+            count=count,
+            window=window,
+            queue_size=2 * window,
+            seed=seed,
+            target="connect",
+            address=f"{host}:{port}",
+        )
+        on_loop(server.stop())
+    finally:
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+        loop.close()
+    return report
+
+
+def compare(
+    users: int = 20_000,
+    cohorts: int = 16,
+    steps: int = 256,
+    epsilon: float = 0.1,
+    states: int = 3,
+    seed: int = 0,
+    window: int = WINDOW,
+    serve_count: int = 200,
+    serve_users: int = 50,
+    serve_rate: float = 2000.0,
+) -> dict:
+    """Both transports over the same stream, plus a serve run."""
+    pop = population(users, cohorts, states, seed)
+    rows = []
+    baseline_tpl = None
+    baseline_rate = None
+    for transport in ("pipe", "socket"):
+        tpl, elapsed = run_transport(pop, steps, epsilon, window, transport)
+        rate = steps / max(elapsed, 1e-12)
+        if baseline_tpl is None:
+            baseline_tpl, baseline_rate = tpl, rate
+        rows.append(
+            {
+                "transport": transport,
+                "max_tpl": tpl,
+                "seconds": elapsed,
+                "events_per_second": rate,
+                "windows_per_second": rate / window,
+                "tpl_gap_vs_pipe": abs(tpl - baseline_tpl),
+                "throughput_ratio_vs_pipe": rate / baseline_rate,
+            }
+        )
+    serve = serve_throughput(
+        serve_users, serve_count, window, serve_rate, seed
+    )
+    return {
+        "users": users,
+        "cohorts": cohorts,
+        "steps": steps,
+        "epsilon": epsilon,
+        "window": window,
+        "shards": SHARDS,
+        "cpu_count": os.cpu_count(),
+        "min_socket_ratio": CI_MIN_SOCKET_RATIO,
+        "results": rows,
+        "serve": {
+            "users": serve_users,
+            "count": serve_count,
+            "window": window,
+            "offered_rate": serve_rate,
+            "completed": serve["completed"],
+            "errors": serve["errors"],
+            "requests_per_second": serve["achieved_rate"],
+            "latency_ms": serve["latency_ms"],
+        },
+    }
+
+
+def format_table(summary: dict) -> str:
+    lines = [
+        f"socket vs pipe shard RPC -- {summary['users']} users, "
+        f"{summary['shards']} shards, {summary['steps']} steps, "
+        f"window={summary['window']}, {summary['cpu_count']} cpu(s)",
+        "  transport  events/s      ratio vs pipe   max-TPL gap",
+    ]
+    for row in summary["results"]:
+        lines.append(
+            f"  {row['transport']:<10s} {row['events_per_second']:<13,.1f} "
+            f"{row['throughput_ratio_vs_pipe']:<15.2f} "
+            f"{row['tpl_gap_vs_pipe']:.2e}"
+        )
+    serve = summary["serve"]
+    lat = serve["latency_ms"]
+    p50 = lat.get("p50")
+    p99 = lat.get("p99")
+    lines.append(
+        f"  serve over TCP: {serve['requests_per_second']:,.1f} req/s "
+        f"({serve['completed']}/{serve['count']} completed, "
+        f"p50 {p50:.1f} ms, p99 {p99:.1f} ms)"
+        if p50 is not None and p99 is not None
+        else "  serve over TCP: no completed requests"
+    )
+    lines.append(
+        f"  floor: socket >= {CI_MIN_SOCKET_RATIO:g}x pipe throughput, "
+        "bit-identical TPL, every serve request completed"
+    )
+    return "\n".join(lines)
+
+
+def test_net_overhead_and_serve_floor(show_table):
+    """Harness-scale comparison.  Bit-identical TPL across transports is
+    asserted unconditionally; the socket throughput floor is loose (CRC
+    + TCP on loopback is honest overhead) but catches a collapsed
+    transport; the serve run must complete everything with real
+    percentiles."""
+    summary = compare(users=2_000, cohorts=16, steps=128, serve_count=128)
+    show_table(format_table(summary))
+    emit_json(summary, JSON_PATH)
+    by_transport = {row["transport"]: row for row in summary["results"]}
+    assert by_transport["socket"]["tpl_gap_vs_pipe"] == 0.0
+    assert (
+        by_transport["socket"]["throughput_ratio_vs_pipe"]
+        >= CI_MIN_SOCKET_RATIO
+    )
+    serve = summary["serve"]
+    assert serve["completed"] == serve["count"]
+    assert serve["errors"] == 0
+    assert serve["latency_ms"]  # non-empty percentiles
+    assert all(
+        value is None or value > 0 for value in serve["latency_ms"].values()
+    )
+    assert serve["latency_ms"].get("p50") is not None
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--users", type=int, default=20_000)
+    parser.add_argument("--cohorts", type=int, default=16)
+    parser.add_argument("--steps", type=int, default=256)
+    parser.add_argument("--epsilon", type=float, default=0.1)
+    parser.add_argument("--states", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--window", type=int, default=WINDOW)
+    parser.add_argument("--serve-count", type=int, default=200)
+    parser.add_argument("--serve-users", type=int, default=50)
+    parser.add_argument("--serve-rate", type=float, default=2000.0)
+    parser.add_argument("-o", "--output", default=JSON_PATH)
+    args = parser.parse_args()
+    summary = compare(
+        users=args.users,
+        cohorts=args.cohorts,
+        steps=args.steps,
+        epsilon=args.epsilon,
+        states=args.states,
+        seed=args.seed,
+        window=args.window,
+        serve_count=args.serve_count,
+        serve_users=args.serve_users,
+        serve_rate=args.serve_rate,
+    )
+    print(format_table(summary))
+    path = emit_json(summary, args.output)
+    print(f"results written to {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,14 @@ snapshot array, an object (``{"snapshot": ..., "epsilon": ...,
 ``release``/``serve`` partitions cohorts across N worker processes
 (bit-identical numbers, multi-core throughput).
 
+The same stack serves real networks: ``serve --listen HOST:PORT``
+exposes the identical JSON-lines grammar over TCP (multi-client, named
+sessions, seq-replay idempotency, ``GET /metrics``), ``shard-worker
+--listen`` hosts one accounting shard for a coordinator dialing in via
+``--shard-address`` (or ``--shard-transport socket`` for locally
+spawned socket workers), and ``loadgen --connect HOST:PORT`` drives a
+live server over the wire.  See ``docs/wire-protocol.md``.
+
 ``-m/--matrix`` takes a JSON transition matrix (see :mod:`repro.io`);
 pass it twice to supply distinct backward and forward correlations, once
 to use the same matrix for both.
@@ -198,6 +206,12 @@ def _session_config(args, backward, forward, query, horizon=None):
             alpha_mode=args.alpha_mode,
             backend=args.backend,
             shards=getattr(args, "shards", 1),
+            shard_transport=getattr(args, "shard_transport", "pipe"),
+            shard_addresses=(
+                tuple(args.shard_address)
+                if getattr(args, "shard_address", None)
+                else None
+            ),
             horizon=horizon,
             seed=args.seed,
             checkpoint_dir=getattr(args, "checkpoint", None),
@@ -331,17 +345,11 @@ def _error_payload(
     seq: Optional[int] = None,
     elapsed_ms: Optional[float] = None,
 ) -> str:
-    """The JSON error line for one failed submission.  The exception
-    class rides along: ``str(KeyError("5"))`` is just ``"'5'"``, which
-    serialised alone reads like a successful payload of nothing.  ``seq``
-    and ``elapsed_ms`` carry the same correlation id / monotonic latency
-    as successful result lines."""
-    payload: dict = {"error": f"{type(error).__name__}: {error}"}
-    if seq is not None:
-        payload["seq"] = seq
-    if elapsed_ms is not None:
-        payload["elapsed_ms"] = elapsed_ms
-    return json.dumps(payload)
+    """One JSON error line (see :func:`repro.net.protocol.error_payload`,
+    the shared stdin/TCP grammar)."""
+    from .net.protocol import error_payload
+
+    return json.dumps(error_payload(error, seq=seq, elapsed_ms=elapsed_ms))
 
 
 async def _serve_loop(
@@ -387,40 +395,16 @@ async def _serve_loop(
         emitted += 1
         if stats_interval is not None and emitted % stats_interval == 0:
             _emit_stats_line(session, emitted)
-    # JSON object keys are always strings; map them back to the session's
-    # real user ids (int, str, ...) instead of blindly coercing to int,
-    # which broke every session keyed by non-integer users.  Unknown keys
-    # pass through untouched so the backend's "unknown user" error names
-    # the offending id.
-    known_users = {str(user): user for user in session.users}
 
-    def decode_overrides(raw) -> Optional[dict]:
-        if raw is None:
-            return None
-        if not isinstance(raw, dict):
-            raise ValueError('"overrides" must be a JSON object')
-        overrides = {
-            known_users.get(user, user): float(eps)
-            for user, eps in raw.items()
-        }
-        return overrides or None
+    # The stdin pipe and the TCP front door speak one grammar; its
+    # codec lives in repro.net.protocol.
+    from .net.protocol import decode_step as _decode_step
+    from .net.protocol import known_users_map
+
+    known_users = known_users_map(session.users)
 
     def decode_step(payload) -> tuple:
-        """One submission triple from a JSON array (bare snapshot) or
-        object (snapshot/epsilon/overrides)."""
-        if isinstance(payload, list):
-            snapshot, epsilon, overrides = payload, None, None
-        elif isinstance(payload, dict):
-            snapshot = payload.get("snapshot")
-            epsilon = payload.get("epsilon")
-            overrides = decode_overrides(payload.get("overrides"))
-        else:
-            raise ValueError("expected a JSON array or object")
-        return (
-            None if snapshot is None else np.asarray(snapshot, dtype=int),
-            epsilon,
-            overrides,
-        )
+        return _decode_step(payload, known_users)
 
     async def flush() -> bool:
         """Ingest the pending submissions; True to keep serving."""
@@ -544,6 +528,58 @@ async def _serve_loop(
     return processed
 
 
+def _run_server(args, config) -> int:
+    """``repro serve --listen``: the asyncio TCP front door.  Metrics are
+    always collected in this mode -- that is what ``GET /metrics`` on the
+    same port serves."""
+    import signal
+
+    from .net.server import ReproServer
+    from .net.transport import parse_address
+    from .obs import MetricsRegistry, install_solver_metrics
+
+    host, port = parse_address(args.listen)
+    registry = MetricsRegistry()
+    server = ReproServer(config, registry=registry)
+
+    async def run() -> None:
+        loop = asyncio.get_running_loop()
+        bound_host, bound_port = await server.start(host, port)
+        # Machine-readable bind announcement, so scripts can discover an
+        # ephemeral --listen HOST:0 port (stdout stays quiet).
+        print(
+            json.dumps(
+                {"listening": {"host": bound_host, "port": bound_port}}
+            ),
+            file=sys.stderr,
+            flush=True,
+        )
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        stopper = asyncio.ensure_future(stop.wait())
+        server_done = asyncio.ensure_future(server.serve_forever())
+        await asyncio.wait(
+            (stopper, server_done), return_when=asyncio.FIRST_COMPLETED
+        )
+        stopper.cancel()
+        await server.stop()
+        await asyncio.gather(stopper, server_done, return_exceptions=True)
+
+    previous = install_solver_metrics(registry)
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass  # no signal handlers (rare platforms): still exit cleanly
+    finally:
+        install_solver_metrics(previous)
+    print("server stopped", file=sys.stderr)
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from .data import HistogramQuery
     from .obs import MetricsRegistry, install_solver_metrics
@@ -554,6 +590,13 @@ def _cmd_serve(args) -> int:
     if stats_interval is not None and stats_interval < 1:
         raise SystemExit("--stats-interval must be >= 1")
     backward, forward = _load_matrices(args.matrix)
+    if getattr(args, "listen", None):
+        return _run_server(
+            args,
+            _session_config(
+                args, backward, forward, HistogramQuery(forward.n)
+            ),
+        )
     registry = MetricsRegistry() if stats_interval is not None else None
     session = _build_session(
         _session_config(args, backward, forward, HistogramQuery(forward.n)),
@@ -602,6 +645,10 @@ def _cmd_loadgen(args) -> int:
         # queue actually backs up and the percentiles mean something.
         args.users, args.rate, args.count = 20, 2000.0, 200
         args.window, args.queue_size = 4, 32
+    if args.connect is not None:
+        args.target = "connect"
+    elif args.target == "connect":
+        raise SystemExit("--target connect requires --connect HOST:PORT")
     if args.rate <= 0 or args.count < 1 or args.users < 1:
         raise SystemExit("--rate must be > 0, --count/--users >= 1")
 
@@ -639,6 +686,7 @@ def _cmd_loadgen(args) -> int:
             target=args.target,
             correlations=correlations,
             matrix_path=matrix_path,
+            address=args.connect,
         )
     finally:
         if tmp is not None:
@@ -671,6 +719,18 @@ def _cmd_loadgen(args) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _cmd_shard_worker(args) -> int:
+    from .net.transport import parse_address
+    from .net.worker import serve_shard_worker
+
+    host, port = parse_address(args.listen)
+    try:
+        serve_shard_worker(host, port, once=args.once)
+    except KeyboardInterrupt:
+        print("shard worker stopped", file=sys.stderr)
     return 0
 
 
@@ -849,6 +909,27 @@ def build_parser() -> argparse.ArgumentParser:
             ),
         )
         p.add_argument(
+            "--shard-transport",
+            choices=("pipe", "socket"),
+            default="pipe",
+            help=(
+                "coordinator/worker channel: 'pipe' forks workers over "
+                "multiprocessing pipes, 'socket' frames the same RPC over "
+                "TCP (bit-identical; workers can live on other hosts)"
+            ),
+        )
+        p.add_argument(
+            "--shard-address",
+            action="append",
+            default=None,
+            metavar="HOST:PORT",
+            help=(
+                "dial an already-running `repro shard-worker` instead of "
+                "spawning a local worker; repeat once per shard (implies "
+                "--shard-transport socket, one shard per address)"
+            ),
+        )
+        p.add_argument(
             "--window",
             type=int,
             default=1,
@@ -944,7 +1025,43 @@ def build_parser() -> argparse.ArgumentParser:
             "event protocol)"
         ),
     )
+    serve.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "serve the same JSON-lines grammar over TCP instead of "
+            "stdin/stdout: concurrent clients, per-request 'session' and "
+            "'seq' fields (retried seqs answered from the idempotency "
+            "cache), GET /metrics on the same port; port 0 binds an "
+            "ephemeral port announced as a {\"listening\": ...} JSON "
+            "line on stderr"
+        ),
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    shard_worker = sub.add_parser(
+        "shard-worker",
+        help=(
+            "run a standalone socket shard worker for --shard-address "
+            "coordinators (framed pickle RPC; trusted networks only)"
+        ),
+    )
+    shard_worker.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help=(
+            "bind address (default 127.0.0.1:0; the bound port is "
+            "announced as a {\"shard_worker\": ...} JSON line on stderr)"
+        ),
+    )
+    shard_worker.add_argument(
+        "--once",
+        action="store_true",
+        help="exit after the first coordinator closes its session",
+    )
+    shard_worker.set_defaults(func=_cmd_shard_worker)
 
     loadgen = sub.add_parser(
         "loadgen",
@@ -1033,12 +1150,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.add_argument(
         "--target",
-        choices=("inprocess", "subprocess"),
+        choices=("inprocess", "subprocess", "connect"),
         default="inprocess",
         help=(
             "inprocess drives a ReleaseSession through its async queue; "
             "subprocess spawns `repro serve` and times replies over the "
-            "JSON-lines pipe by seq id"
+            "JSON-lines pipe by seq id; connect dials a running "
+            "`repro serve --listen` server (see --connect)"
+        ),
+    )
+    loadgen.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "drive a running `repro serve --listen` server over TCP "
+            "(implies --target connect); replies correlate by explicit "
+            "per-request seq ids, so out-of-order completion is fine"
         ),
     )
     loadgen.add_argument(

@@ -1,0 +1,174 @@
+"""Length-prefixed CRC-framed messages for the shard socket transport.
+
+Wire layout, deliberately the same shape as the WAL segment framing in
+:mod:`repro.durability.wal`:
+
+- connection preamble, sent once by **both** peers:
+  ``b"REPRONET"`` magic followed by a little-endian ``u32`` protocol
+  version (currently 1);
+- then a stream of frames, each ``[u32 length][u32 crc32][payload]``
+  with both integers little-endian and the CRC computed over the
+  payload bytes.
+
+Frame payloads are ``pickle`` (protocol ``HIGHEST_PROTOCOL``): the
+shard RPC moves numpy arrays, ``LeakageProfile`` objects and exception
+instances, all of which must round-trip bit-exactly — exactly what a
+``multiprocessing.Pipe`` does today. Pickle is code execution: shard
+workers must only ever listen on a trusted network (the coordinator
+and its workers are one logical process that happens to span
+machines). The client-facing JSON-lines protocol never carries pickle.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import zlib
+from typing import Any, Iterator, List
+
+__all__ = [
+    "DEFAULT_MAX_FRAME_BYTES",
+    "FrameDecoder",
+    "FrameError",
+    "FrameTooLarge",
+    "HANDSHAKE_LEN",
+    "HandshakeError",
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "TransportClosed",
+    "TransportTimeout",
+    "decode_handshake",
+    "encode_frame",
+    "encode_handshake",
+    "recv_exact",
+]
+
+MAGIC = b"REPRONET"
+PROTOCOL_VERSION = 1
+
+_HEADER = struct.Struct("<II")  # (payload length, crc32)
+_VERSION = struct.Struct("<I")
+
+HANDSHAKE_LEN = len(MAGIC) + _VERSION.size
+
+#: Ceiling on a single frame. Shard scatter payloads are a window of
+#: epsilons plus per-shard override splits; 64 MiB is far above any
+#: real request but small enough to reject garbage length prefixes
+#: (e.g. an HTTP client that connected to the wrong port).
+DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class FrameError(RuntimeError):
+    """The byte stream is not a valid frame sequence (bad CRC, bad
+    preamble, or a length prefix beyond the configured ceiling)."""
+
+
+class FrameTooLarge(FrameError):
+    """A length prefix exceeded ``max_frame_bytes``."""
+
+
+class HandshakeError(FrameError):
+    """The peer did not present the ``REPRONET`` preamble (wrong port,
+    wrong protocol, or incompatible version)."""
+
+
+class TransportClosed(ConnectionError):
+    """The peer hung up (or the transport was closed locally)."""
+
+
+class TransportTimeout(TimeoutError):
+    """No reply within the configured rpc timeout."""
+
+
+def encode_handshake(version: int = PROTOCOL_VERSION) -> bytes:
+    return MAGIC + _VERSION.pack(version)
+
+
+def decode_handshake(data: bytes) -> int:
+    """Validate a peer preamble, returning its protocol version."""
+    if len(data) != HANDSHAKE_LEN or data[: len(MAGIC)] != MAGIC:
+        raise HandshakeError(
+            f"peer did not speak the {MAGIC.decode()} protocol "
+            f"(got {data[:16]!r})"
+        )
+    (version,) = _VERSION.unpack(data[len(MAGIC) :])
+    if version != PROTOCOL_VERSION:
+        raise HandshakeError(
+            f"peer speaks protocol version {version}, "
+            f"this side speaks {PROTOCOL_VERSION}"
+        )
+    return version
+
+
+def encode_frame(
+    obj: Any, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> bytes:
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > max_frame_bytes:
+        raise FrameTooLarge(
+            f"frame payload is {len(payload)} bytes "
+            f"(max {max_frame_bytes})"
+        )
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser for arbitrarily-chunked byte arrivals.
+
+    Feed it whatever ``recv`` returns — half a header, three frames and
+    a torn tail — and iterate the decoded objects as they complete.
+    """
+
+    def __init__(self, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES):
+        self._buffer = bytearray()
+        self._max_frame_bytes = max_frame_bytes
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Any]:
+        """Append bytes and return every frame completed by them."""
+        self._buffer.extend(data)
+        return list(self._drain())
+
+    def _drain(self) -> Iterator[Any]:
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return
+            length, crc = _HEADER.unpack_from(self._buffer)
+            if length > self._max_frame_bytes:
+                raise FrameTooLarge(
+                    f"incoming frame announces {length} bytes "
+                    f"(max {self._max_frame_bytes})"
+                )
+            end = _HEADER.size + length
+            if len(self._buffer) < end:
+                return
+            payload = bytes(self._buffer[_HEADER.size : end])
+            del self._buffer[:end]
+            if zlib.crc32(payload) != crc:
+                raise FrameError("frame CRC mismatch (corrupt stream)")
+            yield pickle.loads(payload)
+
+
+def recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise :class:`TransportClosed`."""
+    chunks = []
+    remaining = n
+    while remaining:
+        try:
+            chunk = sock.recv(remaining)
+        except socket.timeout as error:  # pragma: no cover - timing
+            raise TransportTimeout(
+                f"timed out reading {remaining}/{n} bytes"
+            ) from error
+        except OSError as error:
+            raise TransportClosed(str(error)) from error
+        if not chunk:
+            raise TransportClosed(
+                f"peer closed the connection ({n - remaining}/{n} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

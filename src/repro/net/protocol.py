@@ -1,0 +1,120 @@
+"""The serve wire codec: one JSON-lines grammar for stdin and TCP.
+
+``repro serve`` has spoken newline-delimited JSON since PR 2; the TCP
+front door (:mod:`repro.net.server`) speaks the identical grammar so a
+client script works unchanged against either. A request line is:
+
+- a bare JSON array -- one snapshot at the scheduled budget;
+- an object ``{"snapshot": [...], "epsilon": E, "overrides": {...}}``
+  -- one step with explicit budget / per-user budgets;
+- an object ``{"window": [step, ...]}`` -- a client-side batch whose
+  steps are accounted as one window.
+
+Over TCP a request object may additionally carry ``"session"`` (which
+server-side :class:`ReleaseSession` to address; default ``"default"``)
+and ``"seq"`` (a client-chosen integer echoed on every response line
+for correlation **and retry**: a repeated ``seq`` within a session is
+answered from the idempotency cache without re-charging budget).
+
+Every response line -- result or error -- carries ``seq`` and
+``elapsed_ms``; errors are ``{"error": "ExceptionClass: detail"}`` so a
+``KeyError("5")`` cannot masquerade as data. These helpers are the
+single source of truth for that grammar; ``repro.cli`` and the TCP
+server both import them.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping, Optional
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_MAX_LINE_BYTES",
+    "DEFAULT_SESSION_ID",
+    "decode_overrides",
+    "decode_step",
+    "error_payload",
+    "known_users_map",
+    "validate_session_id",
+]
+
+#: Ceiling on one request line. A window of a few thousand steps over a
+#: wide histogram fits comfortably; a runaway (or hostile) line must
+#: produce a structured error, never an unbounded buffer.
+DEFAULT_MAX_LINE_BYTES = 1 << 20
+
+DEFAULT_SESSION_ID = "default"
+
+_SESSION_ID = re.compile(r"^[A-Za-z0-9._:-]{1,64}$")
+
+
+def known_users_map(users) -> dict:
+    """JSON object keys are always strings; map them back to the
+    session's real user ids (int, str, ...) instead of blindly coercing,
+    which broke every session keyed by non-integer users. Unknown keys
+    pass through untouched so the backend's "unknown user" error names
+    the offending id."""
+    return {str(user): user for user in users}
+
+
+def decode_overrides(raw, known_users: Mapping[str, object]) -> Optional[dict]:
+    if raw is None:
+        return None
+    if not isinstance(raw, dict):
+        raise ValueError('"overrides" must be a JSON object')
+    overrides = {
+        known_users.get(user, user): float(eps) for user, eps in raw.items()
+    }
+    return overrides or None
+
+
+def decode_step(payload, known_users: Mapping[str, object]) -> tuple:
+    """One submission triple ``(snapshot, epsilon, overrides)`` from a
+    JSON array (bare snapshot) or object (snapshot/epsilon/overrides)."""
+    if isinstance(payload, list):
+        snapshot, epsilon, overrides = payload, None, None
+    elif isinstance(payload, dict):
+        snapshot = payload.get("snapshot")
+        epsilon = payload.get("epsilon")
+        overrides = decode_overrides(payload.get("overrides"), known_users)
+    else:
+        raise ValueError("expected a JSON array or object")
+    return (
+        None if snapshot is None else np.asarray(snapshot, dtype=int),
+        epsilon,
+        overrides,
+    )
+
+
+def error_payload(
+    error: BaseException,
+    *,
+    seq: Optional[int] = None,
+    elapsed_ms: Optional[float] = None,
+    **extra,
+) -> dict:
+    """The JSON error object for one failed submission.  The exception
+    class rides along: ``str(KeyError("5"))`` is just ``"'5'"``, which
+    serialised alone reads like a successful payload of nothing.  ``seq``
+    and ``elapsed_ms`` carry the same correlation id / monotonic latency
+    as successful result lines."""
+    payload: dict = {"error": f"{type(error).__name__}: {error}"}
+    if seq is not None:
+        payload["seq"] = seq
+    if elapsed_ms is not None:
+        payload["elapsed_ms"] = elapsed_ms
+    payload.update(extra)
+    return payload
+
+
+def validate_session_id(value) -> str:
+    """Session ids key a server-side registry and may appear in WAL
+    directory names; keep them short and filesystem/shell-safe."""
+    if not isinstance(value, str) or not _SESSION_ID.match(value):
+        raise ValueError(
+            '"session" must be 1-64 characters of [A-Za-z0-9._:-], '
+            f"got {value!r}"
+        )
+    return value

@@ -1,0 +1,557 @@
+"""The TCP front door: ``repro serve --listen HOST:PORT``.
+
+An asyncio server speaking the stdin serve grammar (see
+:mod:`repro.net.protocol`) to many concurrent clients:
+
+* **Session registry.** Request objects carry ``"session"``; each
+  distinct id gets its own server-side
+  :class:`~repro.service.session.ReleaseSession` built from the
+  server's base config (per-session WAL / checkpoint sub-directories,
+  recovered automatically when a WAL already exists). Connections are
+  not sessions: many clients may address one session, one client many.
+* **Retry idempotency.** A client-supplied integer ``"seq"`` keys a
+  per-session LRU of response lines. A retried ``seq`` -- after a lost
+  reply, a reconnect -- is answered from the cache with ``"cached":
+  true`` and charges **no** budget; a retry racing the original
+  in-flight request awaits that request's outcome instead of
+  re-executing it.
+* **Structured errors.** A malformed, oversized or failing request
+  line yields one ``{"error": "ExceptionClass: ..."}`` line for that
+  request; the connection and session live on.
+* **Metrics.** A connection whose first line is an HTTP ``GET`` is
+  answered as plain HTTP: ``/metrics`` serves the
+  :mod:`repro.obs` Prometheus text exposition, ``/healthz`` a JSON
+  liveness summary.
+* **Graceful shutdown.** :meth:`ReproServer.stop` stops accepting,
+  gives in-flight connections a drain window, then drains every
+  session's bounded ingest queue (``aclose``) before closing backends
+  -- accounted state is always consistent with what clients were told.
+
+Responses to one connection may interleave out of submission order
+(requests run concurrently against the session queue); correlate by
+``seq``, as ``repro loadgen --connect`` does.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..exceptions import ReproError
+from ..obs.metrics import PROMETHEUS_CONTENT_TYPE, MetricsRegistry
+from ..service.config import SessionConfig
+from ..service.session import ReleaseSession
+from ..service.window import ReleaseWindow, WindowStep
+from .protocol import (
+    DEFAULT_MAX_LINE_BYTES,
+    DEFAULT_SESSION_ID,
+    decode_step,
+    error_payload,
+    known_users_map,
+    validate_session_id,
+)
+
+__all__ = ["ReproServer", "build_session"]
+
+#: Exceptions a request may legitimately raise: answered as an error
+#: line, never torn down.  Anything else is a server bug -- still
+#: answered as an error line (the connection must survive), but also
+#: counted separately.
+_REQUEST_ERRORS = (ReproError, ValueError, KeyError, TypeError)
+
+
+def build_session(
+    config: SessionConfig, session_id: str, *, registry=None
+) -> ReleaseSession:
+    """Construct (or recover) one server-side session.
+
+    ``wal_dir`` / ``checkpoint_dir`` in the base config are treated as
+    *parent* directories with one sub-directory per session id, so
+    sessions never clobber each other's durability state; a WAL
+    sub-directory that already holds a log is recovered from
+    (bit-identical snapshot + tail replay) instead of started fresh.
+    """
+    replacements = {}
+    if config.wal_dir is not None:
+        replacements["wal_dir"] = str(Path(config.wal_dir) / session_id)
+    if config.checkpoint_dir is not None:
+        replacements["checkpoint_dir"] = str(
+            Path(config.checkpoint_dir) / session_id
+        )
+    if replacements:
+        config = dataclasses.replace(config, **replacements)
+    if config.wal_dir is not None:
+        from ..durability import is_wal_dir
+
+        if is_wal_dir(config.wal_dir):
+            return ReleaseSession.recover(config, registry=registry)
+    return ReleaseSession(config, registry=registry)
+
+
+class _LineReader:
+    """Bounded newline framing over a raw :class:`asyncio.StreamReader`.
+
+    ``next_line`` yields ``("line", bytes)``, ``("oversized", None)``
+    (one per over-limit line, whose bytes are discarded without
+    buffering more than one chunk), or ``("eof", None)``.  asyncio's own
+    ``readuntil`` is no use here: its ``LimitOverrunError`` leaves the
+    oversized bytes in the buffer with no way to resynchronise on the
+    next newline."""
+
+    def __init__(self, reader: asyncio.StreamReader, max_line_bytes: int):
+        self._reader = reader
+        self._max = max_line_bytes
+        self._buf = bytearray()
+        self._dropping = False
+        self._eof = False
+
+    async def next_line(self):
+        while True:
+            index = self._buf.find(b"\n")
+            if index >= 0:
+                line = bytes(self._buf[:index])
+                del self._buf[: index + 1]
+                if self._dropping:
+                    self._dropping = False
+                    return ("oversized", None)
+                if len(line) > self._max:
+                    # Whole oversized line arrived in one chunk, before
+                    # the incremental limit check could trip.
+                    return ("oversized", None)
+                return ("line", line)
+            if not self._dropping and len(self._buf) > self._max:
+                self._dropping = True
+            if self._dropping:
+                self._buf.clear()
+            if self._eof:
+                if self._dropping:
+                    self._dropping = False
+                    return ("oversized", None)
+                if self._buf:
+                    line = bytes(self._buf)
+                    self._buf.clear()
+                    return ("line", line)  # final unterminated line
+                return ("eof", None)
+            chunk = await self._reader.read(1 << 16)
+            if not chunk:
+                self._eof = True
+            else:
+                self._buf.extend(chunk)
+
+
+class _SessionEntry:
+    """One server-side session plus its retry state."""
+
+    def __init__(self, session: ReleaseSession, seq_cache_size: int):
+        self.session = session
+        self.known_users = known_users_map(session.users)
+        self.seq_cache: "OrderedDict[int, List[dict]]" = OrderedDict()
+        self.in_flight: Dict[int, asyncio.Future] = {}
+        self._seq_cache_size = seq_cache_size
+
+    def remember(self, seq: int, lines: List[dict]) -> None:
+        self.seq_cache[seq] = lines
+        self.seq_cache.move_to_end(seq)
+        while len(self.seq_cache) > self._seq_cache_size:
+            self.seq_cache.popitem(last=False)
+
+
+class _Connection:
+    """Per-connection write lock, input-order seq counter and in-flight
+    request bound."""
+
+    def __init__(self, writer: asyncio.StreamWriter, max_inflight: int):
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        self.sem = asyncio.Semaphore(max_inflight)
+        self._next_seq = 0
+
+    def take_seq(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    async def write_lines(self, lines: List[dict]) -> None:
+        data = b"".join(
+            json.dumps(line).encode("utf-8") + b"\n" for line in lines
+        )
+        async with self.write_lock:
+            if self.writer.is_closing():
+                return
+            self.writer.write(data)
+            try:
+                await self.writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass  # peer gone mid-reply; request side effects stand
+
+
+class ReproServer:
+    """The asyncio TCP server behind ``repro serve --listen``.
+
+    Parameters
+    ----------
+    config:
+        Base :class:`SessionConfig` every session is built from (see
+        :func:`build_session` for how ``wal_dir`` / ``checkpoint_dir``
+        become per-session sub-directories).
+    registry:
+        Metrics registry backing ``/metrics``; a fresh
+        :class:`MetricsRegistry` by default (pass
+        :data:`~repro.obs.metrics.NULL_REGISTRY` to disable).
+    session_factory:
+        ``(config, session_id, registry=...) -> ReleaseSession``
+        override for tests (defaults to :func:`build_session`).
+    """
+
+    def __init__(
+        self,
+        config: SessionConfig,
+        *,
+        registry=None,
+        max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
+        seq_cache_size: int = 1024,
+        max_sessions: int = 64,
+        max_inflight: int = 256,
+        session_factory=None,
+    ):
+        self._config = config
+        self._registry = (
+            registry if registry is not None else MetricsRegistry()
+        )
+        self._max_line_bytes = max_line_bytes
+        self._seq_cache_size = seq_cache_size
+        self._max_sessions = max_sessions
+        self._max_inflight = max_inflight
+        self._session_factory = (
+            session_factory if session_factory is not None else build_session
+        )
+        self._sessions: Dict[str, _SessionEntry] = {}
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._address: Optional[tuple] = None
+        self._conn_tasks: set = set()
+        self._stopping = False
+        self._stopped = asyncio.Event()
+        self._registry.gauge_fn(
+            "serve.sessions", lambda: len(self._sessions)
+        )
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple:
+        """Bind and start accepting; returns the bound ``(host, port)``
+        (useful with ``port=0``)."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._on_connection, host, port
+        )
+        self._address = self._server.sockets[0].getsockname()[:2]
+        return self._address
+
+    @property
+    def address(self) -> Optional[tuple]:
+        return self._address
+
+    @property
+    def sessions(self) -> Dict[str, ReleaseSession]:
+        """Live sessions by id (observability/tests)."""
+        return {sid: e.session for sid, e in self._sessions.items()}
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`stop` completes."""
+        await self._stopped.wait()
+
+    async def stop(self, *, drain_timeout: float = 5.0) -> None:
+        """Graceful shutdown: stop accepting, give open connections
+        ``drain_timeout`` seconds to finish their in-flight requests,
+        then drain every session's bounded ingest queue and close the
+        backends.  Idempotent."""
+        if self._stopping:
+            await self._stopped.wait()
+            return
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        tasks = list(self._conn_tasks)
+        if tasks:
+            done, pending = await asyncio.wait(
+                tasks, timeout=drain_timeout
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        for entry in self._sessions.values():
+            await entry.session.aclose()
+            entry.session.close()
+        self._sessions.clear()
+        self._stopped.set()
+
+    # -- connections ----------------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        self._registry.counter("serve.connections").inc()
+        conn = _Connection(writer, self._max_inflight)
+        request_tasks: set = set()
+        try:
+            lines = _LineReader(reader, self._max_line_bytes)
+            first = True
+            while True:
+                kind, raw = await lines.next_line()
+                if kind == "eof":
+                    break
+                if kind == "oversized":
+                    self._registry.counter("serve.oversized_lines").inc()
+                    await conn.write_lines(
+                        [
+                            error_payload(
+                                ValueError(
+                                    "request line exceeds "
+                                    f"{self._max_line_bytes} bytes"
+                                ),
+                                seq=conn.take_seq(),
+                            )
+                        ]
+                    )
+                    continue
+                if first:
+                    first = False
+                    if raw.startswith(b"GET ") or raw.startswith(b"HEAD "):
+                        await self._serve_http(raw, writer)
+                        return
+                if not raw.strip():
+                    continue
+                order_seq = conn.take_seq()
+                await conn.sem.acquire()
+                task_ = asyncio.create_task(
+                    self._request_task(conn, raw, order_seq)
+                )
+                request_tasks.add(task_)
+                task_.add_done_callback(request_tasks.discard)
+            if request_tasks:
+                await asyncio.gather(
+                    *list(request_tasks), return_exceptions=True
+                )
+        except asyncio.CancelledError:
+            pass  # shutdown drain timeout expired
+        finally:
+            for task_ in list(request_tasks):
+                task_.cancel()
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+            self._conn_tasks.discard(task)
+
+    async def _request_task(self, conn, raw: bytes, order_seq: int) -> None:
+        try:
+            t_line = time.perf_counter()
+            self._registry.counter("serve.requests").inc()
+            lines = await self._answer(raw, order_seq, t_line)
+            if self._registry.enabled:
+                self._registry.histogram("serve.request.seconds").observe(
+                    time.perf_counter() - t_line
+                )
+            await conn.write_lines(lines)
+        finally:
+            conn.sem.release()
+
+    # -- request handling ----------------------------------------------
+
+    async def _answer(
+        self, raw: bytes, order_seq: int, t_line: float
+    ) -> List[dict]:
+        """Decode and execute one request line, returning its response
+        lines.  ``order_seq`` (input order on this connection) is the
+        echoed seq when the client supplied none."""
+
+        def elapsed() -> float:
+            return (time.perf_counter() - t_line) * 1000.0
+
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as error:
+            self._registry.counter("serve.errors").inc()
+            return [
+                {
+                    "error": f"bad JSON: {error}",
+                    "seq": order_seq,
+                    "elapsed_ms": elapsed(),
+                }
+            ]
+        seq = order_seq
+        client_seq: Optional[int] = None
+        session_id = DEFAULT_SESSION_ID
+        try:
+            if isinstance(payload, dict):
+                if "session" in payload:
+                    session_id = validate_session_id(payload["session"])
+                if "seq" in payload:
+                    raw_seq = payload["seq"]
+                    if not isinstance(raw_seq, int) or isinstance(
+                        raw_seq, bool
+                    ):
+                        raise ValueError(
+                            f'"seq" must be a JSON integer, got {raw_seq!r}'
+                        )
+                    client_seq = raw_seq
+                    seq = client_seq
+            entry = self._session_entry(session_id)
+        except _REQUEST_ERRORS as error:
+            self._registry.counter("serve.errors").inc()
+            return [error_payload(error, seq=seq, elapsed_ms=elapsed())]
+
+        if client_seq is not None:
+            cached = entry.seq_cache.get(client_seq)
+            if cached is not None:
+                return self._replay(entry, client_seq, cached)
+            pending = entry.in_flight.get(client_seq)
+            if pending is not None:
+                # A retry racing the original: await its outcome rather
+                # than executing (and charging budget) twice.
+                cached = await asyncio.shield(pending)
+                return self._replay(entry, client_seq, cached)
+            future = asyncio.get_running_loop().create_future()
+            entry.in_flight[client_seq] = future
+        try:
+            lines = await self._execute(entry, payload, seq, t_line)
+        except BaseException as error:
+            if client_seq is not None:
+                entry.in_flight.pop(client_seq, None)
+                if not future.done():
+                    future.cancel()
+            if isinstance(error, asyncio.CancelledError):
+                raise
+            self._registry.counter("serve.errors").inc()
+            if not isinstance(error, _REQUEST_ERRORS):
+                # Unexpected failure: still answer (the connection must
+                # survive), but count it as a server fault.
+                self._registry.counter("serve.internal_errors").inc()
+            return [error_payload(error, seq=seq, elapsed_ms=elapsed())]
+        if client_seq is not None:
+            # Cache iff the request charged budget (any successful step):
+            # replaying such a seq must never double-charge.  A fully
+            # failed request charged nothing (validate-first atomicity),
+            # so a retry may legitimately re-attempt it.
+            if any("error" not in line for line in lines):
+                entry.remember(client_seq, lines)
+            entry.in_flight.pop(client_seq, None)
+            future.set_result(lines)
+        return lines
+
+    def _replay(
+        self, entry: _SessionEntry, client_seq: int, cached: List[dict]
+    ) -> List[dict]:
+        self._registry.counter("serve.idempotent_replays").inc()
+        entry.seq_cache.get(client_seq)  # touch
+        if client_seq in entry.seq_cache:
+            entry.seq_cache.move_to_end(client_seq)
+        return [dict(line, cached=True) for line in cached]
+
+    def _session_entry(self, session_id: str) -> _SessionEntry:
+        entry = self._sessions.get(session_id)
+        if entry is not None:
+            return entry
+        if self._stopping:
+            raise ValueError("server is shutting down")
+        if len(self._sessions) >= self._max_sessions:
+            raise ValueError(
+                f"session limit reached ({self._max_sessions}); "
+                "reuse an existing session id"
+            )
+        session = self._session_factory(
+            self._config, session_id, registry=self._registry
+        )
+        entry = _SessionEntry(session, self._seq_cache_size)
+        self._sessions[session_id] = entry
+        self._registry.counter("serve.sessions_created").inc()
+        return entry
+
+    async def _execute(
+        self, entry: _SessionEntry, payload, seq: int, t_line: float
+    ) -> List[dict]:
+        session = entry.session
+
+        def stamp(line: dict) -> dict:
+            line["seq"] = seq
+            line["elapsed_ms"] = (time.perf_counter() - t_line) * 1000.0
+            return line
+
+        if isinstance(payload, dict) and "window" in payload:
+            steps_raw = payload["window"]
+            if not isinstance(steps_raw, list) or not steps_raw:
+                raise ValueError('"window" must be a non-empty JSON array')
+            steps = [
+                decode_step(step, entry.known_users) for step in steps_raw
+            ]
+            results = await session.aingest_window(
+                ReleaseWindow(
+                    WindowStep(
+                        snapshot=snapshot, epsilon=epsilon, overrides=ovr
+                    )
+                    for snapshot, epsilon, ovr in steps
+                ),
+                return_exceptions=True,
+            )
+            lines = []
+            for index, result in enumerate(results):
+                if isinstance(result, _REQUEST_ERRORS):
+                    self._registry.counter("serve.errors").inc()
+                    lines.append(
+                        stamp(error_payload(result, step=index))
+                    )
+                elif isinstance(result, BaseException):
+                    raise result
+                else:
+                    lines.append(stamp(dict(result.payload(), step=index)))
+            return lines
+        snapshot, epsilon, overrides = decode_step(
+            payload, entry.known_users
+        )
+        event = await session.aingest(
+            snapshot, epsilon=epsilon, overrides=overrides
+        )
+        return [stamp(event.payload())]
+
+    # -- plain HTTP (metrics) ------------------------------------------
+
+    async def _serve_http(self, request_line: bytes, writer) -> None:
+        """Answer one HTTP request (Connection: close): ``/metrics`` in
+        Prometheus text exposition, ``/healthz`` as JSON liveness."""
+        parts = request_line.decode("latin-1").split()
+        target = parts[1] if len(parts) > 1 else "/"
+        if target.rstrip("/") == "/metrics" or target == "/metrics":
+            body = self._registry.to_prometheus().encode("utf-8")
+            status, ctype = "200 OK", PROMETHEUS_CONTENT_TYPE
+        elif target.rstrip("/") in ("/healthz", ""):
+            body = json.dumps(
+                {
+                    "status": "ok",
+                    "sessions": len(self._sessions),
+                    "address": list(self._address or ()),
+                }
+            ).encode("utf-8")
+            status, ctype = "200 OK", "application/json"
+        else:
+            body = b"not found\n"
+            status, ctype = "404 Not Found", "text/plain; charset=utf-8"
+        head = (
+            f"HTTP/1.1 {status}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + (b"" if parts[0] == "HEAD" else body))
+        try:
+            await writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass

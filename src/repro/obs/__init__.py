@@ -30,6 +30,7 @@ from .metrics import (
     DEFAULT_BUCKETS,
     DEFAULT_RESERVOIR,
     NULL_REGISTRY,
+    PROMETHEUS_CONTENT_TYPE,
     Counter,
     Gauge,
     Histogram,
@@ -48,6 +49,7 @@ __all__ = [
     "NULL_REGISTRY",
     "DEFAULT_BUCKETS",
     "DEFAULT_RESERVOIR",
+    "PROMETHEUS_CONTENT_TYPE",
     "install_solver_metrics",
     "solver_metrics",
     "environment_metadata",

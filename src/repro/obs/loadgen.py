@@ -254,6 +254,64 @@ async def _drive_subprocess(
     return latencies, errors, time.perf_counter() - start
 
 
+async def _drive_socket(
+    address: str, offsets: List[float], lines: List[str]
+) -> Tuple[List[float], int, float]:
+    """Pace ``lines`` into a running ``repro serve --listen`` server over
+    TCP and time each reply by its ``seq`` field.  Unlike the pipe
+    driver, replies may arrive out of submission order (the server runs
+    requests concurrently), which is exactly why every request line here
+    carries an explicit ``seq``."""
+    from ..net.transport import parse_address
+
+    host, port = parse_address(address)
+    reader, writer = await asyncio.open_connection(host, port)
+    latencies: List[float] = []
+    errors = 0
+    start = time.perf_counter()
+    scheduled = [start + off for off in offsets]
+
+    async def write() -> None:
+        for i, line in enumerate(lines):
+            delay = scheduled[i] - time.perf_counter()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            writer.write(line.encode() + b"\n")
+            await writer.drain()
+        writer.write_eof()
+
+    async def read() -> None:
+        nonlocal errors
+        while True:
+            raw = await reader.readline()
+            if not raw:
+                break
+            now = time.perf_counter()
+            try:
+                payload = json.loads(raw)
+            except json.JSONDecodeError:
+                errors += 1
+                continue
+            seq = payload.get("seq")
+            if not isinstance(seq, int) or not 0 <= seq < len(scheduled):
+                errors += 1
+                continue
+            if "error" in payload:
+                errors += 1
+                continue
+            latencies.append(now - scheduled[seq])
+
+    try:
+        await asyncio.gather(write(), read())
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, RuntimeError):
+            pass
+    return latencies, errors, time.perf_counter() - start
+
+
 def run_loadgen(
     *,
     users: int = 100,
@@ -273,6 +331,7 @@ def run_loadgen(
     target: str = "inprocess",
     correlations=None,
     matrix_path: Optional[str] = None,
+    address: Optional[str] = None,
 ) -> dict:
     """Run one load-generation pass and return the report dict.
 
@@ -281,12 +340,16 @@ def run_loadgen(
     async queue (latency includes queue wait and backpressure parking);
     ``target="subprocess"`` spawns ``repro serve`` and times replies over
     the JSON-lines pipe by their ``seq`` ids (latency additionally
-    includes wire + process-scheduling cost).  Solver metrics are
-    installed for the duration of an in-process run.
+    includes wire + process-scheduling cost); ``target="connect"`` dials
+    an already-running ``repro serve --listen`` server at ``address``
+    over TCP, tagging every request with an explicit ``seq`` so
+    out-of-order replies correlate.  Solver metrics are installed for
+    the duration of an in-process run.
     """
-    if target not in ("inprocess", "subprocess"):
+    if target not in ("inprocess", "subprocess", "connect"):
         raise ValueError(
-            f"target must be 'inprocess' or 'subprocess', got {target!r}"
+            "target must be 'inprocess', 'subprocess' or 'connect', "
+            f"got {target!r}"
         )
     if backlog is None:
         # Twice the queue bound: every adversarial volley must park
@@ -329,6 +392,20 @@ def run_loadgen(
         queue_summary = summary["queue"]
         backend_name = summary["backend"]
         metrics = summary["metrics"]
+    elif target == "connect":
+        if address is None:
+            raise ValueError("connect target requires address")
+        rng = np.random.default_rng(seed)
+        snapshots = rng.integers(0, 2, size=(count, users))
+        lines = [
+            json.dumps({"snapshot": s.tolist(), "seq": i})
+            for i, s in enumerate(snapshots)
+        ]
+        latencies, errors, makespan = asyncio.run(
+            _drive_socket(address, offsets, lines)
+        )
+        backend_name = "remote"
+        metrics = None
     else:
         if matrix_path is None:
             raise ValueError("subprocess target requires matrix_path")
@@ -374,6 +451,7 @@ def run_loadgen(
     stalls = registry.counter("queue.backpressure_stalls").value
     return {
         "target": target,
+        "address": address if target == "connect" else None,
         "schedule": schedule,
         "backend": backend_name,
         "users": users,

@@ -47,7 +47,13 @@ __all__ = [
     "NULL_REGISTRY",
     "DEFAULT_BUCKETS",
     "DEFAULT_RESERVOIR",
+    "PROMETHEUS_CONTENT_TYPE",
 ]
+
+#: The Content-Type a scraper expects for :meth:`MetricsRegistry.
+#: to_prometheus` output (served by ``GET /metrics`` on a
+#: ``repro serve --listen`` front door).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Log-spaced latency bucket upper bounds, in seconds: 10us .. 500s in
 #: 1 / 2.5 / 5 decade steps.  Values above the last bound land in the

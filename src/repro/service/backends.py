@@ -481,6 +481,8 @@ def make_backend(
     cache: Optional[SolutionCache] = None,
     shards: int = 1,
     registry=None,
+    shard_transport: str = "pipe",
+    shard_addresses=None,
 ) -> AccountantBackend:
     """Build the accounting backend for a population.
 
@@ -491,19 +493,23 @@ def make_backend(
     (:class:`~repro.service.sharding.ShardedFleetBackend`, bit-identical
     to the single-process fleet backend); sharding implies the fleet
     path, so ``"auto"`` resolves to it and an explicit ``"scalar"`` is an
-    error.
+    error.  ``shard_transport`` picks the coordinator/worker channel
+    (``"pipe"`` forked processes, ``"socket"`` framed TCP);
+    ``shard_addresses`` dials already-running ``repro shard-worker``
+    processes (implies socket, one shard per address).
     """
     users = normalise_correlations(correlations)
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
+    sharded = shards > 1 or shard_addresses is not None
     if backend == "auto":
         backend = (
             "fleet"
-            if shards > 1 or len(users) >= fleet_threshold
+            if sharded or len(users) >= fleet_threshold
             else "scalar"
         )
     if backend == "scalar":
-        if shards > 1:
+        if sharded:
             raise ValueError(
                 "sharded accounting runs on the fleet engine; "
                 "backend='scalar' cannot be combined with shards="
@@ -511,11 +517,16 @@ def make_backend(
             )
         return ScalarAccountantBackend(users, cache=cache, registry=registry)
     if backend == "fleet":
-        if shards > 1:
+        if sharded:
             from .sharding import ShardedFleetBackend
 
             return ShardedFleetBackend(
-                users, shards=shards, cache=cache, registry=registry
+                users,
+                shards=shards,
+                cache=cache,
+                registry=registry,
+                transport=shard_transport,
+                shard_addresses=shard_addresses,
             )
         return FleetAccountantBackend(users, cache=cache, registry=registry)
     raise ValueError(

@@ -175,6 +175,17 @@ class SessionConfig:
         bit-identical to the in-process fleet backend).  Sharding implies
         the fleet engine, so it cannot be combined with
         ``backend="scalar"``.
+    shard_transport:
+        How the coordinator reaches its shard workers: ``"pipe"`` (the
+        default -- forked processes over multiprocessing pipes) or
+        ``"socket"`` (length-prefixed frames over TCP,
+        :mod:`repro.net`).  Both are bit-identical; socket workers can
+        live on other hosts.
+    shard_addresses:
+        Optional ``("host:port", ...)`` of already-running
+        ``repro shard-worker`` processes to dial instead of spawning
+        local workers.  Implies ``shard_transport="socket"`` and pins
+        ``shards`` to the number of addresses.
     fleet_threshold:
         Population size at which ``auto`` switches to the fleet backend.
     horizon:
@@ -225,6 +236,8 @@ class SessionConfig:
     clamp_resolution: float = 1e-6
     backend: str = "auto"
     shards: int = 1
+    shard_transport: str = "pipe"
+    shard_addresses: Optional[tuple] = None
     fleet_threshold: int = DEFAULT_FLEET_THRESHOLD
     horizon: Optional[int] = None
     cache_size: Optional[int] = None
@@ -254,6 +267,33 @@ class SessionConfig:
                 "backend='scalar' cannot be combined with shards="
                 f"{self.shards}"
             )
+        if self.shard_transport not in ("pipe", "socket"):
+            raise ValueError(
+                "shard_transport must be 'pipe' or 'socket', got "
+                f"{self.shard_transport!r}"
+            )
+        if self.shard_addresses is not None:
+            if not self.shard_addresses:
+                raise ValueError(
+                    "shard_addresses must name at least one worker"
+                )
+            if self.shard_transport != "socket":
+                object.__setattr__(self, "shard_transport", "socket")
+            object.__setattr__(
+                self, "shard_addresses", tuple(self.shard_addresses)
+            )
+            if self.shards > 1 and self.shards != len(self.shard_addresses):
+                raise ValueError(
+                    f"shards={self.shards} disagrees with the "
+                    f"{len(self.shard_addresses)} shard_addresses given; "
+                    "drop shards and let the addresses decide"
+                )
+            object.__setattr__(self, "shards", len(self.shard_addresses))
+            if self.backend == "scalar":
+                raise ValueError(
+                    "shard_addresses runs on the fleet engine; it cannot "
+                    "be combined with backend='scalar'"
+                )
         if self.fleet_threshold < 1:
             raise ValueError(
                 f"fleet_threshold must be >= 1, got {self.fleet_threshold}"

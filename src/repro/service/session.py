@@ -28,6 +28,7 @@ across backends and window sizes).
 
 from __future__ import annotations
 
+import asyncio
 import warnings
 from pathlib import Path
 from typing import Iterable, List, Mapping, Optional, Tuple
@@ -136,6 +137,8 @@ class ReleaseSession:
                 cache=self._cache,
                 shards=config.shards,
                 registry=registry,
+                shard_transport=config.shard_transport,
+                shard_addresses=config.shard_addresses,
             )
         self._backend = backend
         self._rng = as_rng(config.seed)
@@ -423,6 +426,52 @@ class ReleaseSession:
                 registry=self._registry,
             )
         return await self._pump.submit((snapshot, epsilon, overrides))
+
+    async def aingest_window(
+        self,
+        window,
+        *,
+        epsilon: Optional[float] = None,
+        overrides: Optional[Mapping[object, float]] = None,
+        return_exceptions: bool = False,
+    ) -> List[ReleaseEvent]:
+        """Asynchronous :meth:`ingest_window` through the bounded queue.
+
+        The window's steps enter the queue as individual submissions in
+        step order (so they share the queue's backpressure bound with
+        every other producer) and are coalesced by the queue's batch
+        drain into backend windows of up to
+        ``SessionConfig.window_size`` -- bit-identical numbers either
+        way, by the windowed-vs-per-event parity guarantee.  Returns one
+        event per step; with ``return_exceptions=True`` a failing step
+        yields its exception in place of an event instead of failing the
+        whole call (the TCP server uses this to emit per-step error
+        lines).
+        """
+        if isinstance(window, ReleaseWindow):
+            if epsilon is not None or overrides is not None:
+                raise ValueError(
+                    "epsilon/overrides broadcast only applies when "
+                    "building a window from snapshots; put per-step specs "
+                    "on the WindowSteps instead"
+                )
+        else:
+            window = ReleaseWindow.from_snapshots(
+                window, epsilon=epsilon, overrides=overrides
+            )
+        return list(
+            await asyncio.gather(
+                *(
+                    self.aingest(
+                        step.snapshot,
+                        epsilon=step.epsilon,
+                        overrides=step.overrides,
+                    )
+                    for step in window.steps
+                ),
+                return_exceptions=return_exceptions,
+            )
+        )
 
     def _process_queued(self, item) -> ReleaseEvent:
         snapshot, epsilon, overrides = item
@@ -873,17 +922,29 @@ class ReleaseSession:
             saved = int(manifest.get("shards", 0))
             if config.shards > 1 and config.shards != saved:
                 return cls._restore_resharded(
-                    directory, config.shards, cache=cache, registry=registry
+                    directory,
+                    config.shards,
+                    cache=cache,
+                    registry=registry,
+                    transport=config.shard_transport,
+                    shard_addresses=config.shard_addresses,
                 )
             return ShardedFleetBackend.restore(
                 directory,
                 cache=cache,
                 shards=config.shards if config.shards > 1 else None,
                 registry=registry,
+                transport=config.shard_transport,
+                shard_addresses=config.shard_addresses,
             )
         if config.shards > 1:
             return cls._restore_resharded(
-                directory, config.shards, cache=cache, registry=registry
+                directory,
+                config.shards,
+                cache=cache,
+                registry=registry,
+                transport=config.shard_transport,
+                shard_addresses=config.shard_addresses,
             )
         return FleetAccountantBackend.restore(
             directory, cache=cache, registry=registry
@@ -891,7 +952,14 @@ class ReleaseSession:
 
     @classmethod
     def _restore_resharded(
-        cls, directory, shards: int, *, cache, registry
+        cls,
+        directory,
+        shards: int,
+        *,
+        cache,
+        registry,
+        transport="pipe",
+        shard_addresses=None,
     ) -> AccountantBackend:
         """Reshard a checkpoint into a scratch directory and restore the
         sharded backend from it (workers load their shard during
@@ -904,7 +972,11 @@ class ReleaseSession:
         with tempfile.TemporaryDirectory(prefix="repro-reshard-") as scratch:
             reshard_checkpoint(directory, scratch, shards)
             return ShardedFleetBackend.restore(
-                scratch, cache=cache, registry=registry
+                scratch,
+                cache=cache,
+                registry=registry,
+                transport=transport,
+                shard_addresses=shard_addresses,
             )
 
     def __repr__(self) -> str:

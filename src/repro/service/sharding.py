@@ -11,7 +11,11 @@ makes the fleet engine shardable with **no accuracy cost**:
   same population always lands on the same shards -- across restarts,
   across machines;
 * each worker owns a private :class:`~repro.fleet.engine.FleetAccountant`
-  over its cohorts and answers a tiny command protocol over a pipe;
+  over its cohorts and answers a tiny command protocol over a
+  :class:`~repro.net.transport.ShardTransport` -- either the original
+  same-machine ``multiprocessing.Pipe`` or a length-prefixed framed
+  socket (``repro shard-worker --listen``) for workers on other
+  machines;
 * the coordinator (:class:`ShardedFleetBackend`) implements the full
   :class:`~repro.service.backends.AccountantBackend` protocol by
   *scattering* every ``add_window`` to all shards and *gathering* the
@@ -19,7 +23,8 @@ makes the fleet engine shardable with **no accuracy cost**:
   bit-identical to the single-process
   :class:`~repro.service.backends.FleetAccountantBackend`, the same hard
   guarantee the scalar/fleet and windowed/per-event parity suites already
-  enforce (``tests/test_service_sharding.py`` extends them).
+  enforce (``tests/test_service_sharding.py`` and
+  ``tests/test_net_parity.py`` extend them).
 
 Per-user budget overrides are routed to the single shard owning that
 user's cohort; rollbacks (including the session's probe-and-rollback
@@ -28,11 +33,19 @@ exact.  Checkpoints are one directory holding a shard manifest plus one
 ordinary fleet checkpoint (``.npz`` + manifest) per shard, written and
 restored in parallel.
 
-This is the scatter/gather step the
-:class:`~repro.service.async_ingest.BoundedIngestQueue` behind
-:meth:`~repro.service.session.ReleaseSession.aingest` was designed to
-feed: nothing upstream of the queue changes, windows drained from the
-backlog simply fan out across processes.
+**Worker failure is recoverable.**  The coordinator keeps an in-memory
+journal of every mutation since the last checkpoint (windows with their
+per-shard override splits, rollbacks).  When a transport fails or an
+rpc times out, the coordinator respawns/reconnects the worker, rebuilds
+its engine from the last checkpoint (or from the original partition
+when none exists), replays the journal for that shard, and re-issues
+the in-flight request -- every replayed operation performs exactly the
+float operations of the uninterrupted run, so a killed worker rejoins
+bit-identically.  Set ``auto_restore=False`` for the old fail-closed
+behaviour (any worker death closes the backend).  ``health_interval``
+adds an opportunistic ping sweep between operations and
+``rpc_timeout`` bounds every reply wait; :meth:`check_health` runs the
+sweep on demand.
 
 Worker processes are daemonic (they die with the coordinator) and are
 shut down deterministically by :meth:`ShardedFleetBackend.close` (also a
@@ -48,7 +61,7 @@ import json
 import multiprocessing
 import time
 from pathlib import Path
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -58,11 +71,21 @@ from ..fleet.checkpoint import load_checkpoint, save_checkpoint
 from ..fleet.cohorts import correlation_digest, normalise_pair
 from ..fleet.engine import FleetAccountant
 from ..fleet.solution_cache import SolutionCache
+from ..net.frames import TransportClosed, TransportTimeout
+from ..net.transport import (
+    PipeTransport,
+    ShardTransport,
+    SocketTransport,
+    parse_address,
+)
 from ..obs.metrics import NULL_REGISTRY
 from .window import ReleaseWindow, WindowResult
 
 __all__ = [
     "ShardedFleetBackend",
+    "build_shard_engine",
+    "run_shard_loop",
+    "shard_dispatch",
     "shard_of_digest",
     "SHARD_MANIFEST_NAME",
     "SHARD_CHECKPOINT_KIND",
@@ -71,6 +94,9 @@ __all__ = [
 SHARD_MANIFEST_NAME = "shard_manifest.json"
 SHARD_CHECKPOINT_KIND = "sharded_fleet_checkpoint"
 _SHARD_FORMAT_VERSION = 1
+
+#: Transports a coordinator can drive its workers over.
+SHARD_TRANSPORTS = ("pipe", "socket")
 
 
 def shard_of_digest(digest: str, shards: int) -> int:
@@ -96,23 +122,96 @@ def _mp_context():
     return multiprocessing.get_context()
 
 
-def _shard_worker(conn, correlations, restore_dir, cache_maxsize) -> None:
-    """Worker-process entry point: one private engine, one command loop.
+def build_shard_engine(correlations, restore_dir, cache_maxsize):
+    """Build one worker's private engine from its spec triple.
 
-    Commands arrive as ``(op, args)`` pairs; every command is answered
-    with ``("ok", result)`` or ``("error", exception)`` so the
-    coordinator can re-raise backend errors in the caller's process.
+    The same triple travels as process arguments (pipe transport) or as
+    the first frame after the handshake (socket transport).
     """
-    try:
-        cache = (
-            SolutionCache(maxsize=cache_maxsize)
-            if cache_maxsize is not None
-            else SolutionCache()
-        )
-        if restore_dir is not None:
-            engine = load_checkpoint(restore_dir, cache=cache)
+    cache = (
+        SolutionCache(maxsize=cache_maxsize)
+        if cache_maxsize is not None
+        else SolutionCache()
+    )
+    if restore_dir is not None:
+        return load_checkpoint(restore_dir, cache=cache)
+    return FleetAccountant(correlations, cache=cache)
+
+
+def shard_dispatch(engine: FleetAccountant, op: str, args):
+    """Execute one coordinator command against a worker's engine."""
+    if op == "add_window":
+        epsilons, overrides = args
+        return engine.add_window(epsilons, overrides)
+    if op == "rollback":
+        return engine.rollback(args)
+    if op == "max_tpl":
+        return engine.max_tpl()
+    if op == "profile":
+        return engine.profile(args)
+    if op == "user_epsilons":
+        return engine.user_epsilons(args)
+    if op == "save":
+        return str(save_checkpoint(engine, args))
+    if op == "cache_maxsize":
+        return engine.cache.maxsize
+    if op == "ping":
+        # Cheap liveness + progress probe: no engine math, answers even
+        # mid-journal so the coordinator's health sweep can tell "slow"
+        # from "gone".
+        return {
+            "horizon": int(engine.epsilons.shape[0]),
+            "n_cohorts": engine.n_cohorts,
+        }
+    if op == "describe":
+        return {
+            "users": list(engine.users),
+            "epsilons": [float(e) for e in engine.epsilons],
+            "n_cohorts": engine.n_cohorts,
+        }
+    raise RuntimeError(f"unknown shard op {op!r}")  # pragma: no cover
+
+
+def run_shard_loop(channel, engine: FleetAccountant) -> bool:
+    """Serve one coordinator over ``channel`` until it hangs up.
+
+    ``channel`` is anything with ``send``/``recv`` message semantics --
+    a ``multiprocessing`` connection or a
+    :class:`~repro.net.transport.SocketTransport`.  Every command is
+    answered with ``("ok", result)`` or ``("error", exception)`` so the
+    coordinator can re-raise backend errors in the caller's process.
+    Returns True if the coordinator sent an explicit ``close`` (session
+    over), False if it merely disconnected (a socket worker goes back
+    to accepting).
+    """
+    while True:
+        try:
+            op, args = channel.recv()
+        except (EOFError, OSError):
+            return False
+        if op == "close":
+            try:
+                channel.send(("ok", None))
+            except (BrokenPipeError, OSError):
+                pass  # coordinator already hung up
+            return True
+        try:
+            result = shard_dispatch(engine, op, args)
+        except BaseException as error:  # noqa: BLE001 -- relayed
+            reply = ("error", error)
         else:
-            engine = FleetAccountant(correlations, cache=cache)
+            reply = ("ok", result)
+        try:
+            channel.send(reply)
+        except (BrokenPipeError, OSError):
+            return False  # coordinator gone; nothing left to serve
+
+
+def _shard_worker(conn, correlations, restore_dir, cache_maxsize) -> None:
+    """Pipe-transport worker-process entry point: one private engine,
+    one command loop."""
+    try:
+        engine = build_shard_engine(correlations, restore_dir, cache_maxsize)
     except BaseException as error:  # noqa: BLE001 -- relayed as handshake
         # Setup failures (missing checkpoint dir, bad correlations)
         # must reach the coordinator as the real exception, not as an
@@ -124,49 +223,7 @@ def _shard_worker(conn, correlations, restore_dir, cache_maxsize) -> None:
         return
     conn.send(("ok", None))  # startup handshake: engine is ready
     try:
-        while True:
-            try:
-                op, args = conn.recv()
-            except EOFError:
-                break
-            if op == "close":
-                try:
-                    conn.send(("ok", None))
-                except (BrokenPipeError, OSError):
-                    pass  # coordinator already hung up
-                break
-            try:
-                if op == "add_window":
-                    epsilons, overrides = args
-                    result = engine.add_window(epsilons, overrides)
-                elif op == "rollback":
-                    result = engine.rollback(args)
-                elif op == "max_tpl":
-                    result = engine.max_tpl()
-                elif op == "profile":
-                    result = engine.profile(args)
-                elif op == "user_epsilons":
-                    result = engine.user_epsilons(args)
-                elif op == "save":
-                    result = str(save_checkpoint(engine, args))
-                elif op == "cache_maxsize":
-                    result = engine.cache.maxsize
-                elif op == "describe":
-                    result = {
-                        "users": list(engine.users),
-                        "epsilons": [float(e) for e in engine.epsilons],
-                        "n_cohorts": engine.n_cohorts,
-                    }
-                else:  # pragma: no cover - protocol bug, not user error
-                    raise RuntimeError(f"unknown shard op {op!r}")
-            except BaseException as error:  # noqa: BLE001 -- relayed
-                reply = ("error", error)
-            else:
-                reply = ("ok", result)
-            try:
-                conn.send(reply)
-            except (BrokenPipeError, OSError):
-                break  # coordinator gone; nothing left to serve
+        run_shard_loop(conn, engine)
     finally:
         conn.close()
 
@@ -183,7 +240,8 @@ class ShardedFleetBackend:
         Number of worker processes.  ``1`` is legal (useful for
         debugging the process plumbing) but the single-process
         :class:`~repro.service.backends.FleetAccountantBackend` is the
-        better choice there.
+        better choice there.  Ignored when ``shard_addresses`` is given
+        (one shard per address).
     cache:
         Solution caches are process-local, so the coordinator cannot
         share this object with its workers; only its ``maxsize`` is
@@ -191,6 +249,35 @@ class ShardedFleetBackend:
         :class:`SolutionCache` of that size, keeping the operator's
         per-process memory bound.  Caches are transparent state -- they
         never change the numbers.
+    transport:
+        ``"pipe"`` (default): fork daemon workers driven over
+        ``multiprocessing.Pipe``.  ``"socket"``: the same workers behind
+        the framed TCP protocol -- spawned locally on loopback when
+        ``shard_addresses`` is None, or dialled at the given
+        ``HOST:PORT`` addresses (each running
+        ``repro shard-worker --listen``).
+    shard_addresses:
+        Addresses of externally-managed workers; implies
+        ``transport="socket"`` and ``shards=len(shard_addresses)``.
+        Remote restore-from-checkpoint requires the checkpoint
+        directory to be reachable from the worker (shared filesystem).
+    auto_restore:
+        When True (default) a failed worker is respawned/reconnected,
+        rebuilt from the last checkpoint (or the original partition) and
+        caught up from the coordinator's op journal -- bit-identically,
+        because every replayed op performs exactly the float operations
+        of the uninterrupted run.  When False any worker failure closes
+        the whole backend (the pre-PR-8 behaviour).
+    health_interval:
+        Seconds between opportunistic ping sweeps, run at operation
+        boundaries (no background thread -- the transports stay
+        single-reader).  None (default) disables the sweep;
+        :meth:`check_health` is always available on demand.
+    rpc_timeout:
+        Per-reply wait bound in seconds.  None (default) waits forever
+        -- alpha-probe solves on large cohorts are legitimately slow,
+        so timeouts are opt-in.  A timed-out shard is treated as dead
+        (restored or failed per ``auto_restore``).
 
     Notes
     -----
@@ -202,9 +289,6 @@ class ShardedFleetBackend:
     shard is touched, and if a shard still fails mid-scatter the
     already-applied shards are rolled back before the error is re-raised
     (the async queue's per-item retry of a failed batch relies on this).
-    A shard *process* dying is unrecoverable -- its cohorts' state is
-    lost -- so any pipe failure closes the whole backend and raises;
-    restart from the last checkpoint.
     """
 
     name = "sharded"
@@ -217,10 +301,35 @@ class ShardedFleetBackend:
         shards: int = 2,
         cache: Optional[SolutionCache] = None,
         registry=None,
+        transport: str = "pipe",
+        shard_addresses=None,
+        auto_restore: bool = True,
+        health_interval: Optional[float] = None,
+        rpc_timeout: Optional[float] = None,
     ) -> None:
+        if shard_addresses is not None:
+            addresses = [parse_address(a) for a in shard_addresses]
+            if not addresses:
+                raise ValueError("shard_addresses must be non-empty")
+            transport = "socket"
+            shards = len(addresses)
+        else:
+            addresses = None
+        if transport not in SHARD_TRANSPORTS:
+            raise ValueError(
+                f"unknown shard transport {transport!r}; "
+                f"expected one of {SHARD_TRANSPORTS}"
+            )
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self._registry = registry if registry is not None else NULL_REGISTRY
+        self._init_runtime(
+            transport=transport,
+            addresses=addresses,
+            auto_restore=auto_restore,
+            health_interval=health_interval,
+            rpc_timeout=rpc_timeout,
+        )
         # Import here: backends imports this module lazily (make_backend)
         # and this module needs backends' normaliser -- a top-level import
         # each way would be a cycle.
@@ -235,41 +344,122 @@ class ShardedFleetBackend:
             partitions[index][user] = pair
             self._user_shard[user] = index
         self._epsilons: List[float] = []
-        self._conns: Optional[list] = None
-        self._procs: Optional[list] = None
         maxsize = cache.maxsize if cache is not None else None
-        self._start_workers([(p, None, maxsize) for p in partitions])
+        self._specs = [(p, None, maxsize) for p in partitions]
+        self._start_workers(self._specs)
+
+    def _init_runtime(
+        self,
+        *,
+        transport: str,
+        addresses,
+        auto_restore: bool,
+        health_interval: Optional[float],
+        rpc_timeout: Optional[float],
+    ) -> None:
+        """Transport/recovery state shared by ``__init__`` and
+        :meth:`restore`."""
+        self._transport_kind = transport
+        self._addresses: Optional[List[Tuple[str, int]]] = addresses
+        self._auto_restore = auto_restore
+        self._health_interval = health_interval
+        self._rpc_timeout = rpc_timeout
+        self._transports: Optional[List[Optional[ShardTransport]]] = None
+        self._procs: Optional[list] = None
+        self._journal: list = []
+        self._checkpoint_dir: Optional[str] = None
+        self._recovering = False
+        self._last_health = time.monotonic()
 
     # -- worker lifecycle ----------------------------------------------
-    def _start_workers(self, specs) -> None:
+    def _launch(self, index: int, spec):
+        """Start (or dial) one worker and ship its spec; returns
+        ``(transport, process-or-None)``.  The engine-ready handshake is
+        *not* consumed here -- callers gather it so startup stays
+        parallel across shards."""
+        if self._transport_kind == "pipe":
+            ctx = _mp_context()
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker, args=(child, *spec), daemon=True
+            )
+            proc.start()
+            child.close()
+            return PipeTransport(parent), proc
+        if self._addresses is not None:
+            host, port = self._addresses[index]
+            transport = self._dial(host, port)
+            transport.send(spec)
+            return transport, None
+        # Locally-spawned socket worker: the child binds loopback:0,
+        # reports its chosen port over a one-shot control pipe, then
+        # accepts framed connections like a standalone shard worker.
+        from ..net.worker import spawned_socket_worker
+
         ctx = _mp_context()
-        conns, procs = [], []
+        ctrl_parent, ctrl_child = ctx.Pipe()
+        proc = ctx.Process(
+            target=spawned_socket_worker, args=(ctrl_child,), daemon=True
+        )
+        proc.start()
+        ctrl_child.close()
         try:
-            for correlations, restore_dir, cache_maxsize in specs:
-                parent, child = ctx.Pipe()
-                proc = ctx.Process(
-                    target=_shard_worker,
-                    args=(child, correlations, restore_dir, cache_maxsize),
-                    daemon=True,
+            if not ctrl_parent.poll(30):
+                raise TransportClosed(
+                    "socket shard worker did not report a port within 30s"
                 )
-                proc.start()
-                child.close()
-                conns.append(parent)
+            port = ctrl_parent.recv()
+        except (EOFError, OSError) as error:
+            proc.terminate()
+            raise TransportClosed(
+                f"socket shard worker died before reporting a port: {error}"
+            ) from error
+        finally:
+            ctrl_parent.close()
+        try:
+            transport = SocketTransport.connect("127.0.0.1", port)
+            transport.send(spec)
+        except BaseException:
+            proc.terminate()
+            raise
+        return transport, proc
+
+    def _dial(self, host: str, port: int) -> SocketTransport:
+        """Connect to an externally-managed worker, retrying briefly --
+        a restarted worker needs a moment to rebind its port."""
+        attempts = 10
+        for attempt in range(attempts):
+            try:
+                return SocketTransport.connect(host, port, timeout=10.0)
+            except TransportClosed:
+                if attempt == attempts - 1:
+                    raise
+                time.sleep(min(0.2 * (attempt + 1), 1.0))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _start_workers(self, specs) -> None:
+        transports: List[Optional[ShardTransport]] = []
+        procs = []
+        try:
+            for index, spec in enumerate(specs):
+                transport, proc = self._launch(index, spec)
+                transports.append(transport)
                 procs.append(proc)
         except BaseException:
-            for conn in conns:
-                conn.close()
+            for transport in transports:
+                transport.close()
             for proc in procs:
-                proc.terminate()
+                if proc is not None:
+                    proc.terminate()
             raise
-        self._conns = conns
+        self._transports = transports
         self._procs = procs
         try:
             # Startup handshake: every worker reports its engine built
             # (or relays the real setup exception -- a missing shard
             # checkpoint surfaces as its FileNotFoundError, not as an
             # opaque dead pipe on the first command).
-            self._gather(range(len(conns)))
+            self._gather([(i, None, None) for i in range(len(transports))])
         except BaseException:
             self.close()
             raise
@@ -278,25 +468,28 @@ class ShardedFleetBackend:
         """Shut the worker processes down (idempotent).  A closed backend
         answers no further queries; close it only when the session is
         done with it."""
-        if self._conns is None:
+        if self._transports is None:
             return
-        for conn in self._conns:
+        live = [t for t in self._transports if t is not None]
+        for transport in live:
             try:
-                conn.send(("close", None))
-            except (BrokenPipeError, OSError):
+                transport.send(("close", None))
+            except (TransportClosed, OSError):
                 pass
-        for conn in self._conns:
+        for transport in live:
             try:
-                conn.recv()
-            except (EOFError, OSError):
+                transport.recv(timeout=5)
+            except (TransportClosed, TransportTimeout, OSError):
                 pass
-            conn.close()
+            transport.close()
         for proc in self._procs:
+            if proc is None:
+                continue
             proc.join(timeout=5)
             if proc.is_alive():  # pragma: no cover - defensive
                 proc.terminate()
                 proc.join(timeout=5)
-        self._conns = None
+        self._transports = None
         self._procs = None
 
     def __enter__(self) -> "ShardedFleetBackend":
@@ -311,18 +504,189 @@ class ShardedFleetBackend:
         except Exception:
             pass
 
+    # -- recovery -------------------------------------------------------
+    def _restore_spec(self, index: int):
+        """What to rebuild shard ``index``'s engine from: the last
+        checkpoint when one exists (the journal covers everything
+        since), else the shard's original construction spec (the
+        journal covers the backend's whole lifetime)."""
+        correlations, restore_dir, maxsize = self._specs[index]
+        if self._checkpoint_dir is not None:
+            shard_dir = str(Path(self._checkpoint_dir) / f"shard_{index}")
+            return (None, shard_dir, maxsize)
+        return (correlations, restore_dir, maxsize)
+
+    def _teardown_worker(self, index: int) -> None:
+        transport = self._transports[index]
+        if transport is not None:
+            transport.close()
+        self._transports[index] = None
+        proc = self._procs[index]
+        if proc is not None:
+            proc.terminate()
+            proc.join(timeout=5)
+            self._procs[index] = None
+
+    def _restore_shard(self, index: int, cause: BaseException) -> None:
+        """Bring a dead/unresponsive shard back bit-identically:
+        respawn or redial it, rebuild its engine from the last
+        checkpoint (or original partition), replay the op journal.
+        Failure at any point -- or ``auto_restore=False`` -- falls back
+        to :meth:`_fail` (close the backend, raise)."""
+        if (
+            not self._auto_restore
+            or self._recovering
+            or self._transports is None
+        ):
+            self._fail(index, cause)
+        self._recovering = True
+        try:
+            self._registry.counter("shard.restores", shard=index).inc()
+            with self._registry.span("shard.restore.seconds"):
+                self._teardown_worker(index)
+                transport, proc = self._launch(
+                    index, self._restore_spec(index)
+                )
+                self._transports[index] = transport
+                self._procs[index] = proc
+                status, payload = transport.recv(timeout=self._rpc_timeout)
+                if status == "error":
+                    raise payload
+                for entry in self._journal:
+                    if entry[0] == "window":
+                        _, epsilons, split = entry
+                        transport.send(
+                            ("add_window", (epsilons, split[index]))
+                        )
+                    else:
+                        transport.send(("rollback", entry[1]))
+                    status, payload = transport.recv(
+                        timeout=self._rpc_timeout
+                    )
+                    if status == "error":
+                        # Journal entries all succeeded once; a replay
+                        # error means the restore source is unusable.
+                        raise payload
+        except BaseException as error:  # noqa: BLE001 -- downgraded to fail
+            self._fail(index, error)
+        finally:
+            self._recovering = False
+
+    def _journal_window(self, epsilons, split) -> None:
+        self._journal.append(("window", list(epsilons), split))
+
+    def _journal_rollback(self, n: int) -> None:
+        """Fold a rollback into the journal.  Trailing window entries
+        are truncated outright -- the session's probe-and-rollback alpha
+        bisection would otherwise grow the journal by two entries per
+        probe -- and only underflow past the journal's start survives as
+        a leading ``("rollback", k)`` against the checkpoint."""
+        remaining = n
+        while remaining and self._journal and self._journal[-1][0] == "window":
+            _, epsilons, split = self._journal[-1]
+            steps = len(epsilons)
+            if steps <= remaining:
+                self._journal.pop()
+                remaining -= steps
+            else:
+                keep = steps - remaining
+                self._journal[-1] = (
+                    "window",
+                    epsilons[:keep],
+                    [shard_steps[:keep] for shard_steps in split],
+                )
+                remaining = 0
+        if remaining:
+            if self._journal and self._journal[-1][0] == "rollback":
+                self._journal[-1] = (
+                    "rollback",
+                    self._journal[-1][1] + remaining,
+                )
+            else:
+                self._journal.append(("rollback", remaining))
+
+    def check_health(
+        self,
+        *,
+        timeout: float = 5.0,
+        restore: Optional[bool] = None,
+    ) -> List[dict]:
+        """Ping every shard; returns one report dict per shard.
+
+        A shard that cannot answer within ``timeout`` seconds is treated
+        as dead: restored in place (default, per ``auto_restore``) or --
+        with ``restore=False`` -- reported ``alive: False`` with its
+        transport closed, so the next operation triggers the normal
+        restore-or-fail path instead of misreading a late reply.
+        """
+        self._require_open()
+        if restore is None:
+            restore = self._auto_restore
+        self._registry.counter("shard.health.sweeps").inc()
+        reports = []
+        for index in range(len(self._transports)):
+            t0 = time.perf_counter()
+            try:
+                transport = self._transports[index]
+                transport.send(("ping", None))
+                status, payload = transport.recv(timeout=timeout)
+                if status == "error":  # pragma: no cover - protocol bug
+                    raise payload
+                reports.append(
+                    {
+                        "shard": index,
+                        "alive": True,
+                        "restored": False,
+                        "horizon": payload["horizon"],
+                        "latency_ms": (time.perf_counter() - t0) * 1e3,
+                    }
+                )
+            except (TransportClosed, TransportTimeout) as error:
+                if restore:
+                    self._restore_shard(index, error)
+                    reports.append(
+                        {
+                            "shard": index,
+                            "alive": True,
+                            "restored": True,
+                            "horizon": len(self._epsilons),
+                            "latency_ms": None,
+                        }
+                    )
+                else:
+                    self._transports[index].close()
+                    reports.append(
+                        {
+                            "shard": index,
+                            "alive": False,
+                            "restored": False,
+                            "horizon": None,
+                            "latency_ms": None,
+                        }
+                    )
+        return reports
+
+    def _maybe_health(self) -> None:
+        if self._health_interval is None or self._recovering:
+            return
+        now = time.monotonic()
+        if now - self._last_health >= self._health_interval:
+            self._last_health = now
+            self.check_health()
+
     # -- scatter/gather plumbing ---------------------------------------
     def _require_open(self) -> None:
-        if self._conns is None:
+        if self._transports is None:
             raise RuntimeError("ShardedFleetBackend is closed")
 
     def _fail(self, index: int, error: BaseException):
-        """A shard process died.  Its cohorts' accounting state is gone,
-        so the backend as a whole can no longer answer honestly -- and
-        surviving shards may hold unread replies that would desynchronise
-        the pipe protocol (a later query would read a stale answer).
-        Tear everything down and surface one clear error; every
-        subsequent call raises the explicit "closed" RuntimeError."""
+        """A shard is gone for good (worker death with
+        ``auto_restore=False``, or a failed restore).  Its cohorts'
+        accounting state cannot be recovered, so the backend as a whole
+        can no longer answer honestly -- and surviving shards may hold
+        unread replies that would desynchronise the rpc protocol.  Tear
+        everything down and surface one clear error; every subsequent
+        call raises the explicit "closed" RuntimeError."""
         self.close()
         raise RuntimeError(
             f"shard {index} terminated unexpectedly; backend closed"
@@ -330,23 +694,38 @@ class ShardedFleetBackend:
 
     def _send(self, index: int, op, args=None) -> None:
         try:
-            self._conns[index].send((op, args))
-        except (BrokenPipeError, OSError) as error:
-            self._fail(index, error)
+            self._transports[index].send((op, args))
+        except (TransportClosed, OSError) as error:
+            self._restore_shard(index, error)
+            try:
+                self._transports[index].send((op, args))
+            except (TransportClosed, OSError) as retry_error:
+                self._fail(index, retry_error)
 
-    def _recv(self, index: int):
+    def _recv(self, index: int, op=None, args=None):
+        """Collect one reply from shard ``index``.  On transport failure
+        or timeout the shard is restored (journal replay) and the
+        in-flight ``(op, args)`` -- lost with the old worker -- is
+        re-issued exactly once."""
         try:
-            return self._conns[index].recv()
-        except (EOFError, OSError) as error:
-            self._fail(index, error)
+            return self._transports[index].recv(timeout=self._rpc_timeout)
+        except (TransportClosed, TransportTimeout, OSError) as error:
+            self._restore_shard(index, error)
+            try:
+                self._transports[index].send((op, args))
+                return self._transports[index].recv(
+                    timeout=self._rpc_timeout
+                )
+            except (TransportClosed, TransportTimeout, OSError) as retry:
+                self._fail(index, retry)
 
-    def _gather(self, indices) -> list:
-        """Receive one reply per shard, re-raising the first *error
-        payload* only after every reply has been collected (no shard is
-        left with an unread response in its pipe).  A shard *dying*
-        mid-gather instead closes the whole backend (:meth:`_fail`), so
-        stale replies can never be misread later."""
-        outcomes = [self._recv(i) for i in indices]
+    def _gather(self, requests) -> list:
+        """Receive one reply per ``(index, op, args)`` request,
+        re-raising the first *error payload* only after every reply has
+        been collected (no shard is left with an unread response in its
+        channel).  A shard dying mid-gather is restored and its request
+        re-issued; an unrestorable shard closes the whole backend."""
+        outcomes = [self._recv(i, op, args) for i, op, args in requests]
         for status, payload in outcomes:
             if status == "error":
                 raise payload
@@ -354,14 +733,17 @@ class ShardedFleetBackend:
 
     def _broadcast(self, op, args=None) -> list:
         self._require_open()
-        for index in range(len(self._conns)):
+        self._maybe_health()
+        for index in range(len(self._transports)):
             self._send(index, op, args)
-        return self._gather(range(len(self._conns)))
+        return self._gather(
+            [(i, op, args) for i in range(len(self._transports))]
+        )
 
     def _call(self, index: int, op, args=None):
         self._require_open()
         self._send(index, op, args)
-        return self._gather([index])[0]
+        return self._gather([(index, op, args)])[0]
 
     # -- stream interface ----------------------------------------------
     def add_window(self, window: ReleaseWindow) -> WindowResult:
@@ -386,10 +768,11 @@ class ShardedFleetBackend:
         from .backends import _resolved_steps
 
         self._require_open()
+        self._maybe_health()
         steps = _resolved_steps(window)
         epsilons = [validate_epsilon(eps) for eps, _ in steps]
         per_step = [dict(ovr) if ovr else {} for _, ovr in steps]
-        n_shards = len(self._conns)
+        n_shards = len(self._transports)
         split: List[List[Dict[Hashable, float]]] = [
             [{} for _ in steps] for _ in range(n_shards)
         ]
@@ -410,7 +793,9 @@ class ShardedFleetBackend:
             )
         outcomes = []
         for i in range(n_shards):
-            outcomes.append(self._recv(i))
+            outcomes.append(
+                self._recv(i, "add_window", (epsilons, split[i]))
+            )
             if registry.enabled:
                 # Round-trip from scatter start to this shard's reply;
                 # shard i's reply waits on shards < i being read first,
@@ -425,14 +810,15 @@ class ShardedFleetBackend:
             # SolverError mid-window.  The failing engine already unwound
             # itself (FleetAccountant truncates a half-applied window),
             # so rewinding the shards that applied restores the global
-            # pre-window state exactly.  (A shard *dying* is handled
-            # harder still: _send/_recv close the whole backend, since
-            # that shard's state is unrecoverable.)
+            # pre-window state exactly.  (These unwind rollbacks are
+            # deliberately not journalled -- the window itself never
+            # was.)
             for index, (status, _) in enumerate(outcomes):
                 if status == "ok":
                     self._call(index, "rollback", len(epsilons))
             raise errors[0]
         self._epsilons.extend(epsilons)
+        self._journal_window(epsilons, split)
         with registry.span("shard.merge.seconds"):
             merged = np.maximum.reduce([payload for _, payload in outcomes])
         return WindowResult(merged)
@@ -465,6 +851,7 @@ class ShardedFleetBackend:
             return
         self._broadcast("rollback", n)
         del self._epsilons[len(self._epsilons) - n :]
+        self._journal_rollback(n)
 
     # -- queries --------------------------------------------------------
     def max_tpl(self) -> float:
@@ -507,7 +894,12 @@ class ShardedFleetBackend:
     @property
     def n_shards(self) -> int:
         self._require_open()
-        return len(self._conns)
+        return len(self._transports)
+
+    @property
+    def transport(self) -> str:
+        """Which transport drives the workers (observability)."""
+        return self._transport_kind
 
     def shard_of(self, user: Hashable) -> int:
         """Which shard owns ``user``'s cohort (observability)."""
@@ -520,7 +912,7 @@ class ShardedFleetBackend:
         """Users per shard -- the balance operators watch when choosing
         a shard count for a given cohort population."""
         self._require_open()
-        sizes = [0] * len(self._conns)
+        sizes = [0] * len(self._transports)
         for index in self._user_shard.values():
             sizes[index] += 1
         return sizes
@@ -531,24 +923,32 @@ class ShardedFleetBackend:
 
         Shards persist in parallel (scatter the ``save``, then gather),
         each an ordinary ``.npz`` + manifest fleet checkpoint under
-        ``shard_<i>/``.
+        ``shard_<i>/``.  A successful save becomes the new restore
+        point: the coordinator's op journal is truncated to it.
         """
         self._require_open()
         path = Path(directory)
         path.mkdir(parents=True, exist_ok=True)
-        for index in range(len(self._conns)):
+        for index in range(len(self._transports)):
             self._send(index, "save", str(path / f"shard_{index}"))
-        self._gather(range(len(self._conns)))
+        self._gather(
+            [
+                (i, "save", str(path / f"shard_{i}"))
+                for i in range(len(self._transports))
+            ]
+        )
         manifest = {
             "format": _SHARD_FORMAT_VERSION,
             "kind": SHARD_CHECKPOINT_KIND,
-            "shards": len(self._conns),
+            "shards": len(self._transports),
             "horizon": self.horizon,
             "n_users": len(self._user_shard),
         }
         (path / SHARD_MANIFEST_NAME).write_text(
             json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
         )
+        self._checkpoint_dir = str(path)
+        self._journal.clear()
         return path
 
     @classmethod
@@ -560,6 +960,11 @@ class ShardedFleetBackend:
         *,
         shards: Optional[int] = None,
         registry=None,
+        transport: str = "pipe",
+        shard_addresses=None,
+        auto_restore: bool = True,
+        health_interval: Optional[float] = None,
+        rpc_timeout: Optional[float] = None,
     ) -> "ShardedFleetBackend":
         """Rebuild a backend from :meth:`save` output.
 
@@ -569,7 +974,7 @@ class ShardedFleetBackend:
         caches (as in the constructor).  The checkpoint dictates the
         shard count; passing an explicit conflicting ``shards`` is an
         error (cohort -> shard assignment is part of the persisted
-        state).
+        state).  Transport/recovery options mirror the constructor.
         """
         directory = Path(directory)
         manifest = json.loads(
@@ -589,17 +994,37 @@ class ShardedFleetBackend:
                 f"{saved_shards} shards but the config requests {shards}; "
                 "re-sharding a checkpoint is not supported"
             )
+        if shard_addresses is not None:
+            addresses = [parse_address(a) for a in shard_addresses]
+            if len(addresses) != saved_shards:
+                raise ValueError(
+                    f"checkpoint in {directory} holds {saved_shards} "
+                    f"shards but {len(addresses)} shard addresses given"
+                )
+            transport = "socket"
+        else:
+            addresses = None
+        if transport not in SHARD_TRANSPORTS:
+            raise ValueError(
+                f"unknown shard transport {transport!r}; "
+                f"expected one of {SHARD_TRANSPORTS}"
+            )
         self = cls.__new__(cls)
         self._registry = registry if registry is not None else NULL_REGISTRY
-        self._conns = None
-        self._procs = None
-        maxsize = cache.maxsize if cache is not None else None
-        self._start_workers(
-            [
-                (None, str(directory / f"shard_{i}"), maxsize)
-                for i in range(saved_shards)
-            ]
+        self._init_runtime(
+            transport=transport,
+            addresses=addresses,
+            auto_restore=auto_restore,
+            health_interval=health_interval,
+            rpc_timeout=rpc_timeout,
         )
+        maxsize = cache.maxsize if cache is not None else None
+        self._specs = [
+            (None, str(directory / f"shard_{i}"), maxsize)
+            for i in range(saved_shards)
+        ]
+        self._checkpoint_dir = str(directory)
+        self._start_workers(self._specs)
         self._user_shard = {}
         descriptions = self._broadcast("describe")
         for index, description in enumerate(descriptions):
@@ -630,8 +1055,11 @@ class ShardedFleetBackend:
         return self
 
     def __repr__(self) -> str:
-        shards = "closed" if self._conns is None else len(self._conns)
+        shards = (
+            "closed" if self._transports is None else len(self._transports)
+        )
         return (
             f"ShardedFleetBackend(users={len(self._user_shard)}, "
-            f"shards={shards}, horizon={self.horizon})"
+            f"shards={shards}, transport={self._transport_kind!r}, "
+            f"horizon={self.horizon})"
         )

@@ -1,0 +1,501 @@
+"""Behavioural tests for the TCP front door (repro.net.server).
+
+Everything runs against a real asyncio server on an ephemeral loopback
+port -- the session registry, seq idempotency (retries answered from
+cache without double-charging budget), hardened line reading (malformed
+and oversized lines produce structured errors, never a teardown), the
+HTTP metrics endpoint, concurrent interleaved clients and graceful
+shutdown.  No pytest-asyncio: each test drives its own asyncio.run.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import HistogramQuery
+from repro.markov import two_state_matrix
+from repro.net.server import ReproServer, build_session
+from repro.obs.metrics import MetricsRegistry
+from repro.service import ReleaseSession, SessionConfig
+
+N_USERS = 6
+
+
+def make_config(**kwargs):
+    m = two_state_matrix(0.8, 0.1)
+    defaults = dict(
+        correlations={u: (m, m) for u in range(N_USERS)},
+        budgets=0.1,
+        query=HistogramQuery(2),
+        seed=0,
+    )
+    defaults.update(kwargs)
+    return SessionConfig(**defaults)
+
+
+def snapshot_line(seed=0, **extra):
+    rng = np.random.default_rng(seed)
+    payload = {"snapshot": rng.integers(0, 2, size=N_USERS).tolist()}
+    payload.update(extra)
+    return json.dumps(payload).encode() + b"\n"
+
+
+async def start_server(config=None, **server_kwargs):
+    server = ReproServer(config or make_config(), **server_kwargs)
+    host, port = await server.start("127.0.0.1", 0)
+    return server, host, port
+
+
+async def request_lines(host, port, raw: bytes, *, expect: int):
+    """Write ``raw`` to a fresh connection and read ``expect`` response
+    lines (leaving the connection open until they arrive)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(raw)
+    await writer.drain()
+    writer.write_eof()
+    lines = []
+    while len(lines) < expect:
+        line = await asyncio.wait_for(reader.readline(), timeout=30)
+        if not line:
+            break
+        lines.append(json.loads(line))
+    writer.close()
+    return lines
+
+
+def run(coroutine):
+    return asyncio.run(asyncio.wait_for(coroutine, timeout=120))
+
+
+class TestBasicServing:
+    def test_scalar_window_and_error_lines(self):
+        async def scenario():
+            server, host, port = await start_server()
+            try:
+                raw = (
+                    json.dumps([0, 1, 0, 1, 1, 0]).encode() + b"\n"
+                    + snapshot_line(1)
+                    + json.dumps(
+                        {"window": [[0] * N_USERS, [1] * N_USERS]}
+                    ).encode() + b"\n"
+                    + b"{not json\n"
+                    + json.dumps({"overrides": "bad"}).encode() + b"\n"
+                )
+                return await request_lines(host, port, raw, expect=6)
+            finally:
+                await server.stop()
+
+        lines = run(scenario())
+        by_seq = {}
+        for line in lines:
+            by_seq.setdefault(line["seq"], []).append(line)
+        # Input-order server seqs when the client supplies none.
+        assert sorted(by_seq) == [0, 1, 2, 3, 4]
+        assert by_seq[0][0]["t"] == 1 and by_seq[0][0]["status"] == "released"
+        assert by_seq[1][0]["t"] == 2
+        steps = sorted(line["step"] for line in by_seq[2])
+        assert steps == [0, 1]  # one line per window step
+        assert by_seq[3][0]["error"].startswith("bad JSON")
+        assert by_seq[4][0]["error"].startswith("ValueError:")
+        for line in lines:
+            assert "elapsed_ms" in line
+
+    def test_matches_in_process_session_bit_identically(self):
+        rng = np.random.default_rng(3)
+        snapshots = rng.integers(0, 2, size=(4, N_USERS))
+
+        async def scenario():
+            server, host, port = await start_server()
+            try:
+                raw = b"".join(
+                    json.dumps({"snapshot": s.tolist(), "seq": i}).encode()
+                    + b"\n"
+                    for i, s in enumerate(snapshots)
+                )
+                return await request_lines(host, port, raw, expect=4)
+            finally:
+                await server.stop()
+
+        lines = run(scenario())
+        reference = ReleaseSession(make_config())
+        expected = [reference.ingest(s).payload() for s in snapshots]
+        by_seq = {line["seq"]: line for line in lines}
+        for i, want in enumerate(expected):
+            got = dict(by_seq[i])
+            got.pop("seq")
+            got.pop("elapsed_ms")
+            assert got == want  # noisy_answer included: bit-identical
+
+
+class TestSessionRegistry:
+    def test_sessions_are_isolated(self):
+        async def scenario():
+            server, host, port = await start_server()
+            try:
+                raw = (
+                    snapshot_line(0, session="alice")
+                    + snapshot_line(1, session="alice")
+                    + snapshot_line(2, session="bob")
+                )
+                lines = await request_lines(host, port, raw, expect=3)
+                horizons = {
+                    sid: session.horizon
+                    for sid, session in server.sessions.items()
+                }
+                return lines, horizons
+            finally:
+                await server.stop()
+
+        lines, horizons = run(scenario())
+        assert horizons == {"alice": 2, "bob": 1}
+        ts = sorted(line["t"] for line in lines)
+        assert ts == [1, 1, 2]
+
+    def test_invalid_session_id_is_an_error_line(self):
+        async def scenario():
+            server, host, port = await start_server()
+            try:
+                raw = snapshot_line(0, session="../escape")
+                (line,) = await request_lines(host, port, raw, expect=1)
+                return line, list(server.sessions)
+            finally:
+                await server.stop()
+
+        line, sessions = run(scenario())
+        assert line["error"].startswith("ValueError:")
+        assert "session" in line["error"]
+        assert sessions == []
+
+    def test_session_limit(self):
+        async def scenario():
+            server, host, port = await start_server(max_sessions=2)
+            try:
+                raw = (
+                    snapshot_line(0, session="a")
+                    + snapshot_line(0, session="b")
+                    + snapshot_line(0, session="c")
+                )
+                lines = await request_lines(host, port, raw, expect=3)
+                return lines
+            finally:
+                await server.stop()
+
+        lines = run(scenario())
+        errors = [l for l in lines if "error" in l]
+        assert len(errors) == 1
+        assert "session limit" in errors[0]["error"]
+
+    def test_wal_dir_becomes_per_session_subdirectory(self, tmp_path):
+        config = make_config(wal_dir=str(tmp_path))
+        session = build_session(config, "tenant-1")
+        try:
+            session.ingest(np.zeros(N_USERS, dtype=int))
+        finally:
+            session.close()
+        assert (tmp_path / "tenant-1").is_dir()
+        # A second build of the same id recovers the WAL history.
+        recovered = build_session(config, "tenant-1")
+        try:
+            assert recovered.horizon == 1
+        finally:
+            recovered.close()
+
+
+class TestIdempotency:
+    def test_retried_seq_served_from_cache_without_double_charge(self):
+        async def scenario():
+            server, host, port = await start_server()
+            try:
+                line = snapshot_line(0, seq=9)
+                first = await request_lines(host, port, line, expect=1)
+                # Retry on a *new* connection, as a reconnecting client
+                # would after losing the reply.
+                second = await request_lines(host, port, line, expect=1)
+                horizon = server.sessions["default"].horizon
+                return first[0], second[0], horizon
+            finally:
+                await server.stop()
+
+        first, second, horizon = run(scenario())
+        assert horizon == 1  # charged once, not twice
+        assert "cached" not in first
+        assert second.pop("cached") is True
+        assert second == first  # identical payload, noise included
+
+    def test_failed_request_is_not_cached(self):
+        async def scenario():
+            server, host, port = await start_server()
+            try:
+                bad = json.dumps(
+                    {"snapshot": [0] * N_USERS, "epsilon": -1.0, "seq": 4}
+                ).encode() + b"\n"
+                (err,) = await request_lines(host, port, bad, expect=1)
+                good = snapshot_line(0, seq=4)
+                (ok,) = await request_lines(host, port, good, expect=1)
+                return err, ok
+            finally:
+                await server.stop()
+
+        err, ok = run(scenario())
+        assert "error" in err
+        # The failed attempt charged nothing, so the retried seq ran
+        # fresh instead of replaying the error.
+        assert "cached" not in ok
+        assert ok["status"] == "released"
+
+    def test_concurrent_retry_awaits_in_flight_request(self):
+        """Two copies of the same seq racing each other must resolve to
+        one execution: the loser awaits the winner's outcome."""
+
+        async def scenario():
+            config = make_config(queue_maxsize=4)
+            server, host, port = await start_server(config)
+            try:
+                line = snapshot_line(0, seq=1)
+                results = await asyncio.gather(
+                    request_lines(host, port, line, expect=1),
+                    request_lines(host, port, line, expect=1),
+                )
+                return [r[0] for r in results], server.sessions[
+                    "default"
+                ].horizon
+            finally:
+                await server.stop()
+
+        (a, b), horizon = run(scenario())
+        assert horizon == 1
+        cached = [line for line in (a, b) if line.get("cached")]
+        assert len(cached) == 1
+        a.pop("cached", None), b.pop("cached", None)
+        assert a == b
+
+    def test_bad_seq_type_is_an_error(self):
+        async def scenario():
+            server, host, port = await start_server()
+            try:
+                raw = snapshot_line(0, seq="not-an-int")
+                return await request_lines(host, port, raw, expect=1)
+            finally:
+                await server.stop()
+
+        (line,) = run(scenario())
+        assert line["error"].startswith("ValueError:")
+        assert "seq" in line["error"]
+
+    def test_seq_cache_is_bounded(self):
+        async def scenario():
+            server, host, port = await start_server(seq_cache_size=2)
+            try:
+                raw = b"".join(
+                    snapshot_line(i, seq=i) for i in range(4)
+                )
+                await request_lines(host, port, raw, expect=4)
+                entry = server._sessions["default"]
+                return sorted(entry.seq_cache)
+            finally:
+                await server.stop()
+
+        cached = run(scenario())
+        assert len(cached) == 2  # LRU evicted the oldest seqs
+
+
+class TestHardenedLineReader:
+    def test_oversized_line_yields_error_and_connection_survives(self):
+        async def scenario():
+            server, host, port = await start_server(max_line_bytes=256)
+            try:
+                huge = b"[" + b"0," * 4096 + b"0]\n"
+                raw = huge + snapshot_line(0)
+                return await request_lines(host, port, raw, expect=2)
+            finally:
+                await server.stop()
+
+        lines = run(scenario())
+        errors = [l for l in lines if "error" in l]
+        oks = [l for l in lines if "status" in l]
+        assert len(errors) == 1 and "exceeds" in errors[0]["error"]
+        assert len(oks) == 1 and oks[0]["t"] == 1
+
+    def test_final_unterminated_line_is_processed(self):
+        async def scenario():
+            server, host, port = await start_server()
+            try:
+                raw = snapshot_line(0).rstrip(b"\n")  # EOF, no newline
+                return await request_lines(host, port, raw, expect=1)
+            finally:
+                await server.stop()
+
+        (line,) = run(scenario())
+        assert line["status"] == "released"
+
+    def test_blank_lines_are_skipped(self):
+        async def scenario():
+            server, host, port = await start_server()
+            try:
+                raw = b"\n  \n" + snapshot_line(0) + b"\n"
+                return await request_lines(host, port, raw, expect=1)
+            finally:
+                await server.stop()
+
+        (line,) = run(scenario())
+        assert line["seq"] == 0  # blanks consumed no seq
+
+
+class TestHttp:
+    def test_metrics_exposition(self):
+        async def scenario():
+            registry = MetricsRegistry()
+            server, host, port = await start_server(registry=registry)
+            try:
+                await request_lines(host, port, snapshot_line(0), expect=1)
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                await writer.drain()
+                data = await reader.read()
+                writer.close()
+                return data
+            finally:
+                await server.stop()
+
+        data = run(scenario())
+        head, _, body = data.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK")
+        assert b"text/plain; version=0.0.4" in head
+        assert b"Connection: close" in head
+        assert b"serve_requests 1" in body
+        assert b"serve_connections" in body
+
+    def test_healthz_and_404(self):
+        async def scenario():
+            server, host, port = await start_server()
+            try:
+                out = []
+                for target in (b"/healthz", b"/nope"):
+                    reader, writer = await asyncio.open_connection(
+                        host, port
+                    )
+                    writer.write(
+                        b"GET " + target + b" HTTP/1.1\r\nHost: x\r\n\r\n"
+                    )
+                    await writer.drain()
+                    out.append(await reader.read())
+                    writer.close()
+                return out
+            finally:
+                await server.stop()
+
+        healthz, missing = run(scenario())
+        assert healthz.startswith(b"HTTP/1.1 200 OK")
+        body = json.loads(healthz.partition(b"\r\n\r\n")[2])
+        assert body["status"] == "ok"
+        assert missing.startswith(b"HTTP/1.1 404")
+
+    def test_head_request_omits_body(self):
+        async def scenario():
+            server, host, port = await start_server()
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"HEAD /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                await writer.drain()
+                data = await reader.read()
+                writer.close()
+                return data
+            finally:
+                await server.stop()
+
+        data = run(scenario())
+        head, _, body = data.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK")
+        assert body == b""
+
+
+class TestConcurrencyAndShutdown:
+    def test_concurrent_interleaved_clients_share_one_session(self):
+        async def scenario():
+            server, host, port = await start_server(
+                make_config(queue_maxsize=8)
+            )
+            try:
+
+                async def client(offset):
+                    raw = b"".join(
+                        snapshot_line(offset * 10 + i) for i in range(5)
+                    )
+                    return await request_lines(host, port, raw, expect=5)
+
+                results = await asyncio.gather(*(client(c) for c in range(3)))
+                return results, server.sessions["default"].horizon
+            finally:
+                await server.stop()
+
+        results, horizon = run(scenario())
+        assert horizon == 15  # every request accounted exactly once
+        ts = sorted(
+            line["t"] for lines in results for line in lines
+        )
+        assert ts == list(range(1, 16))  # distinct time points, no gaps
+        for lines in results:
+            assert [line["seq"] for line in lines] == list(range(5))
+
+    def test_stop_drains_sessions_and_closes_sharded_backend(self):
+        async def scenario():
+            config = make_config(backend="fleet", shards=2)
+            server, host, port = await start_server(config)
+            await request_lines(host, port, snapshot_line(0), expect=1)
+            session = server.sessions["default"]
+            await server.stop()
+            return session, dict(server.sessions)
+
+        session, stopped_sessions = run(scenario())
+        assert stopped_sessions == {}
+        # stop() closed the session: the sharded backend's workers are
+        # gone and further accounting fails closed.
+        with pytest.raises(RuntimeError, match="closed"):
+            session.ingest(np.zeros(N_USERS, dtype=int))
+
+    def test_stop_is_idempotent(self):
+        async def scenario():
+            server, host, port = await start_server()
+            await server.stop()
+            await server.stop()
+            return True
+
+        assert run(scenario())
+
+    def test_sharded_session_over_the_server(self):
+        """The front door composes with the sharded backend: a 2-shard
+        fleet session behind the TCP server answers bit-identically to
+        an in-process single-shard session."""
+        rng = np.random.default_rng(11)
+        snapshots = rng.integers(0, 2, size=(3, N_USERS))
+
+        async def scenario():
+            config = make_config(backend="fleet", shards=2)
+            server, host, port = await start_server(config)
+            try:
+                raw = b"".join(
+                    json.dumps({"snapshot": s.tolist(), "seq": i}).encode()
+                    + b"\n"
+                    for i, s in enumerate(snapshots)
+                )
+                lines = await request_lines(host, port, raw, expect=3)
+                backend = server.sessions["default"].backend_name
+                return lines, backend
+            finally:
+                await server.stop()
+
+        lines, backend = run(scenario())
+        assert backend == "sharded"
+        reference = ReleaseSession(make_config(backend="fleet"))
+        expected = [reference.ingest(s).payload() for s in snapshots]
+        by_seq = {line["seq"]: line for line in lines}
+        for i, want in enumerate(expected):
+            got = dict(by_seq[i])
+            got.pop("seq")
+            got.pop("elapsed_ms")
+            assert got.pop("backend") == "sharded"
+            want = dict(want)
+            assert want.pop("backend") == "fleet"
+            assert got == want

@@ -1,0 +1,226 @@
+"""End-to-end smoke tests over real processes and real sockets.
+
+These are the test-suite twin of the CI ``net-smoke`` job: a ``repro
+serve --listen`` subprocess driven by the loadgen TCP client, and a
+2-shard sharded session whose workers are standalone ``repro
+shard-worker`` processes -- asserting both liveness (non-empty latency
+percentiles) and the bit-identity guarantee against in-process runs.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import io as repro_io
+from repro.data import HistogramQuery
+from repro.markov import two_state_matrix
+from repro.obs.loadgen import run_loadgen
+from repro.service import ReleaseSession, SessionConfig
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _spawn(argv):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *argv],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=_env(),
+        text=True,
+    )
+
+
+def _await_announcement(proc, key, timeout=30.0):
+    """Read stderr lines until the ``{key: {"host", "port"}}``
+    announcement appears; returns (host, port)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        line = proc.stderr.readline()
+        if not line:
+            raise AssertionError(
+                f"process exited before announcing {key}: "
+                f"{proc.stdout.read()}"
+            )
+        try:
+            payload = json.loads(line)
+        except ValueError:
+            continue
+        if key in payload:
+            return payload[key]["host"], payload[key]["port"]
+    raise AssertionError(f"no {key} announcement within {timeout}s")
+
+
+def _terminate(proc, timeout=15):
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+    try:
+        proc.wait(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait(timeout=timeout)
+
+
+@pytest.fixture()
+def matrix_path(tmp_path):
+    path = tmp_path / "matrix.json"
+    repro_io.save_json(two_state_matrix(0.8, 0.1), str(path))
+    return str(path)
+
+
+class TestServeLoadgen:
+    def test_serve_listen_loadgen_connect_round_trip(self, matrix_path):
+        serve = _spawn(
+            [
+                "serve",
+                "-m",
+                matrix_path,
+                "--users",
+                "20",
+                "--epsilon",
+                "0.1",
+                "--listen",
+                "127.0.0.1:0",
+            ]
+        )
+        try:
+            host, port = _await_announcement(serve, "listening")
+            report = run_loadgen(
+                users=20,
+                rate=2000.0,
+                count=100,
+                window=4,
+                queue_size=32,
+                target="connect",
+                address=f"{host}:{port}",
+            )
+            assert report["completed"] == 100
+            assert report["errors"] == 0
+            percentiles = report["latency_ms"]
+            assert percentiles  # non-empty latency percentiles
+            assert all(v > 0 for v in percentiles.values())
+            assert report["backend"] == "remote"
+            assert report["address"] == f"{host}:{port}"
+
+            # The HTTP side door exposes the Prometheus exposition.
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/metrics", timeout=10
+            ) as response:
+                assert response.status == 200
+                body = response.read().decode()
+            assert "serve_requests" in body
+        finally:
+            _terminate(serve)
+        assert serve.returncode == 0
+        remainder = serve.stderr.read()
+        assert "server stopped" in remainder
+
+    def test_retried_seq_not_double_charged_over_tcp(self, matrix_path):
+        """The acceptance criterion end-to-end: replay a seq against the
+        real server process and confirm the cached answer came back and
+        the horizon (accounted releases) did not advance."""
+        serve = _spawn(
+            [
+                "serve",
+                "-m",
+                matrix_path,
+                "--users",
+                "6",
+                "--epsilon",
+                "0.1",
+                "--listen",
+                "127.0.0.1:0",
+            ]
+        )
+        try:
+            host, port = _await_announcement(serve, "listening")
+            request = json.dumps(
+                {"snapshot": [0, 1, 0, 1, 1, 0], "seq": 5}
+            ).encode() + b"\n"
+
+            def round_trip():
+                with socket.create_connection((host, port), timeout=10) as s:
+                    s.sendall(request)
+                    s.shutdown(socket.SHUT_WR)
+                    data = b""
+                    while not data.endswith(b"\n"):
+                        chunk = s.recv(1 << 16)
+                        if not chunk:
+                            break
+                        data += chunk
+                return json.loads(data)
+
+            first = round_trip()
+            second = round_trip()
+            assert first["t"] == 1 and first["status"] == "released"
+            assert second.pop("cached") is True
+            assert second == first  # same payload, noise included
+        finally:
+            _terminate(serve)
+
+
+class TestShardWorkerRoundTrip:
+    def test_two_shard_socket_session_bit_identical(self, matrix_path):
+        """Two standalone ``repro shard-worker`` processes behind a
+        sharded session answer bit-identically to an in-process fleet
+        session on the same stream."""
+        workers = [
+            _spawn(["shard-worker", "--listen", "127.0.0.1:0", "--once"])
+            for _ in range(2)
+        ]
+        try:
+            addresses = [
+                "%s:%d" % _await_announcement(w, "shard_worker")
+                for w in workers
+            ]
+            matrix = two_state_matrix(0.8, 0.1)
+            correlations = {u: (matrix, matrix) for u in range(8)}
+            remote = ReleaseSession(
+                SessionConfig(
+                    correlations=correlations,
+                    budgets=0.1,
+                    query=HistogramQuery(2),
+                    backend="fleet",
+                    shard_addresses=tuple(addresses),
+                    seed=0,
+                )
+            )
+            local = ReleaseSession(
+                SessionConfig(
+                    correlations=correlations,
+                    budgets=0.1,
+                    query=HistogramQuery(2),
+                    backend="fleet",
+                    seed=0,
+                )
+            )
+            rng_a = np.random.default_rng(5)
+            rng_b = np.random.default_rng(5)
+            for _ in range(6):
+                a = remote.ingest(rng_a.integers(0, 2, size=8)).payload()
+                b = local.ingest(rng_b.integers(0, 2, size=8)).payload()
+                assert a.pop("backend") == "sharded"
+                assert b.pop("backend") == "fleet"
+                assert a == b
+            assert remote.max_tpl() == local.max_tpl()
+            remote.close()
+            # --once workers exit after the coordinator hangs up.
+            for worker in workers:
+                assert worker.wait(timeout=15) == 0
+        finally:
+            for worker in workers:
+                _terminate(worker)

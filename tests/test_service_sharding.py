@@ -235,11 +235,32 @@ class TestBackendLifecycle:
         with pytest.raises(RuntimeError, match="closed"):
             backend.max_tpl()
 
-    def test_dead_shard_fails_the_backend_closed(self, population):
-        """A shard process dying mid-stream must surface as one clear
-        error and close the backend -- never leave surviving shards with
-        unread replies a later query could misread as its answer."""
+    def test_dead_shard_restores_transparently_by_default(self, population):
+        """A shard process dying mid-stream is respawned, rebuilt and
+        caught up from the coordinator's op journal: the next query
+        answers as if nothing happened, bit for bit."""
         backend = ShardedFleetBackend(population, shards=2)
+        try:
+            before = backend.add_release(0.1)
+            victim = backend._procs[0]
+            victim.terminate()
+            victim.join(timeout=5)
+            assert backend.max_tpl() == before
+            assert backend.horizon == 1
+            # The restored worker keeps accounting identically.
+            reference = FleetAccountantBackend(population)
+            reference.add_release(0.1)
+            assert backend.add_release(0.2) == reference.add_release(0.2)
+        finally:
+            backend.close()
+
+    def test_dead_shard_fails_the_backend_closed(self, population):
+        """With ``auto_restore=False`` a shard death must surface as one
+        clear error and close the backend -- never leave surviving shards
+        with unread replies a later query could misread as its answer."""
+        backend = ShardedFleetBackend(
+            population, shards=2, auto_restore=False
+        )
         try:
             backend.add_release(0.1)
             victim = backend._procs[0]
