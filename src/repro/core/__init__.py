@@ -18,6 +18,8 @@ from .algorithm1 import (
     PairSolution,
     max_log_ratio,
     max_log_ratio_batch,
+    max_log_ratio_grid,
+    max_log_ratio_stacked,
     solve_lfp_algorithm1,
     solve_pair,
 )
@@ -63,6 +65,8 @@ __all__ = [
     "PairSolution",
     "max_log_ratio",
     "max_log_ratio_batch",
+    "max_log_ratio_grid",
+    "max_log_ratio_stacked",
     "solve_lfp_algorithm1",
     "solve_pair",
     "TemporalLossFunction",

@@ -45,6 +45,8 @@ __all__ = [
     "solve_lfp_algorithm1",
     "max_log_ratio",
     "max_log_ratio_batch",
+    "max_log_ratio_stacked",
+    "max_log_ratio_grid",
 ]
 
 
@@ -327,21 +329,39 @@ def _batch_sweep(
     base_mask: np.ndarray,
     e: np.ndarray,
 ) -> np.ndarray:
-    """One chunk of :func:`max_log_ratio_batch`: the deletion sweep on
+    """One chunk of the batched solvers: the deletion sweep on
     ``(A, pairs, n)`` arrays for ``A = len(e)`` strictly positive
-    ``e^alpha - 1`` values."""
+    ``e^alpha - 1`` values.
+
+    ``q_rows`` / ``d_rows`` / ``base_mask`` are either ``(pairs, n)`` --
+    one matrix shared by every alpha, the :func:`max_log_ratio_batch`
+    contract -- or already stacked ``(A, pairs, n)`` arrays carrying one
+    (possibly different) matrix per alpha, the
+    :func:`max_log_ratio_stacked` contract.  Each entry's deletion
+    sequence is independent of the rest of the batch: the shared
+    while-loop only decides how many extra sweeps a converged entry sits
+    through, and a stable subset reproduces its sums (and therefore its
+    value) identically on every extra sweep, so results are bit-identical
+    regardless of how entries are chunked or mixed."""
     a = e.shape[0]
-    mask = np.broadcast_to(base_mask, (a,) + base_mask.shape).copy()
+    if q_rows.ndim == 2:
+        # Broadcast views multiply elementwise exactly like the stacked
+        # copies would; no float op differs between the two layouts.
+        q_rows = np.broadcast_to(q_rows, (a,) + q_rows.shape)
+        d_rows = np.broadcast_to(d_rows, (a,) + d_rows.shape)
+    if base_mask.ndim == 2:
+        mask = np.broadcast_to(base_mask, (a,) + base_mask.shape).copy()
+    else:
+        mask = base_mask.copy()
     active = mask.any(axis=2)  # (A, pairs)
     while True:
-        q_sums = (q_rows[None, :, :] * mask).sum(axis=2)
-        d_sums = (d_rows[None, :, :] * mask).sum(axis=2)
+        q_sums = (q_rows * mask).sum(axis=2)
+        d_sums = (d_rows * mask).sum(axis=2)
         numerator = q_sums * e[:, None] + 1.0
         denominator = d_sums * e[:, None] + 1.0
         # >= for the same float-tie robustness as in solve_pair.
         keep = mask & (
-            q_rows[None, :, :] * denominator[:, :, None]
-            >= d_rows[None, :, :] * numerator[:, :, None]
+            q_rows * denominator[:, :, None] >= d_rows * numerator[:, :, None]
         )
         changed = active & (keep.sum(axis=2) != mask.sum(axis=2))
         if not changed.any():
@@ -352,3 +372,140 @@ def _batch_sweep(
     values = np.log(numerator) - np.log(denominator)
     values[~active] = 0.0
     return np.maximum(values.max(axis=1), 0.0)
+
+
+def max_log_ratio_stacked(jobs) -> list:
+    """Solve many ``(matrix, alphas)`` jobs in shared stacked sweeps.
+
+    All matrices must be the same size ``n``; entries from different jobs
+    are fused into the same ``(A, pairs, n)`` deletion sweeps, so a fleet
+    of cohorts with *different* transition structure still costs one
+    solver entry per chunk instead of one per cohort.  Per-entry
+    independence of :func:`_batch_sweep` makes each job's results
+    bit-identical to a standalone ``max_log_ratio_batch(matrix, alphas)``
+    call.  Counts the total number of alphas towards
+    ``solver.algorithm1.solves`` when solver metrics are installed.
+
+    Parameters
+    ----------
+    jobs:
+        Sequence of ``(matrix, alphas)`` pairs; ``alphas`` 1-D, each
+        value finite and ``>= 0``.
+
+    Returns
+    -------
+    List of arrays, one per job, each shaped like its ``alphas``.
+    """
+    registry = solver_metrics()
+    if registry is None:
+        return _max_log_ratio_stacked_impl(jobs)
+    start = time.perf_counter()
+    total = 0
+    try:
+        out = _max_log_ratio_stacked_impl(jobs)
+        total = sum(int(values.size) for values in out)
+        return out
+    finally:
+        registry.histogram("solver.algorithm1.seconds").observe(
+            time.perf_counter() - start
+        )
+        registry.counter("solver.algorithm1.solves").inc(total)
+
+
+def _max_log_ratio_stacked_impl(jobs) -> list:
+    prepared = []
+    outs = []
+    n_ref: Optional[int] = None
+    for matrix, alphas in jobs:
+        alphas = np.asarray(alphas, dtype=float)
+        if alphas.ndim != 1:
+            raise ValueError("alphas must be a 1-D array")
+        p = as_transition_matrix(matrix).array
+        if n_ref is None:
+            n_ref = p.shape[0]
+        elif p.shape[0] != n_ref:
+            raise ValueError(
+                "stacked solve requires matrices of one size; got "
+                f"{p.shape[0]}x{p.shape[0]} after {n_ref}x{n_ref}"
+            )
+        outs.append(np.zeros_like(alphas))
+        prepared.append((p, alphas))
+    # One combined validation pass: with hundreds of small jobs per call
+    # the per-job reductions dominate the sweep itself.
+    if prepared:
+        flat = np.concatenate([alphas for _, alphas in prepared])
+        if flat.size and (np.any(flat < 0) or not np.all(np.isfinite(flat))):
+            raise InvalidPrivacyParameterError(
+                "all alphas must be finite and >= 0"
+            )
+    if n_ref is None or n_ref == 1:
+        return outs
+
+    j_idx, k_idx = np.where(~np.eye(n_ref, dtype=bool))
+    q_all = np.stack([p[j_idx] for p, _ in prepared])  # (jobs, pairs, n)
+    d_all = np.stack([p[k_idx] for p, _ in prepared])
+    m_all = q_all > d_all  # Corollary 2 candidates, per job
+    any_candidates = m_all.any(axis=(1, 2))
+
+    # Flat work list of (job, position, e^alpha - 1); same math.expm1
+    # bit-identity contract as max_log_ratio_batch.
+    entries = []
+    expm1 = math.expm1
+    for ji, (_, alphas) in enumerate(prepared):
+        if not any_candidates[ji]:
+            continue
+        for ai, value in enumerate(alphas.tolist()):
+            e = expm1(value)
+            if e > 0.0:
+                entries.append((ji, ai, e))
+    if not entries:
+        return outs
+
+    per_alpha = j_idx.size * n_ref
+    chunk = max(1, _BATCH_CHUNK_ELEMENTS // per_alpha)
+    for lo in range(0, len(entries), chunk):
+        part = entries[lo : lo + chunk]
+        jsel = np.array([ji for ji, _, _ in part])
+        e = np.array([ev for _, _, ev in part])
+        values = _batch_sweep(q_all[jsel], d_all[jsel], m_all[jsel], e)
+        for (ji, ai, _), value in zip(part, values):
+            outs[ji][ai] = value
+    return outs
+
+
+def max_log_ratio_grid(matrix, alphas, cache=None) -> np.ndarray:
+    """:func:`max_log_ratio_batch` over a grid with cache warm-start.
+
+    Deduplicates the grid, answers what ``cache`` (a
+    :class:`~repro.fleet.solution_cache.SolutionCache`, or anything with
+    ``get``/``put``) already knows under the fleet engine's
+    ``(digest, value, "batch")`` keys, solves only the missing values in
+    one batched sweep, and memoises the new solutions.  With
+    ``cache=None`` this is exactly ``max_log_ratio_batch``.
+    """
+    alphas = np.asarray(alphas, dtype=float)
+    if alphas.ndim != 1:
+        raise ValueError("alphas must be a 1-D array")
+    if cache is None:
+        return max_log_ratio_batch(matrix, alphas)
+    if alphas.size == 0:
+        return np.zeros(0)
+    if np.any(alphas < 0) or not np.all(np.isfinite(alphas)):
+        raise InvalidPrivacyParameterError("all alphas must be finite and >= 0")
+    matrix = as_transition_matrix(matrix)
+    digest = matrix.digest
+    unique, inverse = np.unique(alphas, return_inverse=True)
+    results = np.empty_like(unique)
+    missing = []
+    for i, value in enumerate(unique.tolist()):
+        hit = cache.get((digest, value, "batch"))
+        if hit is None:
+            missing.append(i)
+        else:
+            results[i] = hit
+    if missing:
+        computed = max_log_ratio_batch(matrix, unique[missing])
+        for i, value in zip(missing, computed.tolist()):
+            results[i] = value
+            cache.put((digest, float(unique[i]), "batch"), value)
+    return results[inverse]

@@ -30,7 +30,11 @@ from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from ..core.algorithm1 import max_log_ratio_batch
+from ..core.algorithm1 import (
+    max_log_ratio_batch,
+    max_log_ratio_grid,
+    max_log_ratio_stacked,
+)
 from ..core.budget import validate_epsilon
 from ..core.leakage import (
     LeakageProfile,
@@ -45,6 +49,10 @@ from .cohorts import Cohort, CohortIndex, normalise_pair
 from .solution_cache import SolutionCache
 
 __all__ = ["FleetAccountant"]
+
+#: Shared inverse index for one-element dedup bypasses in
+#: :meth:`FleetAccountant._loss_batch_multi`.
+_SINGLETON_IDX = np.zeros(1, dtype=np.intp)
 
 
 class _Group:
@@ -150,6 +158,10 @@ class FleetAccountant:
         self._alpha = alpha
         self._registry = registry if registry is not None else NULL_REGISTRY
         self._cache = cache if cache is not None else SolutionCache()
+        #: Advance / sweep all cohorts through shared cross-cohort
+        #: stacked solves (bit-identical to the per-cohort loop, which
+        #: stays available as the parity/benchmark reference).
+        self.cross_cohort = True
         self._index = CohortIndex()
         self._states: Dict[str, _CohortState] = {}
         self._user_start: Dict[Hashable, int] = {}
@@ -271,8 +283,7 @@ class FleetAccountant:
         start = self.horizon
         self._epsilons.append(epsilon)
         try:
-            for state in self._states.values():
-                self._extend_cohort(state, epsilon, overrides)
+            self._extend_step(epsilon, overrides)
             worst = self.max_tpl()
         except BaseException:
             self._truncate_to(start)
@@ -296,8 +307,7 @@ class FleetAccountant:
         try:
             for eps in epsilons:
                 self._epsilons.append(eps)
-                for state in self._states.values():
-                    self._extend_cohort(state, eps, {})
+                self._extend_step(eps, {})
             worst = self.max_tpl()
         except BaseException:
             self._truncate_to(start)
@@ -375,8 +385,7 @@ class FleetAccountant:
                 for user in step_overrides:
                     self._ensure_override(user)
                 self._epsilons.append(epsilon)
-                for state in self._states.values():
-                    self._extend_cohort(state, epsilon, step_overrides)
+                self._extend_step(epsilon, step_overrides)
             with self._registry.span("fleet.window_worsts.seconds"):
                 worsts = self._window_worsts(len(epsilons))
         except BaseException:
@@ -406,6 +415,69 @@ class FleetAccountant:
             del state.groups[start]
         state.overrides[user] = series
         state._override_fpl_key = None
+
+    def _extend_step(
+        self, epsilon: float, overrides: Mapping[Hashable, float]
+    ) -> None:
+        """Advance every cohort by one release: cross-cohort batched by
+        default, per-cohort (:meth:`_extend_cohort`) when
+        ``cross_cohort`` is off -- the two paths append bit-identical
+        floats (parity-pinned)."""
+        if self.cross_cohort:
+            self._extend_all(epsilon, overrides)
+        else:
+            for state in self._states.values():
+                self._extend_cohort(state, epsilon, overrides)
+
+    def _extend_all(
+        self, epsilon: float, overrides: Mapping[Hashable, float]
+    ) -> None:
+        """One release step for *every* cohort in one batched pass.
+
+        All groups' and all override members' BPL increments -- across
+        all cohorts -- are bucketed by backward-matrix digest and
+        evaluated through :meth:`_loss_batch_multi`, which fuses the
+        buckets into shared stacked solver entries.  Appends the exact
+        floats :meth:`_extend_cohort` would: the batched solver matches
+        the scalar loss path bit-for-bit (an invariant the parity suites
+        pin), and the appended sums are the same scalar adds.
+        """
+        jobs: List[Tuple[Optional[TemporalLossFunction], List[float]]] = []
+        sinks: List[list] = []
+        buckets: Dict[Optional[str], int] = {}
+        for state in self._states.values():
+            loss = state.loss_b
+            key = None if loss is None else loss.matrix.digest
+            slot = buckets.get(key)
+            if slot is None:
+                slot = len(jobs)
+                buckets[key] = slot
+                jobs.append((loss, []))
+                sinks.append([])
+            values = jobs[slot][1]
+            targets = sinks[slot]
+            for group in state.groups.values():
+                values.append(group.bpl[-1] if group.bpl else 0.0)
+                targets.append((None, None, group))
+            for user, series in state.overrides.items():
+                values.append(series.bpl[-1] if series.bpl else 0.0)
+                targets.append((state, user, series))
+        if not jobs:
+            return
+        increments = self._loss_batch_multi(
+            [(loss, np.asarray(vals, dtype=float)) for loss, vals in jobs]
+        )
+        for values, targets in zip(increments, sinks):
+            for increment, (state, user, target) in zip(
+                values.tolist(), targets
+            ):
+                if state is None:
+                    target.bpl.append(increment + epsilon)
+                else:
+                    eps_u = float(overrides.get(user, epsilon))
+                    target.eps.append(eps_u)
+                    target.bpl.append(increment + eps_u)
+                    state._override_fpl_key = None
 
     def _extend_cohort(
         self,
@@ -492,6 +564,143 @@ class FleetAccountant:
         for _ in range(n):
             self.rollback_last()
 
+    def probe_release_scales(
+        self,
+        epsilon: float,
+        overrides: Optional[Mapping[Hashable, float]] = None,
+        scales: Iterable[float] = (),
+    ) -> np.ndarray:
+        """Worst-case TPL that ``add_release(epsilon * s, {u: eps_u *
+        s})`` would return, for every scale ``s``, without touching any
+        state.
+
+        The read-only, batched equivalent of the service layer's
+        probe-and-rollback loop: the BPL increments ``L_B(BPL_T)`` of
+        the probed step are scale-independent and computed once, and the
+        FPL recursions of every row advance for *all* scales in one
+        stacked ``(rows, scales)`` backward sweep over the full horizon,
+        with loss evaluations fused across cohorts per time point
+        (:meth:`_loss_batch_multi`).  Results are bit-identical to the
+        serial probe (the parity suites pin this): the scaled epsilons
+        are the same ``base * s`` multiplies, the recursion steps the
+        same adds on the same loss values, and the per-scale worst the
+        same exact max with the same ``0.0`` floor as :meth:`max_tpl`.
+
+        Override users still carried in a default group are *virtually*
+        split out for the probe (the serial path converts them
+        permanently via :meth:`_ensure_override`; the conversion is
+        numerically neutral, so skipping it here preserves parity).
+        """
+        epsilon = validate_epsilon(epsilon)
+        overrides = dict(overrides) if overrides else {}
+        for user, eps_u in overrides.items():
+            if user not in self._user_start:
+                raise KeyError(f"override for unknown user {user!r}")
+            validate_epsilon(eps_u, name="override epsilon")
+        scales_arr = np.asarray(list(scales), dtype=float)
+        n_scales = scales_arr.size
+        worsts = np.zeros(n_scales)
+        if n_scales == 0:
+            return worsts
+
+        probe_users: Dict[str, set] = {}
+        for user in overrides:
+            key = self._index.cohort_of(user).key
+            probe_users.setdefault(key, set()).add(user)
+
+        horizon = len(self._epsilons)
+        eps_all = np.asarray(self._epsilons, dtype=float)
+        starts: List[int] = []
+        eps_hist: List[np.ndarray] = []
+        bpl_hist: List[np.ndarray] = []
+        last_base: List[float] = []
+        row_loss_b: List[Optional[TemporalLossFunction]] = []
+        row_loss_f: List[Optional[TemporalLossFunction]] = []
+
+        def add_row(state, start, eps_vec, bpl_vec, base):
+            starts.append(start)
+            eps_hist.append(np.asarray(eps_vec, dtype=float))
+            bpl_hist.append(np.asarray(bpl_vec, dtype=float))
+            last_base.append(float(base))
+            row_loss_b.append(state.loss_b)
+            row_loss_f.append(state.loss_f)
+
+        for key, state in self._states.items():
+            split = probe_users.get(key, ())
+            for group in state.groups.values():
+                hist_eps = eps_all[group.start :]
+                if any(u not in split for u in group.members):
+                    add_row(state, group.start, hist_eps, group.bpl, epsilon)
+                for user in group.members:
+                    if user in split:
+                        add_row(
+                            state,
+                            group.start,
+                            hist_eps,
+                            group.bpl,
+                            overrides[user],
+                        )
+            for user, series in state.overrides.items():
+                add_row(
+                    state,
+                    series.start,
+                    series.eps,
+                    series.bpl,
+                    overrides.get(user, epsilon),
+                )
+
+        n_rows = len(starts)
+        if n_rows == 0:
+            return worsts
+
+        # Scale-independent BPL increment of the probed step, per row.
+        previous = np.array(
+            [bpl[-1] if bpl.size else 0.0 for bpl in bpl_hist]
+        )
+        increments = np.zeros(n_rows)
+        b_buckets = self._bucket_rows(row_loss_b)
+        results = self._loss_batch_multi(
+            [(loss, previous[idx]) for loss, idx in b_buckets]
+        )
+        for (_, idx), values in zip(b_buckets, results):
+            increments[idx] = values
+
+        starts_arr = np.array(starts)
+        eps_mat = np.zeros((n_rows, horizon))
+        bpl_mat = np.zeros((n_rows, horizon))
+        for i in range(n_rows):
+            eps_mat[i, starts[i] :] = eps_hist[i]
+            bpl_mat[i, starts[i] :] = bpl_hist[i]
+        # The probed step's epsilons and BPL, per row per scale -- the
+        # same base * s multiplies the serial probes perform.
+        last_eps = np.array(last_base)[:, None] * scales_arr[None, :]
+        bpl_last = increments[:, None] + last_eps
+
+        f_buckets = self._bucket_rows(row_loss_f)
+        alphas = np.zeros((n_rows, n_scales))
+        for g in range(horizon, -1, -1):
+            jobs = []
+            acts = []
+            for loss, idx in f_buckets:
+                act = idx[starts_arr[idx] <= g]
+                if act.size == 0:
+                    continue
+                jobs.append((loss, alphas[act, :].ravel()))
+                acts.append(act)
+            results = self._loss_batch_multi(jobs, use_cache=False)
+            for act, values in zip(acts, results):
+                if g == horizon:
+                    eps_g = last_eps[act]
+                    bpl_g = bpl_last[act]
+                else:
+                    eps_g = eps_mat[act, g][:, None]
+                    bpl_g = bpl_mat[act, g][:, None]
+                stepped = values.reshape(act.size, n_scales) + eps_g
+                alphas[act, :] = stepped
+                tpl = bpl_g + stepped - eps_g
+                np.maximum(worsts, tpl.max(axis=0), out=worsts)
+        return worsts
+
     # ------------------------------------------------------------------
     # Batched loss evaluation (the (members, T) array path)
     # ------------------------------------------------------------------
@@ -503,28 +712,107 @@ class FleetAccountant:
         with the scalar ``(value, pair)`` entries)."""
         if loss is None:
             return np.zeros_like(values)
-        unique, inverse = np.unique(values, return_inverse=True)
-        results = np.empty_like(unique)
-        digest = loss.matrix.digest
-        missing: List[int] = []
         # Keys carry the *exact* float (matching the scalar loss memo):
         # rounding conflated distinct alphas and made cached values
         # depend on evaluation order.
-        for i, value in enumerate(unique):
-            key = (digest, float(value), "batch")
-            hit = self._cache.get(key)
-            if hit is None:
-                missing.append(i)
-            else:
-                results[i] = hit  # type: ignore[assignment]
-        if missing:
-            computed = max_log_ratio_batch(loss.matrix, unique[missing])
-            for i, value in zip(missing, computed):
-                results[i] = value
-                self._cache.put(
-                    (digest, float(unique[i]), "batch"), float(value)
+        return max_log_ratio_grid(loss.matrix, values, cache=self._cache)
+
+    def _loss_batch_multi(self, jobs, use_cache: bool = True) -> List[np.ndarray]:
+        """Many :meth:`_loss_batch` jobs -- ``(loss-or-None, values)``
+        pairs -- with the cache-missing solves of *all* jobs fused into
+        shared stacked sweeps (:func:`max_log_ratio_stacked`, one group
+        per matrix size).  Per-job results are bit-identical to separate
+        :meth:`_loss_batch` calls; the fusion only changes how many
+        solver entries the fleet pays per step.
+
+        ``use_cache=False`` skips the dedup + LRU memoisation entirely
+        and solves every value raw.  The backward window/probe sweeps
+        use it: their alphas are running partial sums that essentially
+        never recur, so memoising them only pays per-value Python
+        overhead and evicts the genuinely reusable scalar-path entries.
+        The cache never changes a bit (recomputation is bit-identical by
+        the solver contract), so either setting yields the same floats.
+        """
+        results: List[Optional[np.ndarray]] = [None] * len(jobs)
+        if not use_cache:
+            raw: List[tuple] = []
+            for i, (loss, values) in enumerate(jobs):
+                values = np.asarray(values, dtype=float)
+                if loss is None:
+                    results[i] = np.zeros_like(values)
+                else:
+                    raw.append((i, loss, values))
+            raw_by_n: Dict[int, List[tuple]] = {}
+            for entry in raw:
+                n = entry[1].matrix.array.shape[0]
+                raw_by_n.setdefault(n, []).append(entry)
+            for entries in raw_by_n.values():
+                solved = max_log_ratio_stacked(
+                    [(loss.matrix, values) for _, loss, values in entries]
                 )
-        return results[inverse]
+                for (i, _, _), values in zip(entries, solved):
+                    results[i] = values
+            return results  # type: ignore[return-value]
+        pending: List[tuple] = []
+        for i, (loss, values) in enumerate(jobs):
+            values = np.asarray(values, dtype=float)
+            if loss is None:
+                results[i] = np.zeros_like(values)
+                continue
+            if values.size == 1:
+                # The per-step extension path sends one alpha per group;
+                # a sort-based dedup of one element is pure overhead.
+                unique, inverse = values, _SINGLETON_IDX
+            else:
+                unique, inverse = np.unique(values, return_inverse=True)
+            res = np.empty_like(unique)
+            digest = loss.matrix.digest
+            missing: List[int] = []
+            for k, value in enumerate(unique.tolist()):
+                hit = self._cache.get((digest, value, "batch"))
+                if hit is None:
+                    missing.append(k)
+                else:
+                    res[k] = hit
+            pending.append((i, loss, unique, inverse, res, missing, digest))
+        by_n: Dict[int, List[tuple]] = {}
+        for entry in pending:
+            if entry[5]:
+                n = entry[1].matrix.array.shape[0]
+                by_n.setdefault(n, []).append(entry)
+        for entries in by_n.values():
+            solved = max_log_ratio_stacked(
+                [
+                    (loss.matrix, unique[missing])
+                    for _, loss, unique, _, _, missing, _ in entries
+                ]
+            )
+            for entry, values in zip(entries, solved):
+                _, _, unique, _, res, missing, digest = entry
+                for k, value in zip(missing, values.tolist()):
+                    res[k] = value
+                    self._cache.put((digest, float(unique[k]), "batch"), value)
+        for i, _, _, inverse, res, _, _ in pending:
+            results[i] = res[inverse]
+        return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _bucket_rows(losses) -> List[tuple]:
+        """Group row indices by loss digest (``None`` rows together);
+        returns ``[(loss, index-array), ...]`` in first-seen order."""
+        buckets: Dict[Optional[str], tuple] = {}
+        order: List[Optional[str]] = []
+        for i, loss in enumerate(losses):
+            key = None if loss is None else loss.matrix.digest
+            slot = buckets.get(key)
+            if slot is None:
+                slot = (loss, [])
+                buckets[key] = slot
+                order.append(key)
+            slot[1].append(i)
+        return [
+            (buckets[key][0], np.array(buckets[key][1])) for key in order
+        ]
 
     # ------------------------------------------------------------------
     # Queries
@@ -663,6 +951,132 @@ class FleetAccountant:
     def _window_worsts(self, window: int) -> np.ndarray:
         """Per-step worst-case TPL of the last ``window`` releases, for
         all cohorts, computed after the whole window has been applied.
+        Dispatches to the cross-cohort global sweep
+        (:meth:`_window_worsts_grouped`) or the per-cohort reference
+        (:meth:`_window_worsts_serial`); both leave every group's and
+        override member's FPL cache populated with the full-horizon
+        series, so the next :meth:`max_tpl` / :meth:`profile` query is
+        free, and both return bit-identical series (parity-pinned)."""
+        if self.cross_cohort:
+            return self._window_worsts_grouped(window)
+        return self._window_worsts_serial(window)
+
+    def _window_worsts_grouped(self, window: int) -> np.ndarray:
+        """Cross-cohort :meth:`_window_worsts_serial`: one *global*
+        backward sweep advances every group and override member of every
+        cohort in lock-step.
+
+        At global time point ``g`` the first window prefix covering it
+        is ``max(0, g - (horizon - window))`` -- independent of a row's
+        join time -- so rows from different cohorts, join times, and
+        override blocks all share each sweep step.  Active rows' loss
+        evaluations are bucketed by forward-matrix digest and fused
+        across buckets into stacked solves (:meth:`_loss_batch_multi`),
+        collapsing the solver entries per window from O(cohorts x T) to
+        O(T).  Bit-identical to the serial path: per-entry independence
+        of the stacked solver, the same elementwise adds on the same
+        floats, and an exact max over the same multiset of TPL values.
+        """
+        horizon = len(self._epsilons)
+        base_all = horizon - window
+        worsts = np.zeros(window)
+        eps_all = np.asarray(self._epsilons, dtype=float)
+
+        # Row catalogue: every group and every non-empty override series
+        # becomes one row of the global sweep.
+        starts: List[int] = []
+        eps_rows: List[np.ndarray] = []
+        bpl_rows: List[np.ndarray] = []
+        row_loss: List[Optional[TemporalLossFunction]] = []
+        sinks: List[tuple] = []
+        override_states: List[_CohortState] = []
+        empty_overrides: List[tuple] = []
+        for state in self._states.values():
+            for group in state.groups.values():
+                eps = eps_all[group.start :]
+                if eps.size == 0:
+                    continue
+                starts.append(group.start)
+                eps_rows.append(eps)
+                bpl_rows.append(np.asarray(group.bpl, dtype=float))
+                row_loss.append(state.loss_f)
+                sinks.append(("group", group, eps))
+            if state.overrides:
+                override_states.append(state)
+                for user, series in state.overrides.items():
+                    if not series.eps:
+                        empty_overrides.append((state, user))
+                        continue
+                    starts.append(series.start)
+                    eps_rows.append(np.asarray(series.eps, dtype=float))
+                    bpl_rows.append(np.asarray(series.bpl, dtype=float))
+                    row_loss.append(state.loss_f)
+                    sinks.append(("override", state, user))
+
+        n_rows = len(sinks)
+        fpl_final = np.zeros((n_rows, horizon))
+        if n_rows:
+            starts_arr = np.array(starts)
+            eps_mat = np.zeros((n_rows, horizon))
+            bpl_mat = np.zeros((n_rows, horizon))
+            for i in range(n_rows):
+                eps_mat[i, starts[i] :] = eps_rows[i]
+                bpl_mat[i, starts[i] :] = bpl_rows[i]
+            buckets = self._bucket_rows(row_loss)
+            alphas = np.zeros((n_rows, window))
+            for g in range(horizon - 1, -1, -1):
+                first = max(0, g - base_all)
+                jobs = []
+                acts = []
+                for loss, idx in buckets:
+                    act = idx[starts_arr[idx] <= g]
+                    if act.size == 0:
+                        continue
+                    jobs.append((loss, alphas[act, first:].ravel()))
+                    acts.append(act)
+                results = self._loss_batch_multi(jobs, use_cache=False)
+                for act, values in zip(acts, results):
+                    stepped = (
+                        values.reshape(act.size, window - first)
+                        + eps_mat[act, g][:, None]
+                    )
+                    alphas[act, first:] = stepped
+                    fpl_final[act, g] = stepped[:, -1]
+                    tpl = (
+                        bpl_mat[act, g][:, None]
+                        + stepped
+                        - eps_mat[act, g][:, None]
+                    )
+                    np.maximum(
+                        worsts[first:], tpl.max(axis=0), out=worsts[first:]
+                    )
+
+        # Refresh the FPL caches exactly as the serial path does.
+        out_map: Dict[int, Dict[Hashable, np.ndarray]] = {
+            id(state): {} for state in override_states
+        }
+        for state, user in empty_overrides:
+            out_map[id(state)][user] = np.zeros(0)
+        for i, sink in enumerate(sinks):
+            if sink[0] == "group":
+                _, group, eps = sink
+                group._fpl = fpl_final[i, group.start :].copy()
+                group._fpl_key = eps.tobytes()
+            else:
+                _, state, user = sink
+                out_map[id(state)][user] = fpl_final[
+                    i, state.overrides[user].start :
+                ].copy()
+        for state in override_states:
+            state._override_fpl = out_map[id(state)]
+            state._override_fpl_key = b"|".join(
+                np.asarray(state.overrides[u].eps, dtype=float).tobytes()
+                for u in state.overrides
+            )
+        return worsts
+
+    def _window_worsts_serial(self, window: int) -> np.ndarray:
+        """Per-cohort reference implementation of :meth:`_window_worsts`.
 
         One :meth:`_prefix_sweep` per group / per override join time
         replaces ``window`` separate O(T) FPL recursions; as a side

@@ -126,7 +126,11 @@ class AccountantBackend(Protocol):
     ``add_release`` call would have returned.  ``add_release`` remains as
     a one-element-window compatibility wrapper, and ``rollback(n)``
     undoes the last ``n`` steps exactly (``rollback_last`` ==
-    ``rollback(1)``).
+    ``rollback(1)``).  ``probe_scales`` answers -- read-only -- the
+    worst-case TPL a release scaled by each candidate factor would
+    report, bit-identical to probing each scale with ``add_release`` +
+    ``rollback_last``; the session's clamp bisection evaluates whole
+    levels through it in one backend entry.
     """
 
     name: str
@@ -155,6 +159,13 @@ class AccountantBackend(Protocol):
     def rollback_last(self) -> None: ...
 
     def rollback(self, n: int = 1) -> None: ...
+
+    def probe_scales(
+        self,
+        epsilon: float,
+        overrides: Optional[Mapping[Hashable, float]],
+        scales: Iterable[float],
+    ) -> np.ndarray: ...
 
     def max_tpl(self) -> float: ...
 
@@ -261,6 +272,32 @@ class ScalarAccountantBackend:
             for accountant in self._accountants.values():
                 accountant.rollback_last()
             self._epsilons.pop()
+
+    def probe_scales(
+        self,
+        epsilon: float,
+        overrides: Optional[Mapping[Hashable, float]] = None,
+        scales: Iterable[float] = (),
+    ) -> np.ndarray:
+        """Worst-case TPL of ``add_release(epsilon * s, {u: eps_u * s})``
+        per scale ``s``, state untouched on return.
+
+        The scalar path is the reference implementation: literally the
+        serial probe loop (add + read + rollback per scale), so the
+        vectorised fleet/sharded probes are pinned against it bit for
+        bit by the parity suites."""
+        overrides = dict(overrides) if overrides else None
+        scales = [float(s) for s in scales]
+        worsts = np.empty(len(scales))
+        for i, scale in enumerate(scales):
+            scaled = (
+                {user: eps * scale for user, eps in overrides.items()}
+                if overrides
+                else None
+            )
+            worsts[i] = self.add_release(epsilon * scale, scaled)
+            self.rollback_last()
+        return worsts
 
     # -- queries --------------------------------------------------------
     def max_tpl(self) -> float:
@@ -426,6 +463,20 @@ class FleetAccountantBackend:
 
     def rollback(self, n: int = 1) -> None:
         self._fleet.rollback(n)
+
+    def probe_scales(
+        self,
+        epsilon: float,
+        overrides: Optional[Mapping[Hashable, float]] = None,
+        scales: Iterable[float] = (),
+    ) -> np.ndarray:
+        """Read-only multi-scale probe through the engine's stacked
+        ``(rows, scales)`` sweep
+        (:meth:`FleetAccountant.probe_release_scales`)."""
+        with self._registry.span(
+            "backend.probe_scales.seconds", backend=self.name
+        ):
+            return self._fleet.probe_release_scales(epsilon, overrides, scales)
 
     def max_tpl(self) -> float:
         return self._fleet.max_tpl()

@@ -145,6 +145,9 @@ def shard_dispatch(engine: FleetAccountant, op: str, args):
         return engine.add_window(epsilons, overrides)
     if op == "rollback":
         return engine.rollback(args)
+    if op == "probe_scales":
+        epsilon, overrides, scales = args
+        return engine.probe_release_scales(epsilon, overrides, scales)
     if op == "max_tpl":
         return engine.max_tpl()
     if op == "profile":
@@ -852,6 +855,50 @@ class ShardedFleetBackend:
         self._broadcast("rollback", n)
         del self._epsilons[len(self._epsilons) - n :]
         self._journal_rollback(n)
+
+    def probe_scales(
+        self,
+        epsilon: float,
+        overrides: Optional[Mapping[Hashable, float]] = None,
+        scales: Iterable[float] = (),
+    ) -> np.ndarray:
+        """Scatter a read-only multi-scale probe to every shard and merge
+        the per-scale worsts by elementwise max (each shard's answer
+        already carries the serial probe's ``0.0`` floor, so the merge is
+        the exact cross-shard maximum).
+
+        Validation mirrors :meth:`_add_window` -- same checks in the
+        same order, before any shard is touched.  The op mutates
+        nothing, so it is *not* journalled: a worker that dies mid-probe
+        is restored from checkpoint + journal and the re-issued probe
+        (via :meth:`_recv`'s generic restore-and-reissue) answers
+        bit-identically.
+        """
+        with self._registry.span(
+            "backend.probe_scales.seconds", backend=self.name
+        ):
+            self._require_open()
+            self._maybe_health()
+            epsilon = validate_epsilon(epsilon)
+            per = dict(overrides) if overrides else {}
+            n_shards = len(self._transports)
+            split: List[Dict[Hashable, float]] = [{} for _ in range(n_shards)]
+            for user, eps_u in per.items():
+                owner = self._user_shard.get(user)
+                if owner is None:
+                    raise KeyError(f"override for unknown user {user!r}")
+                validate_epsilon(eps_u, name="override epsilon")
+                split[owner][user] = eps_u
+            scales = [float(s) for s in scales]
+            for index in range(n_shards):
+                self._send(index, "probe_scales", (epsilon, split[index], scales))
+            results = self._gather(
+                [
+                    (i, "probe_scales", (epsilon, split[i], scales))
+                    for i in range(n_shards)
+                ]
+            )
+            return np.maximum.reduce(results)
 
     # -- queries --------------------------------------------------------
     def max_tpl(self) -> float:

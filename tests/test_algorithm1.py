@@ -7,8 +7,18 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core import LfpProblem, max_log_ratio, solve_lfp_algorithm1, solve_pair
+from repro.core import (
+    LfpProblem,
+    max_log_ratio,
+    max_log_ratio_batch,
+    max_log_ratio_grid,
+    max_log_ratio_stacked,
+    solve_lfp_algorithm1,
+    solve_pair,
+)
+from repro.core import algorithm1 as algorithm1_module
 from repro.exceptions import InvalidPrivacyParameterError
+from repro.fleet import SolutionCache
 from repro.lp import solve_lfp_bruteforce
 from repro.markov import (
     identity_matrix,
@@ -139,3 +149,106 @@ class TestMaxLogRatio:
         value = max_log_ratio(m, 80.0)
         # rows: q=(0.8,0.2), d=(0.1,0.9): subset {0}, limit log(0.8/0.1)
         assert value == pytest.approx(math.log(8.0), abs=1e-3)
+
+
+class TestMaxLogRatioBatched:
+    """Bit-identity of the batch / stacked / grid entry points against
+    the scalar solver, including the chunked code path and degenerate
+    alpha rows."""
+
+    GRID = [0.0, 1e-12, 0.25, 0.25, 1.0, 5.0, 0.0]
+
+    @given(transition_matrices(), st.lists(alphas(), min_size=1, max_size=6))
+    def test_batch_matches_scalar(self, m, values):
+        batch = max_log_ratio_batch(m, values)
+        for value, expected in zip(values, batch):
+            assert max_log_ratio(m, value) == expected
+
+    @given(transition_matrices(), st.lists(alphas(), min_size=1, max_size=6))
+    def test_batch_is_chunk_invariant(self, m, values):
+        """Forcing the chunk size down to one alpha per sweep must not
+        change a single bit -- the per-entry independence contract of
+        ``_batch_sweep``."""
+        reference = max_log_ratio_batch(m, values)
+        original = algorithm1_module._BATCH_CHUNK_ELEMENTS
+        algorithm1_module._BATCH_CHUNK_ELEMENTS = 1
+        try:
+            chunked = max_log_ratio_batch(m, values)
+        finally:
+            algorithm1_module._BATCH_CHUNK_ELEMENTS = original
+        assert np.array_equal(reference, chunked)
+
+    def test_batch_zero_and_degenerate_alphas(self):
+        """alpha == 0 and subnormal alphas short-circuit to 0.0 exactly,
+        interleaved with real work in one call."""
+        m = two_state_matrix(0.8, 0.1)
+        out = max_log_ratio_batch(m, self.GRID)
+        assert out[0] == 0.0 and out[6] == 0.0
+        assert out[2] == out[3] > 0.0
+        assert out[1] == max_log_ratio(m, 1e-12)
+
+    def test_batch_empty_grid(self):
+        out = max_log_ratio_batch(two_state_matrix(0.8, 0.1), [])
+        assert out.shape == (0,)
+
+    @given(
+        st.lists(
+            st.tuples(
+                transition_matrices(min_n=3, max_n=3),
+                st.lists(alphas(), min_size=0, max_size=4),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_stacked_matches_per_matrix_batch(self, jobs):
+        """Fusing distinct matrices into one stacked sweep returns each
+        job's standalone batch answer bit-for-bit."""
+        results = max_log_ratio_stacked(jobs)
+        assert len(results) == len(jobs)
+        for (matrix, values), fused in zip(jobs, results):
+            assert np.array_equal(fused, max_log_ratio_batch(matrix, values))
+
+    def test_stacked_chunk_invariant(self):
+        jobs = [
+            (two_state_matrix(0.8, 0.1), [0.3, 1.0]),
+            (two_state_matrix(0.6, 0.2), [0.0, 0.7, 2.5]),
+        ]
+        reference = max_log_ratio_stacked(jobs)
+        original = algorithm1_module._BATCH_CHUNK_ELEMENTS
+        algorithm1_module._BATCH_CHUNK_ELEMENTS = 1
+        try:
+            chunked = max_log_ratio_stacked(jobs)
+        finally:
+            algorithm1_module._BATCH_CHUNK_ELEMENTS = original
+        for a, b in zip(reference, chunked):
+            assert np.array_equal(a, b)
+
+    def test_stacked_rejects_mixed_sizes(self):
+        with pytest.raises(ValueError, match="one size"):
+            max_log_ratio_stacked(
+                [
+                    (two_state_matrix(0.8, 0.1), [0.3]),
+                    (uniform_matrix(3), [0.3]),
+                ]
+            )
+
+    def test_grid_without_cache_is_batch(self):
+        m = two_state_matrix(0.7, 0.2)
+        assert np.array_equal(
+            max_log_ratio_grid(m, self.GRID),
+            max_log_ratio_batch(m, self.GRID),
+        )
+
+    def test_grid_warm_start_reuses_cache(self):
+        """A warm cache answers repeated values without new solves, and
+        the answers stay bit-identical to the cold batch."""
+        m = two_state_matrix(0.7, 0.2)
+        cache = SolutionCache()
+        cold = max_log_ratio_grid(m, self.GRID, cache=cache)
+        assert np.array_equal(cold, max_log_ratio_batch(m, self.GRID))
+        misses_after_cold = cache.stats()["misses"]
+        warm = max_log_ratio_grid(m, self.GRID, cache=cache)
+        assert np.array_equal(warm, cold)
+        assert cache.stats()["misses"] == misses_after_cold
+        assert cache.stats()["hits"] > 0

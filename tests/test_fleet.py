@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import (
     AdversaryT,
@@ -421,6 +423,88 @@ class TestOverrides:
 
 
 # ---------------------------------------------------------------------------
+# Cross-cohort batching
+# ---------------------------------------------------------------------------
+def _fleet_state(fleet, population):
+    """Every observable: per-step worsts implied by profiles, max TPL."""
+    state = {"max_tpl": fleet.max_tpl(), "horizon": fleet.horizon}
+    for user in population:
+        p = fleet.profile(user)
+        state[user] = (p.epsilons.tobytes(), p.bpl.tobytes(), p.fpl.tobytes())
+    return state
+
+
+class TestCrossCohortParity:
+    """The digest-batched cross-cohort sweep is a pure execution-plan
+    change: every float it produces must be bit-identical to the
+    per-cohort loop it replaced."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**16), users=st.integers(2, 12))
+    def test_mixed_stream_bit_identity(self, seed, users):
+        rng = np.random.default_rng(seed)
+        pairs = [
+            (two_state_matrix(0.8, 0.1), two_state_matrix(0.8, 0.1)),
+            (two_state_matrix(0.6, 0.2), None),
+            (random_stochastic_matrix(3, seed=3), random_stochastic_matrix(3, seed=4)),
+            (None, None),
+        ]
+        population = {
+            u: pairs[rng.integers(len(pairs))] for u in range(users)
+        }
+        fused = FleetAccountant(population)
+        serial = FleetAccountant(population)
+        serial.cross_cohort = False
+        assert fused.cross_cohort
+
+        for step in range(6):
+            eps = float(rng.uniform(0.01, 0.5))
+            overrides = None
+            if rng.random() < 0.4:
+                user = int(rng.integers(users))
+                overrides = {user: float(rng.uniform(0.01, 0.5))}
+            if rng.random() < 0.3:
+                window = [eps, float(rng.uniform(0.01, 0.5))]
+                w_f = fused.add_window(window, [overrides, None])
+                w_s = serial.add_window(window, [overrides, None])
+                assert np.array_equal(w_f, w_s)
+            else:
+                assert fused.add_release(eps, overrides) == serial.add_release(
+                    eps, overrides
+                )
+            if step == 2:
+                joiner = users + 1
+                population[joiner] = pairs[0]
+                fused.add_user(joiner, pairs[0])
+                serial.add_user(joiner, pairs[0])
+
+        assert _fleet_state(fused, population) == _fleet_state(
+            serial, population
+        )
+
+    def test_probe_scales_matches_serial_probing(self, population):
+        fleet = FleetAccountant(population)
+        for eps in [0.1, 0.2, 0.05]:
+            fleet.add_release(eps, overrides={0: 0.15} if eps == 0.2 else None)
+        overrides = {0: 0.12, 1: 0.3}
+        scales = [0.5, 0.25, 0.75, 0.125, 1.0]
+        before = _fleet_state(fleet, population)
+        probed = fleet.probe_release_scales(0.4, overrides, scales)
+        assert _fleet_state(fleet, population) == before  # read-only
+        for scale, worst in zip(scales, probed):
+            scaled = {u: e * scale for u, e in overrides.items()}
+            reference = fleet.add_release(0.4 * scale, scaled)
+            fleet.rollback_last()
+            assert worst == reference
+
+    def test_probe_scales_rejects_unknown_override_user(self, population):
+        fleet = FleetAccountant(population)
+        fleet.add_release(0.1)
+        with pytest.raises(KeyError):
+            fleet.probe_release_scales(0.2, {"nobody": 0.1}, [0.5])
+
+
+# ---------------------------------------------------------------------------
 # Solution cache
 # ---------------------------------------------------------------------------
 class TestSolutionCache:
@@ -468,17 +552,35 @@ class TestSolutionCache:
             set_shared_solution_cache(previous)
 
     def test_engine_reuses_solves_across_cohorts(self, models):
-        # Two cohorts, identical backward matrix content: the second
-        # cohort's recursion hits the first one's solves.
+        # Two cohorts, identical backward matrix content.  On the
+        # per-cohort path the second cohort's recursion hits the first
+        # one's solves; the cross-cohort path goes one further and
+        # *fuses* them -- same digest, same alpha, one solve -- so the
+        # second cohort costs no extra misses at all.
         P = two_state_matrix(0.8, 0.0)
         P_copy = two_state_matrix(0.8, 0.0)
+
+        serial_cache = SolutionCache()
+        serial = FleetAccountant(
+            {"a": (P, P), "b": (P_copy, None)}, cache=serial_cache
+        )
+        serial.cross_cohort = False
+        for _ in range(5):
+            serial.add_release(0.1)
+        assert serial_cache.hits > 0
+
         cache = SolutionCache()
         fleet = FleetAccountant(
             {"a": (P, P), "b": (P_copy, None)}, cache=cache
         )
         for _ in range(5):
             fleet.add_release(0.1)
-        assert cache.hits > 0
+        solo_cache = SolutionCache()
+        solo = FleetAccountant({"a": (P, P)}, cache=solo_cache)
+        for _ in range(5):
+            solo.add_release(0.1)
+        assert cache.misses <= solo_cache.misses
+        assert fleet.max_tpl() == serial.max_tpl()
 
 
 # ---------------------------------------------------------------------------

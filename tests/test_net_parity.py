@@ -206,3 +206,44 @@ def session_ingest(session, snapshot, epsilon, overrides):
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", RuntimeWarning)
         return session.ingest(snapshot, epsilon=epsilon, overrides=overrides)
+
+
+@pytest.mark.parametrize("transport", ["pipe", "socket"])
+def test_batched_probe_survives_worker_kill(transport):
+    """``probe_scales`` is read-only and deliberately not journalled: a
+    worker SIGKILLed right before a clamp-heavy step is restored from
+    the journal and re-serves the whole probe batch, and the clamped
+    scales stay bit-identical to an in-process fleet session -- both
+    against the batched bisection and the serial reference loop."""
+    population = fixed_population()
+    stream = [(0.5, None), (0.7, {1: 0.3}), (0.6, None), (0.8, None)]
+
+    def fleet_session(clamp_batched):
+        session = ReleaseSession(
+            SessionConfig(
+                correlations=population,
+                budgets=0.1,  # overridden per ingest
+                query=HistogramQuery(4),
+                alpha=1.0,
+                alpha_mode="clamp",
+                backend="fleet",
+                seed=33,
+            )
+        )
+        session._clamp_batched = clamp_batched
+        return session
+
+    reference = fleet_session(True)
+    ref_events = drive(reference, stream, 33)
+    assert any(e.status == "clamped" for e in ref_events)
+
+    serial = fleet_session(False)
+    serial_events = drive(serial, stream, 33)
+    assert_bit_identical(reference, ref_events, serial, serial_events)
+
+    survivor = make_session(population, 1.0, "clamp", 33, transport)
+    try:
+        events = drive(survivor, stream, 33, kill_at=1)
+        assert_bit_identical(reference, ref_events, survivor, events)
+    finally:
+        survivor.close()

@@ -186,3 +186,72 @@ def test_metrics_do_not_change_results_sharded(population, stream, seed):
     assert "shard.merge.seconds" in snapshot
     assert 'shard.rpc.seconds{shard="0"}' in snapshot
     assert 'shard.rpc.seconds{shard="1"}' in snapshot
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    population=populations(),
+    stream=streams(),
+    seed=st.integers(0, 2**16),
+)
+@pytest.mark.parametrize("backend", ["scalar", "fleet"])
+def test_metrics_do_not_change_clamp_decisions(backend, population, stream, seed):
+    """Clamp-forced variant: a tight alpha makes most steps hit the
+    batched ``probe_scales`` bisection, and the instrumented run must
+    still reproduce every clamped scale bit for bit -- while the
+    registry shows the probe activity it observed."""
+    alpha = 0.05  # tight enough that 0.01-0.5 budgets keep clamping
+
+    def run(registry):
+        session = ReleaseSession(
+            SessionConfig(
+                correlations=population,
+                budgets=0.1,
+                query=HistogramQuery(4),
+                alpha=alpha,
+                alpha_mode="clamp",
+                backend=backend,
+                seed=seed,
+            ),
+            registry=registry,
+        )
+        previous = (
+            install_solver_metrics(registry) if registry is not None else None
+        )
+        try:
+            rng = np.random.default_rng(seed)
+            events = []
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                for epsilon, overrides in stream:
+                    snapshot = rng.integers(0, 4, size=N_USERS)
+                    events.append(
+                        session.ingest(
+                            snapshot, epsilon=epsilon, overrides=overrides
+                        )
+                    )
+            return session, events
+        finally:
+            if registry is not None:
+                install_solver_metrics(previous)
+
+    plain, plain_events = run(None)
+    registry = MetricsRegistry()
+    metered, metered_events = run(registry)
+    assert_events_equal(plain_events, metered_events)
+    assert plain.max_tpl() == metered.max_tpl()
+
+    if any(e.status == "clamped" for e in plain_events):
+        snapshot = registry.snapshot()
+        assert snapshot["session.alpha.probes"] > 0
+        assert metered.summary()["cache"] == metered.cache.stats()
+        if backend == "fleet":
+            # The fleet backend serves whole probe batches in one entry.
+            assert any(
+                key.startswith("backend.probe_scales.seconds")
+                for key in snapshot
+            )

@@ -84,7 +84,7 @@ def alpha_policies(draw):
     return alpha, draw(st.sampled_from(["reject", "clamp", "warn"]))
 
 
-def run_stream(backend, population, stream, alpha, mode, seed):
+def run_stream(backend, population, stream, alpha, mode, seed, clamp_batched=True):
     session = ReleaseSession(
         SessionConfig(
             correlations=population,
@@ -96,6 +96,7 @@ def run_stream(backend, population, stream, alpha, mode, seed):
             seed=seed,
         )
     )
+    session._clamp_batched = clamp_batched
     rng = np.random.default_rng(seed)  # identical snapshots per backend
     events = []
     with warnings.catch_warnings():
@@ -142,6 +143,44 @@ def test_backends_bit_identical(population, stream, policy, seed):
     for user in population:
         pa = scalar.profile(user)
         pb = fleet.profile(user)
+        assert np.array_equal(pa.epsilons, pb.epsilons)
+        assert np.array_equal(pa.bpl, pb.bpl)
+        assert np.array_equal(pa.fpl, pb.fpl)
+        assert np.array_equal(pa.tpl, pb.tpl)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    population=populations(),
+    stream=streams(),
+    alpha=st.floats(0.05, 0.6, allow_nan=False),
+    seed=st.integers(0, 2**16),
+)
+@pytest.mark.parametrize("backend", ["scalar", "fleet"])
+def test_batched_clamp_bit_identical_to_serial(
+    backend, population, stream, alpha, seed
+):
+    """The dyadic-tree ``probe_scales`` bisection must pick the exact
+    scale the one-probe-per-round-trip loop picks: every event payload
+    (noise stream included) and leakage series bit-identical."""
+    batched, batched_events = run_stream(
+        backend, population, stream, alpha, "clamp", seed
+    )
+    serial, serial_events = run_stream(
+        backend, population, stream, alpha, "clamp", seed, clamp_batched=False
+    )
+    for a, b in zip(batched_events, serial_events):
+        assert a.payload(include_true_answer=True) == b.payload(
+            include_true_answer=True
+        )
+    assert batched.max_tpl() == serial.max_tpl()
+    for user in population:
+        pa = batched.profile(user)
+        pb = serial.profile(user)
         assert np.array_equal(pa.epsilons, pb.epsilons)
         assert np.array_equal(pa.bpl, pb.bpl)
         assert np.array_equal(pa.fpl, pb.fpl)

@@ -56,13 +56,15 @@ def _inject_fault(monkeypatch, fail_at: int) -> None:
 
     Patches the memoised scalar path (``TemporalLossFunction.__call__``,
     used by both accountants' BPL/FPL extensions) and the fleet batch
-    path (``FleetAccountant._loss_batch``) with one shared counter, so
+    paths (``FleetAccountant._loss_batch`` and the cross-cohort
+    ``FleetAccountant._loss_batch_multi``) with one shared counter, so
     the fault lands at every distinct point of the evaluation sequence
     as ``fail_at`` sweeps.
     """
     calls = {"n": 0}
     original_call = TemporalLossFunction.__call__
     original_batch = FleetAccountant._loss_batch
+    original_multi = FleetAccountant._loss_batch_multi
 
     def tick():
         calls["n"] += 1
@@ -77,8 +79,13 @@ def _inject_fault(monkeypatch, fail_at: int) -> None:
         tick()
         return original_batch(self, loss, values)
 
+    def flaky_multi(self, jobs, **kwargs):
+        tick()
+        return original_multi(self, jobs, **kwargs)
+
     monkeypatch.setattr(TemporalLossFunction, "__call__", flaky_call)
     monkeypatch.setattr(FleetAccountant, "_loss_batch", flaky_batch)
+    monkeypatch.setattr(FleetAccountant, "_loss_batch_multi", flaky_multi)
 
 
 def _count_evaluations(build, mutate) -> int:
@@ -89,6 +96,7 @@ def _count_evaluations(build, mutate) -> int:
     calls = {"n": 0}
     original_call = TemporalLossFunction.__call__
     original_batch = FleetAccountant._loss_batch
+    original_multi = FleetAccountant._loss_batch_multi
     with pytest.MonkeyPatch.context() as mp:
 
         def counting_call(self, value):
@@ -99,8 +107,13 @@ def _count_evaluations(build, mutate) -> int:
             calls["n"] += 1
             return original_batch(self, loss, values)
 
+        def counting_multi(self, jobs, **kwargs):
+            calls["n"] += 1
+            return original_multi(self, jobs, **kwargs)
+
         mp.setattr(TemporalLossFunction, "__call__", counting_call)
         mp.setattr(FleetAccountant, "_loss_batch", counting_batch)
+        mp.setattr(FleetAccountant, "_loss_batch_multi", counting_multi)
         mutate(target)
     return calls["n"]
 
@@ -189,12 +202,19 @@ def test_sharded_backend_survives_a_faulting_shard(monkeypatch):
     *parent* before the workers fork (the children inherit the patch)."""
     calls = {"n": 0}
     original_batch = FleetAccountant._loss_batch
+    original_multi = FleetAccountant._loss_batch_multi
 
     def flaky_batch(self, loss, values):
         calls["n"] += 1
         if calls["n"] == 3:
             raise SolverError("injected fault")
         return original_batch(self, loss, values)
+
+    def flaky_multi(self, jobs, **kwargs):
+        calls["n"] += 1
+        if calls["n"] == 3:
+            raise SolverError("injected fault")
+        return original_multi(self, jobs, **kwargs)
 
     backend = ShardedFleetBackend(POPULATION, shards=2)
     try:
@@ -208,6 +228,7 @@ def test_sharded_backend_survives_a_faulting_shard(monkeypatch):
         if "fork" not in multiprocessing.get_all_start_methods():
             pytest.skip("fault injection into workers requires fork")
         monkeypatch.setattr(FleetAccountant, "_loss_batch", flaky_batch)
+        monkeypatch.setattr(FleetAccountant, "_loss_batch_multi", flaky_multi)
         faulty = ShardedFleetBackend(POPULATION, shards=2)
         try:
             faulty.add_release(0.1)
