@@ -29,7 +29,9 @@ or as part of the benchmark harness::
 
 import argparse
 import asyncio
+import json
 import os
+import threading
 import time
 
 from _harness import emit_json, population
@@ -44,6 +46,13 @@ SHARDS = 2
 # loose -- it catches a transport that collapsed (accidental
 # per-byte writes, sync handshakes per op), not honest overhead.
 CI_MIN_SOCKET_RATIO = 0.2
+# The serve stage: executor-offloaded lanes + cross-request window
+# coalescing vs. the per-request inline baseline, same wire traffic.
+# The speedup floor is the PR's acceptance bar; the stall ceiling
+# proves the loop stayed free for I/O while accounting computed.
+CI_MIN_SERVE_SPEEDUP = 2.0
+CI_MAX_STALL_MS = 50.0
+SERVE_CONNECTIONS = 8
 JSON_PATH = "BENCH_net.json"
 
 
@@ -73,35 +82,76 @@ def run_transport(population, steps, epsilon, window, transport):
         session.close()
 
 
-def serve_throughput(users, count, window, rate, seed):
-    """Requests/sec through a real ReproServer on loopback, driven by
-    the loadgen TCP client.  The server's event loop runs in a
-    background thread because ``run_loadgen`` owns the foreground loop
-    for the client side."""
-    import threading
-
+def _serve_config(users, window, seed, **overrides):
     from repro.markov import two_state_matrix
 
     matrix = two_state_matrix(0.8, 0.1)
-    config = SessionConfig(
+    # Fleet backend: the coalescing win comes from vectorised
+    # ``add_window`` sweeps -- the scalar backend loops per step either
+    # way, so it cannot show the amortisation this stage measures.
+    base = dict(
         correlations={u: (matrix, matrix) for u in range(users)},
         budgets=0.1,
+        backend="fleet",
         window_size=window,
         queue_maxsize=2 * window,
         seed=seed,
     )
-    server = ReproServer(config)
-    loop = asyncio.new_event_loop()
-    thread = threading.Thread(target=loop.run_forever, daemon=True)
-    thread.start()
+    base.update(overrides)
+    return SessionConfig(**base)
 
-    def on_loop(coroutine, timeout=60):
-        return asyncio.run_coroutine_threadsafe(coroutine, loop).result(
+
+class _ServerHarness:
+    """A ReproServer on a background thread's event loop, so the
+    foreground loop stays free for client driving (``run_loadgen`` owns
+    it)."""
+
+    def __init__(self, config):
+        self.server = ReproServer(config)
+        self.loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self.loop.run_forever, daemon=True
+        )
+        self._thread.start()
+
+    def on_loop(self, coroutine, timeout=120):
+        return asyncio.run_coroutine_threadsafe(coroutine, self.loop).result(
             timeout
         )
 
+    def start(self):
+        return self.on_loop(self.server.start("127.0.0.1", 0))
+
+    def max_stall_seconds(self) -> float:
+        async def read():
+            series = self.server._registry.timeseries(
+                "serve.loop.stall.seconds"
+            )
+            return series.high_watermark
+
+        return self.on_loop(read())
+
+    def session_tpl(self, session_id="default") -> float:
+        async def read():
+            return self.server.sessions[session_id].max_tpl()
+
+        return self.on_loop(read())
+
+    def stop(self):
+        try:
+            self.on_loop(self.server.stop())
+        finally:
+            self.loop.call_soon_threadsafe(self.loop.stop)
+            self._thread.join(timeout=10)
+            self.loop.close()
+
+
+def serve_throughput(users, count, window, rate, seed):
+    """Requests/sec through a real ReproServer on loopback, driven by
+    the loadgen TCP client."""
+    harness = _ServerHarness(_serve_config(users, window, seed))
     try:
-        host, port = on_loop(server.start("127.0.0.1", 0))
+        host, port = harness.start()
         report = run_loadgen(
             users=users,
             rate=rate,
@@ -112,12 +162,119 @@ def serve_throughput(users, count, window, rate, seed):
             target="connect",
             address=f"{host}:{port}",
         )
-        on_loop(server.stop())
     finally:
-        loop.call_soon_threadsafe(loop.stop)
-        thread.join(timeout=10)
-        loop.close()
+        harness.stop()
     return report
+
+
+async def _parity_drive(host, port, lines):
+    """One connection, every line written up front: a single-connection
+    drive is deterministic in t-assignment (request tasks enter the
+    session queue in line order), so responses compare positionally
+    against a serial in-process reference."""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(b"".join(lines))
+    await writer.drain()
+    writer.write_eof()
+    out = []
+    while len(out) < len(lines):
+        raw = await asyncio.wait_for(reader.readline(), timeout=60)
+        if not raw:
+            break
+        out.append(json.loads(raw))
+    writer.close()
+    return out
+
+
+def serve_stage(users, count, window, rate, seed, connections=SERVE_CONNECTIONS):
+    """Coalesced + offloaded serve vs. the per-request inline baseline.
+
+    Each variant gets (1) a deterministic single-connection parity drive
+    whose per-seq payloads and final TPL are compared bit-for-bit
+    against a serial in-process session, and (2) an open-loop loadgen
+    run over ``connections`` concurrent TCP connections for the
+    throughput number.  Fresh server (fresh budgets) per drive.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    parity_count = min(count, 64)
+    snapshots = rng.integers(0, 2, size=(parity_count, users))
+    lines = [
+        json.dumps({"snapshot": s.tolist(), "seq": i}).encode() + b"\n"
+        for i, s in enumerate(snapshots)
+    ]
+    reference = ReleaseSession(_serve_config(users, window, seed))
+    try:
+        expected = [reference.ingest(s).payload() for s in snapshots]
+        expected_tpl = reference.max_tpl()
+    finally:
+        reference.close()
+
+    variants = {
+        # The pre-offload serve path: drain on the event loop, one
+        # add_window per request.
+        "baseline": dict(queue_offload=False, window_size=1),
+        # The PR's hot path: session-lane offload + window coalescing.
+        "coalesced": dict(queue_offload=True),
+    }
+    stage = {
+        "window": window,
+        "connections": connections,
+        "count": count,
+        "parity_requests": parity_count,
+        "offered_rate": rate,
+    }
+    for label, overrides in variants.items():
+        harness = _ServerHarness(_serve_config(users, window, seed, **overrides))
+        try:
+            host, port = harness.start()
+            responses = asyncio.run(_parity_drive(host, port, lines))
+            by_seq = {line.get("seq"): line for line in responses}
+            mismatches = 0
+            for i, want in enumerate(expected):
+                got = dict(by_seq.get(i) or {})
+                got.pop("seq", None)
+                got.pop("elapsed_ms", None)
+                if got != want:
+                    mismatches += 1
+            tpl_gap = abs(harness.session_tpl() - expected_tpl)
+        finally:
+            harness.stop()
+
+        harness = _ServerHarness(_serve_config(users, window, seed, **overrides))
+        try:
+            host, port = harness.start()
+            report = run_loadgen(
+                users=users,
+                rate=rate,
+                count=count,
+                window=window,
+                queue_size=2 * window,
+                seed=seed,
+                target="connect",
+                address=f"{host}:{port}",
+                connections=connections,
+            )
+            max_stall_ms = harness.max_stall_seconds() * 1000.0
+        finally:
+            harness.stop()
+        stage[label] = {
+            "requests_per_second": report["achieved_rate"],
+            "completed": report["completed"],
+            "errors": report["errors"],
+            "latency_ms": report["latency_ms"],
+            "per_connection": report["per_connection"],
+            "max_stall_ms": max_stall_ms,
+            "payload_mismatches": mismatches,
+            "tpl_gap": tpl_gap,
+        }
+    stage["speedup"] = stage["coalesced"]["requests_per_second"] / max(
+        stage["baseline"]["requests_per_second"], 1e-12
+    )
+    stage["floor"] = CI_MIN_SERVE_SPEEDUP
+    stage["max_stall_ms_limit"] = CI_MAX_STALL_MS
+    return stage
 
 
 def compare(
@@ -156,6 +313,11 @@ def compare(
     serve = serve_throughput(
         serve_users, serve_count, window, serve_rate, seed
     )
+    stages = {
+        "serve_throughput": serve_stage(
+            serve_users, serve_count, window, serve_rate, seed
+        )
+    }
     return {
         "users": users,
         "cohorts": cohorts,
@@ -165,6 +327,7 @@ def compare(
         "shards": SHARDS,
         "cpu_count": os.cpu_count(),
         "min_socket_ratio": CI_MIN_SOCKET_RATIO,
+        "min_serve_speedup": CI_MIN_SERVE_SPEEDUP,
         "results": rows,
         "serve": {
             "users": serve_users,
@@ -176,6 +339,7 @@ def compare(
             "requests_per_second": serve["achieved_rate"],
             "latency_ms": serve["latency_ms"],
         },
+        "stages": stages,
     }
 
 
@@ -203,9 +367,22 @@ def format_table(summary: dict) -> str:
         if p50 is not None and p99 is not None
         else "  serve over TCP: no completed requests"
     )
+    stage = summary.get("stages", {}).get("serve_throughput")
+    if stage:
+        base, coal = stage["baseline"], stage["coalesced"]
+        lines.append(
+            f"  serve stage ({stage['connections']} connections, "
+            f"window={stage['window']}): per-request "
+            f"{base['requests_per_second']:,.1f} req/s -> "
+            f"coalesced+offloaded {coal['requests_per_second']:,.1f} req/s "
+            f"({stage['speedup']:.2f}x), worst loop stall "
+            f"{coal['max_stall_ms']:.2f} ms, TPL gap {coal['tpl_gap']:.2e}"
+        )
     lines.append(
         f"  floor: socket >= {CI_MIN_SOCKET_RATIO:g}x pipe throughput, "
-        "bit-identical TPL, every serve request completed"
+        f"coalesced serve >= {CI_MIN_SERVE_SPEEDUP:g}x per-request, "
+        f"stall < {CI_MAX_STALL_MS:g} ms, bit-identical TPL, every "
+        "serve request completed"
     )
     return "\n".join(lines)
 
@@ -233,6 +410,32 @@ def test_net_overhead_and_serve_floor(show_table):
         value is None or value > 0 for value in serve["latency_ms"].values()
     )
     assert serve["latency_ms"].get("p50") is not None
+    stage = summary["stages"]["serve_throughput"]
+    for label in ("baseline", "coalesced"):
+        row = stage[label]
+        assert row["completed"] == stage["count"], label
+        assert row["errors"] == 0, label
+        # The hard bit-identity gate: per-seq payloads and final TPL
+        # must match the serial in-process run exactly, both paths.
+        assert row["payload_mismatches"] == 0, label
+        assert row["tpl_gap"] == 0.0, label
+    assert stage["speedup"] >= CI_MIN_SERVE_SPEEDUP
+    assert stage["coalesced"]["max_stall_ms"] < CI_MAX_STALL_MS
+
+    # The offload's SLO under the worst schedule we have: adversarial
+    # volleys of 2x the queue bound must not freeze the event loop.
+    adversarial = run_loadgen(
+        users=20,
+        rate=2000.0,
+        count=200,
+        window=4,
+        queue_size=32,
+        schedule="adversarial",
+        target="inprocess",
+    )
+    assert adversarial["completed"] == 200
+    assert adversarial["loop_stall_ms"] is not None
+    assert adversarial["loop_stall_ms"] < CI_MAX_STALL_MS
 
 
 def main() -> None:

@@ -687,6 +687,7 @@ def _cmd_loadgen(args) -> int:
             correlations=correlations,
             matrix_path=matrix_path,
             address=args.connect,
+            connections=args.connections,
         )
     finally:
         if tmp is not None:
@@ -956,11 +957,14 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--wal-fsync",
-            choices=("always", "never"),
+            choices=("always", "batch", "never"),
             default="always",
             help=(
                 "fsync policy: 'always' makes every append durable before "
-                "the ingest returns; 'never' leaves flushing to the OS "
+                "the ingest returns; 'batch' group-commits -- one fsync "
+                "per drained ingest burst, shared by every window in it, "
+                "and nobody is acknowledged before the sync lands; "
+                "'never' leaves flushing to the OS "
                 "(process crashes stay safe, power loss may cost the tail)"
             ),
         )
@@ -1167,6 +1171,18 @@ def build_parser() -> argparse.ArgumentParser:
             "drive a running `repro serve --listen` server over TCP "
             "(implies --target connect); replies correlate by explicit "
             "per-request seq ids, so out-of-order completion is fine"
+        ),
+    )
+    loadgen.add_argument(
+        "--connections",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "with --connect: fan arrivals out round-robin over N "
+            "concurrent TCP connections (exercises the server's "
+            "cross-request window coalescing; per-connection percentiles "
+            "land in the JSON report)"
         ),
     )
     loadgen.add_argument(

@@ -54,10 +54,14 @@ __all__ = [
 ]
 
 #: ``always`` fsyncs every append (a completed ``ingest`` survives power
-#: loss); ``never`` leaves flushing to the OS (process crashes are still
-#: safe -- the page cache survives them -- only power loss can cost the
-#: un-synced tail, and repair truncates it cleanly).
-FSYNC_MODES = ("always", "never")
+#: loss); ``batch`` defers to an explicit :meth:`WriteAheadLog.sync` --
+#: group commit: appends mark their handles dirty and the session syncs
+#: once per drained burst, so a burst of windows shares one disk flush
+#: while nobody is acknowledged before the sync; ``never`` leaves
+#: flushing to the OS (process crashes are still safe -- the page cache
+#: survives them -- only power loss can cost the un-synced tail, and
+#: repair truncates it cleanly).
+FSYNC_MODES = ("always", "batch", "never")
 
 WAL_MANIFEST_NAME = "wal_manifest.json"
 WAL_FORMAT_VERSION = 1
@@ -339,8 +343,13 @@ class WriteAheadLog:
         self._fsync = fsync
         self._registry = registry if registry is not None else NULL_REGISTRY
         self._writers: Dict[int, object] = {}
+        self._dirty: set = set()  # partitions appended since last sync
         self._tail_count = 0
         self._closed = False
+
+    @property
+    def fsync_mode(self) -> str:
+        return self._fsync
 
     # ------------------------------------------------------------------
     # Construction
@@ -504,7 +513,27 @@ class WriteAheadLog:
                 for handle in handles:
                     os.fsync(handle.fileno())
                 self._registry.counter("wal.fsyncs").inc(len(handles))
+            elif self._fsync == "batch":
+                self._dirty.update(range(len(handles)))
         self._tail_count += 1
+
+    def sync(self) -> None:
+        """Group commit: fsync every partition appended since the last
+        sync.  The durability point for ``fsync="batch"`` -- a burst of
+        appends shares this one flush.  No-op when nothing is dirty (or
+        under ``fsync="always"``, where appends are already durable)."""
+        if self._closed:
+            raise ValueError("write-ahead log is closed")
+        if not self._dirty:
+            return
+        dirty, self._dirty = self._dirty, set()
+        with self._registry.span("wal.sync.seconds"):
+            for partition in sorted(dirty):
+                handle = self._writers.get(partition)
+                if handle is not None:
+                    os.fsync(handle.fileno())
+            self._registry.counter("wal.fsyncs").inc(len(dirty))
+            self._registry.counter("wal.group_commits").inc()
 
     def _writer(self, partition: int):
         handle = self._writers.get(partition)
@@ -550,23 +579,29 @@ class WriteAheadLog:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Flush and close the segment writers (idempotent)."""
+        """Flush and close the segment writers (idempotent).  Under
+        ``fsync="batch"`` this is the final group commit: a clean close
+        leaves nothing pending a sync."""
         for handle in self._writers.values():
             try:
                 handle.flush()
-                if self._fsync == "always":
+                if self._fsync != "never":
                     os.fsync(handle.fileno())
             finally:
                 handle.close()
         self._writers = {}
+        self._dirty = set()
         self._closed = True
 
     def _close_writers(self) -> None:
         """Release open segment handles without closing the log (used by
-        compaction before it switches to fresh segments)."""
+        compaction before it switches to fresh segments).  Pending
+        group-commit state goes with them: the compaction snapshot is
+        fsynced behind the manifest swap, which supersedes the tail."""
         for handle in self._writers.values():
             handle.close()
         self._writers = {}
+        self._dirty = set()
 
     def __repr__(self) -> str:
         return (

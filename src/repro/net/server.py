@@ -35,6 +35,7 @@ Responses to one connection may interleave out of submission order
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import dataclasses
 import json
 import time
@@ -44,6 +45,7 @@ from typing import Dict, List, Optional
 
 from ..exceptions import ReproError
 from ..obs.metrics import PROMETHEUS_CONTENT_TYPE, MetricsRegistry
+from ..obs.stall import EventLoopStallMonitor
 from ..service.config import SessionConfig
 from ..service.session import ReleaseSession
 from ..service.window import ReleaseWindow, WindowStep
@@ -162,14 +164,25 @@ class _SessionEntry:
 
 
 class _Connection:
-    """Per-connection write lock, input-order seq counter and in-flight
-    request bound."""
+    """Per-connection write state: input-order seq counter, in-flight
+    request bound, and a shared outgoing buffer.
+
+    Responses funnel through one buffer drained by a single flush task,
+    so a burst of replies -- e.g. every event of a coalesced drain
+    resolving at once -- goes out as one ``write`` + ``drain`` instead
+    of one syscall round per request.  ``write_lines`` still *awaits*
+    the flush for flow control: a peer that stops reading parks the
+    request tasks at the transport's high-water mark instead of growing
+    the buffer without bound.
+    """
 
     def __init__(self, writer: asyncio.StreamWriter, max_inflight: int):
         self.writer = writer
         self.write_lock = asyncio.Lock()
         self.sem = asyncio.Semaphore(max_inflight)
         self._next_seq = 0
+        self._outgoing = bytearray()
+        self._flush_task: Optional[asyncio.Task] = None
 
     def take_seq(self) -> int:
         seq = self._next_seq
@@ -177,17 +190,42 @@ class _Connection:
         return seq
 
     async def write_lines(self, lines: List[dict]) -> None:
-        data = b"".join(
+        self._outgoing += b"".join(
             json.dumps(line).encode("utf-8") + b"\n" for line in lines
         )
-        async with self.write_lock:
-            if self.writer.is_closing():
-                return
-            self.writer.write(data)
-            try:
-                await self.writer.drain()
-            except (ConnectionError, RuntimeError):
-                pass  # peer gone mid-reply; request side effects stand
+        if self._flush_task is None or self._flush_task.done():
+            self._flush_task = asyncio.get_running_loop().create_task(
+                self._flush()
+            )
+        # Shielded: a cancelled request task must not kill the flush
+        # that other requests' replies are riding on.
+        await asyncio.shield(self._flush_task)
+
+    async def _flush(self) -> None:
+        try:
+            while self._outgoing:
+                data = bytes(self._outgoing)
+                self._outgoing.clear()
+                async with self.write_lock:
+                    if self.writer.is_closing():
+                        self._outgoing.clear()
+                        return
+                    self.writer.write(data)
+                    await self.writer.drain()
+                # Replies appended while drain() waited go out in the
+                # next lap; the task only finishes on an empty buffer.
+        except (ConnectionError, RuntimeError):
+            self._outgoing.clear()  # peer gone mid-reply; effects stand
+
+    async def settle(self) -> None:
+        """Wait out (or, on teardown, cancel) the flush task so the
+        connection closes with no task left behind."""
+        task = self._flush_task
+        if task is not None and not task.done():
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        self._flush_task = None
 
 
 class ReproServer:
@@ -231,6 +269,7 @@ class ReproServer:
             session_factory if session_factory is not None else build_session
         )
         self._sessions: Dict[str, _SessionEntry] = {}
+        self._stall: Optional[EventLoopStallMonitor] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._address: Optional[tuple] = None
         self._conn_tasks: set = set()
@@ -250,6 +289,12 @@ class ReproServer:
         self._server = await asyncio.start_server(
             self._on_connection, host, port
         )
+        # The offload's proof-of-life: with session compute on the
+        # lanes, this gauge's high-water mark stays near the GIL switch
+        # interval; inline drains would park it at backend-call widths.
+        self._stall = EventLoopStallMonitor(
+            self._registry, name="serve.loop.stall.seconds"
+        ).start()
         self._address = self._server.sockets[0].getsockname()[:2]
         return self._address
 
@@ -291,6 +336,9 @@ class ReproServer:
             await entry.session.aclose()
             entry.session.close()
         self._sessions.clear()
+        if self._stall is not None:
+            await self._stall.stop()
+            self._stall = None
         self._stopped.set()
 
     # -- connections ----------------------------------------------------
@@ -345,6 +393,7 @@ class ReproServer:
         finally:
             for task_ in list(request_tasks):
                 task_.cancel()
+            await conn.settle()
             try:
                 writer.close()
                 await writer.wait_closed()

@@ -1,6 +1,6 @@
 """repro.obs -- dependency-free observability for the serving stack.
 
-Three pieces:
+Four pieces:
 
 * :mod:`repro.obs.metrics` -- the substrate: :class:`MetricsRegistry`
   (counters, gauges, fixed-bucket latency histograms with exact
@@ -10,6 +10,10 @@ Three pieces:
 * :mod:`repro.obs.instrument` -- the process-wide hook the ``lp`` /
   Algorithm-1 solvers report through (they have no session to receive a
   registry from).
+* :mod:`repro.obs.stall` -- :class:`EventLoopStallMonitor`, the
+  event-loop scheduling-latency watchdog that makes the serve path's
+  executor offload observable (no stall > the GIL switch interval means
+  the loop really is free for I/O).
 * :mod:`repro.obs.loadgen` -- the open-loop arrival driver behind
   ``repro loadgen``: constant / bursty / diurnal schedules against a
   live :class:`~repro.service.session.ReleaseSession` (or a ``repro
@@ -26,6 +30,7 @@ Everything a layer records is surfaced through
 
 from .bench import emit_json, environment_metadata, git_sha
 from .instrument import install_solver_metrics, solver_metrics
+from .stall import EventLoopStallMonitor
 from .metrics import (
     DEFAULT_BUCKETS,
     DEFAULT_RESERVOIR,
@@ -50,6 +55,7 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "DEFAULT_RESERVOIR",
     "PROMETHEUS_CONTENT_TYPE",
+    "EventLoopStallMonitor",
     "install_solver_metrics",
     "solver_metrics",
     "environment_metadata",

@@ -172,11 +172,16 @@ def _build_session(
 
 async def _drive_session(
     session, offsets: List[float], snapshots: np.ndarray
-) -> Tuple[List[float], int, float]:
+) -> Tuple[List[float], int, float, float]:
     """Submit one ``aingest`` per scheduled arrival (open loop) and
-    return ``(latencies, errors, makespan)`` -- latency measured from the
-    scheduled arrival, makespan from the first scheduled arrival to the
-    last completion."""
+    return ``(latencies, errors, makespan, max_stall)`` -- latency
+    measured from the scheduled arrival, makespan from the first
+    scheduled arrival to the last completion, ``max_stall`` the worst
+    event-loop scheduling stall observed while driving (the offload's
+    acceptance gauge: accounting compute on the session lane must not
+    freeze the loop)."""
+    from .stall import EventLoopStallMonitor
+
     latencies: List[float] = []
     errors = 0
     start = time.perf_counter()
@@ -194,9 +199,11 @@ async def _drive_session(
             return
         latencies.append(time.perf_counter() - scheduled)
 
+    monitor = EventLoopStallMonitor().start()
     async with session:
         await asyncio.gather(*(one(i) for i in range(len(offsets))))
-    return latencies, errors, time.perf_counter() - start
+    max_stall = await monitor.stop()
+    return latencies, errors, time.perf_counter() - start, max_stall
 
 
 async def _drive_subprocess(
@@ -255,61 +262,101 @@ async def _drive_subprocess(
 
 
 async def _drive_socket(
-    address: str, offsets: List[float], lines: List[str]
-) -> Tuple[List[float], int, float]:
+    address: str,
+    offsets: List[float],
+    lines: List[str],
+    *,
+    connections: int = 1,
+) -> Tuple[List[float], int, float, List[dict]]:
     """Pace ``lines`` into a running ``repro serve --listen`` server over
-    TCP and time each reply by its ``seq`` field.  Unlike the pipe
-    driver, replies may arrive out of submission order (the server runs
-    requests concurrently), which is exactly why every request line here
-    carries an explicit ``seq``."""
+    ``connections`` concurrent TCP connections and time each reply by its
+    ``seq`` field.  Replies may arrive out of submission order (the
+    server runs requests concurrently), which is exactly why every
+    request line here carries an explicit ``seq``.
+
+    Request ``i`` is assigned round-robin to connection ``i %
+    connections``; every connection paces its slice at the *global*
+    scheduled arrival times, so the offered arrival process is unchanged
+    -- only its fan-in is.  Returns the aggregate ``(latencies, errors,
+    makespan)`` plus one ``{"connection", "completed", "errors",
+    "latencies"}`` record per connection.
+    """
     from ..net.transport import parse_address
 
+    if connections < 1:
+        raise ValueError(f"connections must be >= 1, got {connections}")
     host, port = parse_address(address)
-    reader, writer = await asyncio.open_connection(host, port)
-    latencies: List[float] = []
-    errors = 0
     start = time.perf_counter()
     scheduled = [start + off for off in offsets]
 
-    async def write() -> None:
-        for i, line in enumerate(lines):
-            delay = scheduled[i] - time.perf_counter()
-            if delay > 0:
-                await asyncio.sleep(delay)
-            writer.write(line.encode() + b"\n")
-            await writer.drain()
-        writer.write_eof()
+    async def drive_one(conn_index: int) -> Tuple[List[float], int]:
+        """One connection: write its round-robin slice, read its
+        replies.  ``seq`` values are global request indices, so replies
+        correlate to global scheduled times directly."""
+        indices = list(range(conn_index, len(lines), connections))
+        reader, writer = await asyncio.open_connection(host, port)
+        latencies: List[float] = []
+        errors = 0
 
-    async def read() -> None:
-        nonlocal errors
-        while True:
-            raw = await reader.readline()
-            if not raw:
-                break
-            now = time.perf_counter()
-            try:
-                payload = json.loads(raw)
-            except json.JSONDecodeError:
-                errors += 1
-                continue
-            seq = payload.get("seq")
-            if not isinstance(seq, int) or not 0 <= seq < len(scheduled):
-                errors += 1
-                continue
-            if "error" in payload:
-                errors += 1
-                continue
-            latencies.append(now - scheduled[seq])
+        async def write() -> None:
+            for i in indices:
+                delay = scheduled[i] - time.perf_counter()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                writer.write(lines[i].encode() + b"\n")
+                await writer.drain()
+            writer.write_eof()
 
-    try:
-        await asyncio.gather(write(), read())
-    finally:
-        writer.close()
+        async def read() -> None:
+            nonlocal errors
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    break
+                now = time.perf_counter()
+                try:
+                    payload = json.loads(raw)
+                except json.JSONDecodeError:
+                    errors += 1
+                    continue
+                seq = payload.get("seq")
+                if not isinstance(seq, int) or not 0 <= seq < len(scheduled):
+                    errors += 1
+                    continue
+                if "error" in payload:
+                    errors += 1
+                    continue
+                latencies.append(now - scheduled[seq])
+
         try:
-            await writer.wait_closed()
-        except (ConnectionError, RuntimeError):
-            pass
-    return latencies, errors, time.perf_counter() - start
+            await asyncio.gather(write(), read())
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+        return latencies, errors
+
+    results = await asyncio.gather(
+        *(drive_one(c) for c in range(connections))
+    )
+    makespan = time.perf_counter() - start
+    all_latencies: List[float] = []
+    total_errors = 0
+    per_connection: List[dict] = []
+    for conn_index, (latencies, errors) in enumerate(results):
+        all_latencies.extend(latencies)
+        total_errors += errors
+        per_connection.append(
+            {
+                "connection": conn_index,
+                "completed": len(latencies),
+                "errors": errors,
+                "latencies": latencies,
+            }
+        )
+    return all_latencies, total_errors, makespan, per_connection
 
 
 def run_loadgen(
@@ -332,6 +379,7 @@ def run_loadgen(
     correlations=None,
     matrix_path: Optional[str] = None,
     address: Optional[str] = None,
+    connections: int = 1,
 ) -> dict:
     """Run one load-generation pass and return the report dict.
 
@@ -343,14 +391,19 @@ def run_loadgen(
     includes wire + process-scheduling cost); ``target="connect"`` dials
     an already-running ``repro serve --listen`` server at ``address``
     over TCP, tagging every request with an explicit ``seq`` so
-    out-of-order replies correlate.  Solver metrics are installed for
-    the duration of an in-process run.
+    out-of-order replies correlate; with ``connections=N`` the arrivals
+    fan out round-robin over N concurrent connections (per-connection
+    percentiles land in the report), which is what actually exercises
+    the server's cross-request window coalescing.  Solver metrics are
+    installed for the duration of an in-process run.
     """
     if target not in ("inprocess", "subprocess", "connect"):
         raise ValueError(
             "target must be 'inprocess', 'subprocess' or 'connect', "
             f"got {target!r}"
         )
+    if connections != 1 and target != "connect":
+        raise ValueError("connections > 1 requires target='connect'")
     if backlog is None:
         # Twice the queue bound: every adversarial volley must park
         # producers on backpressure.
@@ -366,6 +419,8 @@ def run_loadgen(
     )
     registry = MetricsRegistry()
     queue_summary = None
+    per_connection = None
+    max_stall = None
     if target == "inprocess":
         session, n_states = _build_session(
             users=users,
@@ -382,7 +437,7 @@ def run_loadgen(
         snapshots = rng.integers(0, n_states, size=(count, users))
         previous = install_solver_metrics(registry)
         try:
-            latencies, errors, makespan = asyncio.run(
+            latencies, errors, makespan, max_stall = asyncio.run(
                 _drive_session(session, offsets, snapshots)
             )
         finally:
@@ -401,9 +456,26 @@ def run_loadgen(
             json.dumps({"snapshot": s.tolist(), "seq": i})
             for i, s in enumerate(snapshots)
         ]
-        latencies, errors, makespan = asyncio.run(
-            _drive_socket(address, offsets, lines)
+        latencies, errors, makespan, raw_per_conn = asyncio.run(
+            _drive_socket(address, offsets, lines, connections=connections)
         )
+        per_connection = []
+        for record in raw_per_conn:
+            conn_hist = Histogram()
+            for latency in record["latencies"]:
+                conn_hist.observe(latency)
+            per_connection.append(
+                {
+                    "connection": record["connection"],
+                    "completed": record["completed"],
+                    "errors": record["errors"],
+                    "latency_ms": {
+                        key: (None if value is None else value * 1000.0)
+                        for key, value in conn_hist.snapshot().items()
+                        if key != "count"
+                    },
+                }
+            )
         backend_name = "remote"
         metrics = None
     else:
@@ -467,6 +539,11 @@ def run_loadgen(
         "completed": len(latencies),
         "errors": errors,
         "latency_ms": latency_ms,
+        "connections": connections if target == "connect" else None,
+        "per_connection": per_connection,
+        "loop_stall_ms": (
+            None if max_stall is None else max_stall * 1000.0
+        ),
         "queue": queue_summary,
         "backpressure_stalls": stalls,
         "metrics": metrics,
@@ -499,6 +576,15 @@ def format_report(report: dict) -> str:
             f"(bound {queue['maxsize']}), largest window "
             f"{queue['batch_high_watermark']}, "
             f"{report['backpressure_stalls']} backpressure stalls"
+        )
+    if report.get("loop_stall_ms") is not None:
+        lines.append(
+            f"  event loop  worst stall {report['loop_stall_ms']:.2f}ms"
+        )
+    if report.get("connections"):
+        lines.append(
+            f"  connections {report['connections']} concurrent "
+            "(per-connection percentiles in the JSON report)"
         )
     return "\n".join(lines)
 

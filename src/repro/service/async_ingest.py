@@ -17,6 +17,22 @@ whenever producers outpace the accounting consumer, the backlog is
 drained as one :class:`~repro.service.window.ReleaseWindow` instead of
 one backend round-trip per item.
 
+With ``offload=True`` the consumer callables run on a dedicated
+single-thread executor (the queue's *lane*) instead of the event loop
+thread.  Ordering is unchanged -- the drain task awaits each round
+before starting the next, so the strictly-sequential recursion order is
+preserved -- but the loop stays free for I/O while a round computes:
+connection readers keep filling the queue, so the next round coalesces
+a *real* backlog instead of whatever trickled in between loop stalls.
+Result delivery (future resolution) always happens on the owning loop.
+
+A ``commit`` callable turns the drain into a group-commit pipeline:
+results of processed rounds are parked until ``commit()`` runs -- once
+per burst, when the backlog empties (or ``maxsize`` results are parked)
+-- and only then delivered.  The session uses this for
+``wal_fsync="batch"``: many drained windows share one fsync, and no
+submitter is acknowledged before its window is durable.
+
 This is deliberately the seam the sharding work plugs into: with
 ``SessionConfig(shards=N)`` the windows drained here enter a
 :class:`~repro.service.sharding.ShardedFleetBackend`, whose coordinator
@@ -29,7 +45,8 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import time
-from typing import Any, Callable, List, Optional
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, List, Optional, Tuple
 
 from ..obs.metrics import NULL_REGISTRY
 
@@ -70,6 +87,21 @@ class BoundedIngestQueue:
         window validation does -- because when it raises, the round is
         retried item by item through ``process`` so that one poisoned
         submission fails alone instead of failing its whole batch.
+    offload:
+        Run ``process`` / ``process_batch`` (and ``commit``) on a
+        dedicated single-thread executor instead of the event loop
+        thread.  One ordered lane per queue: rounds are still strictly
+        sequential (the drain task awaits each before the next), only
+        the *thread* changes, so results are bit-identical either way.
+        The consumer callables must not touch the event loop.
+    commit:
+        Optional synchronous group-commit hook.  When set, results of a
+        drained round are withheld until ``commit()`` has run; it runs
+        once the backlog is empty (or ``maxsize`` results are parked),
+        so a burst of rounds shares a single commit.  If ``commit``
+        raises, every withheld submitter whose round succeeded receives
+        that exception instead of a result -- nobody is acknowledged
+        for work that failed to commit.
 
     Notes
     -----
@@ -105,6 +137,8 @@ class BoundedIngestQueue:
         batch_size: int = 1,
         process_batch: Optional[Callable[[List[Any]], List[Any]]] = None,
         registry=None,
+        offload: bool = False,
+        commit: Optional[Callable[[], None]] = None,
     ) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
@@ -115,6 +149,11 @@ class BoundedIngestQueue:
         self._registry = registry if registry is not None else NULL_REGISTRY
         self._maxsize = maxsize
         self._batch_size = batch_size
+        self._offload = offload
+        self._commit = commit
+        self._executor = None  # the lane thread, created on first drain
+        self._pending: list = []  # (live, outcomes) awaiting commit
+        self._pending_items = 0
         self._queue: Optional[asyncio.Queue] = None
         self._drain_task: Optional[asyncio.Task] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -123,6 +162,7 @@ class BoundedIngestQueue:
         self.submitted = 0
         self.processed = 0
         self.cancelled = 0
+        self.group_commits = 0
         self.high_watermark = 0
         self.batch_high_watermark = 0
 
@@ -152,6 +192,8 @@ class BoundedIngestQueue:
             "submitted": self.submitted,
             "processed": self.processed,
             "cancelled": self.cancelled,
+            "group_commits": self.group_commits,
+            "offload": self._offload,
             "high_watermark": self.high_watermark,
             "batch_high_watermark": self.batch_high_watermark,
         }
@@ -217,6 +259,9 @@ class BoundedIngestQueue:
             self._drain_task.cancel()
             with contextlib.suppress(asyncio.CancelledError):
                 await self._drain_task
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
             self._queue = None
             self._drain_task = None
             self._loop = None
@@ -226,6 +271,13 @@ class BoundedIngestQueue:
     def _ensure_started(self) -> None:
         if self._queue is None:
             self._loop = asyncio.get_running_loop()
+            if self._offload and self._executor is None:
+                # One thread exactly: the lane.  Rounds stay strictly
+                # sequential because the drain task awaits each one, so
+                # the single worker is an ordering guarantee, not a cap.
+                self._executor = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="repro-lane"
+                )
             self._queue = asyncio.Queue(maxsize=self._maxsize)
             self._drain_task = self._loop.create_task(self._drain())
 
@@ -270,59 +322,19 @@ class BoundedIngestQueue:
         for entry in entries:
             waits.observe(now - entry[2])
 
-    def _process_one(self, entry) -> None:
-        """Process a single ``(item, future, t0)`` entry through
-        ``process``, delivering its result or exception to just that
-        submitter.
-
-        An entry whose submitter already cancelled is skipped *before*
-        the consumer runs: processing it anyway would mutate consumer
-        state (spend privacy budget) for a request nobody is waiting on,
-        and silently drop any exception it raised.
+    def _run_round(self, items: list) -> List[Tuple[str, Any]]:
+        """Consumer side of one drained round: pure compute, no future or
+        event-loop access, so it can run on the lane thread unchanged.
+        Returns one ``("ok", result)`` / ``("error", exception)`` outcome
+        per item, in order, and never raises.
         """
-        item, future, _ = entry
-        if future.cancelled():
-            self._skip_cancelled()
-            return
-        try:
-            result = self._process(item)
-        except BaseException as error:  # noqa: BLE001 -- relayed, not hidden
-            if not future.cancelled():
-                future.set_exception(error)
-        else:
-            if not future.cancelled():
-                future.set_result(result)
-        finally:
-            self._finish(1)
-
-    async def _drain(self) -> None:
-        assert self._queue is not None
-        while True:
-            first = await self._queue.get()
-            if self._process_batch is None:
-                if not first[1].cancelled():
-                    self._observe_wait([first])
-                self._process_one(first)
-                continue
-            batch = self._next_batch(first)
-            # Cancelled submitters never reach the consumer: their
-            # entries are excluded from the coalesced window up front
-            # (same skip as the per-item path).
-            live = []
-            for entry in batch:
-                if entry[1].cancelled():
-                    self._skip_cancelled()
-                else:
-                    live.append(entry)
-            if not live:
-                continue
-            self._observe_wait(live)
+        if self._process_batch is not None:
             try:
-                results = self._process_batch([entry[0] for entry in live])
-                if len(results) != len(live):
+                results = self._process_batch(list(items))
+                if len(results) != len(items):
                     raise RuntimeError(
                         f"process_batch returned {len(results)} results "
-                        f"for {len(live)} items"
+                        f"for {len(items)} items"
                     )
             except BaseException:  # noqa: BLE001 -- retried per item below
                 # process_batch raises before mutating state (its
@@ -330,10 +342,97 @@ class BoundedIngestQueue:
                 # item by item: healthy submissions succeed exactly as
                 # they would have with batch_size=1, and only the
                 # poisoned one receives its exception.
-                for entry in live:
-                    self._process_one(entry)
+                pass
             else:
-                for entry, result in zip(live, results):
-                    if not entry[1].cancelled():
-                        entry[1].set_result(result)
-                self._finish(len(live))
+                return [("ok", result) for result in results]
+        outcomes: List[Tuple[str, Any]] = []
+        for item in items:
+            try:
+                outcomes.append(("ok", self._process(item)))
+            except BaseException as error:  # noqa: BLE001 -- relayed below
+                outcomes.append(("error", error))
+        return outcomes
+
+    def _deliver(self, live: list, outcomes: List[Tuple[str, Any]]) -> None:
+        """Resolve each submitter's future from its round outcome.  Runs
+        on the owning loop (futures are not thread-safe).  A submitter
+        that cancelled while its round was computing is simply not
+        resolved -- same as the pre-offload behaviour."""
+        for entry, (status, value) in zip(live, outcomes):
+            future = entry[1]
+            if future.cancelled():
+                continue
+            if status == "ok":
+                future.set_result(value)
+            else:
+                future.set_exception(value)
+        self._finish(len(live))
+
+    async def _flush_pending(self) -> None:
+        """Group commit: run ``commit`` once for every parked round, then
+        deliver all withheld results.  On commit failure, submitters whose
+        rounds *succeeded* get the commit exception instead -- their work
+        is not durable, so acknowledging it would lie."""
+        pending, self._pending = self._pending, []
+        self._pending_items = 0
+        commit_error: Optional[BaseException] = None
+        try:
+            if self._offload:
+                await self._loop.run_in_executor(self._executor, self._commit)
+            else:
+                self._commit()
+        except BaseException as error:  # noqa: BLE001 -- relayed below
+            commit_error = error
+            self._registry.counter("queue.commit_failures").inc()
+        else:
+            self.group_commits += 1
+            self._registry.counter("queue.group_commits").inc()
+        for live, outcomes in pending:
+            if commit_error is not None:
+                outcomes = [
+                    ("error", commit_error) if status == "ok" else (status, value)
+                    for status, value in outcomes
+                ]
+            self._deliver(live, outcomes)
+
+    async def _drain(self) -> None:
+        assert self._queue is not None
+        while True:
+            first = await self._queue.get()
+            if self._process_batch is None:
+                batch = [first]
+            else:
+                batch = self._next_batch(first)
+            # Cancelled submitters never reach the consumer: their
+            # entries are excluded from the round up front (processing
+            # them would spend budget nobody observes).
+            live = []
+            for entry in batch:
+                if entry[1].cancelled():
+                    self._skip_cancelled()
+                else:
+                    live.append(entry)
+            if live:
+                self._observe_wait(live)
+                items = [entry[0] for entry in live]
+                if self._offload:
+                    # The loop is free while the lane computes: readers
+                    # keep enqueuing, so the *next* round coalesces a
+                    # real backlog.
+                    outcomes = await self._loop.run_in_executor(
+                        self._executor, self._run_round, items
+                    )
+                else:
+                    outcomes = self._run_round(items)
+                if self._commit is None:
+                    self._deliver(live, outcomes)
+                else:
+                    self._pending.append((live, outcomes))
+                    self._pending_items += len(live)
+            # Commit once per burst: when the backlog empties (or enough
+            # results are parked), not once per round.  Checked even on
+            # all-cancelled rounds so parked results can't be stranded.
+            if self._pending and (
+                self._queue.empty() or self._pending_items >= self._maxsize
+            ):
+                await self._flush_pending()

@@ -207,14 +207,25 @@ class SessionConfig:
         there *before* any accounting mutation, so a crash loses nothing
         (:meth:`~repro.service.session.ReleaseSession.recover` replays
         the tail bit-identically).  ``wal_fsync`` is ``"always"`` (every
-        append is durable before ``ingest`` returns) or ``"never"``
-        (leave flushing to the OS -- process crashes are still safe,
-        power loss may cost the un-synced tail).  ``wal_compact_every``
-        folds the log into a backend snapshot every that many accounted
-        releases, keeping both recovery time and log size flat in
-        horizon.
+        append is durable before ``ingest`` returns), ``"batch"``
+        (group commit: appends mark the log dirty and one fsync runs per
+        drained queue burst / per ``ingest_window`` -- no submitter is
+        acknowledged before its window is durable, but a burst shares
+        one disk flush), or ``"never"`` (leave flushing to the OS --
+        process crashes are still safe, power loss may cost the
+        un-synced tail).  ``wal_compact_every`` folds the log into a
+        backend snapshot every that many accounted releases, keeping
+        both recovery time and log size flat in horizon.
     queue_maxsize:
         Bound of the async ingestion queue (backpressure threshold).
+    queue_offload:
+        Run the accounting consumer on a dedicated worker thread (one
+        ordered lane per session) instead of the event loop thread.
+        Bit-identical either way -- only the thread changes -- but the
+        loop stays free for I/O, so under concurrent serve traffic the
+        queue drains real backlogs as coalesced windows.  Default on;
+        turn off to get the pre-offload inline drain (benchmark
+        baselines do).
     window_size:
         Ingestion window: :meth:`~repro.service.session.ReleaseSession.run`
         coalesces this many snapshots per backend entry, and queued
@@ -247,6 +258,7 @@ class SessionConfig:
     wal_fsync: str = "always"
     wal_compact_every: Optional[int] = None
     queue_maxsize: int = 64
+    queue_offload: bool = True
     window_size: int = 1
     seed: object = None
 
@@ -316,9 +328,9 @@ class SessionConfig:
                 raise ValueError(
                     "checkpoint_every requires checkpoint_dir"
                 )
-        if self.wal_fsync not in ("always", "never"):
+        if self.wal_fsync not in ("always", "batch", "never"):
             raise ValueError(
-                "wal_fsync must be 'always' or 'never', got "
+                "wal_fsync must be 'always', 'batch' or 'never', got "
                 f"{self.wal_fsync!r}"
             )
         if self.wal_compact_every is not None:

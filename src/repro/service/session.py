@@ -157,6 +157,7 @@ class ReleaseSession:
         self._rng = as_rng(config.seed)
         self._events: List[ReleaseEvent] = []
         self._pump: Optional[BoundedIngestQueue] = None
+        self._in_pump = False  # drain-invoked ingest defers WAL sync
         self._queue_stats: Optional[dict] = None
         self._last_checkpoint_horizon = backend.horizon
         self._last_compact_horizon = backend.horizon
@@ -257,6 +258,16 @@ class ReleaseSession:
         if not self._replaying:
             self._maybe_checkpoint()
             self._maybe_compact()
+            if (
+                self._wal is not None
+                and not self._in_pump
+                and self._wal.fsync_mode == "batch"
+            ):
+                # Direct (non-queued) ingestion has no drain burst to
+                # share a group commit with: the window becomes durable
+                # before the caller is acknowledged, amortised to one
+                # sync across every partition it touched.
+                self._wal.sync()
         return events
 
     def _ingest_chunk(
@@ -431,12 +442,21 @@ class ReleaseSession:
         with``) to drain on shutdown.
         """
         if self._pump is None:
+            commit = None
+            if self._wal is not None and self._wal.fsync_mode == "batch":
+                # Group commit: the queue runs one WAL sync per drained
+                # burst, and withholds every submitter's event until it
+                # lands -- nobody is acknowledged before their window is
+                # durable, but a burst shares one disk flush.
+                commit = self._wal.sync
             self._pump = BoundedIngestQueue(
                 self._process_queued,
                 maxsize=self._config.queue_maxsize,
                 batch_size=self._config.window_size,
                 process_batch=self._process_queued_window,
                 registry=self._registry,
+                offload=self._config.queue_offload,
+                commit=commit,
             )
         return await self._pump.submit((snapshot, epsilon, overrides))
 
@@ -488,17 +508,28 @@ class ReleaseSession:
 
     def _process_queued(self, item) -> ReleaseEvent:
         snapshot, epsilon, overrides = item
-        return self.ingest(snapshot, epsilon=epsilon, overrides=overrides)
+        self._in_pump = True
+        try:
+            return self.ingest(snapshot, epsilon=epsilon, overrides=overrides)
+        finally:
+            self._in_pump = False
 
     def _process_queued_window(self, items) -> List[ReleaseEvent]:
         """Drain one coalesced batch of queued submissions as a window
-        (one event per submission, in submission order)."""
-        return self.ingest_window(
-            ReleaseWindow(
-                WindowStep(snapshot=snapshot, epsilon=epsilon, overrides=overrides)
-                for snapshot, epsilon, overrides in items
+        (one event per submission, in submission order).  ``_in_pump``
+        defers the batch-mode WAL sync to the queue's group commit."""
+        self._in_pump = True
+        try:
+            return self.ingest_window(
+                ReleaseWindow(
+                    WindowStep(
+                        snapshot=snapshot, epsilon=epsilon, overrides=overrides
+                    )
+                    for snapshot, epsilon, overrides in items
+                )
             )
-        )
+        finally:
+            self._in_pump = False
 
     async def aclose(self) -> None:
         """Drain and stop the async ingestion queue (idempotent).  The

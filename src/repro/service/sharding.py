@@ -734,6 +734,55 @@ class ShardedFleetBackend:
                 raise payload
         return [payload for _, payload in outcomes]
 
+    def _timed_gather(self, requests, *, t0: float) -> list:
+        """Collect one reply per ``(index, op, args)`` request in
+        completion order, returning the raw ``(status, payload)``
+        outcomes in *request* order.
+
+        Unlike :meth:`_gather`'s fixed-order blocking reads, replies are
+        polled for and read as they arrive, and each shard's
+        ``shard.rpc.seconds`` label is recorded at the moment *its*
+        reply turned up -- a fixed-order gather folds every earlier
+        shard's wait into later shards' labels, so the slowest shard
+        used to dominate all of them.  Restore/reissue and rpc-deadline
+        semantics are unchanged: a shard that stays silent past
+        ``rpc_timeout`` is read with the ordinary blocking ``_recv``,
+        which times out, restores and re-issues exactly as before.
+        """
+        registry = self._registry
+        pending = dict(enumerate(requests))
+        outcomes: list = [None] * len(requests)
+
+        def collect(slot: int) -> None:
+            index, op, args = pending.pop(slot)
+            outcomes[slot] = self._recv(index, op, args)
+            if registry.enabled:
+                registry.histogram(
+                    "shard.rpc.seconds", shard=index
+                ).observe(time.perf_counter() - t0)
+
+        start = time.monotonic()
+        while pending:
+            progressed = False
+            for slot in sorted(pending):
+                if self._transports[pending[slot][0]].poll(0.0):
+                    collect(slot)
+                    progressed = True
+            if progressed or not pending:
+                continue
+            oldest = min(pending)
+            if (
+                self._rpc_timeout is not None
+                and time.monotonic() - start > self._rpc_timeout
+            ):
+                # Nothing arrived within the rpc deadline: fall back to
+                # the blocking read so the transport timeout (and the
+                # restore-and-reissue it triggers) fires normally.
+                collect(oldest)
+            elif self._transports[pending[oldest][0]].poll(0.005):
+                collect(oldest)
+        return outcomes
+
     def _broadcast(self, op, args=None) -> list:
         self._require_open()
         self._maybe_health()
@@ -794,18 +843,13 @@ class ShardedFleetBackend:
             registry.histogram("shard.scatter.seconds").observe(
                 time.perf_counter() - t0
             )
-        outcomes = []
-        for i in range(n_shards):
-            outcomes.append(
-                self._recv(i, "add_window", (epsilons, split[i]))
-            )
-            if registry.enabled:
-                # Round-trip from scatter start to this shard's reply;
-                # shard i's reply waits on shards < i being read first,
-                # so the slowest shard dominates every later label.
-                registry.histogram("shard.rpc.seconds", shard=i).observe(
-                    time.perf_counter() - t0
-                )
+        outcomes = self._timed_gather(
+            [
+                (i, "add_window", (epsilons, split[i]))
+                for i in range(n_shards)
+            ],
+            t0=t0,
+        )
         errors = [payload for status, payload in outcomes if status == "error"]
         if errors:
             # Coordinator-side validation makes this unreachable for bad

@@ -1,0 +1,221 @@
+"""Cross-request window coalescing parity for the TCP front door.
+
+The serve hot path batches a backlog of single-release requests from
+many connections into one ``add_window`` per session (the queue's
+batch-drain seam), with compute offloaded to the session lane.  The
+guarantees under test:
+
+* **Bit-identity.** M concurrent clients streaming into one session
+  produce per-seq responses -- events, noisy answers, TPL -- that are
+  bit-identical to the same stream issued serially in the *realized*
+  ingestion order (the order the server actually assigned time points,
+  read off the responses).  Concurrency may permute arrival order; it
+  must never change what any given time point's release looks like.
+* **Idempotency under coalescing.** A retried ``seq`` that lands inside
+  a coalesced batch is never double-charged: one accounted release,
+  identical response payloads.
+
+Hypothesis drives the schedule/backends; every example runs a real
+asyncio server on an ephemeral loopback port.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.data import HistogramQuery
+from repro.markov import two_state_matrix
+from repro.net.server import ReproServer
+from repro.service import ReleaseSession, SessionConfig
+
+N_USERS = 6
+
+BACKENDS = [
+    pytest.param({"backend": "scalar"}, id="scalar"),
+    pytest.param({"backend": "fleet"}, id="fleet"),
+    pytest.param(
+        {"backend": "fleet", "shards": 2, "shard_transport": "pipe"},
+        id="shard-pipe",
+    ),
+    pytest.param(
+        {"backend": "fleet", "shards": 2, "shard_transport": "socket"},
+        id="shard-socket",
+    ),
+]
+
+
+def make_config(**kwargs):
+    m = two_state_matrix(0.8, 0.1)
+    defaults = dict(
+        correlations={u: (m, m) for u in range(N_USERS)},
+        budgets=0.1,
+        query=HistogramQuery(2),
+        window_size=4,
+        seed=0,
+    )
+    defaults.update(kwargs)
+    return SessionConfig(**defaults)
+
+
+def run(coroutine):
+    return asyncio.run(asyncio.wait_for(coroutine, timeout=120))
+
+
+async def drive_clients(host, port, slices):
+    """Each slice of request lines goes down its own connection, all
+    written up front (so requests from different clients genuinely race
+    into the session queue); returns every response line."""
+
+    async def one(lines):
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(b"".join(lines))
+        await writer.drain()
+        writer.write_eof()
+        out = []
+        while len(out) < len(lines):
+            raw = await asyncio.wait_for(reader.readline(), timeout=60)
+            if not raw:
+                break
+            out.append(json.loads(raw))
+        writer.close()
+        return out
+
+    nested = await asyncio.gather(*(one(lines) for lines in slices))
+    return [line for client in nested for line in client]
+
+
+class TestConcurrentClientParity:
+    @pytest.mark.parametrize("config_kwargs", BACKENDS)
+    @settings(
+        max_examples=3,
+        deadline=None,
+        suppress_health_check=[
+            HealthCheck.too_slow,
+            HealthCheck.function_scoped_fixture,
+        ],
+    )
+    @given(data=st.data())
+    def test_concurrent_streams_match_serial_realized_order(
+        self, config_kwargs, data
+    ):
+        n_requests = data.draw(st.integers(4, 10), label="n_requests")
+        n_clients = data.draw(st.integers(2, 4), label="n_clients")
+        bits = data.draw(
+            st.lists(
+                st.lists(st.integers(0, 1), min_size=N_USERS, max_size=N_USERS),
+                min_size=n_requests,
+                max_size=n_requests,
+            ),
+            label="snapshots",
+        )
+        snapshots = [np.array(row) for row in bits]
+        lines = [
+            json.dumps({"snapshot": row, "seq": i}).encode() + b"\n"
+            for i, row in enumerate(bits)
+        ]
+        slices = [
+            [lines[i] for i in range(c, n_requests, n_clients)]
+            for c in range(n_clients)
+        ]
+
+        async def scenario():
+            server = ReproServer(make_config(**config_kwargs))
+            host, port = await server.start("127.0.0.1", 0)
+            try:
+                return await drive_clients(host, port, slices)
+            finally:
+                await server.stop()
+
+        responses = run(scenario())
+        assert len(responses) == n_requests
+        by_seq = {line["seq"]: line for line in responses}
+        assert sorted(by_seq) == list(range(n_requests))
+        ts = sorted(line["t"] for line in responses)
+        assert ts == list(range(1, n_requests + 1))  # each t assigned once
+
+        # Serial reference: replay the stream in the order the server
+        # realised it (ascending t), through a plain in-process session.
+        realized = sorted(range(n_requests), key=lambda i: by_seq[i]["t"])
+        reference = ReleaseSession(make_config(**config_kwargs))
+        try:
+            expected = [
+                reference.ingest(snapshots[i]).payload() for i in realized
+            ]
+        finally:
+            reference.close()
+        for i, want in zip(realized, expected):
+            got = dict(by_seq[i])
+            got.pop("seq")
+            got.pop("elapsed_ms")
+            assert got == want  # noisy answers + TPL: bit-identical
+
+
+class TestRetryInsideCoalescedBatch:
+    def test_retried_seq_is_never_double_charged(self):
+        """A duplicate ``seq`` racing its original into the same drained
+        batch must not become a second accounted release -- whichever of
+        cache replay / in-flight await answers it, the budget is charged
+        exactly once and both responses describe the same event."""
+        rng = np.random.default_rng(5)
+        bits = rng.integers(0, 2, size=(4, N_USERS)).tolist()
+        lines = [
+            json.dumps({"snapshot": row, "seq": seq}).encode() + b"\n"
+            for seq, row in zip([0, 1, 2, 1], bits[:3] + [bits[1]])
+        ]
+
+        async def scenario():
+            server = ReproServer(make_config())
+            host, port = await server.start("127.0.0.1", 0)
+            try:
+                responses = await drive_clients(host, port, [lines])
+                session = server.sessions["default"]
+                return responses, session.horizon, len(session.events)
+            finally:
+                await server.stop()
+
+        responses, horizon, n_events = run(scenario())
+        assert len(responses) == 4
+        assert horizon == 3  # three distinct seqs, three releases
+        assert n_events == 3
+        dup = [line for line in responses if line["seq"] == 1]
+        assert len(dup) == 2
+        first, second = (
+            (dup[0], dup[1]) if not dup[0].get("cached") else (dup[1], dup[0])
+        )
+        stripped = []
+        for line in dup:
+            line = dict(line)
+            line.pop("elapsed_ms")
+            line.pop("cached", None)
+            stripped.append(line)
+        assert stripped[0] == stripped[1]  # same event, bit for bit
+
+    def test_retry_on_second_connection_reads_from_cache(self):
+        """The classic lost-reply retry, now with coalescing on: replay
+        from a different connection answers from the seq cache with
+        ``"cached": true`` and charges nothing."""
+        line = json.dumps(
+            {"snapshot": [0, 1] * (N_USERS // 2), "seq": 7}
+        ).encode() + b"\n"
+
+        async def scenario():
+            server = ReproServer(make_config())
+            host, port = await server.start("127.0.0.1", 0)
+            try:
+                first = await drive_clients(host, port, [[line]])
+                second = await drive_clients(host, port, [[line]])
+                return first, second, server.sessions["default"].horizon
+            finally:
+                await server.stop()
+
+        first, second, horizon = run(scenario())
+        assert horizon == 1
+        assert second[0]["cached"] is True
+        want, got = dict(first[0]), dict(second[0])
+        want.pop("elapsed_ms"), got.pop("elapsed_ms")
+        got.pop("cached")
+        assert got == want

@@ -394,3 +394,166 @@ class TestAingest:
         assert [e.t for e in good] == [1, 2, 3]
         assert all(e.status == "released" for e in good)
         assert session.horizon == 3
+
+
+class TestOffloadAndGroupCommit:
+    """The executor-offloaded lane and the group-commit hook must be
+    invisible to submitters: same results, same ordering, same failure
+    isolation -- only the thread (and the commit cadence) changes."""
+
+    def test_offload_results_match_inline(self):
+        def process(x):
+            return x * 2
+
+        async def drive(offload):
+            queue = BoundedIngestQueue(process, maxsize=4, offload=offload)
+            results = await asyncio.gather(*(queue.submit(i) for i in range(10)))
+            await queue.close()
+            return results, queue.stats()
+
+        inline, inline_stats = asyncio.run(drive(False))
+        offloaded, offload_stats = asyncio.run(drive(True))
+        assert inline == offloaded == [i * 2 for i in range(10)]
+        assert inline_stats["offload"] is False
+        assert offload_stats["offload"] is True
+
+    def test_offload_runs_consumer_off_the_loop_thread(self):
+        import threading
+
+        seen = []
+
+        def process(x):
+            seen.append(threading.current_thread().name)
+            return x
+
+        async def drive():
+            queue = BoundedIngestQueue(process, maxsize=2, offload=True)
+            await asyncio.gather(*(queue.submit(i) for i in range(3)))
+            await queue.close()
+
+        asyncio.run(drive())
+        assert seen and all(name.startswith("repro-lane") for name in seen)
+        assert threading.main_thread().name not in seen
+
+    def test_offload_batch_coalescing_and_failure_isolation(self):
+        rounds = []
+
+        def process(x):
+            if x == "bad":
+                raise ValueError("boom bad")
+            return x
+
+        def process_batch(items):
+            rounds.append(list(items))
+            if "bad" in items:
+                raise ValueError("batch poisoned")
+            return list(items)
+
+        async def drive():
+            queue = BoundedIngestQueue(
+                process,
+                maxsize=8,
+                batch_size=8,
+                process_batch=process_batch,
+                offload=True,
+            )
+            results = await asyncio.gather(
+                *(queue.submit(x) for x in [1, "bad", 3]),
+                return_exceptions=True,
+            )
+            await queue.close()
+            return results
+
+        results = asyncio.run(drive())
+        assert results[0] == 1 and results[2] == 3
+        assert isinstance(results[1], ValueError)
+        assert str(results[1]) == "boom bad"
+
+    def test_offload_survives_close_and_rebind(self):
+        queue = BoundedIngestQueue(lambda x: x + 1, maxsize=2, offload=True)
+
+        async def drive(values):
+            results = await asyncio.gather(*(queue.submit(v) for v in values))
+            await queue.close()
+            return results
+
+        assert asyncio.run(drive([1, 2])) == [2, 3]
+        # A fresh loop after close(): the lane is recreated transparently.
+        assert asyncio.run(drive([10, 20])) == [11, 21]
+
+    @pytest.mark.parametrize("offload", [False, True])
+    def test_group_commit_runs_once_per_burst(self, offload):
+        commits = []
+
+        def commit():
+            commits.append(len(commits))
+
+        async def drive():
+            queue = BoundedIngestQueue(
+                lambda x: x,
+                maxsize=8,
+                batch_size=4,
+                process_batch=lambda items: list(items),
+                offload=offload,
+                commit=commit,
+            )
+            results = await asyncio.gather(*(queue.submit(i) for i in range(8)))
+            await queue.close()
+            return results, queue.stats()
+
+        results, stats = asyncio.run(drive())
+        assert results == list(range(8))
+        # 8 items over batch_size=4 -> >= 2 rounds, but one burst: fewer
+        # commits than rounds is the whole point; at least one must run.
+        assert 1 <= len(commits) <= 2
+        assert stats["group_commits"] == len(commits)
+
+    @pytest.mark.parametrize("offload", [False, True])
+    def test_commit_failure_reaches_every_submitter_in_the_burst(self, offload):
+        def commit():
+            raise OSError("disk full")
+
+        async def drive():
+            queue = BoundedIngestQueue(
+                lambda x: x,
+                maxsize=4,
+                batch_size=4,
+                process_batch=lambda items: list(items),
+                offload=offload,
+                commit=commit,
+            )
+            results = await asyncio.gather(
+                *(queue.submit(i) for i in range(4)), return_exceptions=True
+            )
+            await queue.close()
+            return results
+
+        results = asyncio.run(drive())
+        assert all(isinstance(r, OSError) for r in results)
+        assert all(str(r) == "disk full" for r in results)
+
+    def test_commit_failure_does_not_mask_processing_failure(self):
+        """A submitter whose *processing* already failed keeps its own
+        exception; only acknowledged-but-uncommitted work is converted."""
+
+        def process(x):
+            if x == "bad":
+                raise ValueError("boom bad")
+            return x
+
+        def commit():
+            raise OSError("disk full")
+
+        async def drive():
+            queue = BoundedIngestQueue(
+                process, maxsize=4, commit=commit
+            )
+            results = await asyncio.gather(
+                *(queue.submit(x) for x in [1, "bad"]), return_exceptions=True
+            )
+            await queue.close()
+            return results
+
+        results = asyncio.run(drive())
+        assert isinstance(results[0], OSError)
+        assert isinstance(results[1], ValueError)

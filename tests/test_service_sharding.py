@@ -439,3 +439,75 @@ class TestBackendLifecycle:
             assert sizes == [7, 7]
         finally:
             session.close()
+
+
+class TestTimedGather:
+    """``shard.rpc.seconds`` must record each shard's *own* round-trip:
+    the old fixed-order gather folded every earlier shard's wait into
+    later shards' labels, so one slow shard poisoned all of them."""
+
+    @staticmethod
+    def _fake_backend(delays):
+        """A ShardedFleetBackend skeleton over in-memory transports whose
+        replies become pollable only after ``delays[i]`` seconds."""
+        import time as _time
+
+        from repro.obs import MetricsRegistry
+        from repro.service.sharding import ShardedFleetBackend
+
+        class FakeTransport:
+            def __init__(self, delay):
+                self._delay = delay
+                self._ready_at = None
+
+            def send(self, message):
+                self._ready_at = _time.monotonic() + self._delay
+
+            def poll(self, timeout=0.0):
+                if self._ready_at is None:
+                    return False
+                remaining = self._ready_at - _time.monotonic()
+                if remaining <= 0:
+                    return True
+                if timeout and timeout > remaining:
+                    _time.sleep(remaining)
+                    return True
+                if timeout:
+                    _time.sleep(timeout)
+                return _time.monotonic() >= self._ready_at
+
+            def recv(self, timeout=None):
+                while not self.poll(0.0):
+                    _time.sleep(0.001)
+                self._ready_at = None
+                return ("ok", 42)
+
+        backend = object.__new__(ShardedFleetBackend)
+        backend._transports = [FakeTransport(d) for d in delays]
+        backend._registry = MetricsRegistry()
+        backend._rpc_timeout = None
+        return backend
+
+    @pytest.mark.parametrize("slow_first", [True, False])
+    def test_rpc_labels_are_order_independent(self, slow_first):
+        import time as _time
+
+        delays = [0.15, 0.0] if slow_first else [0.0, 0.15]
+        backend = self._fake_backend(delays)
+        for index, transport in enumerate(backend._transports):
+            transport.send(("noop", None))
+        t0 = _time.perf_counter()
+        outcomes = backend._timed_gather(
+            [(i, "noop", None) for i in range(2)], t0=t0
+        )
+        assert outcomes == [("ok", 42), ("ok", 42)]
+        snapshot = backend._registry.snapshot()
+        recorded = {
+            int(key.split('shard="')[1].rstrip('"}')): stats["max"]
+            for key, stats in snapshot.items()
+            if key.startswith("shard.rpc.seconds")
+        }
+        slow, fast = (0, 1) if slow_first else (1, 0)
+        # The fast shard's label must not inherit the slow shard's wait.
+        assert recorded[fast] < 0.1
+        assert recorded[slow] >= 0.14
